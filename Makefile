@@ -1,0 +1,32 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every figure at medium scale into results/medium/
+experiments:
+	$(PYTHON) scripts/run_full_experiments.py medium results/medium
+
+figures:
+	$(PYTHON) -m repro figure tables
+	$(PYTHON) -m repro figure 1
+	$(PYTHON) -m repro figure 5
+	$(PYTHON) -m repro figure 12
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/prefetcher_internals.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

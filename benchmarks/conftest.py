@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The sweep behind Figures 9–12 is expensive, so it runs once per session
+(``bench_sweep``); the per-figure benchmarks then measure regenerating
+each figure from it.  The sweep itself is benchmarked separately in
+``test_bench_sweep.py``.
+"""
+
+import pytest
+
+from repro.experiments.sweep import standard_sweep
+from repro.workloads.suites import get_workload
+
+#: the workload subset used by benchmark sweeps: one representative per
+#: behaviour class, small enough for a minutes-scale benchmark session
+BENCH_WORKLOADS = ("lbm", "mcf", "array", "list", "graph500-list", "graph500-csr")
+BENCH_LIMIT = 20000
+
+
+def bench_sweep_impl():
+    workloads = [get_workload(name) for name in BENCH_WORKLOADS]
+    from repro.sim.runner import compare
+
+    return compare(workloads, limit=BENCH_LIMIT)
+
+
+@pytest.fixture(scope="session")
+def bench_sweep():
+    return bench_sweep_impl()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

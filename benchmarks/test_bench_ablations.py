@@ -1,0 +1,23 @@
+"""Ablation bench: design-choice variants of the context prefetcher."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+WORKLOADS = ("list", "graph500-list", "array")
+
+
+def test_ablations(benchmark):
+    result = run_once(benchmark, ablations.run, "small", WORKLOADS)
+
+    means = result.means
+    expected = set(ablations.variant_configs()) | set(ablations.hierarchy_variants())
+    assert set(means) == expected
+    # every variant still prefetches usefully on this friendly subset
+    assert all(mean > 1.0 for mean in means.values())
+    # the full design should be at worst marginally behind any single
+    # ablation (no mechanism is actively harmful in aggregate)
+    best = max(means.values())
+    assert means["full"] > 0.85 * best
+    print()
+    print(ablations.render(result))

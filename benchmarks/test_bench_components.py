@@ -1,0 +1,105 @@
+"""Component microbenchmarks: per-operation throughput of the hot paths.
+
+Unlike the figure benches (one-shot experiment regenerations), these are
+classic pytest-benchmark loops measuring steady-state cost per operation
+of the structures the simulator leans on.
+"""
+
+import random
+
+from repro.core.attributes import AttributeSet
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.context import context_hash
+from repro.core.cst import ContextStatesTable
+from repro.core.prefetcher import ContextPrefetcher
+from repro.hints import RefForm, SemanticHints
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import Hierarchy
+from repro.prefetchers.base import AccessInfo
+from repro.prefetchers.ghb import GHBPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+
+def test_bench_context_hash(benchmark):
+    values = tuple(range(1, 9))
+    active = AttributeSet()
+    benchmark(context_hash, values, active, 19)
+
+
+def test_bench_cst_add_association(benchmark):
+    cst = ContextStatesTable(ContextPrefetcherConfig())
+    keys = [random.Random(1).randrange(1 << 19) for _ in range(512)]
+    state = {"i": 0}
+
+    def add():
+        i = state["i"]
+        cst.add_association(keys[i % 512], (i % 100) - 50 or 1)
+        state["i"] = i + 1
+
+    benchmark(add)
+
+
+def test_bench_l1_cache_lookup_fill(benchmark):
+    cache = Cache(CacheConfig(size_bytes=64 * 1024, ways=8))
+    state = {"i": 0}
+
+    def step():
+        i = state["i"]
+        line = (i * 7919) % 4096
+        if cache.lookup(line) is None:
+            cache.fill(line)
+        state["i"] = i + 1
+
+    benchmark(step)
+
+
+def test_bench_hierarchy_demand_access(benchmark):
+    hier = Hierarchy()
+    state = {"i": 0, "now": 0}
+
+    def step():
+        state["now"] += 4
+        hier.demand_access(0x10000 + (state["i"] % 8192) * 64, state["now"])
+        state["i"] += 1
+
+    benchmark(step)
+
+
+def _drive(prefetcher_factory):
+    pf = prefetcher_factory()
+    hints = SemanticHints(type_id=1, link_offset=16, ref_form=RefForm.ARROW)
+    addrs = [0x100000 + i * 256 for i in range(64)]
+    state = {"i": 0}
+
+    def step():
+        i = state["i"]
+        info = AccessInfo(
+            index=i,
+            cycle=0,
+            addr=addrs[i % 64],
+            pc=0x400008,
+            last_value=addrs[(i - 1) % 64],
+            hints=hints,
+            primary_miss=True,
+        )
+        pf.on_access(info)
+        state["i"] = i + 1
+
+    return step
+
+
+def test_bench_context_prefetcher_access(benchmark):
+    benchmark(_drive(ContextPrefetcher))
+
+
+def test_bench_stride_prefetcher_access(benchmark):
+    benchmark(_drive(StridePrefetcher))
+
+
+def test_bench_ghb_prefetcher_access(benchmark):
+    benchmark(_drive(GHBPrefetcher))
+
+
+def test_bench_sms_prefetcher_access(benchmark):
+    benchmark(_drive(SMSPrefetcher))

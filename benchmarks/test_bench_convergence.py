@@ -1,0 +1,24 @@
+"""Convergence bench: the RL loop's training trajectory at scale."""
+
+from conftest import run_once
+
+from repro.experiments import convergence
+
+WORKLOADS = ("list", "graph500-list")
+
+
+def test_convergence_trajectories(benchmark):
+    result = run_once(
+        benchmark, convergence.run, WORKLOADS, samples=8, limit=40000
+    )
+    for name in WORKLOADS:
+        points = result.trajectories[name]
+        # Section 7.1's prose: the predictor converges — accuracy rises,
+        # exploration falls, the degree throttle opens
+        assert points[-1].accuracy > points[0].accuracy, name
+        assert points[-1].epsilon < points[0].epsilon, name
+        assert points[-1].degree >= points[0].degree, name
+        # and it puts the CST to use
+        assert points[-1].cst_occupancy > 10, name
+    print()
+    print(convergence.render(result))

@@ -1,0 +1,15 @@
+"""Figure 1 bench: regenerate the insertion-sort locality series."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_semantic_locality as fig01
+
+
+def test_fig01_semantic_locality(benchmark):
+    result = run_once(benchmark, fig01.run, 100)
+    # paper shape: logical order is perfectly linear, physical order is not
+    assert result.logical_step_unit_fraction > 0.99
+    assert result.physical_step_adjacent_fraction < 0.2
+    assert result.physical_span > 1000
+    print()
+    print(fig01.render(result))

@@ -1,0 +1,20 @@
+"""Figure 5 bench: regenerate the reward-function curve."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_reward as fig05
+
+
+def test_fig05_reward_curve(benchmark):
+    result = run_once(benchmark, fig05.run, 80)
+    curve = dict(result.curve)
+    lo, hi = result.window
+    # paper shape: negative edges, positive bell peaking at the center
+    assert all(curve[d] < 0 for d in range(0, lo))
+    assert all(curve[d] >= 1 for d in range(lo, hi + 1))
+    assert all(curve[d] < 0 for d in range(hi + 1, 81))
+    assert curve[result.center] == result.peak
+    # the Section 4.3 example lands in the paper's ~10-90 range, near 30
+    assert 15 <= result.example_distance <= 60
+    print()
+    print(fig05.render(result))

@@ -1,0 +1,24 @@
+"""Figure 8 bench: hit-depth CDFs for the context prefetcher."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_hit_depth_cdf as fig08
+
+
+def test_fig08_hit_depth_cdf(benchmark):
+    workloads = ("list", "array", "bfs", "maptest")
+    result = run_once(benchmark, fig08.run, "small", workloads)
+    lo, hi = result.window
+
+    # paper shape: the CDF steps up inside the reward window.  The strictly
+    # regular μbenchmark (array) aligns almost perfectly; the irregular
+    # ones keep a solid fraction inside the window with the early/late
+    # tails the paper also reports (~25-40%)
+    assert result.cdfs["array"].fraction_in_window(lo, hi) > 0.6
+    for name in ("list", "bfs", "maptest"):
+        cdf = result.cdfs[name]
+        assert cdf.total > 0
+        assert cdf.fraction_in_window(lo, hi) > 0.25, name
+        assert cdf.fraction_late(lo) < 0.6, name
+    print()
+    print(fig08.render(result))

@@ -1,0 +1,25 @@
+"""Figure 9 bench: access-benefit classification per prefetcher."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_accuracy as fig09
+
+
+def test_fig09_accuracy_classification(benchmark, bench_sweep):
+    result = run_once(benchmark, fig09.run, "small", bench_sweep)
+
+    # paper shape: on irregular workloads the context prefetcher has the
+    # largest useful fraction (hit prefetched + shorter wait); allow a
+    # small tolerance at this truncated-trace scale where the RL loop has
+    # had only a couple of traversals to converge
+    for workload in ("list", "graph500-list"):
+        context_useful = result.useful_fraction(workload, "context")
+        for competitor in ("stride", "ghb-gdc", "ghb-pcdc", "sms"):
+            assert context_useful >= 0.9 * result.useful_fraction(
+                workload, competitor
+            ), (workload, competitor)
+    # and the no-prefetch run has zero useful accesses everywhere
+    for workload in result.breakdown:
+        assert result.useful_fraction(workload, "none") == 0.0
+    print()
+    print(fig09.render(result))

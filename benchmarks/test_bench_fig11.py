@@ -1,0 +1,18 @@
+"""Figure 11 bench: L2 MPKI per prefetcher and the paper's headline ratios."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_l2_mpki as fig11
+
+
+def test_fig11_l2_mpki(benchmark, bench_sweep):
+    result = run_once(benchmark, fig11.run, "small", bench_sweep)
+
+    # paper headline: context cuts average L2 MPKI ~4x vs none and ~2x vs
+    # SMS; our substrate must show the same ordering with a clear margin
+    assert result.ratio_vs_none > 1.5
+    assert result.ratio_vs_sms > 1.0
+    avg = result.mpki.average
+    assert avg["context"] < avg["sms"] < avg["none"]
+    print()
+    print(fig11.render(result))

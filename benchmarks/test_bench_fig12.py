@@ -1,0 +1,22 @@
+"""Figure 12 bench: IPC speedups over no prefetching."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_speedup as fig12
+
+
+def test_fig12_speedups(benchmark, bench_sweep):
+    result = run_once(benchmark, fig12.run, "small", bench_sweep)
+
+    # paper shape: context has the best mean speedup, by a wide margin
+    # over the best spatio-temporal prefetcher (paper: ~76% more gain)
+    assert result.mean_all["context"] == max(result.mean_all.values())
+    assert result.gain_vs_best_competitor > 1.2
+    # every irregular linked workload must favour context
+    for workload in ("list", "graph500-list"):
+        row = result.speedups[workload]
+        assert row["context"] == max(row.values())
+    # and the peak should be substantial (paper: up to 4.3x)
+    assert result.context_peak > 1.5
+    print()
+    print(fig12.render(result))

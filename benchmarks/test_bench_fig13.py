@@ -1,0 +1,27 @@
+"""Figure 13 bench: speedup vs CST storage size."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_storage_sweep as fig13
+
+SIZES = (256, 1024, 4096)
+WORKLOADS = ("list", "graph500-list", "mcf", "array")
+
+
+def test_fig13_storage_sweep(benchmark):
+    result = run_once(benchmark, fig13.run, "small", SIZES, WORKLOADS)
+
+    # paper shape: performance is not monotone in storage, and a small
+    # CST already captures most of the benefit ("the reinforcement
+    # learning algorithm increases the odds that the stored elements will
+    # be the most useful ones")
+    smallest = min(SIZES)
+    best = max(result.mean_all.values())
+    assert result.mean_all[smallest] > 1.0  # tiny CST still helps
+    assert result.mean_all[smallest] > 0.5 * best
+    assert set(result.storage_kib) == set(SIZES)
+    # storage grows with entries
+    kib = [result.storage_kib[s] for s in sorted(SIZES)]
+    assert kib == sorted(kib)
+    print()
+    print(fig13.render(result))

@@ -1,0 +1,33 @@
+"""Figure 14 bench: naive (linked) vs spatially optimised layouts."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_layout_agnostic as fig14
+
+
+def test_fig14_layout_agnostic(benchmark):
+    result = run_once(benchmark, fig14.run, "small")
+
+    for study in ("ssca2", "graph500"):
+        layouts = result.cpi[study]
+        # paper shape 1: on the naive linked layout, the context prefetcher
+        # delivers the best performance of all prefetchers, by a margin
+        context_linked = layouts["linked"]["context"]
+        best_other = min(
+            cpi for pf, cpi in layouts["linked"].items() if pf != "context"
+        )
+        assert context_linked < 0.9 * best_other, study
+
+        # paper shape 2: the layout penalty (CPI linked / CPI array) under
+        # the context prefetcher does not exceed the no-prefetch penalty,
+        # and clearly beats the delta/stride prefetchers which
+        # "distinctively favor spatially-optimized implementations"
+        context_gap = result.layout_gap(study, "context")
+        assert context_gap <= result.layout_gap(study, "none") * 1.05, study
+        for competitor in ("stride", "ghb-gdc", "ghb-pcdc"):
+            assert context_gap < result.layout_gap(study, competitor), (
+                study,
+                competitor,
+            )
+    print()
+    print(fig14.render(result))

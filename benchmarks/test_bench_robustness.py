@@ -1,0 +1,23 @@
+"""Robustness bench: speedups hold across workload and prefetcher seeds."""
+
+from conftest import run_once
+
+from repro.experiments import robustness
+
+WORKLOADS = ("list", "array")
+SEEDS = (7, 11, 23)
+
+
+def test_seed_robustness(benchmark):
+    result = run_once(benchmark, robustness.run, "small", WORKLOADS, SEEDS)
+
+    for name in WORKLOADS:
+        wl = result.workload_seed_spread[name]
+        pf = result.prefetcher_seed_spread[name]
+        # the win survives every seed on both axes
+        assert min(wl.samples) > 1.2, name
+        assert min(pf.samples) > 1.2, name
+        # exploration noise is second-order
+        assert pf.cv < 0.2, name
+    print()
+    print(robustness.render(result))

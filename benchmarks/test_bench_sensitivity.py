@@ -1,0 +1,27 @@
+"""Sensitivity bench: continuous-knob sweep of the context prefetcher."""
+
+from conftest import run_once
+
+from repro.experiments import sensitivity
+
+WORKLOADS = ("list", "array")
+
+
+def test_sensitivity_grid(benchmark):
+    result = run_once(benchmark, sensitivity.run, "small", WORKLOADS)
+
+    # the paper's default should be competitive on every knob: within 15%
+    # of the best setting found (it need not win outright)
+    defaults = {
+        "window": "paper(18-50)",
+        "cst_links": "4",
+        "queue_depth": "128",
+        "max_degree": "4",
+        "epsilon_max": "0.20",
+    }
+    for knob, default_label in defaults.items():
+        settings = result.grid[knob]
+        best = max(settings.values())
+        assert settings[default_label] > 0.85 * best, knob
+    print()
+    print(sensitivity.render(result))

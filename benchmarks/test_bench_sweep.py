@@ -1,0 +1,9 @@
+"""Benchmark the standard sweep itself (the engine behind Figures 9-12)."""
+
+from conftest import bench_sweep_impl, run_once
+
+
+def test_bench_standard_sweep(benchmark):
+    comparison = run_once(benchmark, bench_sweep_impl)
+    assert len(comparison.workloads()) == 6
+    assert len(comparison.prefetchers()) == 6

@@ -1,0 +1,19 @@
+"""Tables 1–3 bench: render the configuration tables and audit storage."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_tables_render(benchmark):
+    def build_all():
+        return tables.table1(), tables.table2(), tables.table3()
+
+    t1, t2, t3 = run_once(benchmark, build_all)
+    assert "IP" in t1 and "Compiler" in t1
+    assert "CST" in t2 and "2048 entries" in t2
+    assert "spec2006" in t3 and "graph500" in t3
+    print()
+    for text in (t1, t2, t3):
+        print(text)
+        print()

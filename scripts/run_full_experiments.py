@@ -1,0 +1,119 @@
+"""Run every paper figure at a chosen scale and dump rendered reports.
+
+Usage:  python scripts/run_full_experiments.py [small|medium|full] [outdir]
+
+This is the script behind EXPERIMENTS.md: it executes the shared sweep
+once, regenerates every figure from it, and writes the rendered text
+reports (plus a machine-readable summary JSON) into the output directory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import repro.experiments as ex
+from repro.memory.stats import AccessClass
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "medium"
+    outdir = Path(sys.argv[2] if len(sys.argv) > 2 else f"results/{scale}")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.time()
+    print(f"[{time.time()-t0:7.1f}s] running standard sweep at scale={scale} ...")
+    sweep = ex.standard_sweep(scale, progress=lambda s: print(f"    {s}"))
+
+    reports: dict[str, str] = {}
+    summary: dict[str, object] = {"scale": scale}
+
+    print(f"[{time.time()-t0:7.1f}s] figure 1 ...")
+    r1 = ex.fig01_semantic_locality.run()
+    reports["fig01"] = ex.fig01_semantic_locality.render(r1)
+    summary["fig01"] = {
+        "logical_unit_fraction": r1.logical_step_unit_fraction,
+        "physical_adjacent_fraction": r1.physical_step_adjacent_fraction,
+    }
+
+    reports["fig05"] = ex.fig05_reward.render(ex.fig05_reward.run())
+
+    print(f"[{time.time()-t0:7.1f}s] figure 8 ...")
+    r8 = ex.fig08_hit_depth_cdf.run(scale)
+    reports["fig08"] = ex.fig08_hit_depth_cdf.render(r8)
+    lo, hi = r8.window
+    summary["fig08"] = {
+        name: cdf.fraction_in_window(lo, hi) for name, cdf in r8.cdfs.items()
+    }
+
+    print(f"[{time.time()-t0:7.1f}s] figures 9-12 from the sweep ...")
+    r9 = ex.fig09_accuracy.run(comparison=sweep)
+    reports["fig09"] = ex.fig09_accuracy.render(r9)
+    summary["fig09_useful_context"] = {
+        wl: r9.useful_fraction(wl, "context") for wl in r9.breakdown
+    }
+
+    r10 = ex.fig10_l1_mpki.run(comparison=sweep)
+    reports["fig10"] = ex.fig10_l1_mpki.render(r10)
+    summary["fig10_average"] = r10.average
+
+    r11 = ex.fig11_l2_mpki.run(comparison=sweep)
+    reports["fig11"] = ex.fig11_l2_mpki.render(r11)
+    summary["fig11"] = {
+        "ratio_vs_none": r11.ratio_vs_none,
+        "ratio_vs_sms": r11.ratio_vs_sms,
+        "average": r11.mpki.average,
+    }
+
+    r12 = ex.fig12_speedup.run(comparison=sweep)
+    reports["fig12"] = ex.fig12_speedup.render(r12)
+    reports["suites"] = ex.suite_summary.render(
+        ex.suite_summary.run(comparison=sweep)
+    )
+    summary["fig12"] = {
+        "mean_all": r12.mean_all,
+        "mean_spec": r12.mean_spec,
+        "context_peak": r12.context_peak,
+        "gain_vs_best_competitor": r12.gain_vs_best_competitor,
+        "best_competitor": r12.best_competitor,
+    }
+
+    print(f"[{time.time()-t0:7.1f}s] figure 13 ...")
+    r13 = ex.fig13_storage_sweep.run(scale)
+    reports["fig13"] = ex.fig13_storage_sweep.render(r13)
+    summary["fig13"] = {
+        "mean_all": {str(k): v for k, v in r13.mean_all.items()},
+        "mean_top10": {str(k): v for k, v in r13.mean_top10.items()},
+    }
+
+    print(f"[{time.time()-t0:7.1f}s] figure 14 ...")
+    r14 = ex.fig14_layout_agnostic.run(scale)
+    reports["fig14"] = ex.fig14_layout_agnostic.render(r14)
+    summary["fig14_gaps"] = {
+        study: {
+            pf: r14.layout_gap(study, pf) for pf in next(iter(r14.cpi.values()))["linked"]
+        }
+        for study in r14.cpi
+    }
+
+    print(f"[{time.time()-t0:7.1f}s] tables & ablations ...")
+    reports["tables"] = "\n\n".join(
+        (ex.tables.table1(), ex.tables.table2(), ex.tables.table3())
+    )
+    rab = ex.ablations.run(scale)
+    reports["ablations"] = ex.ablations.render(rab)
+    summary["ablations"] = rab.means
+
+    for name, text in reports.items():
+        (outdir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    (outdir / "summary.json").write_text(
+        json.dumps(summary, indent=2, default=str), encoding="utf-8"
+    )
+    print(f"[{time.time()-t0:7.1f}s] done -> {outdir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""Thin setup shim so `pip install -e .` works without the wheel package.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``     — available workloads (by suite) and prefetchers
+* ``run``      — simulate one (workload, prefetcher) pair
+* ``sweep``    — workloads × prefetchers speedup table (Figure 12 view)
+* ``figure``   — regenerate one paper figure or table set
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments import (
+    ablations,
+    characterization,
+    convergence,
+    fig01_semantic_locality,
+    fig05_reward,
+    fig08_hit_depth_cdf,
+    fig09_accuracy,
+    fig10_l1_mpki,
+    fig11_l2_mpki,
+    fig12_speedup,
+    fig13_storage_sweep,
+    fig14_layout_agnostic,
+    robustness,
+    sensitivity,
+    suite_summary,
+    tables,
+)
+from repro.experiments.report import render_table
+from repro.experiments.sweep import SCALES, standard_sweep
+from repro.memory.stats import ACCESS_CLASS_ORDER
+from repro.sim.config import PREFETCHER_FACTORIES, PREFETCHER_ORDER
+from repro.sim.runner import compare, run_workload
+from repro.workloads.suites import SUITES, get_workload
+
+#: figure name -> (module with run()/render(), takes scale?)
+_FIGURES = {
+    "1": (fig01_semantic_locality, False),
+    "5": (fig05_reward, False),
+    "8": (fig08_hit_depth_cdf, True),
+    "9": (fig09_accuracy, True),
+    "10": (fig10_l1_mpki, True),
+    "11": (fig11_l2_mpki, True),
+    "12": (fig12_speedup, True),
+    "13": (fig13_storage_sweep, True),
+    "14": (fig14_layout_agnostic, True),
+    "tables": (tables, False),
+    "ablations": (ablations, True),
+    "sensitivity": (sensitivity, True),
+    "convergence": (convergence, False),
+    "characterization": (characterization, False),
+    "robustness": (robustness, True),
+    "suites": (suite_summary, True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Semantic locality and context-based prefetching (ISCA 2015) "
+            "reproduction harness"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and prefetchers")
+
+    run_p = sub.add_parser("run", help="simulate one workload under one prefetcher")
+    run_p.add_argument("workload")
+    run_p.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
+    run_p.add_argument("--limit", type=int, default=None, help="truncate the trace")
+
+    sweep_p = sub.add_parser("sweep", help="workloads x prefetchers speedup table")
+    sweep_p.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sweep_p.add_argument(
+        "--workloads", default=None, help="comma-separated workload names"
+    )
+    sweep_p.add_argument(
+        "--prefetchers",
+        default=",".join(PREFETCHER_ORDER),
+        help="comma-separated prefetcher names",
+    )
+    sweep_p.add_argument("--limit", type=int, default=None)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig_p.add_argument("which", choices=sorted(_FIGURES, key=str))
+    fig_p.add_argument("--scale", choices=sorted(SCALES), default="small")
+
+    trace_p = sub.add_parser(
+        "trace", help="save a workload's access trace as JSONL"
+    )
+    trace_p.add_argument("workload")
+    trace_p.add_argument("output", help="destination .jsonl path")
+    trace_p.add_argument("--limit", type=int, default=None)
+
+    replay_p = sub.add_parser(
+        "replay", help="simulate a saved JSONL trace under a prefetcher"
+    )
+    replay_p.add_argument("tracefile")
+    replay_p.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
+    replay_p.add_argument("--stats", action="store_true", help="gem5-style dump")
+    return parser
+
+
+def _cmd_list() -> str:
+    rows = [(suite, ", ".join(names)) for suite, names in SUITES.items()]
+    workloads = render_table(("suite", "workloads"), rows, title="Workloads")
+    prefetchers = ", ".join(sorted(PREFETCHER_FACTORIES))
+    return f"{workloads}\n\nPrefetchers: {prefetchers}"
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    result = run_workload(args.workload, args.prefetcher, limit=args.limit)
+    lines = [
+        result.summary(),
+        f"cycles={result.cycles}  instructions={result.instructions}",
+        f"prefetches: issued={result.prefetches_issued} "
+        f"shadow={result.prefetches_shadow} "
+        f"redundant={result.prefetches_redundant}",
+    ]
+    fractions = result.classifier.fractions()
+    for cls in ACCESS_CLASS_ORDER:
+        lines.append(f"  {cls.value:32s} {fractions[cls]:6.1%}")
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    prefetchers = tuple(p.strip() for p in args.prefetchers.split(",") if p.strip())
+    if args.workloads:
+        workloads = [
+            get_workload(name.strip()) for name in args.workloads.split(",")
+        ]
+        comparison = compare(workloads, prefetchers, limit=args.limit)
+    else:
+        comparison = standard_sweep(args.scale, prefetchers=prefetchers)
+    result = fig12_speedup.run(comparison=comparison)
+    return fig12_speedup.render(result)
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    module, takes_scale = _FIGURES[args.which]
+    if module is tables:
+        return "\n\n".join((tables.table1(), tables.table2(), tables.table3()))
+    result = module.run(args.scale) if takes_scale else module.run()
+    return module.render(result)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.workloads.serialize import save_trace
+
+    trace = get_workload(args.workload).build().trace()
+    if args.limit is not None:
+        trace = trace[: args.limit]
+    count = save_trace(trace, args.output)
+    return f"wrote {count} accesses to {args.output}"
+
+
+def _cmd_replay(args: argparse.Namespace) -> str:
+    from repro.sim.export import stats_dump
+    from repro.sim.simulator import Simulator
+    from repro.workloads.serialize import load_trace
+
+    trace = load_trace(args.tracefile)
+    prefetcher = PREFETCHER_FACTORIES[args.prefetcher]()
+    result = Simulator(prefetcher).run(trace, workload_name=args.tracefile)
+    if args.stats:
+        return stats_dump(result)
+    return result.summary()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "figure":
+        print(_cmd_figure(args))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
+    elif args.command == "replay":
+        print(_cmd_replay(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

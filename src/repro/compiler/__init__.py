@@ -1,0 +1,52 @@
+"""The compiler substrate: a mini-IR with the paper's hint-injection pass.
+
+Section 6 of the paper modifies LLVM to (a) identify pointer-based memory
+accesses to objects, (b) enumerate object types, (c) identify pointer
+data members, and (d) inject the resulting semantic hints as extended-NOP
+immediates — but only for "operations that write new values to addresses
+that are represented as pointers at the program level".
+
+This package reproduces that toolchain at model scale:
+
+* :mod:`repro.compiler.ir` — a small typed IR (structs, loads/stores,
+  arithmetic, compare-and-branch) with a builder API;
+* :mod:`repro.compiler.hintpass` — the hint-injection pass implementing
+  the paper's rule over the IR's type information;
+* :mod:`repro.compiler.interp` — an interpreter that executes IR programs
+  against the workload heap, emitting simulator traces with the injected
+  hints, dependence edges and branch outcomes attached;
+* :mod:`repro.compiler.programs` — ready-made IR programs (linked-list
+  sum, array sum, list search) demonstrating the flow end to end.
+"""
+
+from repro.compiler.hintpass import HintInjectionPass, HintTable
+from repro.compiler.interp import ExecutionResult, Interpreter
+from repro.compiler.ir import (
+    Arith,
+    BranchIf,
+    Function,
+    FunctionBuilder,
+    Jump,
+    Load,
+    LoadIdx,
+    Ret,
+    Store,
+    StructDecl,
+)
+
+__all__ = [
+    "Arith",
+    "BranchIf",
+    "ExecutionResult",
+    "Function",
+    "FunctionBuilder",
+    "HintInjectionPass",
+    "HintTable",
+    "Interpreter",
+    "Jump",
+    "Load",
+    "LoadIdx",
+    "Ret",
+    "Store",
+    "StructDecl",
+]

@@ -1,0 +1,99 @@
+"""The hint-injection pass (the paper's modified LLVM pass, Section 6).
+
+Walks every memory instruction of a function and decides whether the
+paper's compiler would precede it with a hint NOP:
+
+* a :class:`~repro.compiler.ir.Load` of a **pointer-typed field** gets
+  ``SemanticHints(type_id, link_offset, ARROW)`` — it "writes a new value
+  that is represented as a pointer at the program level";
+* a :class:`~repro.compiler.ir.LoadIdx` of **pointer elements** gets
+  INDEX-form hints;
+* loads of plain data and all stores of plain data get **no hints** —
+  the paper skips pointer+offset data accesses "which access data that
+  was likely already prefetched by the original access to the base
+  pointer";
+* a :class:`~repro.compiler.ir.Store` of a pointer-typed field is hinted
+  too (it writes a pointer value the structure will be traversed by).
+
+Type ids are enumerated per program through the shared
+:class:`~repro.hints.TypeRegistry`, as the paper assigns "a unique value
+within the compiled program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import Function, Load, LoadIdx, Store, is_pointer_type
+from repro.hints import RefForm, SemanticHints, TypeRegistry
+
+
+@dataclass
+class HintTable:
+    """Pass output: (block label, instruction index) -> hints."""
+
+    hints: dict[tuple[str, int], SemanticHints] = field(default_factory=dict)
+    #: accesses examined / hinted, for the overhead accounting of §6
+    memory_instructions: int = 0
+    hinted_instructions: int = 0
+
+    def lookup(self, block: str, index: int) -> SemanticHints | None:
+        return self.hints.get((block, index))
+
+    @property
+    def hint_overhead(self) -> float:
+        """Fraction of memory instructions that carry a hint NOP."""
+        if self.memory_instructions == 0:
+            return 0.0
+        return self.hinted_instructions / self.memory_instructions
+
+
+class HintInjectionPass:
+    """Assigns semantic hints to a function's memory instructions."""
+
+    def __init__(self, registry: TypeRegistry | None = None):
+        self.registry = registry or TypeRegistry()
+
+    def run(self, function: Function) -> HintTable:
+        table = HintTable()
+        for label, instrs in function.blocks.items():
+            for index, instr in enumerate(instrs):
+                hints = self._hints_for(function, instr)
+                if isinstance(instr, (Load, LoadIdx, Store)):
+                    table.memory_instructions += 1
+                if hints is not None:
+                    table.hints[(label, index)] = hints
+                    table.hinted_instructions += 1
+        return table
+
+    # ------------------------------------------------------------------
+
+    def _hints_for(self, function: Function, instr) -> SemanticHints | None:
+        if isinstance(instr, Load):
+            offset, type_name = function.structs[instr.struct].field_info(instr.field)
+            if not is_pointer_type(type_name):
+                return None
+            return SemanticHints(
+                type_id=self.registry.type_id(instr.struct),
+                link_offset=offset,
+                ref_form=RefForm.ARROW,
+            )
+        if isinstance(instr, LoadIdx):
+            if not is_pointer_type(instr.elem_type):
+                return None
+            elem = instr.elem_type.split(":", 1)[-1]
+            return SemanticHints(
+                type_id=self.registry.type_id(elem),
+                link_offset=0,
+                ref_form=RefForm.INDEX,
+            )
+        if isinstance(instr, Store):
+            offset, type_name = function.structs[instr.struct].field_info(instr.field)
+            if not is_pointer_type(type_name):
+                return None
+            return SemanticHints(
+                type_id=self.registry.type_id(instr.struct),
+                link_offset=offset,
+                ref_form=RefForm.ARROW,
+            )
+        return None

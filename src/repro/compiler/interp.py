@@ -1,0 +1,242 @@
+"""IR interpreter: executes a function and emits a simulator trace.
+
+Plays the role of the CPU running the compiled binary: every IR memory
+instruction becomes a :class:`~repro.workloads.trace.MemoryAccess`, with
+
+* the hint table's semantic hints attached (the decoded hint NOPs),
+* a dependence edge when the access's base address was produced by the
+  immediately preceding memory access (pointer chasing),
+* branch outcomes recorded for the global history register,
+* non-memory instructions counted into the inter-access gaps,
+* the function's designated key register exposed as ``reg_value``.
+
+Memory is a sparse 8-byte-granular word store over the workload heap.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from repro.compiler.hintpass import HintInjectionPass, HintTable
+from repro.compiler.ir import (
+    Arith,
+    BranchIf,
+    Cmp,
+    Function,
+    Jump,
+    Load,
+    LoadIdx,
+    Ret,
+    Store,
+)
+from repro.hints import NO_HINTS
+from repro.workloads.trace import MemoryAccess, TraceBuilder
+
+_ARITH_OPS = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "div": lambda a, b: a // b,
+    "mod": operator.mod,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "shl": operator.lshift,
+    "shr": operator.rshift,
+}
+
+_CMP_OPS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+class Memory:
+    """Sparse word-addressed memory (8-byte aligned slots)."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        self.reads += 1
+        return self._words.get(addr & ~7, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self._words[addr & ~7] = value
+
+    def write_struct(self, base: int, struct, values: dict[str, int]) -> None:
+        """Initialise a struct instance's fields (setup helper)."""
+        for fname, value in values.items():
+            offset, _ = struct.field_info(fname)
+            self.write(base + offset, value)
+
+
+@dataclass
+class ExecutionResult:
+    """What one interpreted run produced."""
+
+    return_value: int
+    trace: list[MemoryAccess]
+    instructions_executed: int
+    hint_table: HintTable
+
+
+class TrapError(RuntimeError):
+    """Raised on runtime faults (null deref, bad op, step overrun)."""
+
+
+@dataclass
+class Interpreter:
+    """Executes IR functions, producing traces through a TraceBuilder."""
+
+    function: Function
+    memory: Memory = field(default_factory=Memory)
+    max_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        self.function.validate()
+        self._pass = HintInjectionPass()
+        self.hint_table = self._pass.run(self.function)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, *args: int, trace_builder: TraceBuilder | None = None
+    ) -> ExecutionResult:
+        fn = self.function
+        if len(args) != len(fn.params):
+            raise TypeError(
+                f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        regs: dict[str, int] = dict(zip(fn.params, args))
+        tb = trace_builder if trace_builder is not None else TraceBuilder()
+
+        label = fn.entry
+        index = 0
+        steps = 0
+        tainted: set[str] = set()  # registers derived from the last load
+        start_len = len(tb.accesses)
+
+        def value_of(operand) -> int:
+            if isinstance(operand, int):
+                return operand
+            if operand not in regs:
+                raise TrapError(f"read of undefined register {operand!r}")
+            return regs[operand]
+
+        def key_value() -> int:
+            if fn.key_register and fn.key_register in regs:
+                return regs[fn.key_register]
+            return 0
+
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise TrapError(f"step budget exceeded in {fn.name}")
+            instr = fn.blocks[label][index]
+
+            if isinstance(instr, Load):
+                base = value_of(instr.base)
+                if base == 0:
+                    raise TrapError(f"null dereference in {label}:{index}")
+                offset, _ = fn.structs[instr.struct].field_info(instr.field)
+                value = self.memory.read(base + offset)
+                site = f"{fn.name}.{label}.{index}"
+                hints = self.hint_table.lookup(label, index) or NO_HINTS
+                tb.load(
+                    base + offset,
+                    site,
+                    value=value,
+                    depends=instr.base in tainted,
+                    reg_value=key_value(),
+                    hints=hints,
+                    gap=0,
+                )
+                regs[instr.dst] = value
+                tainted = {instr.dst}
+                index += 1
+            elif isinstance(instr, LoadIdx):
+                base = value_of(instr.base)
+                idx = value_of(instr.index)
+                addr = base + idx * instr.scale
+                if addr <= 0:
+                    raise TrapError(f"bad indexed address in {label}:{index}")
+                value = self.memory.read(addr)
+                site = f"{fn.name}.{label}.{index}"
+                hints = self.hint_table.lookup(label, index) or NO_HINTS
+                tb.load(
+                    addr,
+                    site,
+                    value=value,
+                    depends=instr.base in tainted or instr.index in tainted,
+                    reg_value=key_value(),
+                    hints=hints,
+                    gap=1,  # the address computation
+                )
+                regs[instr.dst] = value
+                tainted = {instr.dst}
+                index += 1
+            elif isinstance(instr, Store):
+                base = value_of(instr.base)
+                if base == 0:
+                    raise TrapError(f"null store in {label}:{index}")
+                offset, _ = fn.structs[instr.struct].field_info(instr.field)
+                self.memory.write(base + offset, value_of(instr.src))
+                site = f"{fn.name}.{label}.{index}"
+                hints = self.hint_table.lookup(label, index) or NO_HINTS
+                tb.store(
+                    base + offset,
+                    site,
+                    depends=instr.base in tainted,
+                    reg_value=key_value(),
+                    hints=hints,
+                    gap=0,
+                )
+                index += 1
+            elif isinstance(instr, Arith):
+                op = _ARITH_OPS.get(instr.op)
+                if op is None:
+                    raise TrapError(f"unknown arith op {instr.op!r}")
+                regs[instr.dst] = op(value_of(instr.a), value_of(instr.b))
+                if (isinstance(instr.a, str) and instr.a in tainted) or (
+                    isinstance(instr.b, str) and instr.b in tainted
+                ):
+                    tainted.add(instr.dst)
+                elif instr.dst in tainted:
+                    tainted.discard(instr.dst)
+                tb.gap(1)
+                index += 1
+            elif isinstance(instr, Cmp):
+                op = _CMP_OPS.get(instr.op)
+                if op is None:
+                    raise TrapError(f"unknown cmp op {instr.op!r}")
+                regs[instr.dst] = int(op(value_of(instr.a), value_of(instr.b)))
+                tainted.discard(instr.dst)
+                tb.gap(1)
+                index += 1
+            elif isinstance(instr, BranchIf):
+                taken = bool(value_of(instr.cond))
+                tb.branch(taken)
+                label = instr.if_true if taken else instr.if_false
+                index = 0
+            elif isinstance(instr, Jump):
+                tb.gap(1)
+                label = instr.target
+                index = 0
+            elif isinstance(instr, Ret):
+                return ExecutionResult(
+                    return_value=value_of(instr.value),
+                    trace=tb.accesses[start_len:],
+                    instructions_executed=steps,
+                    hint_table=self.hint_table,
+                )
+            else:  # pragma: no cover - exhaustive over the IR
+                raise TrapError(f"unknown instruction {instr!r}")

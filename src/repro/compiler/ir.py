@@ -1,0 +1,251 @@
+"""A small typed intermediate representation.
+
+Deliberately LLVM-flavoured but minimal: functions are dictionaries of
+basic blocks; values live in named virtual registers; memory is accessed
+through typed field loads/stores (``obj->field``) and scaled index loads
+(``arr[i]``).  The type information — struct declarations with per-field
+types — is exactly what the hint-injection pass consumes.
+
+Field types are strings: ``"int"`` for plain data, ``"ptr:<struct>"`` for
+a pointer to another (or the same) struct, and ``"ptr"`` for an untyped
+pointer.  Only the pointer-ness matters to the pass; the pointee name
+feeds type enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def is_pointer_type(type_name: str) -> bool:
+    return type_name == "ptr" or type_name.startswith("ptr:")
+
+
+@dataclass(frozen=True)
+class StructDecl:
+    """A struct layout: name and (field name -> (offset, type)) map."""
+
+    name: str
+    fields: tuple[tuple[str, int, str], ...]  # (field, byte offset, type)
+
+    def __post_init__(self) -> None:
+        seen_names: set[str] = set()
+        seen_offsets: set[int] = set()
+        for fname, offset, _ in self.fields:
+            if fname in seen_names:
+                raise ValueError(f"duplicate field {fname!r} in {self.name}")
+            if offset in seen_offsets:
+                raise ValueError(f"duplicate offset {offset} in {self.name}")
+            seen_names.add(fname)
+            seen_offsets.add(offset)
+
+    def field_info(self, fname: str) -> tuple[int, str]:
+        for name, offset, type_name in self.fields:
+            if name == fname:
+                return offset, type_name
+        raise KeyError(f"struct {self.name} has no field {fname!r}")
+
+    @property
+    def size(self) -> int:
+        """Payload extent rounded up to 8-byte slots (no trailing pad)."""
+        end = max(offset + 8 for _, offset, _ in self.fields)
+        return (end + 7) & ~7
+
+
+# ----------------------------------------------------------------------
+# instructions
+
+
+@dataclass(frozen=True)
+class Load:
+    """``dst = base->field`` — typed field load through a pointer."""
+
+    dst: str
+    base: str  # register holding the object pointer
+    struct: str
+    field: str
+
+
+@dataclass(frozen=True)
+class LoadIdx:
+    """``dst = base[index]`` — scaled array-element load."""
+
+    dst: str
+    base: str  # register holding the array base address
+    index: str  # register holding the element index
+    scale: int = 8
+    elem_type: str = "int"  # "int" or pointer types
+
+
+@dataclass(frozen=True)
+class Store:
+    """``base->field = src``."""
+
+    src: str
+    base: str
+    struct: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Arith:
+    """``dst = a <op> b`` where operands are registers or literals."""
+
+    dst: str
+    op: str  # add, sub, mul, div, mod, and, or, xor, shl, shr
+    a: "str | int"
+    b: "str | int"
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """``dst = a <op> b`` (0/1) with op in eq, ne, lt, le, gt, ge."""
+
+    dst: str
+    op: str
+    a: "str | int"
+    b: "str | int"
+
+
+@dataclass(frozen=True)
+class BranchIf:
+    """Conditional branch on a register's truthiness."""
+
+    cond: str
+    if_true: str
+    if_false: str
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: str
+
+
+@dataclass(frozen=True)
+class Ret:
+    value: "str | int" = 0
+
+
+Instruction = Load | LoadIdx | Store | Arith | Cmp | BranchIf | Jump | Ret
+
+_TERMINATORS = (BranchIf, Jump, Ret)
+
+
+@dataclass
+class Function:
+    """One IR function: named basic blocks, an entry label, parameters."""
+
+    name: str
+    params: tuple[str, ...]
+    entry: str
+    blocks: dict[str, list[Instruction]]
+    structs: dict[str, StructDecl] = field(default_factory=dict)
+    #: register whose live value feeds the REG_VALUE context attribute
+    key_register: str | None = None
+
+    def validate(self) -> None:
+        """Raise ValueError on malformed control flow or references."""
+        if self.entry not in self.blocks:
+            raise ValueError(f"entry block {self.entry!r} missing")
+        for label, instrs in self.blocks.items():
+            if not instrs:
+                raise ValueError(f"block {label!r} is empty")
+            if not isinstance(instrs[-1], _TERMINATORS):
+                raise ValueError(f"block {label!r} lacks a terminator")
+            for instr in instrs[:-1]:
+                if isinstance(instr, _TERMINATORS):
+                    raise ValueError(
+                        f"terminator mid-block in {label!r}: {instr}"
+                    )
+            for instr in instrs:
+                if isinstance(instr, BranchIf):
+                    targets = (instr.if_true, instr.if_false)
+                elif isinstance(instr, Jump):
+                    targets = (instr.target,)
+                else:
+                    targets = ()
+                for target in targets:
+                    if target not in self.blocks:
+                        raise ValueError(
+                            f"branch to unknown block {target!r} in {label!r}"
+                        )
+                if isinstance(instr, (Load, Store)):
+                    if instr.struct not in self.structs:
+                        raise ValueError(
+                            f"unknown struct {instr.struct!r} in {label!r}"
+                        )
+                    self.structs[instr.struct].field_info(instr.field)
+
+
+class FunctionBuilder:
+    """Fluent construction of IR functions.
+
+    Example::
+
+        fb = FunctionBuilder("list_sum", params=("head",))
+        fb.struct("node", [("value", 0, "int"), ("next", 8, "ptr:node")])
+        fb.block("entry")
+        fb.arith("sum", "add", 0, 0)
+        fb.arith("cur", "add", "head", 0)
+        fb.jump("loop")
+        ...
+    """
+
+    def __init__(self, name: str, params: tuple[str, ...] = ()):
+        self._function = Function(
+            name=name, params=tuple(params), entry="", blocks={}
+        )
+        self._current: list[Instruction] | None = None
+
+    def struct(self, name: str, fields: list[tuple[str, int, str]]) -> "FunctionBuilder":
+        self._function.structs[name] = StructDecl(name=name, fields=tuple(fields))
+        return self
+
+    def key_register(self, reg: str) -> "FunctionBuilder":
+        self._function.key_register = reg
+        return self
+
+    def block(self, label: str) -> "FunctionBuilder":
+        if label in self._function.blocks:
+            raise ValueError(f"duplicate block {label!r}")
+        self._function.blocks[label] = []
+        self._current = self._function.blocks[label]
+        if not self._function.entry:
+            self._function.entry = label
+        return self
+
+    def _emit(self, instr: Instruction) -> "FunctionBuilder":
+        if self._current is None:
+            raise ValueError("no open block; call block() first")
+        self._current.append(instr)
+        return self
+
+    def load(self, dst: str, base: str, struct: str, field_name: str):
+        return self._emit(Load(dst=dst, base=base, struct=struct, field=field_name))
+
+    def load_idx(self, dst: str, base: str, index: str, *, scale=8, elem_type="int"):
+        return self._emit(
+            LoadIdx(dst=dst, base=base, index=index, scale=scale, elem_type=elem_type)
+        )
+
+    def store(self, src: str, base: str, struct: str, field_name: str):
+        return self._emit(Store(src=src, base=base, struct=struct, field=field_name))
+
+    def arith(self, dst: str, op: str, a, b):
+        return self._emit(Arith(dst=dst, op=op, a=a, b=b))
+
+    def cmp(self, dst: str, op: str, a, b):
+        return self._emit(Cmp(dst=dst, op=op, a=a, b=b))
+
+    def branch_if(self, cond: str, if_true: str, if_false: str):
+        return self._emit(BranchIf(cond=cond, if_true=if_true, if_false=if_false))
+
+    def jump(self, target: str):
+        return self._emit(Jump(target=target))
+
+    def ret(self, value=0):
+        return self._emit(Ret(value=value))
+
+    def build(self) -> Function:
+        self._function.validate()
+        return self._function

@@ -1,0 +1,158 @@
+"""Ready-made IR programs and their runtime setup.
+
+These close the loop of Section 6 end to end: a "source program" in the
+mini-IR, the hint pass deciding which accesses carry semantic hints, and
+the interpreter producing a simulator trace.  Each builder returns the
+function plus a setup helper that lays the input data structure out on a
+workload heap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.compiler.interp import Interpreter, Memory
+from repro.compiler.ir import Function, FunctionBuilder, StructDecl
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+NODE_STRUCT_FIELDS = [("value", 0, "int"), ("next", 8, "ptr:node")]
+
+
+def build_list_sum() -> Function:
+    """``int list_sum(node* head)`` — sum values along a linked list."""
+    fb = FunctionBuilder("list_sum", params=("head",))
+    fb.struct("node", NODE_STRUCT_FIELDS)
+    fb.block("entry")
+    fb.arith("sum", "add", 0, 0)
+    fb.arith("cur", "add", "head", 0)
+    fb.jump("check")
+    fb.block("check")
+    fb.cmp("more", "ne", "cur", 0)
+    fb.branch_if("more", "body", "done")
+    fb.block("body")
+    fb.load("v", "cur", "node", "value")
+    fb.arith("sum", "add", "sum", "v")
+    fb.load("cur", "cur", "node", "next")
+    fb.jump("check")
+    fb.block("done")
+    fb.ret("sum")
+    return fb.build()
+
+
+def build_list_search() -> Function:
+    """``node* list_search(node* head, int key)`` — first node with key."""
+    fb = FunctionBuilder("list_search", params=("head", "key"))
+    fb.struct("node", NODE_STRUCT_FIELDS)
+    fb.key_register("key")
+    fb.block("entry")
+    fb.arith("cur", "add", "head", 0)
+    fb.jump("check")
+    fb.block("check")
+    fb.cmp("more", "ne", "cur", 0)
+    fb.branch_if("more", "test", "miss")
+    fb.block("test")
+    fb.load("v", "cur", "node", "value")
+    fb.cmp("found", "eq", "v", "key")
+    fb.branch_if("found", "hit", "advance")
+    fb.block("advance")
+    fb.load("cur", "cur", "node", "next")
+    fb.jump("check")
+    fb.block("hit")
+    fb.ret("cur")
+    fb.block("miss")
+    fb.ret(0)
+    return fb.build()
+
+
+def build_array_sum() -> Function:
+    """``int array_sum(long* base, int n)`` — dense sequential sum."""
+    fb = FunctionBuilder("array_sum", params=("base", "n"))
+    fb.block("entry")
+    fb.arith("sum", "add", 0, 0)
+    fb.arith("i", "add", 0, 0)
+    fb.jump("check")
+    fb.block("check")
+    fb.cmp("more", "lt", "i", "n")
+    fb.branch_if("more", "body", "done")
+    fb.block("body")
+    fb.load_idx("v", "base", "i", scale=8, elem_type="int")
+    fb.arith("sum", "add", "sum", "v")
+    fb.arith("i", "add", "i", 1)
+    fb.jump("check")
+    fb.block("done")
+    fb.ret("sum")
+    return fb.build()
+
+
+# ----------------------------------------------------------------------
+# runtime setup + TraceProgram adapter
+
+
+@dataclass
+class ListLayout:
+    head: int
+    node_addrs: list[int]
+    values: list[int]
+
+
+def setup_linked_list(
+    memory: Memory,
+    heap: Heap,
+    values: list[int],
+    *,
+    struct: StructDecl | None = None,
+) -> ListLayout:
+    """Allocate and initialise a singly linked list in IR memory."""
+    struct = struct or StructDecl("node", tuple(NODE_STRUCT_FIELDS))
+    addrs = [heap.alloc(struct.size) for _ in values]
+    for i, (addr, value) in enumerate(zip(addrs, values)):
+        nxt = addrs[i + 1] if i + 1 < len(addrs) else 0
+        memory.write_struct(addr, struct, {"value": value, "next": nxt})
+    return ListLayout(head=addrs[0] if addrs else 0, node_addrs=addrs, values=values)
+
+
+def setup_array(memory: Memory, heap: Heap, values: list[int]) -> int:
+    """Allocate and fill a dense array; returns the base address."""
+    base = heap.alloc(max(1, len(values)) * 8)
+    for i, value in enumerate(values):
+        memory.write(base + i * 8, value)
+    return base
+
+
+class CompiledListSumProgram(TraceProgram):
+    """A workload whose trace comes from the compiler toolchain.
+
+    Builds a shuffled-heap linked list, then runs ``list_sum`` over it
+    ``iterations`` times through the interpreter — the compiled analogue
+    of :class:`~repro.workloads.linked_list.ListTraversalProgram`.
+    """
+
+    name = "compiled-listsum"
+    suite = "compiled"
+
+    def __init__(self, *, num_nodes: int = 512, iterations: int = 6, seed: int = 7):
+        super().__init__(seed=seed)
+        self.num_nodes = num_nodes
+        self.iterations = iterations
+        self.expected_sum = 0
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(placement="shuffled", seed=self.seed)
+        memory = Memory()
+        values = [rng.randrange(1 << 16) for _ in range(self.num_nodes)]
+        layout = setup_linked_list(memory, heap, values)
+        self.expected_sum = sum(values)
+
+        function = build_list_sum()
+        interp = Interpreter(function, memory=memory)
+        tb = TraceBuilder()
+        for _ in range(self.iterations):
+            result = interp.run(layout.head, trace_builder=tb)
+            if result.return_value != self.expected_sum:
+                raise AssertionError(
+                    f"list_sum computed {result.return_value}, "
+                    f"expected {self.expected_sum}"
+                )
+        return tb

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the context-based prefetcher.
+
+The prefetcher approximates *semantic locality* with a contextual-bandits
+reinforcement-learning loop (Section 4): it hashes hardware and software
+attributes into a context, associates contexts with the addresses observed
+shortly after them, scores those associations with a bell-shaped reward
+keyed to prefetch timeliness, and selects prefetch actions ε-greedily.
+
+Component map (Figure 6 of the paper):
+
+* collection unit — :mod:`repro.core.history` + :meth:`ContextPrefetcher`
+* prediction unit — :mod:`repro.core.cst` + :mod:`repro.core.bandit`
+* feedback unit — :mod:`repro.core.prefetch_queue` + :mod:`repro.core.reward`
+* online feature selection — :mod:`repro.core.reducer`
+"""
+
+from repro.core.attributes import Attribute, AttributeSet, ALL_ATTRIBUTES
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.context import ContextCapture, context_hash
+from repro.core.cst import CSTEntry, ContextStatesTable
+from repro.core.history import HistoryQueue
+from repro.core.prefetch_queue import PrefetchQueue, QueueEntry
+from repro.core.prefetcher import ContextPrefetcher
+from repro.core.reducer import Reducer, ReducerEntry
+from repro.core.reward import RewardFunction, target_prefetch_distance
+
+__all__ = [
+    "ALL_ATTRIBUTES",
+    "Attribute",
+    "AttributeSet",
+    "ContextCapture",
+    "ContextPrefetcher",
+    "ContextPrefetcherConfig",
+    "ContextStatesTable",
+    "CSTEntry",
+    "HistoryQueue",
+    "PrefetchQueue",
+    "QueueEntry",
+    "Reducer",
+    "ReducerEntry",
+    "RewardFunction",
+    "context_hash",
+    "target_prefetch_distance",
+]

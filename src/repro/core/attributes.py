@@ -1,0 +1,112 @@
+"""Context attributes (Table 1 of the paper) and attribute-set bitmaps.
+
+Each memory access is described by up to eight attributes: five hardware
+attributes the CPU can capture and three software attributes injected by
+the compiler.  The Reducer selects, per context, which subset is *active*;
+the activation order below puts cheap, low-cardinality attributes first
+and the "use sparingly" address history last, following the paper's note
+that address history risks overly localized learning.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Attribute(IntEnum):
+    """One context attribute; the value is the attribute's bitmap position."""
+
+    IP = 0  # instruction pointer of the access (hardware)
+    TYPE_ID = 1  # unique object-type enumeration (compiler)
+    LINK_OFFSET = 2  # offset of link field within object (compiler)
+    REF_FORM = 3  # syntactic form of the reference (compiler)
+    LAST_VALUE = 4  # data loaded by the previous access (hardware)
+    BRANCH_HISTORY = 5  # global branch-history register (hardware)
+    REG_VALUE = 6  # live general-register contents (hardware)
+    ADDR_HISTORY = 7  # recent memory addresses (hardware, use sparingly)
+
+
+#: All attributes in activation order (base first, riskiest last).
+ALL_ATTRIBUTES: tuple[Attribute, ...] = tuple(Attribute)
+
+#: Attributes active in a freshly allocated reducer entry.  The IP is the
+#: paper's base context element; the compiler hints are included because
+#: they are exactly the information the LLVM pass was built to provide.
+DEFAULT_ACTIVE: tuple[Attribute, ...] = (
+    Attribute.IP,
+    Attribute.TYPE_ID,
+    Attribute.LINK_OFFSET,
+    Attribute.REF_FORM,
+)
+
+
+class AttributeSet:
+    """An immutable bitmap of active attributes with activation order."""
+
+    __slots__ = ("_bits", "indices")
+
+    def __init__(self, attributes: tuple[Attribute, ...] = DEFAULT_ACTIVE):
+        bits = 0
+        for attr in attributes:
+            bits |= 1 << int(attr)
+        self._bits = bits
+        self.indices = self._compute_indices()
+
+    def _compute_indices(self) -> tuple[int, ...]:
+        return tuple(i for i in range(len(ALL_ATTRIBUTES)) if self._bits & (1 << i))
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "AttributeSet":
+        obj = cls.__new__(cls)
+        obj._bits = bits & ((1 << len(ALL_ATTRIBUTES)) - 1)
+        obj.indices = obj._compute_indices()
+        return obj
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def __contains__(self, attr: Attribute) -> bool:
+        return bool(self._bits & (1 << int(attr)))
+
+    def __iter__(self):
+        for attr in ALL_ATTRIBUTES:
+            if attr in self:
+                yield attr
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttributeSet) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        names = "+".join(attr.name for attr in self)
+        return f"AttributeSet({names or 'empty'})"
+
+    def activate_next(self) -> "AttributeSet":
+        """Return a set with the first inactive attribute activated.
+
+        This is the overload response of Section 4.4: splitting one reduced
+        context into several distinguished by the new attribute.  Returns
+        ``self`` when every attribute is already active.
+        """
+        for attr in ALL_ATTRIBUTES:
+            if attr not in self:
+                return AttributeSet.from_bits(self._bits | (1 << int(attr)))
+        return self
+
+    def deactivate_last(self) -> "AttributeSet":
+        """Return a set with the last-activated optional attribute dropped.
+
+        The underload response: merging context states that are spread over
+        too many unique reduced contexts.  The IP is never deactivated —
+        without it every load site would collapse together.
+        """
+        for attr in reversed(ALL_ATTRIBUTES):
+            if attr in self and attr is not Attribute.IP:
+                return AttributeSet.from_bits(self._bits & ~(1 << int(attr)))
+        return self

@@ -1,0 +1,176 @@
+"""Action selection: ε-greedy contextual bandit with adaptive exploration.
+
+Section 4.1: the prefetcher usually exploits (prefetch the highest-scoring
+candidate) but periodically explores a random candidate from the set of
+previously correlated addresses.  Exploration shrinks as accuracy
+converges, after Tokic's value-difference-based adaptation — here the
+signal is the exponential moving average of the prefetch-queue hit rate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.cst import Candidate, CSTEntry
+
+
+@dataclass
+class Selection:
+    """Candidates chosen for one prediction round."""
+
+    real: list[Candidate]
+    shadow: list[Candidate]
+    explored: bool = False
+
+
+class EpsilonGreedyPolicy:
+    """Selects prefetch candidates from a CST entry."""
+
+    def __init__(self, config: ContextPrefetcherConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._accuracy_ema = 0.0
+        self.explorations = 0
+        self.exploitations = 0
+
+    # ------------------------------------------------------------------
+    # accuracy tracking
+
+    @property
+    def accuracy(self) -> float:
+        return self._accuracy_ema
+
+    def observe_outcome(self, hit: bool) -> None:
+        """Fold one resolved prediction into the accuracy EMA."""
+        alpha = self.config.accuracy_ema_alpha
+        self._accuracy_ema += alpha * (float(hit) - self._accuracy_ema)
+
+    def epsilon(self) -> float:
+        """Current exploration rate."""
+        cfg = self.config
+        if not cfg.adaptive_epsilon:
+            return cfg.fixed_epsilon
+        # High accuracy -> little exploration; cold predictor -> lots.
+        return cfg.epsilon_min + (cfg.epsilon_max - cfg.epsilon_min) * (
+            1.0 - self._accuracy_ema
+        )
+
+    # ------------------------------------------------------------------
+    # degree throttling (Section 4.2)
+
+    def degree(self) -> int:
+        """Prefetch degree as a function of the accuracy EMA."""
+        cfg = self.config
+        level = 1
+        for threshold in cfg.degree_thresholds:
+            if self._accuracy_ema >= threshold:
+                level += 1
+        return min(level, cfg.max_degree)
+
+    # ------------------------------------------------------------------
+
+    def select(self, entry: CSTEntry) -> Selection:
+        """Pick real and shadow candidates from a CST entry.
+
+        Exploit: the top-scoring candidates above the prefetch threshold,
+        up to the current degree.  Explore: with probability ε, one random
+        stored candidate is prefetched *for real* even if unproven (that
+        is the bandit's exploration arm).  Additional random candidates go
+        out as shadow prefetches to gather off-policy feedback.
+        """
+        cfg = self.config
+        ranked = entry.ranked()
+        if not ranked:
+            return Selection(real=[], shadow=[])
+
+        real = [
+            cand
+            for cand in ranked[: self.degree()]
+            if cand.score >= cfg.prefetch_score_threshold
+        ]
+        explored = False
+        if self._rng.random() < self.epsilon():
+            choice = self._rng.choice(ranked)
+            explored = True
+            self.explorations += 1
+            if all(choice is not c for c in real):
+                real.append(choice)
+        else:
+            self.exploitations += 1
+
+        shadow: list[Candidate] = []
+        if cfg.shadow_prefetches and self._rng.random() < cfg.shadow_probability:
+            choice = self._rng.choice(ranked)
+            if all(choice is not c for c in real):
+                shadow.append(choice)
+        return Selection(real=real, shadow=shadow, explored=explored)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.config.seed)
+        self._accuracy_ema = 0.0
+        self.explorations = 0
+        self.exploitations = 0
+
+
+class SoftmaxPolicy(EpsilonGreedyPolicy):
+    """Boltzmann action selection over candidate scores.
+
+    One of the paper's future-work directions ("policy improvement
+    techniques in the spirit of policy search"): instead of picking the
+    max-score candidate and exploring uniformly at random, candidates are
+    sampled with probability ∝ exp(score / τ).  The temperature anneals
+    with the accuracy EMA, so a converged predictor becomes near-greedy
+    while a cold one explores broadly.
+    """
+
+    def temperature(self) -> float:
+        cfg = self.config
+        # anneal toward 1/4 of the base temperature as accuracy -> 1
+        return cfg.softmax_temperature * (1.0 - 0.75 * self._accuracy_ema)
+
+    def _sample(self, candidates) -> "Candidate":
+        tau = self.temperature()
+        top = max(c.score for c in candidates)
+        weights = [math.exp((c.score - top) / tau) for c in candidates]
+        return self._rng.choices(candidates, weights)[0]
+
+    def select(self, entry: CSTEntry) -> Selection:
+        cfg = self.config
+        ranked = entry.ranked()
+        if not ranked:
+            return Selection(real=[], shadow=[])
+
+        real: list[Candidate] = []
+        for _ in range(self.degree()):
+            pool = [
+                c
+                for c in ranked
+                if all(c is not chosen for chosen in real)
+            ]
+            if not pool:
+                break
+            choice = self._sample(pool)
+            if choice is ranked[0]:
+                self.exploitations += 1
+            else:
+                self.explorations += 1
+            # sampled low scorers below the prefetch threshold still count
+            # as exploration and go out for real, like the ε-greedy arm
+            real.append(choice)
+
+        shadow: list[Candidate] = []
+        if cfg.shadow_prefetches and self._rng.random() < cfg.shadow_probability:
+            choice = self._rng.choice(ranked)
+            if all(choice is not c for c in real):
+                shadow.append(choice)
+        return Selection(real=real, shadow=shadow, explored=bool(real))
+
+
+def make_policy(config: ContextPrefetcherConfig) -> EpsilonGreedyPolicy:
+    """Instantiate the configured action-selection policy."""
+    if config.policy == "softmax":
+        return SoftmaxPolicy(config)
+    return EpsilonGreedyPolicy(config)

@@ -1,0 +1,100 @@
+"""Context capture and hashing (Section 4.4, Figure 7).
+
+A *context* is the vector of attribute values present when a memory access
+issues.  The attribute values are concatenated and hashed: the full hash
+(over every attribute) indexes the Reducer, and a second hash over only the
+*active* attributes indexes the Context-States Table.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import ALL_ATTRIBUTES, Attribute, AttributeSet
+from repro.prefetchers.base import AccessInfo
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(state: int, value: int) -> int:
+    """One splitmix64-style mixing step; deterministic across runs."""
+    state = (state + (value & _MASK64) + 0x9E3779B97F4A7C15) & _MASK64
+    state ^= state >> 30
+    state = (state * 0xBF58476D1CE4E5B9) & _MASK64
+    state ^= state >> 27
+    state = (state * 0x94D049BB133111EB) & _MASK64
+    state ^= state >> 31
+    return state
+
+
+def context_hash(
+    values: tuple[int, ...], active: AttributeSet, bits: int
+) -> int:
+    """Hash the active attribute values down to ``bits`` bits.
+
+    Because the active set's bitmap is part of the key, the same values
+    under a different attribute selection hash differently.  Built on
+    Python's (deterministic for ints) tuple hash with one extra mixing
+    step so the low bits used for table indexing are well distributed.
+    """
+    key = hash((active.bits,) + tuple(values[i] for i in active.indices))
+    key = (key * 0x9E3779B97F4A7C15) & _MASK64
+    key ^= key >> 29
+    return key & ((1 << bits) - 1)
+
+
+class ContextCapture:
+    """A captured context: the raw attribute vector plus the access block."""
+
+    __slots__ = ("values", "block")
+
+    def __init__(self, values: tuple[int, ...], block: int):
+        self.values = values
+        self.block = block
+
+    def hash(self, active: AttributeSet, bits: int) -> int:
+        return context_hash(self.values, active, bits)
+
+
+class ContextTracker:
+    """Builds :class:`ContextCapture` records from the access stream.
+
+    Maintains the prefetcher-internal pieces of Table 1 that are functions
+    of the stream itself: the recent-address history.  Everything else is
+    carried on the :class:`~repro.prefetchers.base.AccessInfo`.
+    """
+
+    def __init__(self, *, block_bytes: int, addr_history_depth: int = 2):
+        if addr_history_depth < 1:
+            raise ValueError("address history needs at least one entry")
+        self.block_bytes = block_bytes
+        self.addr_history_depth = addr_history_depth
+        self._recent_blocks: list[int] = []
+
+    def capture(self, access: AccessInfo) -> ContextCapture:
+        """Capture the context of ``access`` *before* recording its address.
+
+        The address-history attribute must reflect the accesses preceding
+        this one; the current address becomes history only afterwards.
+        """
+        addr_hist = 0
+        for block in self._recent_blocks:
+            addr_hist = _mix(addr_hist, block)
+
+        block = access.addr // self.block_bytes
+        values = [0] * len(ALL_ATTRIBUTES)
+        values[Attribute.IP] = access.pc
+        values[Attribute.TYPE_ID] = access.hints.type_id
+        values[Attribute.LINK_OFFSET] = access.hints.link_offset
+        values[Attribute.REF_FORM] = int(access.hints.ref_form)
+        values[Attribute.LAST_VALUE] = access.last_value
+        values[Attribute.BRANCH_HISTORY] = access.branch_history
+        values[Attribute.REG_VALUE] = access.reg_value
+        values[Attribute.ADDR_HISTORY] = addr_hist
+
+        self._recent_blocks.append(block)
+        if len(self._recent_blocks) > self.addr_history_depth:
+            self._recent_blocks.pop(0)
+
+        return ContextCapture(values=tuple(values), block=block)
+
+    def reset(self) -> None:
+        self._recent_blocks.clear()

@@ -1,0 +1,178 @@
+"""The Context-States Table (CST) — Section 5, "Collection Unit".
+
+Direct-mapped table binding reduced contexts to up to four candidate
+address deltas, each with a one-byte score.  Deltas are stored at cache-
+line granularity relative to the context's own address (±8kB reach with
+the paper's one-byte encoding), which is what keeps each entry at ~9 bytes.
+Replacement is score-based: candidates that earned positive rewards
+survive; new associations only displace candidates whose score has sunk to
+the replacement threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ContextPrefetcherConfig
+
+
+@dataclass
+class Candidate:
+    """One context→address association: a delta and its learned score."""
+
+    delta: int  # in delta-granularity units, relative to the context block
+    score: int
+
+
+@dataclass
+class CSTEntry:
+    tag: int
+    candidates: list[Candidate] = field(default_factory=list)
+    #: number of reducer entries currently mapping to this entry
+    ptr_count: int = 0
+    lookups: int = 0
+    replacements: int = 0
+
+    def find(self, delta: int) -> Candidate | None:
+        for cand in self.candidates:
+            if cand.delta == delta:
+                return cand
+        return None
+
+    def best(self) -> Candidate | None:
+        if not self.candidates:
+            return None
+        return max(self.candidates, key=lambda c: c.score)
+
+    def ranked(self) -> list[Candidate]:
+        """Candidates sorted by score, best first (stable for ties)."""
+        return sorted(self.candidates, key=lambda c: -c.score)
+
+
+class ContextStatesTable:
+    """Direct-mapped CST with score-based replacement."""
+
+    def __init__(self, config: ContextPrefetcherConfig):
+        self.config = config
+        self._index_bits = (config.cst_entries - 1).bit_length()
+        self._entries: dict[int, CSTEntry] = {}
+        self.associations_added = 0
+        self.associations_rejected_full = 0
+        self.associations_rejected_range = 0
+        self.conflict_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def split_key(self, reduced_hash: int) -> tuple[int, int]:
+        """Split the 19-bit reduced hash into (index, tag) per Figure 7."""
+        index = reduced_hash & (self.config.cst_entries - 1)
+        tag = (reduced_hash >> self._index_bits) & (
+            (1 << self.config.cst_tag_bits) - 1
+        )
+        return index, tag
+
+    def lookup(self, reduced_hash: int) -> CSTEntry | None:
+        """Return the entry for ``reduced_hash`` if present with a tag match."""
+        index, tag = self.split_key(reduced_hash)
+        entry = self._entries.get(index)
+        if entry is None or entry.tag != tag:
+            return None
+        entry.lookups += 1
+        return entry
+
+    def _entry_for_update(self, reduced_hash: int) -> CSTEntry:
+        """Entry for ``reduced_hash``, (re)allocating on miss or conflict."""
+        index, tag = self.split_key(reduced_hash)
+        entry = self._entries.get(index)
+        if entry is not None and entry.tag == tag:
+            return entry
+        if entry is not None:
+            self.conflict_evictions += 1
+        entry = CSTEntry(tag=tag)
+        self._entries[index] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def delta_of(self, context_block: int, target_block: int) -> int | None:
+        """Delta (in delta-granularity units) or None when out of range.
+
+        Blocks are at the prefetcher's tracking granularity; deltas are
+        stored at the coarser cache-line granularity, so nearby blocks in
+        the same line collapse to delta 0 (rejected — never self-prefetch).
+        """
+        cfg = self.config
+        scale = cfg.delta_granularity // cfg.block_bytes
+        delta = target_block // scale - context_block // scale
+        if delta == 0:
+            return None
+        if not cfg.delta_min <= delta <= cfg.delta_max:
+            return None
+        return delta
+
+    def add_association(self, reduced_hash: int, delta: int) -> bool:
+        """Record that ``delta`` followed the context (data collection).
+
+        Returns True when the association is now present in the table.
+        """
+        cfg = self.config
+        if not cfg.delta_min <= delta <= cfg.delta_max:
+            self.associations_rejected_range += 1
+            return False
+        entry = self._entry_for_update(reduced_hash)
+        if entry.find(delta) is not None:
+            return True
+        if len(entry.candidates) < cfg.cst_links:
+            entry.candidates.append(Candidate(delta=delta, score=cfg.initial_score))
+            self.associations_added += 1
+            return True
+        victim = min(entry.candidates, key=lambda c: c.score)
+        if victim.score <= cfg.replace_threshold:
+            victim.delta = delta
+            victim.score = cfg.initial_score
+            entry.replacements += 1
+            self.associations_added += 1
+            return True
+        self.associations_rejected_full += 1
+        return False
+
+    def apply_reward(self, reduced_hash: int, delta: int, reward: int) -> bool:
+        """Add ``reward`` to the association's score (feedback unit)."""
+        cfg = self.config
+        entry = self.lookup(reduced_hash)
+        if entry is None:
+            return False
+        entry.lookups -= 1  # reward lookups don't count as predictions
+        cand = entry.find(delta)
+        if cand is None:
+            return False
+        cand.score = max(cfg.score_min, min(cfg.score_max, cand.score + reward))
+        return True
+
+    # ------------------------------------------------------------------
+    # reducer-pointer accounting (overload detection, Section 4.4)
+
+    def add_pointer(self, reduced_hash: int) -> None:
+        entry = self._entry_for_update(reduced_hash)
+        entry.ptr_count += 1
+
+    def remove_pointer(self, reduced_hash: int) -> None:
+        index, tag = self.split_key(reduced_hash)
+        entry = self._entries.get(index)
+        if entry is not None and entry.tag == tag and entry.ptr_count > 0:
+            entry.ptr_count -= 1
+
+    def pointer_count(self, reduced_hash: int) -> int:
+        entry = self.lookup(reduced_hash)
+        if entry is None:
+            return 0
+        entry.lookups -= 1
+        return entry.ptr_count
+
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,74 @@
+"""The history queue of recently observed contexts (collection unit).
+
+Section 5: "the current context is pushed to the History Queue, which
+stores the sequence of observed contexts that are waiting to be associated
+with impending memory addresses."  To avoid a fully-associative search,
+the queue is sampled at a fixed set of depths spanning the prefetch window
+(probabilistic lookup, after Etsion & Feitelson / Qureshi et al.).
+
+Implemented as a ring buffer so that sampling a depth is O(1).
+"""
+
+from __future__ import annotations
+
+
+class HistoryRecord:
+    """One past context: its reduced CST key and the block it accessed."""
+
+    __slots__ = ("reduced_hash", "block", "line", "index")
+
+    def __init__(self, reduced_hash: int, block: int, line: int, index: int):
+        self.reduced_hash = reduced_hash
+        self.block = block  # at the prefetcher's tracking granularity
+        self.line = line  # at the delta (cache line) granularity
+        self.index = index  # position in the demand-access stream
+
+
+class HistoryQueue:
+    """Bounded ring of context observations with O(1) depth sampling."""
+
+    def __init__(self, capacity: int, sample_depths: tuple[int, ...]):
+        if capacity < 1:
+            raise ValueError("history queue needs capacity >= 1")
+        bad = [d for d in sample_depths if d < 1 or d > capacity]
+        if bad:
+            raise ValueError(f"sample depths out of range: {bad}")
+        self.capacity = capacity
+        self.sample_depths = tuple(sorted(set(sample_depths)))
+        self._ring: list[HistoryRecord | None] = [None] * capacity
+        self._count = 0  # total records ever pushed
+
+    def push(self, record: HistoryRecord) -> None:
+        self._ring[self._count % self.capacity] = record
+        self._count += 1
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    def sample(self) -> list[HistoryRecord]:
+        """Contexts at the configured depths, shallowest first.
+
+        Depth 1 is the most recently pushed record; depths beyond the
+        current occupancy yield nothing.
+        """
+        count = self._count
+        cap = self.capacity
+        ring = self._ring
+        return [
+            ring[(count - depth) % cap]
+            for depth in self.sample_depths
+            if depth <= count
+        ]
+
+    def at_depth(self, depth: int) -> HistoryRecord | None:
+        """The record ``depth`` pushes ago (1 = newest), if present."""
+        if depth < 1 or depth > min(self._count, self.capacity):
+            return None
+        return self._ring[(self._count - depth) % self.capacity]
+
+    def newest(self) -> HistoryRecord | None:
+        return self.at_depth(1)
+
+    def reset(self) -> None:
+        self._ring = [None] * self.capacity
+        self._count = 0

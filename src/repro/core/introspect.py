@@ -1,0 +1,141 @@
+"""Introspection over a trained context prefetcher's state.
+
+Answers the questions a user debugging a workload asks: which contexts
+carry the strongest associations, which attribute subsets did the
+Reducer settle on, how full are the tables, and what does the learned
+delta distribution look like.  Everything is read-only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.attributes import AttributeSet
+from repro.core.prefetcher import ContextPrefetcher
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class ContextSummary:
+    """One CST entry's learned state."""
+
+    index: int
+    tag: int
+    candidates: tuple[tuple[int, int], ...]  # (delta, score), best first
+    ptr_count: int
+    lookups: int
+
+    @property
+    def best_score(self) -> int:
+        return self.candidates[0][1] if self.candidates else 0
+
+
+def top_contexts(prefetcher: ContextPrefetcher, count: int = 10) -> list[ContextSummary]:
+    """The ``count`` CST entries with the highest-scoring candidates."""
+    summaries = []
+    for index, entry in prefetcher.cst._entries.items():
+        ranked = tuple((c.delta, c.score) for c in entry.ranked())
+        summaries.append(
+            ContextSummary(
+                index=index,
+                tag=entry.tag,
+                candidates=ranked,
+                ptr_count=entry.ptr_count,
+                lookups=entry.lookups,
+            )
+        )
+    summaries.sort(key=lambda s: -s.best_score)
+    return summaries[:count]
+
+
+def attribute_set_distribution(prefetcher: ContextPrefetcher) -> Counter[AttributeSet]:
+    """How many reducer entries use each active-attribute subset."""
+    return Counter(entry.active for entry in prefetcher.reducer._entries.values())
+
+
+def delta_distribution(prefetcher: ContextPrefetcher) -> Counter[int]:
+    """Histogram of stored deltas across the whole CST."""
+    counts: Counter[int] = Counter()
+    for entry in prefetcher.cst._entries.values():
+        for cand in entry.candidates:
+            counts[cand.delta] += 1
+    return counts
+
+
+@dataclass
+class StateReport:
+    cst_occupancy: int
+    cst_capacity: int
+    reducer_occupancy: int
+    reducer_capacity: int
+    positive_candidates: int
+    negative_candidates: int
+    queue_hit_rate: float
+    accuracy: float
+    epsilon: float
+    degree: int
+
+
+def state_report(prefetcher: ContextPrefetcher) -> StateReport:
+    """Aggregate health snapshot of a prefetcher's learned state."""
+    positive = negative = 0
+    for entry in prefetcher.cst._entries.values():
+        for cand in entry.candidates:
+            if cand.score > 0:
+                positive += 1
+            elif cand.score < 0:
+                negative += 1
+    return StateReport(
+        cst_occupancy=prefetcher.cst.occupancy(),
+        cst_capacity=prefetcher.config.cst_entries,
+        reducer_occupancy=prefetcher.reducer.occupancy(),
+        reducer_capacity=prefetcher.config.reducer_entries,
+        positive_candidates=positive,
+        negative_candidates=negative,
+        queue_hit_rate=prefetcher.queue.hit_rate(),
+        accuracy=prefetcher.policy.accuracy,
+        epsilon=prefetcher.policy.epsilon(),
+        degree=prefetcher.policy.degree(),
+    )
+
+
+def render_state(prefetcher: ContextPrefetcher, *, top: int = 8) -> str:
+    """Human-readable dump of the learned state."""
+    report = state_report(prefetcher)
+    rows = [
+        ("CST occupancy", f"{report.cst_occupancy}/{report.cst_capacity}"),
+        ("reducer occupancy", f"{report.reducer_occupancy}/{report.reducer_capacity}"),
+        ("candidates +/-", f"{report.positive_candidates}/{report.negative_candidates}"),
+        ("queue hit rate", f"{report.queue_hit_rate:.2f}"),
+        ("accuracy EMA", f"{report.accuracy:.2f}"),
+        ("epsilon", f"{report.epsilon:.3f}"),
+        ("degree", report.degree),
+    ]
+    state = render_table(("metric", "value"), rows, title="Prefetcher state")
+
+    attr_rows = [
+        (repr(attr_set), count)
+        for attr_set, count in attribute_set_distribution(prefetcher).most_common(6)
+    ]
+    attrs = render_table(
+        ("active attributes", "reducer entries"),
+        attr_rows,
+        title="Attribute selections",
+    )
+
+    ctx_rows = [
+        (
+            f"{s.index:#x}",
+            " ".join(f"{d:+d}:{score}" for d, score in s.candidates),
+            s.ptr_count,
+            s.lookups,
+        )
+        for s in top_contexts(prefetcher, top)
+    ]
+    contexts = render_table(
+        ("CST index", "delta:score", "refs", "lookups"),
+        ctx_rows,
+        title=f"Top {top} contexts by score",
+    )
+    return "\n\n".join((state, attrs, contexts))

@@ -1,0 +1,113 @@
+"""The prefetch/feedback queue (feedback unit, Section 5).
+
+Holds the most recent predictions — real and shadow — awaiting feedback.
+On every demand access the queue is searched for predictions of the
+current address; the *hit depth* (accesses since issue) drives the reward
+function.  Entries that expire from the queue without a hit trigger the
+negative expiry reward, demoting stale associations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class QueueEntry:
+    """One outstanding prediction."""
+
+    reduced_hash: int  # context that produced the prediction
+    delta: int  # stored delta that was replayed
+    target_block: int  # predicted block (prefetcher granularity)
+    issue_index: int  # access-stream index at prediction time
+    shadow: bool = False
+    hit: bool = False
+
+
+@dataclass
+class FeedbackEvent:
+    """A reward-worthy event surfaced to the learning loop."""
+
+    entry: QueueEntry
+    depth: int  # accesses between issue and hit (or capacity on expiry)
+    expired: bool = False
+
+
+class PrefetchQueue:
+    """Bounded FIFO of outstanding predictions with hit-depth feedback."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("prefetch queue needs capacity >= 1")
+        self.capacity = capacity
+        self._queue: deque[QueueEntry] = deque()
+        #: target block -> unhit entries, for O(1) demand matching
+        self._by_block: dict[int, list[QueueEntry]] = {}
+        self.hits = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+
+    def push(self, entry: QueueEntry) -> list[FeedbackEvent]:
+        """Add a prediction; returns expiry events for displaced entries."""
+        events: list[FeedbackEvent] = []
+        self._queue.append(entry)
+        self._by_block.setdefault(entry.target_block, []).append(entry)
+        while len(self._queue) > self.capacity:
+            evicted = self._queue.popleft()
+            bucket = self._by_block.get(evicted.target_block)
+            if bucket is not None:
+                try:
+                    bucket.remove(evicted)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._by_block[evicted.target_block]
+            if not evicted.hit:
+                self.expirations += 1
+                events.append(
+                    FeedbackEvent(entry=evicted, depth=self.capacity, expired=True)
+                )
+        return events
+
+    def match(self, block: int, access_index: int) -> list[FeedbackEvent]:
+        """All unhit predictions of ``block``; marks them hit."""
+        bucket = self._by_block.get(block)
+        if not bucket:
+            return []
+        events = []
+        for entry in bucket:
+            if entry.hit:
+                continue
+            entry.hit = True
+            self.hits += 1
+            events.append(
+                FeedbackEvent(entry=entry, depth=access_index - entry.issue_index)
+            )
+        self._by_block.pop(block, None)
+        return events
+
+    # ------------------------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Predictions still awaiting a hit."""
+        return sum(1 for e in self._queue if not e.hit)
+
+    def outstanding_for(self, block: int) -> bool:
+        """True when an unhit prediction of ``block`` is already queued."""
+        return bool(self._by_block.get(block))
+
+    def hit_rate(self) -> float:
+        """Lifetime fraction of resolved predictions that hit."""
+        resolved = self.hits + self.expirations
+        return self.hits / resolved if resolved else 0.0
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._by_block.clear()
+        self.hits = 0
+        self.expirations = 0

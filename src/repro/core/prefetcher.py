@@ -1,0 +1,226 @@
+"""The context-based prefetcher (Algorithm 1 / Figures 6–7 of the paper).
+
+Three units run on every demand access:
+
+1. **Feedback** — the current address is matched against the prefetch
+   queue; hit depths drive the bell-shaped reward applied to the CST, and
+   queue expirations apply the negative expiry reward.
+2. **Collection** — the current address is associated (as a stored delta)
+   with the contexts sampled from the history queue at depths spanning the
+   prefetch window.
+3. **Prediction** — the current context is reduced (Reducer), looked up in
+   the CST, and the ε-greedy policy picks real and shadow prefetches,
+   throttled by the accuracy-driven degree.
+
+Feedback runs before prediction so that a prediction pushed by this very
+access cannot immediately reward itself at depth zero.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.bandit import make_policy
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.context import ContextTracker
+from repro.core.cst import ContextStatesTable
+from repro.core.history import HistoryQueue, HistoryRecord
+from repro.core.prefetch_queue import FeedbackEvent, PrefetchQueue, QueueEntry
+from repro.core.reducer import Reducer
+from repro.core.reward import FlatRewardFunction, RewardFunction
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+
+class ContextPrefetcher(Prefetcher):
+    """Reinforcement-learning prefetcher approximating semantic locality."""
+
+    name = "context"
+
+    def __init__(self, config: ContextPrefetcherConfig | None = None):
+        self.config = config or ContextPrefetcherConfig()
+        cfg = self.config
+        self.tracker = ContextTracker(block_bytes=cfg.block_bytes)
+        self.reducer = Reducer(cfg)
+        self.cst = ContextStatesTable(cfg)
+        self.history = HistoryQueue(cfg.history_entries, cfg.sample_depths)
+        self.queue = PrefetchQueue(cfg.prefetch_queue_entries)
+        self.policy = make_policy(cfg)
+        self.reward = self._make_reward(
+            cfg.window_lo, cfg.window_hi, cfg.window_center
+        )
+        #: depth -> count over every resolved prediction (Figure 8 input)
+        self.hit_depth_histogram: Counter[int] = Counter()
+        self.predictions_real = 0
+        self.predictions_shadow = 0
+        self.rewards_applied = 0
+        # adaptive-window extension state
+        self._depth_ema = float(cfg.window_center)
+        self._feedback_events = 0
+        self.window_updates = 0
+
+    # ------------------------------------------------------------------
+
+    def _line_of(self, addr: int) -> int:
+        return addr // self.config.delta_granularity
+
+    def _make_reward(self, lo: int, hi: int, center: int):
+        cfg = self.config
+        reward_cls = (
+            FlatRewardFunction if cfg.reward_shape == "flat" else RewardFunction
+        )
+        return reward_cls(
+            lo=lo,
+            hi=hi,
+            center=center,
+            peak=cfg.reward_peak,
+            late_penalty=cfg.late_penalty,
+            early_penalty=cfg.early_penalty,
+        )
+
+    def _apply_feedback(self, events: list[FeedbackEvent]) -> None:
+        for event in events:
+            if event.expired or event.depth < 0:
+                # negative depths can only come from an index epoch change
+                # (e.g. a caller restarting the stream); treat as expiry
+                reward = self.reward.expiry_reward()
+                self.policy.observe_outcome(hit=False)
+            else:
+                reward = self.reward(event.depth)
+                self.hit_depth_histogram[event.depth] += 1
+                self.policy.observe_outcome(hit=reward > 0)
+                self._depth_ema += 0.005 * (event.depth - self._depth_ema)
+            entry = event.entry
+            if self.cst.apply_reward(entry.reduced_hash, entry.delta, reward):
+                self.rewards_applied += 1
+            self._feedback_events += 1
+        if (
+            self.config.adaptive_window
+            and self._feedback_events >= self.config.window_update_period
+        ):
+            self._feedback_events = 0
+            self._recenter_window()
+
+    def _recenter_window(self) -> None:
+        """Adaptive-window extension: slide the reward bell to the
+        observed hit-depth average, preserving its proportions.
+
+        Section 4.3 notes the target distance spans ~10–90 accesses across
+        workloads while a single bell must serve all of them; this closes
+        that gap per-workload at run time.
+        """
+        cfg = self.config
+        lo_bound, hi_bound = cfg.window_center_bounds
+        center = round(min(hi_bound, max(lo_bound, self._depth_ema)))
+        if center == self.reward.center:
+            return
+        half_lo = cfg.window_center - cfg.window_lo
+        half_hi = cfg.window_hi - cfg.window_center
+        # the queue must out-span the window (Section 5); clamp hi to it
+        hi = min(center + half_hi, cfg.prefetch_queue_entries)
+        self.reward = self._make_reward(
+            lo=max(1, center - half_lo), hi=hi, center=min(center, hi)
+        )
+        self.window_updates += 1
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: AccessInfo) -> list[PrefetchRequest]:
+        cfg = self.config
+        capture = self.tracker.capture(access)
+        line = self._line_of(access.addr)
+
+        # --- feedback unit -------------------------------------------
+        self._apply_feedback(self.queue.match(line, access.index))
+
+        # --- collection unit -----------------------------------------
+        dmin, dmax = cfg.delta_min, cfg.delta_max
+        add_association = self.cst.add_association
+        for record in self.history.sample():
+            delta = line - record.line
+            if delta != 0 and dmin <= delta <= dmax:
+                add_association(record.reduced_hash, delta)
+
+        # --- context reduction ----------------------------------------
+        reducer_entry, reduced = self.reducer.lookup(capture, self.cst)
+        reduced = self.reducer.adapt(reducer_entry, capture, self.cst, reduced)
+
+        # --- prediction unit ------------------------------------------
+        requests: list[PrefetchRequest] = []
+        cst_entry = self.cst.lookup(reduced)
+        if cst_entry is not None:
+            selection = self.policy.select(cst_entry)
+            for cand, shadow in [(c, False) for c in selection.real] + [
+                (c, True) for c in selection.shadow
+            ]:
+                target_line = line + cand.delta
+                if target_line < 0:
+                    continue
+                # A line already predicted by an outstanding entry is
+                # re-added as a shadow prefetch to train another pair
+                # (Section 4.2).
+                if not shadow and self.queue.outstanding_for(target_line):
+                    shadow = True
+                entry = QueueEntry(
+                    reduced_hash=reduced,
+                    delta=cand.delta,
+                    target_block=target_line,
+                    issue_index=access.index,
+                    shadow=shadow,
+                )
+                self._apply_feedback(self.queue.push(entry))
+                if shadow:
+                    self.predictions_shadow += 1
+                else:
+                    self.predictions_real += 1
+                requests.append(
+                    PrefetchRequest(
+                        addr=target_line * cfg.delta_granularity,
+                        shadow=shadow,
+                        meta=entry,
+                    )
+                )
+
+        # --- record this context for future collection ----------------
+        self.history.push(HistoryRecord(reduced, capture.block, line, access.index))
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def on_prefetch_issue(
+        self, request: PrefetchRequest, issued: bool, reason: str
+    ) -> None:
+        """Memory-pressure rejections convert the prediction to a shadow op."""
+        if issued or request.shadow:
+            return
+        entry = request.meta
+        if isinstance(entry, QueueEntry):
+            entry.shadow = True
+            self.predictions_real -= 1
+            self.predictions_shadow += 1
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return self.config.storage_bits()
+
+    def accuracy(self) -> float:
+        return self.policy.accuracy
+
+    def reset(self) -> None:
+        cfg = self.config
+        self.tracker.reset()
+        self.reducer.reset()
+        self.cst.reset()
+        self.history.reset()
+        self.queue.reset()
+        self.policy.reset()
+        self.hit_depth_histogram.clear()
+        self.predictions_real = 0
+        self.predictions_shadow = 0
+        self.rewards_applied = 0
+        self._depth_ema = float(cfg.window_center)
+        self._feedback_events = 0
+        self.window_updates = 0
+        self.reward = self._make_reward(
+            cfg.window_lo, cfg.window_hi, cfg.window_center
+        )

@@ -1,0 +1,157 @@
+"""The Reducer: online feature selection over context attributes.
+
+Section 4.4 / Figure 7: the full 16-bit context hash indexes a 16K-entry
+direct-mapped table whose entries hold a bitmap of *active* attributes.
+Only the active attributes are re-hashed into the 19-bit value that
+indexes the Context-States Table (CST).
+
+Adaptation closes its own small loop:
+
+* **Overload** — many reducer entries point at one CST entry, i.e. many
+  full contexts collapse into one reduced context because they differ only
+  in inactive attributes.  Response: activate the next attribute, splitting
+  the reduced context.
+* **Underload** — a CST entry has a single referrer and its candidates
+  never earn positive scores: the context is over-specified (or useless),
+  so the last-activated attribute is dropped to merge states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import ALL_ATTRIBUTES, AttributeSet
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.context import ContextCapture
+from repro.core.cst import ContextStatesTable
+
+
+@dataclass
+class ReducerEntry:
+    tag: int
+    active: AttributeSet
+    #: reduced hash this entry most recently mapped to (pointer accounting)
+    cst_key: int | None = None
+    lookups: int = 0
+    lookups_at_last_adapt: int = 0
+
+
+class Reducer:
+    """Direct-mapped feature-selection table in front of the CST."""
+
+    def __init__(self, config: ContextPrefetcherConfig):
+        self.config = config
+        self._index_bits = (config.reducer_entries - 1).bit_length()
+        self._full_set = AttributeSet(ALL_ATTRIBUTES)
+        self._initial = AttributeSet(config.initial_attributes)
+        self._entries: dict[int, ReducerEntry] = {}
+        self.allocations = 0
+        self.conflict_evictions = 0
+        self.activations = 0
+        self.deactivations = 0
+
+    # ------------------------------------------------------------------
+
+    def _split_full_hash(self, full_hash: int) -> tuple[int, int]:
+        index = full_hash & (self.config.reducer_entries - 1)
+        tag = (full_hash >> self._index_bits) & (
+            (1 << self.config.reducer_tag_bits) - 1
+        )
+        return index, tag
+
+    def lookup(
+        self, capture: ContextCapture, cst: ContextStatesTable
+    ) -> tuple[ReducerEntry, int]:
+        """Map a captured context to its reducer entry and reduced hash.
+
+        Allocates on miss/conflict and keeps the CST's reducer-pointer
+        counts in sync.  When adaptive reduction is disabled (ablation),
+        every entry keeps the full attribute set, reducing the scheme to
+        plain full-context hashing.
+        """
+        cfg = self.config
+        full_hash = capture.hash(self._full_set, cfg.full_hash_bits)
+        index, tag = self._split_full_hash(full_hash)
+
+        entry = self._entries.get(index)
+        if entry is None or entry.tag != tag:
+            if entry is not None:
+                self.conflict_evictions += 1
+                if entry.cst_key is not None:
+                    cst.remove_pointer(entry.cst_key)
+            active = self._full_set if not cfg.adaptive_reduction else self._initial
+            entry = ReducerEntry(tag=tag, active=active)
+            self._entries[index] = entry
+            self.allocations += 1
+
+        entry.lookups += 1
+        reduced = capture.hash(entry.active, cfg.reduced_hash_bits)
+        if entry.cst_key != reduced:
+            if entry.cst_key is not None:
+                cst.remove_pointer(entry.cst_key)
+            cst.add_pointer(reduced)
+            entry.cst_key = reduced
+        return entry, reduced
+
+    # ------------------------------------------------------------------
+
+    def adapt(
+        self,
+        entry: ReducerEntry,
+        capture: ContextCapture,
+        cst: ContextStatesTable,
+        reduced: int,
+    ) -> int:
+        """Run the overload/underload check; returns the (possibly new)
+        reduced hash for this capture.
+
+        ``reduced`` is the hash :meth:`lookup` already computed.  Called on
+        every access but only performs work every ``overload_check_period``
+        lookups of the entry.
+        """
+        cfg = self.config
+        if not cfg.adaptive_reduction:
+            return reduced
+        if entry.lookups - entry.lookups_at_last_adapt < cfg.overload_check_period:
+            return reduced
+        entry.lookups_at_last_adapt = entry.lookups
+
+        cst_entry = cst.lookup(reduced)
+        if cst_entry is not None:
+            cst_entry.lookups -= 1  # adaptation peeks are not predictions
+
+        changed = False
+        if cst_entry is not None and cst_entry.ptr_count >= cfg.overload_refs:
+            new_active = entry.active.activate_next()
+            if new_active != entry.active:
+                entry.active = new_active
+                self.activations += 1
+                changed = True
+        elif (
+            cst_entry is not None
+            and cst_entry.ptr_count <= 1
+            and entry.lookups >= cfg.underload_lookups
+            and not any(c.score > 0 for c in cst_entry.candidates)
+            and len(entry.active) > len(self._initial)
+        ):
+            new_active = entry.active.deactivate_last()
+            if new_active != entry.active:
+                entry.active = new_active
+                self.deactivations += 1
+                changed = True
+
+        if changed:
+            reduced = capture.hash(entry.active, cfg.reduced_hash_bits)
+            if entry.cst_key is not None:
+                cst.remove_pointer(entry.cst_key)
+            cst.add_pointer(reduced)
+            entry.cst_key = reduced
+        return reduced
+
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()

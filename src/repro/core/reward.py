@@ -1,0 +1,115 @@
+"""The bell-shaped reward function (Section 4.3, Figure 5).
+
+A prediction is rewarded according to the *hit depth*: the number of demand
+accesses between issuing the prefetch and the demand access that used it.
+Hits inside the effective prefetch window (18–50 accesses by default) earn
+a positive, bell-shaped reward peaking at the target distance; hits outside
+the window — too late to hide latency, or so early the line risks eviction —
+earn negative rewards that demote stale context-address pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def target_prefetch_distance(
+    l2_latency: float,
+    l2_miss_rate: float,
+    dram_latency: float,
+    ipc: float,
+    prob_mem_op: float,
+) -> float:
+    """The paper's two-step target-distance estimate (Section 4.3).
+
+    First the average L1 miss penalty in cycles::
+
+        L1 miss penalty = L2 latency + L2 miss rate × DRAM latency
+
+    then its conversion to a number of demand accesses::
+
+        prefetch distance = L1 miss penalty × IPC × Prob(mem op)
+
+    For the paper's benchmarks this lands between ~10 and ~90 accesses with
+    an average of ~30, which is where the default reward bell is centred.
+    """
+    if not 0.0 <= l2_miss_rate <= 1.0:
+        raise ValueError("l2_miss_rate must be a probability")
+    if not 0.0 <= prob_mem_op <= 1.0:
+        raise ValueError("prob_mem_op must be a probability")
+    penalty = l2_latency + l2_miss_rate * dram_latency
+    return penalty * ipc * prob_mem_op
+
+
+@dataclass(frozen=True)
+class RewardFunction:
+    """Bell-shaped reward over hit depth, with negative edges.
+
+    ``lo``/``hi`` bound the positive window, ``center`` is the bell's peak
+    position, ``peak`` its height.  Depths below ``lo`` score
+    ``late_penalty`` (the prefetch could not complete in time); depths
+    above ``hi`` — including queue expiry — score ``early_penalty``.
+    """
+
+    lo: int = 18
+    hi: int = 50
+    center: int = 30
+    peak: int = 8
+    late_penalty: int = -1
+    early_penalty: int = -2
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise ValueError("empty reward window")
+        if not self.lo <= self.center <= self.hi:
+            raise ValueError("center outside window")
+        if self.peak < 1:
+            raise ValueError("peak must be positive")
+        if self.late_penalty >= 0 or self.early_penalty >= 0:
+            raise ValueError("edge penalties must be negative")
+
+    @property
+    def _sigma(self) -> float:
+        # Spread the bell so it tapers to ~1 at the window edges.
+        half = max(self.center - self.lo, self.hi - self.center)
+        return half / math.sqrt(2.0 * math.log(self.peak))
+
+    def __call__(self, depth: int) -> int:
+        """Reward for a hit ``depth`` accesses after the prediction."""
+        if depth < 0:
+            raise ValueError("hit depth cannot be negative")
+        if depth < self.lo:
+            return self.late_penalty
+        if depth > self.hi:
+            return self.early_penalty
+        sigma = self._sigma
+        value = self.peak * math.exp(-((depth - self.center) ** 2) / (2 * sigma**2))
+        return max(1, round(value))
+
+    def expiry_reward(self) -> int:
+        """Reward applied when a prediction expires without ever hitting."""
+        return self.early_penalty
+
+    def curve(self, max_depth: int = 80) -> list[tuple[int, int]]:
+        """The (depth, reward) series of Figure 5, for plotting/reports."""
+        return [(d, self(d)) for d in range(max_depth + 1)]
+
+
+@dataclass(frozen=True)
+class FlatRewardFunction(RewardFunction):
+    """Ablation variant: constant positive reward across the window.
+
+    Keeps the negative edges but drops the bell, so the learner no longer
+    prefers predictions aligned to the target distance — isolating the
+    value of the bell shape (DESIGN.md ablation list).
+    """
+
+    def __call__(self, depth: int) -> int:
+        if depth < 0:
+            raise ValueError("hit depth cannot be negative")
+        if depth < self.lo:
+            return self.late_penalty
+        if depth > self.hi:
+            return self.early_penalty
+        return max(1, self.peak // 2)

@@ -1,0 +1,13 @@
+"""CPU substrate: branch-history tracking and an out-of-order timing model.
+
+Replaces the gem5 out-of-order x86 core of Table 2 with an interval-style
+approximation that preserves the behaviours the prefetcher interacts with:
+miss latency exposure bounded by the reorder-buffer window, memory-level
+parallelism bounded by the load queue and MSHRs, and serialisation of
+dependent (pointer-chasing) accesses.
+"""
+
+from repro.cpu.branch import BranchHistoryRegister
+from repro.cpu.core_model import CoreConfig, CoreModel, CoreStats
+
+__all__ = ["BranchHistoryRegister", "CoreConfig", "CoreModel", "CoreStats"]

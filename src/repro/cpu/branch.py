@@ -1,0 +1,38 @@
+"""Global branch-history register.
+
+One of the hardware context attributes of Table 1: "hints as to the
+current control flow, which may, in some cases, indicate a specific path
+along a diverging data structure."
+"""
+
+from __future__ import annotations
+
+
+class BranchHistoryRegister:
+    """Fixed-width shift register of recent branch outcomes."""
+
+    def __init__(self, bits: int = 8):
+        if bits <= 0:
+            raise ValueError("history width must be positive")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._value = 0
+        self.updates = 0
+
+    @property
+    def value(self) -> int:
+        """Current history as an integer (most recent branch in bit 0)."""
+        return self._value
+
+    def update(self, taken: bool) -> None:
+        """Shift in one branch outcome."""
+        self._value = ((self._value << 1) | int(taken)) & self._mask
+        self.updates += 1
+
+    def update_many(self, outcomes: tuple[bool, ...] | list[bool]) -> None:
+        """Shift in several outcomes, oldest first."""
+        for taken in outcomes:
+            self.update(taken)
+
+    def reset(self) -> None:
+        self._value = 0

@@ -1,0 +1,68 @@
+"""Experiment harness: one module per evaluation figure of the paper.
+
+Every module exposes ``run(...)`` returning plain data and ``render(...)``
+returning a paper-style text table, plus a ``main()`` so it can be run as
+``python -m repro.experiments.fig12_speedup``.  The shared sweep machinery
+lives in :mod:`repro.experiments.sweep`.
+
+| Module                  | Reproduces                                    |
+|-------------------------|-----------------------------------------------|
+| fig01_semantic_locality | Fig. 1 — listsort physical vs logical order   |
+| fig05_reward            | Fig. 5 — the bell-shaped reward function      |
+| fig08_hit_depth_cdf     | Fig. 8 — CDF of prefetch hit depths           |
+| fig09_accuracy          | Fig. 9 — access-benefit classification        |
+| fig10_l1_mpki           | Fig. 10 — L1 MPKI per prefetcher              |
+| fig11_l2_mpki           | Fig. 11 — L2 MPKI per prefetcher              |
+| fig12_speedup           | Fig. 12 — IPC speedups over no prefetching    |
+| fig13_storage_sweep     | Fig. 13 — speedup vs CST storage size         |
+| fig14_layout_agnostic   | Fig. 14 — naive vs spatially optimised layouts|
+| tables                  | Tables 1–3 — attributes, config, workloads    |
+| ablations               | design-choice ablations + §8 extensions       |
+| sensitivity             | continuous-knob sensitivity sweep             |
+| convergence             | §7.1's learning trajectory (prose claim)      |
+| robustness              | seed-stability of the headline speedups       |
+| suite_summary           | per-suite geomeans (the paper's narrative)    |
+| characterization        | §6's workload/phase characterization          |
+"""
+
+from repro.experiments import (
+    ablations,
+    characterization,
+    convergence,
+    fig01_semantic_locality,
+    fig05_reward,
+    fig08_hit_depth_cdf,
+    fig09_accuracy,
+    fig10_l1_mpki,
+    fig11_l2_mpki,
+    fig12_speedup,
+    fig13_storage_sweep,
+    fig14_layout_agnostic,
+    robustness,
+    sensitivity,
+    suite_summary,
+    tables,
+)
+from repro.experiments import sweep
+from repro.experiments.sweep import standard_sweep
+
+__all__ = [
+    "ablations",
+    "characterization",
+    "convergence",
+    "fig01_semantic_locality",
+    "fig05_reward",
+    "fig08_hit_depth_cdf",
+    "fig09_accuracy",
+    "fig10_l1_mpki",
+    "fig11_l2_mpki",
+    "fig12_speedup",
+    "fig13_storage_sweep",
+    "fig14_layout_agnostic",
+    "robustness",
+    "sensitivity",
+    "suite_summary",
+    "standard_sweep",
+    "sweep",
+    "tables",
+]

@@ -1,0 +1,119 @@
+"""Ablation study over the context prefetcher's design choices.
+
+DESIGN.md calls out five mechanisms worth isolating:
+
+* the Reducer's online feature selection (vs full-context hashing)
+* shadow prefetches (vs on-policy feedback only)
+* the bell-shaped reward (vs a flat positive window)
+* adaptive ε (vs a fixed exploration rate)
+* history-queue sampling density (sparse vs dense collection)
+
+Each variant runs the same workloads; the report shows mean speedup over
+the no-prefetch baseline per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.experiments.report import render_table
+from repro.experiments.sweep import SCALES
+from repro.memory.hierarchy import HierarchyConfig
+from repro.sim.metrics import geomean
+from repro.sim.runner import run_workload
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import get_workload
+
+#: irregular-leaning subset where the learning machinery matters most
+DEFAULT_WORKLOADS = ("list", "hashtest", "graph500-list", "mcf", "array")
+
+
+def variant_configs() -> dict[str, ContextPrefetcherConfig]:
+    """The ablation grid, keyed by report label."""
+    base = ContextPrefetcherConfig()
+    return {
+        "full": base,
+        "no-reducer": replace(base, adaptive_reduction=False),
+        "no-shadow": replace(base, shadow_prefetches=False, shadow_probability=0.0),
+        "flat-reward": replace(base, reward_shape="flat"),
+        "fixed-epsilon": replace(base, adaptive_epsilon=False),
+        "sparse-sampling": replace(base, sample_depths=(18, 34, 50)),
+        "dense-sampling": replace(
+            base, sample_depths=(18, 22, 26, 30, 34, 38, 42, 46, 50)
+        ),
+        # future-work extensions (Section 8)
+        "softmax-policy": replace(base, policy="softmax"),
+        "adaptive-window": replace(base, adaptive_window=True),
+        "wide-delta": replace(base, delta_bits=12),
+    }
+
+
+def hierarchy_variants() -> dict[str, HierarchyConfig]:
+    """Ablations of memory-system choices (same prefetcher config)."""
+    return {
+        "l2-only-fill": HierarchyConfig(prefetch_fill_l1=False),
+    }
+
+
+@dataclass
+class AblationResult:
+    #: variant -> workload -> speedup over no prefetching
+    speedups: dict[str, dict[str, float]]
+    #: variant -> geometric mean speedup
+    means: dict[str, float]
+
+
+def run(
+    scale: str = "small", workloads: tuple[str, ...] = DEFAULT_WORKLOADS
+) -> AblationResult:
+    limit = SCALES[scale]["limit"]
+    specs = [get_workload(name) for name in workloads]
+    traces = {spec.name: spec.build().trace() for spec in specs}
+    baselines = {
+        name: run_workload(get_workload(name), "none", limit=limit)
+        for name in traces
+    }
+
+    speedups: dict[str, dict[str, float]] = {}
+    for label, config in variant_configs().items():
+        speedups[label] = {}
+        for name, trace in traces.items():
+            sim = Simulator(ContextPrefetcher(config))
+            result = sim.run(trace, workload_name=name, limit=limit)
+            speedups[label][name] = result.speedup_over(baselines[name])
+    for label, hier_config in hierarchy_variants().items():
+        speedups[label] = {}
+        for name, trace in traces.items():
+            sim = Simulator(ContextPrefetcher(), hierarchy_config=hier_config)
+            result = sim.run(trace, workload_name=name, limit=limit)
+            speedups[label][name] = result.speedup_over(baselines[name])
+    means = {
+        label: geomean(list(per_wl.values())) for label, per_wl in speedups.items()
+    }
+    return AblationResult(speedups=speedups, means=means)
+
+
+def render(result: AblationResult) -> str:
+    workloads = list(next(iter(result.speedups.values())))
+    rows = []
+    for label, per_wl in result.speedups.items():
+        rows.append(
+            (label,)
+            + tuple(f"{per_wl[wl]:.2f}" for wl in workloads)
+            + (f"{result.means[label]:.2f}",)
+        )
+    return render_table(
+        ("variant",) + tuple(workloads) + ("geomean",),
+        rows,
+        title="Ablations — speedup over no prefetching per design variant",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

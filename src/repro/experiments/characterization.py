@@ -1,0 +1,82 @@
+"""Workload characterization table (the Section 6 phase-selection view).
+
+Renders Table-3-style characterization for every registered workload:
+memory intensity, footprint, pointer-chase fraction, hint coverage and
+the dominant stride — the quantities that determine which prefetcher
+family can possibly serve each workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import render_table
+from repro.workloads.characterize import WorkloadProfile, characterize
+from repro.workloads.suites import all_workloads, get_workload
+
+
+@dataclass
+class CharacterizationResult:
+    #: workload -> profile
+    profiles: dict[str, WorkloadProfile]
+
+    def irregular_workloads(self, *, threshold: float = 0.3) -> list[str]:
+        """Workloads dominated by dependent (pointer-chase) accesses."""
+        return [
+            name
+            for name, profile in self.profiles.items()
+            if profile.dependent_fraction > threshold
+        ]
+
+
+def run(
+    workloads: tuple[str, ...] | None = None, *, limit: int = 20000
+) -> CharacterizationResult:
+    if workloads is None:
+        specs = all_workloads()
+    else:
+        specs = [get_workload(name) for name in workloads]
+    profiles = {
+        spec.name: characterize(spec.build().trace()[:limit]) for spec in specs
+    }
+    return CharacterizationResult(profiles=profiles)
+
+
+def render(result: CharacterizationResult) -> str:
+    rows = []
+    for name, p in result.profiles.items():
+        stride = p.dominant_stride()
+        rows.append(
+            (
+                name,
+                f"{p.memory_intensity:.2f}",
+                f"{p.footprint_bytes // 1024}K",
+                f"{p.dependent_fraction:.0%}",
+                f"{p.hinted_fraction:.0%}",
+                f"{p.branch_rate:.2f}",
+                stride if stride is not None else "-",
+                f"{p.reuse_p50:.0f}/{p.reuse_p90:.0f}",
+            )
+        )
+    return render_table(
+        (
+            "workload",
+            "mem/inst",
+            "footprint",
+            "dependent",
+            "hinted",
+            "br/access",
+            "stride",
+            "reuse p50/p90",
+        ),
+        rows,
+        title="Workload characterization (Section 6 methodology)",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Plain-text table and series rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Sequence[tuple[float, float]],
+    *,
+    title: str = "",
+    width: int = 50,
+    label_x: str = "x",
+    label_y: str = "y",
+) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar chart."""
+    if not series:
+        return f"{title}\n(empty series)"
+    max_y = max(abs(y) for _, y in series) or 1.0
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{label_x:>8}  {label_y}")
+    for x, y in series:
+        bar_len = int(round(abs(y) / max_y * width))
+        bar = ("█" * bar_len) if y >= 0 else ("▒" * bar_len)
+        out.append(f"{x:>8g}  {bar} {y:g}")
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

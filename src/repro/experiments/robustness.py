@@ -1,0 +1,119 @@
+"""Seed robustness: are the headline speedups stable across randomness?
+
+Two sources of randomness exist: the workload's (heap placement, keys,
+graph structure) and the prefetcher's (ε-greedy exploration).  This
+experiment re-runs a workload subset across several seeds of each and
+reports the spread of the context prefetcher's speedup — evidence that
+the reproduction's conclusions do not hinge on a lucky seed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.experiments.report import render_table
+from repro.experiments.sweep import SCALES
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import get_workload
+
+DEFAULT_WORKLOADS = ("list", "graph500-list", "array")
+DEFAULT_SEEDS = (7, 11, 23, 41)
+
+
+@dataclass
+class SpeedupSpread:
+    samples: list[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.samples) if len(self.samples) > 1 else 0.0
+
+    @property
+    def spread(self) -> float:
+        return max(self.samples) - min(self.samples)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / mean)."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+@dataclass
+class RobustnessResult:
+    #: workload -> spread over workload seeds (prefetcher seed fixed)
+    workload_seed_spread: dict[str, SpeedupSpread]
+    #: workload -> spread over prefetcher seeds (workload seed fixed)
+    prefetcher_seed_spread: dict[str, SpeedupSpread]
+
+
+def _speedup(trace, pf_config: ContextPrefetcherConfig, limit) -> float:
+    base = Simulator(NoPrefetcher()).run(trace, limit=limit)
+    ctx = Simulator(ContextPrefetcher(pf_config)).run(trace, limit=limit)
+    return ctx.speedup_over(base)
+
+
+def run(
+    scale: str = "small",
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+) -> RobustnessResult:
+    limit = SCALES[scale]["limit"]
+    base_config = ContextPrefetcherConfig()
+
+    workload_spread: dict[str, SpeedupSpread] = {}
+    prefetcher_spread: dict[str, SpeedupSpread] = {}
+    for name in workloads:
+        spec = get_workload(name)
+
+        samples = []
+        for seed in seeds:
+            program = spec.factory()
+            program.seed = seed
+            if hasattr(program, "_trace_cache"):
+                del program._trace_cache
+            samples.append(_speedup(program.trace(), base_config, limit))
+        workload_spread[name] = SpeedupSpread(samples)
+
+        trace = spec.build().trace()
+        samples = [
+            _speedup(trace, replace(base_config, seed=seed), limit)
+            for seed in seeds
+        ]
+        prefetcher_spread[name] = SpeedupSpread(samples)
+    return RobustnessResult(
+        workload_seed_spread=workload_spread,
+        prefetcher_seed_spread=prefetcher_spread,
+    )
+
+
+def render(result: RobustnessResult) -> str:
+    rows = []
+    for name, spread in result.workload_seed_spread.items():
+        rows.append(
+            ("workload-seed", name, f"{spread.mean:.2f}", f"{spread.stdev:.3f}", f"{spread.cv:.1%}")
+        )
+    for name, spread in result.prefetcher_seed_spread.items():
+        rows.append(
+            ("prefetcher-seed", name, f"{spread.mean:.2f}", f"{spread.stdev:.3f}", f"{spread.cv:.1%}")
+        )
+    return render_table(
+        ("varied", "workload", "mean speedup", "stdev", "cv"),
+        rows,
+        title="Seed robustness — context prefetcher speedup spread",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

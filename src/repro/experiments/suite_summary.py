@@ -1,0 +1,79 @@
+"""Per-suite summary: geomean speedups segmented as the paper narrates.
+
+The paper discusses results per suite — SPEC2006 versus the graph suites
+versus the μkernels ("up to 2.8× over the SPEC2006 suite alone ... up to
+4.3× over our full set").  This view aggregates any sweep that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import standard_sweep
+from repro.sim.metrics import geomean
+from repro.sim.runner import ComparisonResult
+from repro.workloads.suites import get_workload
+
+
+@dataclass
+class SuiteSummaryResult:
+    #: suite -> prefetcher -> geomean speedup over none
+    by_suite: dict[str, dict[str, float]]
+    #: suite -> prefetcher -> peak speedup within the suite
+    peaks: dict[str, dict[str, float]]
+
+    def best_prefetcher(self, suite: str) -> str:
+        row = self.by_suite[suite]
+        return max(row, key=row.get)
+
+
+def run(
+    scale: str = "small", comparison: ComparisonResult | None = None
+) -> SuiteSummaryResult:
+    comparison = comparison or standard_sweep(scale)
+    speedups = comparison.speedups()
+    prefetchers = [p for p in comparison.prefetchers() if p != "none"]
+
+    groups: dict[str, list[str]] = {}
+    for workload in speedups:
+        suite = get_workload(workload).suite
+        groups.setdefault(suite, []).append(workload)
+
+    by_suite: dict[str, dict[str, float]] = {}
+    peaks: dict[str, dict[str, float]] = {}
+    for suite, members in groups.items():
+        by_suite[suite] = {
+            pf: geomean([speedups[wl][pf] for wl in members]) for pf in prefetchers
+        }
+        peaks[suite] = {
+            pf: max(speedups[wl][pf] for wl in members) for pf in prefetchers
+        }
+    return SuiteSummaryResult(by_suite=by_suite, peaks=peaks)
+
+
+def render(result: SuiteSummaryResult) -> str:
+    prefetchers = list(next(iter(result.by_suite.values())))
+    rows = []
+    for suite, row in result.by_suite.items():
+        rows.append(
+            (suite, "geomean")
+            + tuple(f"{row[pf]:.2f}" for pf in prefetchers)
+        )
+        rows.append(
+            (suite, "peak")
+            + tuple(f"{result.peaks[suite][pf]:.2f}" for pf in prefetchers)
+        )
+    return render_table(
+        ("suite", "stat") + tuple(prefetchers),
+        rows,
+        title="Per-suite speedups over no prefetching",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

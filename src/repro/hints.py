@@ -1,0 +1,81 @@
+"""Compiler-injected semantic hints (the paper's LLVM pass, Section 6).
+
+The paper modifies LLVM to tag pointer-producing memory operations with
+three software attributes (Table 1): a unique enumeration of the accessed
+object's type, the offset of the link field within the object, and the
+syntactic form of the reference.  The hints travel to the memory unit as
+immediates of an extended NOP preceding the memory instruction.
+
+Here the workload generators play the role of the compiler: they attach a
+:class:`SemanticHints` record to each access for which the paper's pass
+would have emitted a hint NOP — accesses that produce new pointer values —
+and leave other accesses unhinted, mirroring the paper's overhead rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class RefForm(IntEnum):
+    """Syntactic form of a memory reference (Table 1, "Form of reference")."""
+
+    NONE = 0
+    DOT = 1  # struct member access:  obj.field
+    ARROW = 2  # pointer member access: ptr->field
+    DEREF = 3  # plain dereference:     *ptr
+    INDEX = 4  # array indexing:        arr[i]
+
+
+@dataclass(frozen=True)
+class SemanticHints:
+    """Software context attributes for one memory access.
+
+    ``type_id`` enumerates object types uniquely within a program.
+    ``link_offset`` is the byte offset of the pointer/index field inside
+    the object being accessed (0 when not applicable).
+    ``ref_form`` is the syntactic access form.
+    """
+
+    type_id: int = 0
+    link_offset: int = 0
+    ref_form: RefForm = RefForm.NONE
+
+    def packed(self) -> int:
+        """Pack into a 32-bit immediate as the paper's NOP encoding would."""
+        return (
+            (self.type_id & 0xFFFF)
+            | ((self.link_offset & 0xFFF) << 16)
+            | ((int(self.ref_form) & 0xF) << 28)
+        )
+
+
+#: Hint record attached to accesses the compiler would leave unannotated.
+NO_HINTS = SemanticHints()
+
+
+class TypeRegistry:
+    """Per-program enumeration of object types, as the paper's pass assigns.
+
+    Each compiled program numbers its types independently ("each type is
+    assigned a unique value within the compiled program").
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def type_id(self, name: str) -> int:
+        """Return the stable id for ``name``, allocating on first use.
+
+        Ids start at 1 so that 0 can mean "no type information".
+        """
+        if name not in self._ids:
+            self._ids[name] = len(self._ids) + 1
+        return self._ids[name]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def known_types(self) -> dict[str, int]:
+        return dict(self._ids)

@@ -1,0 +1,41 @@
+"""Memory-hierarchy substrate: caches, MSHRs, DRAM timing, statistics.
+
+This package stands in for the gem5 memory system used by the paper.  It
+provides a functional + timing model of a two-level cache hierarchy with
+miss-status holding registers (MSHRs), in-flight prefetch tracking, and
+the per-access benefit classification used by Figure 9 of the paper.
+"""
+
+from repro.memory.address import (
+    BLOCK_BYTES,
+    LINE_BYTES,
+    align_down,
+    block_of,
+    block_to_addr,
+    line_of,
+    line_to_addr,
+)
+from repro.memory.cache import Cache, CacheConfig, CacheLine
+from repro.memory.hierarchy import AccessResult, Hierarchy, HierarchyConfig
+from repro.memory.mshr import MSHRFile
+from repro.memory.stats import AccessClass, AccessClassifier, CacheStats
+
+__all__ = [
+    "BLOCK_BYTES",
+    "LINE_BYTES",
+    "AccessClass",
+    "AccessClassifier",
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "CacheStats",
+    "Hierarchy",
+    "HierarchyConfig",
+    "MSHRFile",
+    "align_down",
+    "block_of",
+    "block_to_addr",
+    "line_of",
+    "line_to_addr",
+]

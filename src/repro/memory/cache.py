@@ -1,0 +1,153 @@
+"""Set-associative cache with LRU replacement and prefetch-bit tracking.
+
+This is a functional cache model: it tracks which lines are resident, which
+arrived via prefetch, and whether a prefetched line has been touched by a
+demand access yet.  The per-line prefetch bookkeeping feeds the Figure 9
+access classification (useful prefetch vs. ``prefetch never hit``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.memory.address import LINE_BYTES, is_power_of_two
+
+
+@dataclass
+class CacheConfig:
+    """Geometry of one cache level (Table 2 of the paper)."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = LINE_BYTES
+    latency: int = 1
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident line."""
+
+    line: int
+    prefetched: bool = False
+    referenced: bool = False
+    fill_time: int = 0
+
+
+@dataclass
+class _CacheSet:
+    """One associativity set; tracks LRU order via a use counter per way."""
+
+    lines: dict[int, CacheLine] = field(default_factory=dict)
+    last_use: dict[int, int] = field(default_factory=dict)
+
+
+class Cache:
+    """Functional set-associative cache with true-LRU replacement.
+
+    Addresses passed to :meth:`lookup`, :meth:`fill` and friends are *line
+    numbers* (byte address // line size) so that callers never mix byte and
+    line arithmetic.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets = [_CacheSet() for _ in range(config.num_sets)]
+        self._tick = itertools.count()
+        #: lines that were filled by a prefetch and evicted untouched
+        self.unused_prefetch_evictions = 0
+        #: lines that were filled by a prefetch and later referenced
+        self.used_prefetch_fills = 0
+
+    def _set_for(self, line: int) -> _CacheSet:
+        return self._sets[line % self.config.num_sets]
+
+    def contains(self, line: int) -> bool:
+        """True when ``line`` is resident (does not update LRU state)."""
+        return line in self._set_for(line).lines
+
+    def peek(self, line: int) -> CacheLine | None:
+        """Return resident-line metadata without touching LRU state."""
+        return self._set_for(line).lines.get(line)
+
+    def lookup(self, line: int) -> CacheLine | None:
+        """Demand lookup: returns the line and updates LRU / reference bits."""
+        cset = self._set_for(line)
+        entry = cset.lines.get(line)
+        if entry is None:
+            return None
+        cset.last_use[line] = next(self._tick)
+        if entry.prefetched and not entry.referenced:
+            self.used_prefetch_fills += 1
+        entry.referenced = True
+        return entry
+
+    def fill(self, line: int, *, prefetched: bool = False, now: int = 0) -> int | None:
+        """Install ``line``; returns the evicted line number, if any.
+
+        Filling a line that is already resident refreshes its LRU position
+        but never downgrades a demand-fetched line to ``prefetched``.
+        """
+        cset = self._set_for(line)
+        existing = cset.lines.get(line)
+        if existing is not None:
+            cset.last_use[line] = next(self._tick)
+            return None
+        victim = None
+        if len(cset.lines) >= self.config.ways:
+            victim = min(cset.last_use, key=cset.last_use.get)
+            evicted = cset.lines.pop(victim)
+            del cset.last_use[victim]
+            if evicted.prefetched and not evicted.referenced:
+                self.unused_prefetch_evictions += 1
+        cset.lines[line] = CacheLine(line=line, prefetched=prefetched, fill_time=now)
+        cset.last_use[line] = next(self._tick)
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if resident; returns True when something was removed."""
+        cset = self._set_for(line)
+        if line in cset.lines:
+            entry = cset.lines.pop(line)
+            del cset.last_use[line]
+            if entry.prefetched and not entry.referenced:
+                self.unused_prefetch_evictions += 1
+            return True
+        return False
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers (test/debug helper)."""
+        return [line for cset in self._sets for line in cset.lines]
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(cset.lines) for cset in self._sets)
+
+    def resident_unused_prefetches(self) -> int:
+        """Prefetched lines still resident that no demand has touched."""
+        return sum(
+            1
+            for cset in self._sets
+            for entry in cset.lines.values()
+            if entry.prefetched and not entry.referenced
+        )

@@ -1,0 +1,395 @@
+"""Two-level cache hierarchy with miss and prefetch timing.
+
+Stands in for the gem5 memory system of Table 2: a private L1D, a shared
+L2, and DRAM, each with a fixed access latency, plus per-level MSHR files.
+Prefetches fill the L1 (and the L2 on the way), as in the paper.
+
+The model is driven at demand-access granularity: callers present a
+monotonically non-decreasing ``now`` (in cycles) and the hierarchy applies
+any fills whose completion time has passed before serving the access.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.memory.address import LINE_BYTES
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.mshr import MSHRFile
+from repro.memory.stats import AccessClass, CacheStats
+
+
+@dataclass
+class HierarchyConfig:
+    """Latency/geometry parameters (defaults reproduce Table 2)."""
+
+    l1_size: int = 64 * 1024
+    l1_ways: int = 8
+    l1_latency: int = 2
+    l1_mshrs: int = 4
+    l2_size: int = 2 * 1024 * 1024
+    l2_ways: int = 16
+    l2_latency: int = 20
+    l2_mshrs: int = 20
+    dram_latency: int = 300
+    #: minimum cycles between successive DRAM line transfers (bandwidth:
+    #: one 64B line per interval; 4 cycles ≈ 16 GB/s at 1 GHz).  Bounds
+    #: the otherwise-free benefit of spraying inaccurate prefetches.
+    dram_service_interval: int = 4
+    line_bytes: int = LINE_BYTES
+    #: in-flight prefetches use their own response buffers (gem5-style),
+    #: so prefetch traffic does not starve the small demand MSHR file
+    prefetch_buffers: int = 16
+    #: buffers kept free as a pressure signal: when availability drops to
+    #: this level the context prefetcher converts requests to shadow ops
+    prefetch_mshr_reserve: int = 1
+    #: prefetches waiting for a free buffer (gem5-style prefetch queue)
+    prefetch_backlog_depth: int = 32
+    #: the paper prefetches into the L1 (Section 4.3); False fills only
+    #: the L2, trading L1 hit conversion for zero L1 pollution (ablation)
+    prefetch_fill_l1: bool = True
+
+    def l1_config(self) -> CacheConfig:
+        return CacheConfig(
+            size_bytes=self.l1_size,
+            ways=self.l1_ways,
+            line_bytes=self.line_bytes,
+            latency=self.l1_latency,
+            name="L1D",
+        )
+
+    def l2_config(self) -> CacheConfig:
+        return CacheConfig(
+            size_bytes=self.l2_size,
+            ways=self.l2_ways,
+            line_bytes=self.line_bytes,
+            latency=self.l2_latency,
+            name="L2",
+        )
+
+    @property
+    def l2_hit_latency(self) -> int:
+        """Demand latency when the L1 misses but the L2 hits."""
+        return self.l1_latency + self.l2_latency
+
+    @property
+    def dram_fill_latency(self) -> int:
+        """Demand latency when both levels miss."""
+        return self.l1_latency + self.l2_latency + self.dram_latency
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access."""
+
+    latency: int
+    l1_hit: bool
+    l2_hit: bool
+    served_by: str
+    access_class: AccessClass
+    line: int
+
+
+@dataclass
+class _PendingFill:
+    completes_at: int
+    line: int
+    prefetched: bool
+    fill_l2: bool
+
+    def __lt__(self, other: "_PendingFill") -> bool:
+        return self.completes_at < other.completes_at
+
+
+@dataclass
+class PrefetchOutcome:
+    """Result of attempting a prefetch issue."""
+
+    issued: bool
+    reason: str = "issued"
+    completes_at: int = 0
+
+
+class Hierarchy:
+    """L1D + shared L2 + DRAM with in-flight miss/prefetch tracking."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        self.l1 = Cache(self.config.l1_config())
+        self.l2 = Cache(self.config.l2_config())
+        self.l1_mshrs = MSHRFile(self.config.l1_mshrs)
+        self.l2_mshrs = MSHRFile(self.config.l2_mshrs)
+        self.pf_buffers = MSHRFile(self.config.prefetch_buffers)
+        self.l1_stats = CacheStats(name="L1D")
+        self.l2_stats = CacheStats(name="L2")
+        self._pending: list[_PendingFill] = []
+        self._backlog: deque[int] = deque()
+        self._dram_next_free = 0
+        self.dram_fetches = 0
+        #: lines predicted recently but not issued to memory (for NON_TIMELY)
+        self._predicted_not_issued: dict[int, int] = {}
+        self._prediction_window = 256
+        self._access_index = 0
+        self.prefetches_issued = 0
+        self.prefetches_rejected_mshr = 0
+        self.prefetches_redundant = 0
+
+    # ------------------------------------------------------------------
+    # fills
+
+    def _apply_fills(self, now: int) -> None:
+        while self._pending and self._pending[0].completes_at <= now:
+            fill = heapq.heappop(self._pending)
+            if fill.fill_l2:
+                self.l2.fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
+            if not fill.prefetched or self.config.prefetch_fill_l1:
+                self.l1.fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
+        self._drain_backlog(now)
+
+    def _drain_backlog(self, now: int) -> None:
+        """Issue queued prefetches as buffers free up."""
+        while self._backlog and self.pf_buffers.available(now) > 0:
+            line = self._backlog[0]
+            if (
+                self.l1.contains(line)
+                or self.pf_buffers.lookup(line, now) is not None
+                or self.l1_mshrs.lookup(line, now) is not None
+            ):
+                self._backlog.popleft()
+                continue
+            if self._try_issue_prefetch(line, now) is None:
+                break  # L2 MSHRs exhausted; retry at the next event
+            self._backlog.popleft()
+
+    def _try_issue_prefetch(self, line: int, now: int) -> PrefetchOutcome | None:
+        """Issue a prefetch if buffer/MSHR resources allow; else None."""
+        cfg = self.config
+        if self.pf_buffers.available(now) <= 0:
+            return None
+        if self.l2.contains(line):
+            if not cfg.prefetch_fill_l1:
+                # L2-only mode: an L2-resident line needs no prefetch
+                self.prefetches_redundant += 1
+                return PrefetchOutcome(issued=False, reason="resident-l2")
+            self.l2.lookup(line)
+            completes_at = now + cfg.l2_hit_latency
+            fill_l2 = False
+        else:
+            if self.l2_mshrs.available(now) <= 0:
+                return None
+            completes_at = self._dram_completion(now, cfg.dram_fill_latency)
+            fill_l2 = True
+            self.l2_mshrs.allocate(line, now, completes_at, is_prefetch=True)
+        self.pf_buffers.allocate(line, now, completes_at, is_prefetch=True)
+        self._schedule_fill(line, completes_at, prefetched=True, fill_l2=fill_l2)
+        self.prefetches_issued += 1
+        return PrefetchOutcome(issued=True, completes_at=completes_at)
+
+    def _schedule_fill(
+        self, line: int, completes_at: int, *, prefetched: bool, fill_l2: bool
+    ) -> None:
+        heapq.heappush(
+            self._pending,
+            _PendingFill(
+                completes_at=completes_at,
+                line=line,
+                prefetched=prefetched,
+                fill_l2=fill_l2,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # prediction bookkeeping (for Figure 9's NON_TIMELY class)
+
+    def _dram_completion(self, now: int, base_latency: int) -> int:
+        """Completion time of a DRAM line fetch issued at ``now``.
+
+        DRAM serves one line per ``dram_service_interval`` cycles; a fetch
+        arriving while the channel is busy queues behind earlier ones.
+        """
+        start = max(now, self._dram_next_free)
+        self._dram_next_free = start + self.config.dram_service_interval
+        self.dram_fetches += 1
+        return start + base_latency
+
+    def note_unissued_prediction(self, line: int) -> None:
+        """Record that a prefetcher predicted ``line`` without a memory request."""
+        self._predicted_not_issued[line] = self._access_index
+        if len(self._predicted_not_issued) > 4 * self._prediction_window:
+            cutoff = self._access_index - self._prediction_window
+            self._predicted_not_issued = {
+                ln: idx
+                for ln, idx in self._predicted_not_issued.items()
+                if idx >= cutoff
+            }
+
+    def _was_predicted_recently(self, line: int) -> bool:
+        idx = self._predicted_not_issued.get(line)
+        return idx is not None and self._access_index - idx <= self._prediction_window
+
+    # ------------------------------------------------------------------
+    # demand path
+
+    def demand_access(self, addr: int, now: int) -> AccessResult:
+        """Serve a demand load/store of ``addr`` issued at cycle ``now``."""
+        self._apply_fills(now)
+        self._access_index += 1
+        line = addr // self.config.line_bytes
+        cfg = self.config
+
+        l1_entry = self.l1.peek(line)
+        if l1_entry is not None:
+            was_prefetched = l1_entry.prefetched and not l1_entry.referenced
+            self.l1.lookup(line)
+            self.l1_stats.record(hit=True)
+            access_class = (
+                AccessClass.HIT_PREFETCHED
+                if was_prefetched
+                else AccessClass.HIT_OLDER_DEMAND
+            )
+            return AccessResult(
+                latency=cfg.l1_latency,
+                l1_hit=True,
+                l2_hit=False,
+                served_by="l1",
+                access_class=access_class,
+                line=line,
+            )
+
+        self.l1_stats.record(hit=False)
+
+        # In-flight prefetch: the demand merges and waits only for the
+        # remainder of the fetch — the paper's "shorter wait time" class.
+        pf_inflight = self.pf_buffers.lookup(line, now)
+        if pf_inflight is not None:
+            latency = max(cfg.l1_latency, pf_inflight - now)
+            # an MSHR hit, not a new L2 demand miss: no L2 stats event
+            return AccessResult(
+                latency=latency,
+                l1_hit=False,
+                l2_hit=self.l2.contains(line),
+                served_by="mshr",
+                access_class=AccessClass.SHORTER_WAIT,
+                line=line,
+            )
+
+        # In-flight demand miss: merge. The data was already on its way
+        # for program reasons, not prefetching.
+        inflight = self.l1_mshrs.lookup(line, now)
+        if inflight is not None:
+            self.l1_mshrs.allocate(line, now, inflight, is_prefetch=False)
+            latency = max(cfg.l1_latency, inflight - now)
+            # secondary miss: the primary already counted the L2 event
+            return AccessResult(
+                latency=latency,
+                l1_hit=False,
+                l2_hit=self.l2.contains(line),
+                served_by="mshr",
+                access_class=AccessClass.HIT_OLDER_DEMAND,
+                line=line,
+            )
+
+        l2_entry = self.l2.lookup(line)
+        l2_hit = l2_entry is not None
+        self.l2_stats.record(hit=l2_hit)
+
+        # Demand misses always make progress: if the MSHR file is full the
+        # access waits for the earliest completion before starting.
+        issue_at = now
+        if self.l1_mshrs.available(now) == 0:
+            lines = self.l1_mshrs.in_flight_lines(now)
+            earliest = min(self.l1_mshrs.lookup(ln, now) for ln in lines)
+            issue_at = max(now, earliest)
+
+        if l2_hit:
+            completes_at = issue_at + cfg.l2_hit_latency
+            served_by = "l2"
+        else:
+            # Reserve the DRAM channel slot at the time the request is
+            # first seen (it queues in the controller while waiting for an
+            # MSHR); the MSHR wait is applied as a separate floor.  Using
+            # ``issue_at`` here would reserve a slot in the future and
+            # spuriously serialise every later fetch behind it.
+            completes_at = max(
+                self._dram_completion(now, cfg.dram_fill_latency),
+                issue_at + cfg.dram_fill_latency,
+            )
+            served_by = "dram"
+        latency = completes_at - now
+
+        self.l1_mshrs.allocate(line, issue_at, completes_at, is_prefetch=False)
+        if not l2_hit:
+            self.l2_mshrs.allocate(line, issue_at, completes_at, is_prefetch=False)
+        self._schedule_fill(line, completes_at, prefetched=False, fill_l2=not l2_hit)
+
+        if self._was_predicted_recently(line):
+            access_class = AccessClass.NON_TIMELY
+        else:
+            access_class = AccessClass.MISS_NOT_PREFETCHED
+        return AccessResult(
+            latency=latency,
+            l1_hit=False,
+            l2_hit=l2_hit,
+            served_by=served_by,
+            access_class=access_class,
+            line=line,
+        )
+
+    # ------------------------------------------------------------------
+    # prefetch path
+
+    def prefetch(
+        self, addr: int, now: int, *, mshr_reserve: int | None = None
+    ) -> PrefetchOutcome:
+        """Issue a prefetch of ``addr`` into the L1 at cycle ``now``.
+
+        The configured MSHR reserve is kept free for demand misses; a
+        prefetch that cannot get an MSHR queues in a bounded backlog and
+        issues as MSHRs free (the gem5 prefetch queue).  Only when the
+        backlog itself is full is the request rejected, at which point the
+        context prefetcher converts it to a shadow operation (Section 4.2).
+        """
+        self._apply_fills(now)
+        line = addr // self.config.line_bytes
+        reserve = (
+            self.config.prefetch_mshr_reserve if mshr_reserve is None else mshr_reserve
+        )
+
+        if self.l1.contains(line):
+            self.prefetches_redundant += 1
+            return PrefetchOutcome(issued=False, reason="resident")
+        if (
+            self.pf_buffers.lookup(line, now) is not None
+            or self.l1_mshrs.lookup(line, now) is not None
+        ):
+            self.prefetches_redundant += 1
+            return PrefetchOutcome(issued=False, reason="in-flight")
+        if line in self._backlog:
+            self.prefetches_redundant += 1
+            return PrefetchOutcome(issued=False, reason="queued-already")
+
+        if self.pf_buffers.available(now) > reserve:
+            outcome = self._try_issue_prefetch(line, now)
+            if outcome is not None:
+                return outcome
+        if len(self._backlog) < self.config.prefetch_backlog_depth:
+            self._backlog.append(line)
+            # A queued prefetch may still lose the race with the demand
+            # access; record it for the NON_TIMELY classification.
+            self.note_unissued_prediction(line)
+            return PrefetchOutcome(issued=True, reason="queued")
+        self.prefetches_rejected_mshr += 1
+        return PrefetchOutcome(issued=False, reason="mshr-pressure")
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def wasted_prefetches(self) -> int:
+        """Prefetched lines evicted from the L1 without ever being referenced."""
+        return self.l1.unused_prefetch_evictions
+
+    def drain(self, now: int) -> None:
+        """Apply every outstanding fill up to ``now`` (end-of-run helper)."""
+        self._apply_fills(now)

@@ -1,0 +1,89 @@
+"""Miss-status holding registers (MSHRs).
+
+An MSHR file bounds the number of outstanding misses a cache level can
+sustain.  The context prefetcher consults MSHR occupancy to decide whether
+to convert real prefetches into shadow operations (Section 4.2: "prefetch
+operations may be skipped if the memory system is stressed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _Entry:
+    line: int
+    completes_at: int
+    is_prefetch: bool
+
+
+class MSHRFile:
+    """Tracks in-flight misses keyed by cache-line number.
+
+    Time is supplied by the caller on every operation; entries whose
+    completion time has passed are retired lazily.
+    """
+
+    def __init__(self, num_entries: int):
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: dict[int, _Entry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.rejections = 0
+
+    def _expire(self, now: int) -> None:
+        done = [line for line, e in self._entries.items() if e.completes_at <= now]
+        for line in done:
+            del self._entries[line]
+
+    def outstanding(self, now: int) -> int:
+        """Number of misses still in flight at ``now``."""
+        self._expire(now)
+        return len(self._entries)
+
+    def available(self, now: int) -> int:
+        """Number of free MSHR entries at ``now``."""
+        return self.num_entries - self.outstanding(now)
+
+    def lookup(self, line: int, now: int) -> int | None:
+        """Completion time of an in-flight miss for ``line``, or None."""
+        self._expire(now)
+        entry = self._entries.get(line)
+        return entry.completes_at if entry is not None else None
+
+    def is_prefetch(self, line: int, now: int) -> bool:
+        """True when the in-flight miss for ``line`` was a prefetch."""
+        self._expire(now)
+        entry = self._entries.get(line)
+        return entry is not None and entry.is_prefetch
+
+    def allocate(
+        self, line: int, now: int, completes_at: int, *, is_prefetch: bool = False
+    ) -> bool:
+        """Reserve an MSHR for ``line``; returns False when the file is full.
+
+        A second request for an in-flight line merges into the existing
+        entry (secondary miss) and always succeeds.  A demand merge clears
+        the entry's prefetch flag so the completion is attributed to demand.
+        """
+        self._expire(now)
+        existing = self._entries.get(line)
+        if existing is not None:
+            self.merges += 1
+            if not is_prefetch:
+                existing.is_prefetch = False
+            return True
+        if len(self._entries) >= self.num_entries:
+            self.rejections += 1
+            return False
+        self._entries[line] = _Entry(line, completes_at, is_prefetch)
+        self.allocations += 1
+        return True
+
+    def in_flight_lines(self, now: int) -> list[int]:
+        """Line numbers currently in flight (test/debug helper)."""
+        self._expire(now)
+        return sorted(self._entries)

@@ -1,0 +1,111 @@
+"""Cache statistics and the Figure 9 access-benefit classification.
+
+The paper classifies every demand access by the kind of benefit the
+prefetcher provided (Section 7.1): a demand hit on a prefetched line, a
+shortened wait behind an in-flight prefetch, a non-timely prediction, a
+plain miss, a hit that needed no prefetch, and — counted on top of demand
+accesses — prefetches that were never useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessClass(Enum):
+    """Benefit categories for a demand access (Figure 9)."""
+
+    HIT_PREFETCHED = "demand hits a prefetched line"
+    SHORTER_WAIT = "shorter wait time"
+    NON_TIMELY = "non-timely"
+    MISS_NOT_PREFETCHED = "miss not prefetched"
+    HIT_OLDER_DEMAND = "hit older demand"
+    PREFETCH_NEVER_HIT = "prefetch never hit"
+
+
+#: Plot/report order used by the paper's stacked bars.
+ACCESS_CLASS_ORDER = (
+    AccessClass.HIT_PREFETCHED,
+    AccessClass.SHORTER_WAIT,
+    AccessClass.NON_TIMELY,
+    AccessClass.MISS_NOT_PREFETCHED,
+    AccessClass.HIT_OLDER_DEMAND,
+    AccessClass.PREFETCH_NEVER_HIT,
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    name: str = "cache"
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+    demand_fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction (the paper's Figures 10 and 11 metric)."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    def record(self, hit: bool) -> None:
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+
+@dataclass
+class AccessClassifier:
+    """Accumulates the Figure 9 per-access benefit breakdown.
+
+    ``PREFETCH_NEVER_HIT`` is incremented per wasted prefetch (evicted or
+    expired untouched), independent of demand accesses, which is why the
+    paper's stacked bars can exceed 100%.
+    """
+
+    counts: dict[AccessClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in ACCESS_CLASS_ORDER}
+    )
+    demand_accesses: int = 0
+
+    def record_demand(self, access_class: AccessClass) -> None:
+        if access_class is AccessClass.PREFETCH_NEVER_HIT:
+            raise ValueError("PREFETCH_NEVER_HIT is not a demand-access class")
+        self.counts[access_class] += 1
+        self.demand_accesses += 1
+
+    def record_wasted_prefetch(self, count: int = 1) -> None:
+        self.counts[AccessClass.PREFETCH_NEVER_HIT] += count
+
+    def fractions(self) -> dict[AccessClass, float]:
+        """Each class as a fraction of demand accesses (may sum past 1.0)."""
+        if self.demand_accesses == 0:
+            return {cls: 0.0 for cls in ACCESS_CLASS_ORDER}
+        return {
+            cls: self.counts[cls] / self.demand_accesses
+            for cls in ACCESS_CLASS_ORDER
+        }
+
+    def useful_fraction(self) -> float:
+        """Fraction of demand accesses that benefited from prefetching."""
+        if self.demand_accesses == 0:
+            return 0.0
+        useful = (
+            self.counts[AccessClass.HIT_PREFETCHED]
+            + self.counts[AccessClass.SHORTER_WAIT]
+        )
+        return useful / self.demand_accesses

@@ -1,0 +1,35 @@
+"""Baseline prefetchers the paper compares against (Section 7).
+
+* :class:`~repro.prefetchers.nopf.NoPrefetcher` — the no-prefetch baseline.
+* :class:`~repro.prefetchers.stride.StridePrefetcher` — PC-indexed stride
+  (Fu, Patel & Janssens, MICRO 1992).
+* :class:`~repro.prefetchers.ghb.GHBPrefetcher` — global history buffer,
+  G/DC and PC/DC delta-correlation flavours (Nesbit & Smith, HPCA 2004).
+* :class:`~repro.prefetchers.sms.SMSPrefetcher` — spatial memory streaming
+  (Somogyi et al., ISCA 2006).
+
+All are storage-scaled to the context prefetcher's ~31kB budget, as the
+paper scales its competitors (Table 2).
+"""
+
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.markov import MarkovConfig, MarkovPrefetcher
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.prefetchers.sms import SMSConfig, SMSPrefetcher
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+
+__all__ = [
+    "AccessInfo",
+    "GHBConfig",
+    "GHBPrefetcher",
+    "MarkovConfig",
+    "MarkovPrefetcher",
+    "NoPrefetcher",
+    "Prefetcher",
+    "PrefetchRequest",
+    "SMSConfig",
+    "SMSPrefetcher",
+    "StrideConfig",
+    "StridePrefetcher",
+]

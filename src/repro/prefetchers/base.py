@@ -1,0 +1,107 @@
+"""Common prefetcher interface.
+
+Every prefetcher — the baselines and the paper's context-based prefetcher —
+observes the demand-access stream through :meth:`Prefetcher.on_access` and
+returns the prefetch requests it wants issued.  The simulator dispatches
+non-shadow requests to the memory hierarchy and reports issue outcomes back
+via :meth:`Prefetcher.on_prefetch_issue`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.hints import NO_HINTS, SemanticHints
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """Everything a prefetcher may observe about one demand access.
+
+    The hardware attributes of Table 1 (PC, address history via the
+    prefetcher's own tracking, branch history, register value, previously
+    loaded data) and the compiler hints are all carried here; each
+    prefetcher consumes the subset it understands.
+    """
+
+    index: int  # position in the demand-access stream
+    cycle: int  # issue cycle (for timing-aware prefetchers)
+    addr: int  # byte address
+    pc: int  # instruction pointer of the access
+    is_load: bool = True
+    #: whether the access hit the L1 (classic prefetchers train on misses)
+    l1_hit: bool = False
+    #: a *primary* L1 miss (not a merge with an in-flight fetch); this is
+    #: the stream a miss-driven prefetcher actually observes
+    primary_miss: bool = False
+    branch_history: int = 0
+    reg_value: int = 0  # live "key" register contents
+    last_value: int = 0  # data returned by the previous load
+    hints: SemanticHints = NO_HINTS
+
+
+@dataclass
+class PrefetchRequest:
+    """One prefetch the prefetcher wants to perform.
+
+    ``shadow`` requests are tracked for learning but never dispatched to
+    memory (Section 4.1).  ``meta`` is opaque prefetcher-private state used
+    to route feedback (e.g. the CST key that produced the prediction).
+    """
+
+    addr: int
+    shadow: bool = False
+    meta: object | None = None
+
+
+class Prefetcher(abc.ABC):
+    """Abstract prefetcher driven by the demand-access stream."""
+
+    #: short name used in reports and figures
+    name: str = "base"
+
+    @abc.abstractmethod
+    def on_access(self, access: AccessInfo) -> list[PrefetchRequest]:
+        """Observe a demand access; return prefetches to issue."""
+
+    def on_prefetch_issue(
+        self, request: PrefetchRequest, issued: bool, reason: str
+    ) -> None:
+        """Learn whether a returned request was actually sent to memory."""
+
+    def storage_bits(self) -> int:
+        """Hardware storage the configuration would require, in bits."""
+        return 0
+
+    def storage_kib(self) -> float:
+        """Storage in KiB (Table 2 reports prefetcher sizes this way)."""
+        return self.storage_bits() / 8 / 1024
+
+    def reset(self) -> None:
+        """Clear learned state (between simulation phases)."""
+
+
+@dataclass
+class DegreeCounter:
+    """Small helper shared by baselines that issue ``degree`` prefetches."""
+
+    degree: int = 1
+    issued: int = 0
+
+    def take(self) -> bool:
+        if self.issued >= self.degree:
+            return False
+        self.issued += 1
+        return True
+
+    def reset(self) -> None:
+        self.issued = 0
+
+
+__all__ = [
+    "AccessInfo",
+    "DegreeCounter",
+    "Prefetcher",
+    "PrefetchRequest",
+]

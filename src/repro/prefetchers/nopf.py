@@ -1,0 +1,17 @@
+"""The no-prefetch baseline (the denominator of every speedup figure)."""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+
+class NoPrefetcher(Prefetcher):
+    """Observes the stream and never prefetches."""
+
+    name = "none"
+
+    def on_access(self, access: AccessInfo) -> list[PrefetchRequest]:
+        return []
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,26 @@
+"""Simulation driver: wires traces, the hierarchy, the core model and a
+prefetcher into a run, and sweeps workloads × prefetchers for the figures.
+"""
+
+from repro.sim.config import PREFETCHER_FACTORIES, SystemConfig, make_prefetcher
+from repro.sim.metrics import HitDepthCDF, SimulationResult, geomean
+from repro.sim.phases import PhasedResult, run_phased, split_phases
+from repro.sim.runner import ComparisonResult, compare, run_workload, storage_sweep
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "ComparisonResult",
+    "HitDepthCDF",
+    "PREFETCHER_FACTORIES",
+    "PhasedResult",
+    "SimulationResult",
+    "Simulator",
+    "SystemConfig",
+    "compare",
+    "geomean",
+    "make_prefetcher",
+    "run_phased",
+    "run_workload",
+    "split_phases",
+    "storage_sweep",
+]

@@ -1,0 +1,51 @@
+"""System configuration (Table 2) and the prefetcher factory registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+
+@dataclass
+class SystemConfig:
+    """Everything Table 2 specifies, bundled."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    context: ContextPrefetcherConfig = field(default_factory=ContextPrefetcherConfig)
+
+
+#: the prefetcher line-up of Section 7 (plus the related-work Markov
+#: prefetcher of Joseph & Grunwald), by report name
+PREFETCHER_FACTORIES: dict[str, Callable[[], Prefetcher]] = {
+    "none": NoPrefetcher,
+    "stride": StridePrefetcher,
+    "ghb-gdc": lambda: GHBPrefetcher(GHBConfig(localization="global")),
+    "ghb-pcdc": lambda: GHBPrefetcher(GHBConfig(localization="pc")),
+    "sms": SMSPrefetcher,
+    "markov": MarkovPrefetcher,
+    "context": ContextPrefetcher,
+}
+
+#: the order the paper's figures list prefetchers in (Markov is extra and
+#: only appears in sweeps that ask for it)
+PREFETCHER_ORDER = ("none", "stride", "ghb-gdc", "ghb-pcdc", "sms", "context")
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a prefetcher by its report name."""
+    if name not in PREFETCHER_FACTORIES:
+        known = ", ".join(PREFETCHER_FACTORIES)
+        raise KeyError(f"unknown prefetcher {name!r}; known: {known}")
+    return PREFETCHER_FACTORIES[name]()

@@ -1,0 +1,127 @@
+"""Result export: dictionaries, CSV, markdown and gem5-style stats text.
+
+Downstream tooling wants machine-readable results; papers want tables.
+Everything here is pure formatting over :class:`SimulationResult` and
+:class:`ComparisonResult` — no simulation logic.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable
+
+from repro.memory.stats import ACCESS_CLASS_ORDER
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import ComparisonResult
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flat dictionary of one run's headline statistics."""
+    out = {
+        "workload": result.workload,
+        "prefetcher": result.prefetcher,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "cpi": result.cpi,
+        "l1_accesses": result.l1.accesses,
+        "l1_misses": result.l1.misses,
+        "l1_mpki": result.l1_mpki,
+        "l2_accesses": result.l2.accesses,
+        "l2_misses": result.l2.misses,
+        "l2_mpki": result.l2_mpki,
+        "prefetches_issued": result.prefetches_issued,
+        "prefetches_shadow": result.prefetches_shadow,
+        "prefetches_rejected": result.prefetches_rejected,
+        "prefetches_redundant": result.prefetches_redundant,
+        "prefetcher_accuracy": result.prefetcher_accuracy,
+        "storage_bits": result.storage_bits,
+    }
+    fractions = result.classifier.fractions()
+    for cls in ACCESS_CLASS_ORDER:
+        out[f"class_{cls.name.lower()}"] = fractions[cls]
+    return out
+
+
+def results_to_csv(results: Iterable[SimulationResult]) -> str:
+    """CSV with one row per run (header derived from the first result)."""
+    results = list(results)
+    if not results:
+        return ""
+    rows = [result_to_dict(r) for r in results]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def comparison_to_csv(comparison: ComparisonResult) -> str:
+    """CSV over every (workload, prefetcher) cell of a sweep."""
+    return results_to_csv(
+        comparison.get(wl, pf)
+        for wl in comparison.workloads()
+        for pf in comparison.prefetchers()
+    )
+
+
+def comparison_to_markdown(
+    comparison: ComparisonResult, *, metric: str = "speedup", baseline: str = "none"
+) -> str:
+    """A GitHub-markdown table of a sweep.
+
+    ``metric``: ``"speedup"`` (over ``baseline``), ``"ipc"``, ``"l1_mpki"``
+    or ``"l2_mpki"``.
+    """
+    prefetchers = comparison.prefetchers()
+    if metric == "speedup":
+        prefetchers = [p for p in prefetchers if p != baseline]
+
+    def cell(workload: str, prefetcher: str) -> str:
+        result = comparison.get(workload, prefetcher)
+        if metric == "speedup":
+            value = result.speedup_over(comparison.get(workload, baseline))
+        elif metric in ("ipc", "l1_mpki", "l2_mpki"):
+            value = getattr(result, metric)
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        return f"{value:.2f}"
+
+    header = "| workload | " + " | ".join(prefetchers) + " |"
+    rule = "|---" * (len(prefetchers) + 1) + "|"
+    body = [
+        "| " + " | ".join([wl] + [cell(wl, pf) for pf in prefetchers]) + " |"
+        for wl in comparison.workloads()
+    ]
+    return "\n".join([header, rule] + body)
+
+
+def stats_dump(result: SimulationResult) -> str:
+    """gem5-``stats.txt``-flavoured dump: ``name  value  # comment``."""
+    lines = ["---------- Begin Simulation Statistics ----------"]
+    entries = [
+        ("sim.instructions", result.instructions, "committed instructions"),
+        ("sim.cycles", result.cycles, "total cycles"),
+        ("sim.ipc", f"{result.ipc:.6f}", "instructions per cycle"),
+        ("l1d.accesses", result.l1.accesses, "L1D demand accesses"),
+        ("l1d.misses", result.l1.misses, "L1D demand misses"),
+        ("l1d.mpki", f"{result.l1_mpki:.4f}", "L1D misses per kilo-inst"),
+        ("l2.accesses", result.l2.accesses, "L2 demand accesses"),
+        ("l2.misses", result.l2.misses, "L2 demand misses"),
+        ("l2.mpki", f"{result.l2_mpki:.4f}", "L2 misses per kilo-inst"),
+        ("pf.issued", result.prefetches_issued, "prefetches sent to memory"),
+        ("pf.shadow", result.prefetches_shadow, "shadow prefetch operations"),
+        ("pf.redundant", result.prefetches_redundant, "prefetches dropped (resident)"),
+        ("pf.accuracy", f"{result.prefetcher_accuracy:.4f}", "queue hit-rate EMA"),
+    ]
+    fractions = result.classifier.fractions()
+    for cls in ACCESS_CLASS_ORDER:
+        entries.append(
+            (f"class.{cls.name.lower()}", f"{fractions[cls]:.6f}", cls.value)
+        )
+    width = max(len(name) for name, _, _ in entries)
+    for name, value, comment in entries:
+        lines.append(f"{name.ljust(width)}  {str(value):>14}  # {comment}")
+    lines.append("---------- End Simulation Statistics ----------")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Multi-phase simulation (Section 6 of the paper).
+
+The paper simulates several distinct execution phases per benchmark
+("the exact number of phases vary between benchmarks ... spanning
+50-100M instructions each") and reports per-benchmark aggregates.  This
+module splits a workload trace into contiguous phases, runs each one,
+and aggregates: total instructions over total cycles (a weighted-IPC
+aggregate), summed cache statistics, and per-phase results for
+inspection.
+
+Prefetcher state handling is configurable: ``cold_start=True`` resets the
+prefetcher between phases (each phase trains from scratch, as when phases
+come from separate simulation checkpoints), ``False`` keeps learned state
+across phases (one long run observed in windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prefetchers.base import Prefetcher
+from repro.sim.config import PREFETCHER_FACTORIES
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import MemoryAccess
+
+
+@dataclass
+class PhasedResult:
+    """Aggregate over all phases plus the per-phase breakdown."""
+
+    workload: str
+    prefetcher: str
+    phases: list[SimulationResult] = field(default_factory=list)
+
+    @property
+    def instructions(self) -> int:
+        return sum(p.instructions for p in self.phases)
+
+    @property
+    def cycles(self) -> int:
+        return sum(p.cycles for p in self.phases)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_mpki(self) -> float:
+        misses = sum(p.l1.misses for p in self.phases)
+        return 1000.0 * misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def l2_mpki(self) -> float:
+        misses = sum(p.l2.misses for p in self.phases)
+        return 1000.0 * misses / self.instructions if self.instructions else 0.0
+
+    def speedup_over(self, baseline: "PhasedResult") -> float:
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+    def ipc_variation(self) -> float:
+        """Max/min per-phase IPC ratio — how phase-dependent the workload is."""
+        ipcs = [p.ipc for p in self.phases if p.ipc > 0]
+        if not ipcs:
+            return 0.0
+        return max(ipcs) / min(ipcs)
+
+
+def split_phases(
+    trace: list[MemoryAccess], num_phases: int
+) -> list[list[MemoryAccess]]:
+    """Split a trace into ``num_phases`` contiguous, near-equal windows."""
+    if num_phases < 1:
+        raise ValueError("need at least one phase")
+    if num_phases > len(trace):
+        raise ValueError("more phases than accesses")
+    size = len(trace) / num_phases
+    bounds = [round(i * size) for i in range(num_phases + 1)]
+    return [trace[bounds[i] : bounds[i + 1]] for i in range(num_phases)]
+
+
+def run_phased(
+    trace: list[MemoryAccess],
+    prefetcher_name: str,
+    *,
+    workload_name: str = "trace",
+    num_phases: int = 4,
+    cold_start: bool = True,
+) -> PhasedResult:
+    """Simulate ``trace`` as ``num_phases`` distinct phases."""
+    result = PhasedResult(workload=workload_name, prefetcher=prefetcher_name)
+    prefetcher: Prefetcher | None = None
+    start_index = 0
+    for i, phase in enumerate(split_phases(trace, num_phases)):
+        if prefetcher is None or cold_start:
+            prefetcher = PREFETCHER_FACTORIES[prefetcher_name]()
+            start_index = 0
+        # each phase gets a fresh memory system (checkpoint semantics); in
+        # warm mode the prefetcher keeps its learned state and the access
+        # indices continue where the previous phase stopped
+        sim = Simulator(prefetcher)
+        result.phases.append(
+            sim.run(phase, workload_name=f"{workload_name}#p{i}", start_index=start_index)
+        )
+        start_index += len(phase)
+    return result

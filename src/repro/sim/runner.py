@@ -1,0 +1,153 @@
+"""Experiment runner: workload × prefetcher sweeps and derived figures.
+
+The figures all reduce to the same sweep — run every workload under every
+prefetcher and compare against the no-prefetch baseline — plus the
+Figure 13 storage sweep, which rescales the context prefetcher's CST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.base import Prefetcher
+from repro.sim.config import PREFETCHER_FACTORIES, PREFETCHER_ORDER
+from repro.sim.metrics import SimulationResult, geomean
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import WorkloadSpec, get_workload
+from repro.workloads.trace import MemoryAccess, TraceProgram
+
+
+def _resolve_trace(
+    workload: WorkloadSpec | TraceProgram | str,
+) -> tuple[str, list[MemoryAccess]]:
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if isinstance(workload, WorkloadSpec):
+        program = workload.build()
+        return workload.name, program.trace()
+    return workload.name, workload.trace()
+
+
+def run_workload(
+    workload: WorkloadSpec | TraceProgram | str,
+    prefetcher: Prefetcher | str,
+    *,
+    hierarchy_config: HierarchyConfig | None = None,
+    core_config: CoreConfig | None = None,
+    limit: int | None = None,
+) -> SimulationResult:
+    """Run one (workload, prefetcher) pair and return its result."""
+    name, trace = _resolve_trace(workload)
+    if isinstance(prefetcher, str):
+        prefetcher = PREFETCHER_FACTORIES[prefetcher]()
+    sim = Simulator(
+        prefetcher, hierarchy_config=hierarchy_config, core_config=core_config
+    )
+    return sim.run(trace, workload_name=name, limit=limit)
+
+
+@dataclass
+class ComparisonResult:
+    """Results of a workloads × prefetchers sweep."""
+
+    #: workload name -> prefetcher name -> result
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def workloads(self) -> list[str]:
+        return list(self.results)
+
+    def prefetchers(self) -> list[str]:
+        first = next(iter(self.results.values()), {})
+        return list(first)
+
+    def get(self, workload: str, prefetcher: str) -> SimulationResult:
+        return self.results[workload][prefetcher]
+
+    def speedups(self, baseline: str = "none") -> dict[str, dict[str, float]]:
+        """Per-workload IPC speedups over ``baseline`` (Figure 12)."""
+        out: dict[str, dict[str, float]] = {}
+        for wl, by_pf in self.results.items():
+            base = by_pf[baseline]
+            out[wl] = {
+                pf: res.speedup_over(base) for pf, res in by_pf.items() if pf != baseline
+            }
+        return out
+
+    def mean_speedups(self, baseline: str = "none") -> dict[str, float]:
+        """Geometric-mean speedup per prefetcher over all workloads."""
+        per_wl = self.speedups(baseline)
+        prefetchers = [p for p in self.prefetchers() if p != baseline]
+        return {
+            pf: geomean([per_wl[wl][pf] for wl in per_wl]) for pf in prefetchers
+        }
+
+    def mpki(self, level: str = "l2") -> dict[str, dict[str, float]]:
+        """Per-workload MPKI per prefetcher (Figures 10/11)."""
+        attr = "l1_mpki" if level == "l1" else "l2_mpki"
+        return {
+            wl: {pf: getattr(res, attr) for pf, res in by_pf.items()}
+            for wl, by_pf in self.results.items()
+        }
+
+
+def compare(
+    workloads: Iterable[WorkloadSpec | TraceProgram | str],
+    prefetchers: Iterable[str] = PREFETCHER_ORDER,
+    *,
+    hierarchy_config: HierarchyConfig | None = None,
+    core_config: CoreConfig | None = None,
+    limit: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ComparisonResult:
+    """The standard sweep every evaluation figure is built from.
+
+    Traces are built once per workload and replayed for each prefetcher,
+    so results across prefetchers are strictly comparable.
+    """
+    comparison = ComparisonResult()
+    for workload in workloads:
+        name, trace = _resolve_trace(workload)
+        comparison.results[name] = {}
+        for pf_name in prefetchers:
+            pf = PREFETCHER_FACTORIES[pf_name]()
+            sim = Simulator(
+                pf, hierarchy_config=hierarchy_config, core_config=core_config
+            )
+            result = sim.run(trace, workload_name=name, limit=limit)
+            comparison.results[name][pf_name] = result
+            if progress is not None:
+                progress(result.summary())
+    return comparison
+
+
+def storage_sweep(
+    workloads: Iterable[WorkloadSpec | TraceProgram | str],
+    cst_sizes: Iterable[int],
+    *,
+    limit: int | None = None,
+    base_config: ContextPrefetcherConfig | None = None,
+) -> dict[int, dict[str, SimulationResult]]:
+    """Figure 13: context-prefetcher results per CST size per workload.
+
+    Each entry of ``cst_sizes`` is a CST entry count; the reducer scales
+    at 8× as the paper does.  Returns {cst_entries: {workload: result}}.
+    Baseline (no-prefetch) results are included under each size via the
+    key ``"__baseline__:<workload>"``-free convention: callers should run
+    a separate baseline comparison; this helper focuses on the context
+    prefetcher itself.
+    """
+    base = base_config or ContextPrefetcherConfig()
+    resolved = [_resolve_trace(w) for w in workloads]
+    out: dict[int, dict[str, SimulationResult]] = {}
+    for size in cst_sizes:
+        config = base.scaled(size)
+        out[size] = {}
+        for name, trace in resolved:
+            sim = Simulator(ContextPrefetcher(config))
+            out[size][name] = sim.run(trace, workload_name=name, limit=limit)
+    return out

@@ -1,0 +1,204 @@
+"""The trace-driven simulator: one workload, one prefetcher, one run.
+
+Replays a workload trace through the branch-history register, the core
+timing model and the cache hierarchy, feeding each demand access to the
+prefetcher and dispatching the prefetches it returns.  Produces the
+:class:`~repro.sim.metrics.SimulationResult` every figure consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.cpu.branch import BranchHistoryRegister
+from repro.cpu.core_model import CoreStats
+from repro.memory.stats import AccessClassifier, CacheStats
+from repro.cpu.core_model import CoreConfig, CoreModel
+from repro.memory.hierarchy import Hierarchy, HierarchyConfig
+from repro.prefetchers.base import AccessInfo, Prefetcher
+from repro.sim.metrics import HitDepthCDF, SimulationResult
+from repro.workloads.trace import MemoryAccess
+
+
+class Simulator:
+    """Drives one prefetcher through one access trace."""
+
+    def __init__(
+        self,
+        prefetcher: Prefetcher,
+        *,
+        hierarchy_config: HierarchyConfig | None = None,
+        core_config: CoreConfig | None = None,
+        bhr_bits: int = 8,
+    ):
+        self.prefetcher = prefetcher
+        self.hierarchy = Hierarchy(hierarchy_config)
+        self.core = CoreModel(core_config or CoreConfig())
+        self.bhr = BranchHistoryRegister(bits=bhr_bits)
+        self._line_bytes = self.hierarchy.config.line_bytes
+        self._cycle_base = 0
+
+    def _reset_stats(self) -> None:
+        """Zero the statistics counters without disturbing warm state.
+
+        Caches, MSHRs, in-flight fills and the prefetcher's learned state
+        all survive; only the counters (and the cycle baseline) restart.
+        Used by the ``warmup`` mode of :meth:`run`.
+        """
+        hier = self.hierarchy
+        stats = self.core.finalize()
+        self._cycle_base = stats.cycles
+        hier.l1_stats = CacheStats(name="L1D")
+        hier.l2_stats = CacheStats(name="L2")
+        hier.prefetches_issued = 0
+        hier.prefetches_rejected_mshr = 0
+        hier.prefetches_redundant = 0
+        hier.l1.unused_prefetch_evictions = 0
+        hier.l1.used_prefetch_fills = 0
+        self.core.stats = CoreStats()
+
+    def run(
+        self,
+        trace: "Iterable[MemoryAccess]",
+        *,
+        workload_name: str = "trace",
+        limit: int | None = None,
+        start_index: int = 0,
+        warmup: int = 0,
+    ) -> SimulationResult:
+        """Replay ``trace`` (optionally truncated to ``limit`` accesses).
+
+        ``trace`` may be any iterable — a workload's list or a streaming
+        reader such as :func:`repro.workloads.serialize.iter_trace`.
+        (``warmup`` mode materialises the stream, since it replays a
+        prefix separately.)
+
+        ``start_index`` offsets the access-stream indices handed to the
+        prefetcher — used by multi-phase runs that keep prefetcher state
+        across phases, so hit depths remain monotone across the seam.
+
+        ``warmup`` runs that many leading accesses through the caches and
+        the prefetcher *before* statistics start counting — the standard
+        simulator practice for measuring steady state (the paper simulates
+        pre-characterised steady-state phases, Section 6).
+        """
+        if warmup:
+            trace = list(trace)
+            accesses = trace[:limit] if limit is not None else trace
+            if warmup >= len(accesses):
+                raise ValueError("warmup consumes the whole trace")
+            self.run(
+                accesses[:warmup],
+                workload_name=workload_name,
+                start_index=start_index,
+            )
+            self._reset_stats()
+            return self.run(
+                accesses[warmup:],
+                workload_name=workload_name,
+                start_index=start_index + warmup,
+            )
+        hier = self.hierarchy
+        core = self.core
+        pf = self.prefetcher
+        hit_depths = HitDepthCDF()
+        classifier = AccessClassifier()
+        #: line -> access index of the most recent (real or shadow)
+        #: prediction; mirrors the paper's 128-entry prefetch queue, so
+        #: hits deeper than the queue capacity count as expirations
+        predicted_at: dict[int, int] = {}
+        depth_cap = 128
+        last_value = 0
+        issued_real = 0
+        issued_shadow = 0
+
+        accesses = itertools.islice(trace, limit) if limit is not None else trace
+        for index, access in enumerate(accesses, start=start_index):
+            self.bhr.update_many(access.branches)
+            # inst_gap already includes branch instructions (TraceBuilder
+            # contract); branches are carried separately only for the BHR
+            gap = access.inst_gap
+            issue = core.issue_time(gap, depends_on_prev=access.depends_on_prev)
+
+            result = hier.demand_access(access.addr, issue)
+            classifier.record_demand(result.access_class)
+            core.complete(issue, result.latency, gap)
+
+            line = access.addr // self._line_bytes
+            if line in predicted_at:
+                depth = index - predicted_at.pop(line)
+                if depth <= depth_cap:
+                    hit_depths.add(depth)
+
+            info = AccessInfo(
+                index=index,
+                cycle=issue,
+                addr=access.addr,
+                pc=access.pc,
+                is_load=access.is_load,
+                l1_hit=result.l1_hit,
+                primary_miss=not result.l1_hit and result.served_by != "mshr",
+                branch_history=self.bhr.value,
+                reg_value=access.reg_value,
+                last_value=last_value,
+                hints=access.hints,
+            )
+            for request in pf.on_access(info):
+                pf_line = request.addr // self._line_bytes
+                if request.shadow:
+                    hier.note_unissued_prediction(pf_line)
+                    issued_shadow += 1
+                else:
+                    outcome = hier.prefetch(request.addr, issue)
+                    pf.on_prefetch_issue(request, outcome.issued, outcome.reason)
+                    if outcome.issued:
+                        issued_real += 1
+                    else:
+                        hier.note_unissued_prediction(pf_line)
+                        issued_shadow += 1
+                # oldest-unexpired semantics: a line keeps its first
+                # prediction's timestamp until that entry would have
+                # expired from a 128-deep prefetch queue
+                prev = predicted_at.get(pf_line)
+                if prev is None or index - prev > depth_cap:
+                    predicted_at[pf_line] = index
+            if len(predicted_at) > 8 * depth_cap:
+                cutoff = index - depth_cap
+                predicted_at = {
+                    ln: i for ln, i in predicted_at.items() if i >= cutoff
+                }
+
+            last_value = access.value if access.is_load else last_value
+
+        # The context prefetcher tracks per-queue-entry hit depths itself
+        # (real and shadow predictions, exactly the paper's Figure 8
+        # metric); prefer that over the per-line approximation.
+        own_histogram = getattr(pf, "hit_depth_histogram", None)
+        if own_histogram:
+            hit_depths = HitDepthCDF()
+            for depth, count in own_histogram.items():
+                hit_depths.add(depth, count)
+
+        stats = core.finalize()
+        hier.drain(stats.cycles + 10_000)
+        classifier.record_wasted_prefetch(
+            hier.wasted_prefetches() + hier.l1.resident_unused_prefetches()
+        )
+
+        return SimulationResult(
+            workload=workload_name,
+            prefetcher=pf.name,
+            instructions=stats.instructions,
+            cycles=max(1, stats.cycles - self._cycle_base),
+            l1=hier.l1_stats,
+            l2=hier.l2_stats,
+            classifier=classifier,
+            hit_depths=hit_depths,
+            prefetches_issued=issued_real,
+            prefetches_shadow=issued_shadow,
+            prefetches_rejected=hier.prefetches_rejected_mshr,
+            prefetches_redundant=hier.prefetches_redundant,
+            prefetcher_accuracy=getattr(pf, "accuracy", lambda: 0.0)(),
+            storage_bits=pf.storage_bits(),
+        )

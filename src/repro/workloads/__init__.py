@@ -1,0 +1,32 @@
+"""Workload substrate: executable models of the paper's benchmarks.
+
+Each workload is a :class:`~repro.workloads.trace.TraceProgram` that plays
+the role of a benchmark binary running under gem5: it emits the demand
+memory-access stream, the interleaved instruction counts, branch outcomes,
+live register values, and the compiler-injected semantic hints the paper's
+LLVM pass would have produced.
+
+The suites mirror Table 3: SPEC CPU2006 proxies, PBBS, Graph500, HPCS
+(SSCA2), and the μkernels (algorithms and data-structure traversals).
+"""
+
+from repro.workloads.trace import Heap, MemoryAccess, TraceBuilder, TraceProgram
+from repro.workloads.suites import (
+    SUITES,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    workloads_in_suite,
+)
+
+__all__ = [
+    "Heap",
+    "MemoryAccess",
+    "SUITES",
+    "TraceBuilder",
+    "TraceProgram",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "workloads_in_suite",
+]

@@ -1,0 +1,205 @@
+"""Breadth-first search workloads: Graph500 and the PBBS BFS kernel.
+
+Graph500's timed kernel is BFS over an RMAT graph; Figure 14(b) compares a
+naive linked-layout implementation with the array/CSR implementation that
+Graph500 reference code actually uses.  Both variants here traverse the
+same logical graph and perform the same vertex visits — only the physical
+access streams differ.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    EDGE_NEXT_OFFSET,
+    EDGE_TARGET_OFFSET,
+    EDGES_OFFSET,
+    LinkedGraph,
+    VISITED_OFFSET,
+    rmat_edges,
+)
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+
+class BFSLinkedProgram(TraceProgram):
+    """BFS over the naive pointer-based graph layout."""
+
+    name = "bfs-list"
+    suite = "ukernel-alg"
+
+    def __init__(
+        self,
+        *,
+        scale: int = 9,
+        edge_factor: int = 8,
+        num_roots: int = 6,
+        placement: str = "shuffled",
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.scale = scale
+        self.edge_factor = edge_factor
+        self.num_roots = num_roots
+        self.placement = placement
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(placement=self.placement, seed=self.seed)
+        tb = TraceBuilder()
+        n = 1 << self.scale
+        graph = LinkedGraph(n, rmat_edges(self.scale, self.edge_factor, self.seed), heap)
+        queue_base = heap.alloc(n * 8)
+
+        edge_hints = tb.pointer_hints("edge", EDGE_NEXT_OFFSET)
+        target_hints = tb.pointer_hints("edge", EDGE_TARGET_OFFSET)
+        head_hints = tb.pointer_hints("vertex", EDGES_OFFSET)
+
+        for _ in range(self.num_roots):
+            root = rng.randrange(n)
+            visited = [False] * n
+            visited[root] = True
+            work: deque[int] = deque([root])
+            qpos = 0
+            while work:
+                u = work.popleft()
+                vert = graph.vertices[u]
+                # dequeue: load the vertex pointer from the work queue
+                tb.load(queue_base + (qpos % n) * 8, "bfs.deq", value=vert.addr, gap=2)
+                qpos += 1
+                # load the vertex's edge-list head
+                edge = vert.edges
+                tb.load(
+                    vert.addr + EDGES_OFFSET,
+                    "bfs.head",
+                    value=edge.addr if edge else 0,
+                    depends=True,
+                    hints=head_hints,
+                    gap=1,
+                )
+                while edge is not None:
+                    tgt = edge.target
+                    tb.load(
+                        edge.addr + EDGE_TARGET_OFFSET,
+                        "bfs.target",
+                        value=tgt.addr,
+                        depends=True,
+                        hints=target_hints,
+                        gap=1,
+                    )
+                    tb.load(
+                        tgt.addr + VISITED_OFFSET,
+                        "bfs.visited",
+                        value=int(visited[tgt.vid]),
+                        depends=True,
+                        gap=1,
+                    )
+                    fresh = not visited[tgt.vid]
+                    tb.branch(fresh)
+                    if fresh:
+                        visited[tgt.vid] = True
+                        tb.store(tgt.addr + VISITED_OFFSET, "bfs.mark", gap=1)
+                        work.append(tgt.vid)
+                    nxt = edge.next
+                    tb.load(
+                        edge.addr + EDGE_NEXT_OFFSET,
+                        "bfs.next",
+                        value=nxt.addr if nxt else 0,
+                        depends=True,
+                        hints=edge_hints,
+                        gap=1,
+                    )
+                    tb.branch(nxt is not None)
+                    edge = nxt
+        return tb
+
+
+class BFSCSRProgram(TraceProgram):
+    """BFS over the spatially optimised CSR layout."""
+
+    name = "bfs-csr"
+    suite = "ukernel-alg"
+
+    def __init__(
+        self,
+        *,
+        scale: int = 9,
+        edge_factor: int = 8,
+        num_roots: int = 6,
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.scale = scale
+        self.edge_factor = edge_factor
+        self.num_roots = num_roots
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(seed=self.seed)
+        tb = TraceBuilder()
+        n = 1 << self.scale
+        graph = CSRGraph(n, rmat_edges(self.scale, self.edge_factor, self.seed), heap)
+        queue_base = heap.alloc(n * 8)
+        row_hints = tb.index_hints("row_offsets")
+        col_hints = tb.index_hints("col_indices")
+
+        for _ in range(self.num_roots):
+            root = rng.randrange(n)
+            visited = [False] * n
+            visited[root] = True
+            work: deque[int] = deque([root])
+            qpos = 0
+            while work:
+                u = work.popleft()
+                tb.load(queue_base + (qpos % n) * 8, "bfs.deq", value=u, gap=2)
+                qpos += 1
+                lo, hi = graph.row_offsets[u], graph.row_offsets[u + 1]
+                tb.load(graph.row_addr(u), "bfs.rowlo", value=lo, hints=row_hints, gap=1)
+                tb.load(
+                    graph.row_addr(u + 1), "bfs.rowhi", value=hi, hints=row_hints, gap=1
+                )
+                for i in range(lo, hi):
+                    t = graph.col_indices[i]
+                    tb.load(graph.col_addr(i), "bfs.col", value=t, hints=col_hints, gap=1)
+                    tb.load(
+                        graph.visited_addr(t),
+                        "bfs.visited",
+                        value=int(visited[t]),
+                        depends=True,
+                        gap=1,
+                    )
+                    fresh = not visited[t]
+                    tb.branch(fresh)
+                    if fresh:
+                        visited[t] = True
+                        tb.store(graph.visited_addr(t), "bfs.mark", gap=1)
+                        work.append(t)
+        return tb
+
+
+class Graph500Program(BFSLinkedProgram):
+    """Graph500 as the paper runs it by default (list layout variant)."""
+
+    name = "graph500-list"
+    suite = "graph500"
+
+
+class Graph500CSRProgram(BFSCSRProgram):
+    """Graph500's reference spatial implementation (CSR arrays)."""
+
+    name = "graph500-csr"
+    suite = "graph500"
+
+
+class PBBSBFSProgram(BFSCSRProgram):
+    """PBBS BFS: the suite ships a flat-array implementation."""
+
+    name = "pbbs-bfs"
+    suite = "pbbs"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("scale", 9)
+        kwargs.setdefault("edge_factor", 6)
+        super().__init__(**kwargs)

@@ -1,0 +1,135 @@
+"""Workload characterization: the metrics behind phase/workload selection.
+
+Section 6 of the paper selects simulation phases "based on runtime
+characterization", citing Jaleel's instrumentation-driven methodology.
+This module computes the standard characterization metrics over any
+access trace: memory intensity, footprint, dependence (pointer-chase)
+fraction, hint coverage, branchiness, the dominant stride distribution,
+and a sampled reuse-distance profile.
+
+These are also the quantities our SPEC proxies are parameterised by, so
+characterizing a proxy closes the loop: the test suite checks that each
+proxy actually exhibits the profile it claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.workloads.trace import MemoryAccess
+
+LINE_BYTES = 64
+
+
+@dataclass
+class WorkloadProfile:
+    """Characterization summary of one access trace."""
+
+    accesses: int
+    instructions: int
+    unique_lines: int
+    dependent_fraction: float
+    hinted_fraction: float
+    store_fraction: float
+    branch_rate: float  # branches per access
+    #: top (stride, fraction-of-transitions) pairs at byte granularity
+    top_strides: tuple[tuple[int, float], ...]
+    #: reuse distances (in distinct intervening lines) at percentiles
+    reuse_p50: float
+    reuse_p90: float
+    #: fraction of accesses that never re-reference their line
+    cold_fraction: float
+
+    @property
+    def memory_intensity(self) -> float:
+        """Memory operations per instruction."""
+        return self.accesses / self.instructions if self.instructions else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.unique_lines * LINE_BYTES
+
+    def dominant_stride(self) -> int | None:
+        """The most common non-zero stride, if any stands out (>20%)."""
+        for stride, fraction in self.top_strides:
+            if stride != 0 and fraction > 0.2:
+                return stride
+        return None
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return float(sorted_values[idx])
+
+
+def characterize(
+    trace: Iterable[MemoryAccess],
+    *,
+    reuse_sample_every: int = 8,
+    top_k_strides: int = 5,
+) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` in one pass over ``trace``.
+
+    Reuse distance is measured in *distinct intervening cache lines* and
+    sampled (one access in ``reuse_sample_every``) to stay near-linear.
+    """
+    accesses = 0
+    instructions = 0
+    dependent = 0
+    hinted = 0
+    stores = 0
+    branches = 0
+    strides: Counter[int] = Counter()
+    prev_addr: int | None = None
+
+    #: line -> index of its most recent access (for reuse distances)
+    last_seen: dict[int, int] = {}
+    #: per-access line ids, kept to count distinct lines in a window
+    line_log: list[int] = []
+    reuse_distances: list[int] = []
+    reused_lines = 0
+
+    for access in trace:
+        accesses += 1
+        instructions += access.inst_gap + 1
+        dependent += access.depends_on_prev
+        hinted += access.hints.type_id != 0
+        stores += not access.is_load
+        branches += len(access.branches)
+
+        if prev_addr is not None:
+            strides[access.addr - prev_addr] += 1
+        prev_addr = access.addr
+
+        line = access.addr // LINE_BYTES
+        if line in last_seen:
+            reused_lines += 1
+            if accesses % reuse_sample_every == 0:
+                window = line_log[last_seen[line] :]
+                reuse_distances.append(len(set(window)))
+        last_seen[line] = len(line_log)
+        line_log.append(line)
+
+    total_transitions = max(1, accesses - 1)
+    top = tuple(
+        (stride, count / total_transitions)
+        for stride, count in strides.most_common(top_k_strides)
+    )
+    reuse_distances.sort()
+    return WorkloadProfile(
+        accesses=accesses,
+        instructions=instructions,
+        unique_lines=len(last_seen),
+        dependent_fraction=dependent / accesses if accesses else 0.0,
+        hinted_fraction=hinted / accesses if accesses else 0.0,
+        store_fraction=stores / accesses if accesses else 0.0,
+        branch_rate=branches / accesses if accesses else 0.0,
+        top_strides=top,
+        reuse_p50=_percentile(reuse_distances, 0.50),
+        reuse_p90=_percentile(reuse_distances, 0.90),
+        cold_fraction=1.0 - (reused_lines / accesses) if accesses else 0.0,
+    )

@@ -1,0 +1,113 @@
+"""PBBS convexHull: quickhull over a point set.
+
+Figure 12 names convexHull as the context prefetcher's one significant
+negative outlier — a divide-and-conquer kernel whose partition sweeps are
+spatially friendly (SMS/stride territory) while its recursion produces
+short, ever-changing phases the RL loop cannot amortise (the paper's
+"training speed for simple patterns" loss cause).  Including it keeps the
+reproduction honest about where the paper loses.
+
+The substrate is a real quickhull: recursive partitioning by signed
+triangle area, with the memory trace following the array sweeps
+(sequential reads of the active point subset, compacting writes of each
+partition).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+WORD = 8
+
+
+def cross(o: tuple[float, float], a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Twice the signed area of triangle (o, a, b)."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Reference hull (Andrew's monotone chain) for validation."""
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    def half(iterable):
+        chain: list[tuple[float, float]] = []
+        for p in iterable:
+            while len(chain) >= 2 and cross(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain[:-1]
+
+    return half(pts) + half(reversed(pts))
+
+
+class ConvexHullProgram(TraceProgram):
+    """Quickhull with an array-sweep memory trace."""
+
+    name = "convexhull"
+    suite = "pbbs"
+
+    def __init__(self, *, num_points: int = 4096, seed: int = 7):
+        super().__init__(seed=seed)
+        self.num_points = num_points
+        self.result_hull: list[tuple[float, float]] = []
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(seed=self.seed)
+        tb = TraceBuilder()
+        points = [(rng.random(), rng.random()) for _ in range(self.num_points)]
+        # x and y coordinate arrays plus a scratch index array per level,
+        # the PBBS-style structure-of-arrays layout
+        x_base = heap.alloc(self.num_points * WORD)
+        y_base = heap.alloc(self.num_points * WORD)
+        idx_base = heap.alloc(2 * self.num_points * WORD)
+        coord_hints = tb.index_hints("coords")
+
+        def read_point(slot: int, i: int) -> None:
+            tb.load(idx_base + slot * WORD, "hull.idx", value=i, gap=1)
+            tb.load(x_base + i * WORD, "hull.x", value=i, depends=True, hints=coord_hints, gap=1)
+            tb.load(y_base + i * WORD, "hull.y", value=i, depends=True, hints=coord_hints, gap=2)
+
+        hull: list[int] = []
+
+        def quickhull(indices: list[int], a: int, b: int, slot_base: int) -> None:
+            if not indices:
+                return
+            # sweep the active subset: find the farthest point and the
+            # two child partitions in one pass
+            far, far_area = -1, 0.0
+            left: list[int] = []
+            for slot, i in enumerate(indices):
+                read_point(slot_base + slot, i)
+                area = cross(points[a], points[b], points[i])
+                tb.branch(area > far_area)
+                if area > far_area:
+                    far, far_area = i, area
+                if area > 0:
+                    left.append(i)
+            if far < 0:
+                return
+            hull.append(far)
+            tb.store(idx_base + (slot_base % self.num_points) * WORD, "hull.emit", gap=2)
+            above_ac = [i for i in left if cross(points[a], points[far], points[i]) > 0]
+            above_cb = [i for i in left if cross(points[far], points[b], points[i]) > 0]
+            quickhull(above_ac, a, far, slot_base)
+            quickhull(above_cb, far, b, slot_base + len(above_ac))
+
+        # initial sweep: min/max x points
+        lo = min(range(self.num_points), key=lambda i: points[i])
+        hi = max(range(self.num_points), key=lambda i: points[i])
+        for i in range(self.num_points):
+            read_point(i, i)
+        hull.extend((lo, hi))
+        upper = [i for i in range(self.num_points) if cross(points[lo], points[hi], points[i]) > 0]
+        lower = [i for i in range(self.num_points) if cross(points[hi], points[lo], points[i]) > 0]
+        quickhull(upper, lo, hi, 0)
+        quickhull(lower, hi, lo, self.num_points)
+
+        self.result_hull = sorted(points[i] for i in set(hull))
+        return tb

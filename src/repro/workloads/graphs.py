@@ -1,0 +1,265 @@
+"""Graph substrates: linked adjacency lists and CSR, plus generators.
+
+Figure 3 of the paper shows the same BFS implemented over a linked graph
+and over a compressed-sparse-row (CSR) layout; Figure 14 measures both.
+The two classes here expose the same logical graph through the two
+physical layouts, so the workload programs can emit layout-faithful
+access streams for either.
+
+The edge generator is the Graph500 RMAT recursive-matrix sampler
+(A=0.57, B=0.19, C=0.19 as in the reference implementation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import Heap
+
+VERTEX_BYTES = 32  # visited @0, value @8, edge-list head @16
+EDGE_BYTES = 32  # target vertex ptr @0, weight @8, next edge @16
+VISITED_OFFSET = 0
+VALUE_OFFSET = 8
+EDGES_OFFSET = 16
+EDGE_TARGET_OFFSET = 0
+EDGE_WEIGHT_OFFSET = 8
+EDGE_NEXT_OFFSET = 16
+WORD_BYTES = 8
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 8,
+    seed: int = 42,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> list[tuple[int, int]]:
+    """Sample a Graph500-style RMAT edge list: 2^scale vertices."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    edges = []
+    for _ in range(n * edge_factor):
+        u = v = 0
+        half = n >> 1
+        while half >= 1:
+            r = rng.random()
+            if r < a:
+                pass
+            elif r < a + b:
+                v += half
+            elif r < a + b + c:
+                u += half
+            else:
+                u += half
+                v += half
+            half >>= 1
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def random_edges(
+    num_vertices: int, num_edges: int, seed: int = 42
+) -> list[tuple[int, int]]:
+    """Uniform random (Erdős–Rényi-style) edge list without self loops."""
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def grid_edges(side: int) -> list[tuple[int, int]]:
+    """4-connected grid graph (deterministic, high-diameter)."""
+    edges = []
+    for y in range(side):
+        for x in range(side):
+            v = y * side + x
+            if x + 1 < side:
+                edges.append((v, v + 1))
+            if y + 1 < side:
+                edges.append((v, v + side))
+    return edges
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LinkedVertex:
+    addr: int
+    vid: int
+    edges: "LinkedEdge | None" = None
+    degree: int = 0
+
+
+@dataclass
+class LinkedEdge:
+    addr: int
+    target: LinkedVertex
+    weight: int
+    next: "LinkedEdge | None" = None
+
+
+class LinkedGraph:
+    """The naive pointer-based layout: vertex and edge objects on a heap.
+
+    ``grouping`` selects the construction order a naive program would use:
+
+    * ``"sorted"`` (default) — the loader reads the edge list, groups it
+      by source vertex, and builds each adjacency list in turn, so a
+      vertex's edge objects are allocated right after the vertex itself
+      (near it on the heap, though still shuffled within allocator
+      windows).  This is what `sort | build` loader code produces.
+    * ``"arrival"`` — vertices up front, edge objects in stream-arrival
+      order, so the edges of one vertex scatter through the whole edge
+      arena (the most hostile layout).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: list[tuple[int, int]],
+        heap: Heap,
+        *,
+        weight_seed: int = 5,
+        grouping: str = "sorted",
+    ):
+        if grouping not in ("sorted", "arrival"):
+            raise ValueError(f"unknown grouping {grouping!r}")
+        rng = random.Random(weight_seed)
+        self.heap = heap
+        self.num_edges = 0
+        if grouping == "arrival":
+            self.vertices = [
+                LinkedVertex(addr=heap.alloc(VERTEX_BYTES), vid=i)
+                for i in range(num_vertices)
+            ]
+            for u, v in edges:
+                self.add_edge(u, v, weight=rng.randrange(1, 100))
+            return
+
+        # sorted/grouped construction: each vertex object is allocated and
+        # immediately followed by its edge objects, interleaved.  Target
+        # vertex objects may receive their addresses later in the loop;
+        # the Python object graph is complete up front, only heap
+        # placement happens here.
+        by_source: list[list[int]] = [[] for _ in range(num_vertices)]
+        for u, v in edges:
+            by_source[u].append(v)
+        self.vertices = [LinkedVertex(addr=0, vid=i) for i in range(num_vertices)]
+        for vid in range(num_vertices):
+            vertex = self.vertices[vid]
+            vertex.addr = heap.alloc(VERTEX_BYTES)
+            # add_edge links LIFO, so allocate in reverse to make the
+            # traversal order match the allocation (address) order
+            for target in reversed(by_source[vid]):
+                self.add_edge(vid, target, weight=rng.randrange(1, 100))
+
+    def add_edge(self, u: int, v: int, *, weight: int = 1) -> LinkedEdge:
+        src = self.vertices[u]
+        edge = LinkedEdge(
+            addr=self.heap.alloc(EDGE_BYTES),
+            target=self.vertices[v],
+            weight=weight,
+            next=src.edges,
+        )
+        src.edges = edge
+        src.degree += 1
+        self.num_edges += 1
+        return edge
+
+    def neighbors(self, u: int) -> list[int]:
+        out = []
+        edge = self.vertices[u].edges
+        while edge is not None:
+            out.append(edge.target.vid)
+            edge = edge.next
+        return out
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+class CSRGraph:
+    """The spatially optimised layout: compressed sparse row arrays."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: list[tuple[int, int]],
+        heap: Heap,
+        *,
+        weight_seed: int = 5,
+    ):
+        rng = random.Random(weight_seed)
+        self.num_vertices = num_vertices
+        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_vertices)]
+        for u, v in edges:
+            adjacency[u].append((v, rng.randrange(1, 100)))
+
+        self.row_offsets = [0]
+        self.col_indices: list[int] = []
+        self.weights: list[int] = []
+        for adj in adjacency:
+            for v, w in adj:
+                self.col_indices.append(v)
+                self.weights.append(w)
+            self.row_offsets.append(len(self.col_indices))
+        self.num_edges = len(self.col_indices)
+
+        self.row_base = heap.alloc(len(self.row_offsets) * WORD_BYTES)
+        self.col_base = heap.alloc(max(1, self.num_edges) * WORD_BYTES)
+        self.weight_base = heap.alloc(max(1, self.num_edges) * WORD_BYTES)
+        self.visited_base = heap.alloc(num_vertices * WORD_BYTES)
+        self.aux_base = heap.alloc(num_vertices * WORD_BYTES)
+
+    # -- address helpers -------------------------------------------------
+
+    def row_addr(self, v: int) -> int:
+        return self.row_base + v * WORD_BYTES
+
+    def col_addr(self, i: int) -> int:
+        return self.col_base + i * WORD_BYTES
+
+    def weight_addr(self, i: int) -> int:
+        return self.weight_base + i * WORD_BYTES
+
+    def visited_addr(self, v: int) -> int:
+        return self.visited_base + v * WORD_BYTES
+
+    def aux_addr(self, v: int) -> int:
+        return self.aux_base + v * WORD_BYTES
+
+    def neighbors(self, u: int) -> list[int]:
+        lo, hi = self.row_offsets[u], self.row_offsets[u + 1]
+        return self.col_indices[lo:hi]
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+
+def bfs_order(neighbors, num_vertices: int, root: int) -> list[int]:
+    """Reference BFS visit order (substrate-level, for validation)."""
+    seen = [False] * num_vertices
+    seen[root] = True
+    order = [root]
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    order.append(v)
+                    nxt.append(v)
+        frontier = nxt
+    return order

@@ -1,0 +1,144 @@
+"""The ``hashtest`` μkernel: STL ``unordered_map``-style chained hashing.
+
+A bucket array of head pointers plus chained nodes.  A lookup loads the
+bucket head (array-indexed — the hash obliterates any pattern in bucket
+selection) and then chases the usually-short chain.  Like ``maptest``,
+the paper classifies this among the hardest, input-dependent μkernels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+NODE_BYTES = 32
+KEY_OFFSET = 0
+NEXT_OFFSET = 16
+BUCKET_BYTES = 8
+
+
+@dataclass
+class _HNode:
+    addr: int
+    key: int
+    next: "_HNode | None" = None
+
+
+class ChainedHashTable:
+    """Open-hashing (separate-chaining) table substrate."""
+
+    def __init__(self, heap: Heap, num_buckets: int = 256):
+        if num_buckets <= 0:
+            raise ValueError("need at least one bucket")
+        self.heap = heap
+        self.num_buckets = num_buckets
+        self.bucket_base = heap.alloc(num_buckets * BUCKET_BYTES)
+        self.buckets: list[_HNode | None] = [None] * num_buckets
+        self.size = 0
+
+    def bucket_of(self, key: int) -> int:
+        # Multiplicative hash; deterministic across runs.
+        return ((key * 0x9E3779B1) >> 16) % self.num_buckets
+
+    def bucket_addr(self, index: int) -> int:
+        return self.bucket_base + index * BUCKET_BYTES
+
+    def insert(self, key: int) -> _HNode:
+        node = _HNode(addr=self.heap.alloc(NODE_BYTES), key=key)
+        idx = self.bucket_of(key)
+        node.next = self.buckets[idx]
+        self.buckets[idx] = node
+        self.size += 1
+        return node
+
+    def chain(self, key: int) -> list[_HNode]:
+        """Nodes visited looking up ``key`` (including the match, if any)."""
+        visited = []
+        node = self.buckets[self.bucket_of(key)]
+        while node is not None:
+            visited.append(node)
+            if node.key == key:
+                break
+            node = node.next
+        return visited
+
+    def load_factor(self) -> float:
+        return self.size / self.num_buckets
+
+
+class HashLookupProgram(TraceProgram):
+    """``hashtest``: random lookups against a chained hash table."""
+
+    name = "hashtest"
+    suite = "ukernel-ds"
+
+    def __init__(
+        self,
+        *,
+        num_keys: int = 4096,
+        num_buckets: int = 1024,
+        num_lookups: int = 8000,
+        placement: str = "shuffled",
+        heap_utilization: float = 0.5,
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.num_keys = num_keys
+        self.num_buckets = num_buckets
+        self.num_lookups = num_lookups
+        self.placement = placement
+        self.heap_utilization = heap_utilization
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(
+            placement=self.placement,
+            utilization=self.heap_utilization,
+            seed=self.seed,
+        )
+        tb = TraceBuilder()
+        table = ChainedHashTable(heap, num_buckets=self.num_buckets)
+        keys = rng.sample(range(1 << 20), self.num_keys)
+        for key in keys:
+            table.insert(key)
+
+        bucket_hints = tb.index_hints("hash_bucket")
+        next_hints = tb.pointer_hints("hash_node", NEXT_OFFSET)
+        for _ in range(self.num_lookups):
+            key = rng.choice(keys)
+            idx = table.bucket_of(key)
+            chain = table.chain(key)
+            head = chain[0] if chain else None
+            tb.load(
+                table.bucket_addr(idx),
+                "hash.bucket",
+                value=head.addr if head else 0,
+                reg_value=key,
+                hints=bucket_hints,
+                gap=4,  # hash computation
+            )
+            for node in chain:
+                tb.load(
+                    node.addr + KEY_OFFSET,
+                    "hash.key",
+                    value=node.key,
+                    depends=True,
+                    reg_value=key,
+                    gap=1,
+                )
+                matched = node.key == key
+                tb.branch(not matched)
+                if matched:
+                    break
+                tb.load(
+                    node.addr + NEXT_OFFSET,
+                    "hash.next",
+                    value=node.next.addr if node.next else 0,
+                    depends=True,
+                    hints=next_hints,
+                    reg_value=key,
+                    gap=1,
+                )
+        return tb

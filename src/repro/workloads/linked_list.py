@@ -1,0 +1,204 @@
+"""Linked-list μbenchmarks: traversal and insertion sort (Figure 1).
+
+These are the paper's ``list`` and ``listsort`` μkernels.  Nodes are
+allocated from a *shuffled* heap, so address order bears no relation to
+list order — the regime where spatio-temporal prefetchers fail and
+semantic locality is the only signal left.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+#: node layout: key @0, payload @8, next pointer @16 (padded to 32 bytes)
+NODE_BYTES = 32
+KEY_OFFSET = 0
+NEXT_OFFSET = 16
+
+
+@dataclass
+class _Node:
+    addr: int
+    key: int
+    next: "_Node | None" = None
+
+
+class ListTraversalProgram(TraceProgram):
+    """The ``list`` μkernel: repeated full traversals of a linked list."""
+
+    name = "list"
+    suite = "ukernel-ds"
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 3000,
+        iterations: int = 10,
+        placement: str = "shuffled",
+        heap_utilization: float = 0.5,
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.num_nodes = num_nodes
+        self.iterations = iterations
+        self.placement = placement
+        self.heap_utilization = heap_utilization
+
+    def _build_list(self, heap: Heap, rng: random.Random) -> _Node:
+        nodes = [
+            _Node(addr=heap.alloc(NODE_BYTES), key=rng.randrange(1 << 20))
+            for _ in range(self.num_nodes)
+        ]
+        for a, b in zip(nodes, nodes[1:]):
+            a.next = b
+        return nodes[0]
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(
+            placement=self.placement,
+            utilization=self.heap_utilization,
+            seed=self.seed,
+        )
+        tb = TraceBuilder()
+        head = self._build_list(heap, rng)
+        next_hints = tb.pointer_hints("list_node", NEXT_OFFSET)
+
+        for _ in range(self.iterations):
+            node = head
+            first = True
+            while node is not None:
+                tb.load(
+                    node.addr + KEY_OFFSET,
+                    "list.key",
+                    value=node.key,
+                    depends=not first,
+                    gap=1,
+                )
+                nxt = node.next
+                tb.load(
+                    node.addr + NEXT_OFFSET,
+                    "list.next",
+                    value=nxt.addr if nxt else 0,
+                    depends=not first,
+                    hints=next_hints,
+                    gap=1,
+                )
+                tb.branch(nxt is not None)
+                node = nxt
+                first = False
+        return tb
+
+
+class InsertionSortProgram(TraceProgram):
+    """The ``listsort`` μkernel and the Figure 1 case study.
+
+    Elements with random keys are inserted one by one into a sorted linked
+    list; every insertion re-traverses the sorted prefix.  Physically the
+    nodes scatter (dynamic allocation into a shuffled heap), but logically
+    the same sorted sequence is walked on every insertion — the canonical
+    demonstration of semantic locality (Figure 1).
+    """
+
+    name = "listsort"
+    suite = "ukernel-alg"
+
+    def __init__(
+        self,
+        *,
+        num_elements: int = 100,
+        placement: str = "shuffled",
+        node_bytes: int = NODE_BYTES,
+        trace_from: int = 0,
+        heap_utilization: float = 0.5,
+        seed: int = 7,
+    ):
+        """``trace_from`` selects a simulation *phase*: insertions before
+        it build the list silently (the warm-up), only later insertions
+        emit accesses.  This is how a memory-bound listsort run is traced
+        without paying for the full O(n²) access stream (the paper
+        likewise simulates steady-state phases, Section 6)."""
+        super().__init__(seed=seed)
+        if not 0 <= trace_from < num_elements:
+            raise ValueError("trace_from must fall inside the element range")
+        self.num_elements = num_elements
+        self.placement = placement
+        self.node_bytes = node_bytes
+        self.trace_from = trace_from
+        self.heap_utilization = heap_utilization
+        #: (access ordinal, byte address, logical list index) — Figure 1
+        self.figure1_series: list[tuple[int, int, int]] = []
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(
+            placement=self.placement,
+            utilization=self.heap_utilization,
+            seed=self.seed,
+        )
+        tb = TraceBuilder()
+        next_offset = min(NEXT_OFFSET, self.node_bytes - 8)
+        next_hints = tb.pointer_hints("sort_node", next_offset)
+        self.figure1_series = []
+
+        head: _Node | None = None
+        for count in range(self.num_elements):
+            traced = count >= self.trace_from
+            key = rng.randrange(1 << 20)
+            new = _Node(addr=heap.alloc(self.node_bytes), key=key)
+            if traced:
+                # store the new node's key (initialisation)
+                tb.store(new.addr + KEY_OFFSET, "sort.init", gap=4)
+
+            # traverse the sorted list to the insertion point
+            prev: _Node | None = None
+            node = head
+            logical = 0
+            first = True
+            while node is not None and node.key <= key:
+                if traced:
+                    self.figure1_series.append((len(tb), node.addr, logical))
+                    tb.load(
+                        node.addr + KEY_OFFSET,
+                        "sort.key",
+                        value=node.key,
+                        depends=not first,
+                        reg_value=key,
+                        gap=1,
+                    )
+                    tb.branch(True)  # continue traversal
+                nxt = node.next
+                if traced:
+                    tb.load(
+                        node.addr + next_offset,
+                        "sort.next",
+                        value=nxt.addr if nxt else 0,
+                        depends=not first,
+                        hints=next_hints,
+                        reg_value=key,
+                        gap=1,
+                    )
+                prev, node = node, nxt
+                logical += 1
+                first = False
+
+            # relink
+            new.next = node
+            if prev is None:
+                head = new
+            else:
+                prev.next = new
+            if traced:
+                tb.branch(False)  # loop exit
+                tb.store(new.addr + next_offset, "sort.link", hints=next_hints, gap=1)
+                if prev is not None:
+                    tb.store(
+                        prev.addr + next_offset,
+                        "sort.relink",
+                        hints=next_hints,
+                        gap=1,
+                    )
+        return tb

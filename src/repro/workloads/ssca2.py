@@ -1,0 +1,236 @@
+"""HPCS SSCA#2 (v2.2) kernel 4: betweenness centrality.
+
+Brandes' algorithm — a forward BFS that counts shortest paths (sigma) and
+a backward dependency accumulation (delta) — over both physical layouts
+the paper measures in Figure 14(a): the reference CSR arrays and a naive
+linked-structure implementation (the paper's ``SSCA_LDS`` μkernel is the
+linked flavour).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    EDGE_NEXT_OFFSET,
+    EDGE_TARGET_OFFSET,
+    EDGES_OFFSET,
+    LinkedGraph,
+    rmat_edges,
+)
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+WORD = 8
+
+
+def betweenness_reference(neighbors, n: int, sources: list[int]) -> list[float]:
+    """Brandes betweenness over the substrate (validation helper)."""
+    bc = [0.0] * n
+    for s in sources:
+        sigma = [0] * n
+        dist = [-1] * n
+        preds: list[list[int]] = [[] for _ in range(n)]
+        sigma[s] = 1
+        dist[s] = 0
+        order = []
+        work = deque([s])
+        while work:
+            u = work.popleft()
+            order.append(u)
+            for v in neighbors(u):
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    work.append(v)
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+                    preds[v].append(u)
+        delta = [0.0] * n
+        for v in reversed(order):
+            for p in preds[v]:
+                delta[p] += sigma[p] / sigma[v] * (1 + delta[v])
+            if v != s:
+                bc[v] += delta[v]
+    return bc
+
+
+class _SSCA2Base(TraceProgram):
+    """Shared parameters for the two layouts."""
+
+    def __init__(
+        self,
+        *,
+        scale: int = 8,
+        edge_factor: int = 8,
+        num_sources: int = 4,
+        placement: str = "shuffled",
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.scale = scale
+        self.edge_factor = edge_factor
+        self.num_sources = num_sources
+        self.placement = placement
+
+    def _sources(self, n: int) -> list[int]:
+        rng = random.Random(self.seed + 1)
+        return [rng.randrange(n) for _ in range(self.num_sources)]
+
+
+class SSCA2CSRProgram(_SSCA2Base):
+    """Betweenness centrality over CSR (the reference implementation)."""
+
+    name = "ssca2-csr"
+    suite = "hpcs"
+
+    def build(self) -> TraceBuilder:
+        heap = Heap(seed=self.seed)
+        tb = TraceBuilder()
+        n = 1 << self.scale
+        graph = CSRGraph(n, rmat_edges(self.scale, self.edge_factor, self.seed), heap)
+        sigma_base = heap.alloc(n * WORD)
+        dist_base = heap.alloc(n * WORD)
+        delta_base = heap.alloc(n * WORD)
+        row_hints = tb.index_hints("row_offsets")
+        col_hints = tb.index_hints("col_indices")
+
+        for s in self._sources(n):
+            sigma = [0] * n
+            dist = [-1] * n
+            sigma[s] = 1
+            dist[s] = 0
+            order = []
+            work = deque([s])
+            while work:
+                u = work.popleft()
+                order.append(u)
+                lo, hi = graph.row_offsets[u], graph.row_offsets[u + 1]
+                tb.load(graph.row_addr(u), "bc.rowlo", value=lo, hints=row_hints, gap=2)
+                tb.load(graph.row_addr(u + 1), "bc.rowhi", value=hi, hints=row_hints, gap=1)
+                for i in range(lo, hi):
+                    v = graph.col_indices[i]
+                    tb.load(graph.col_addr(i), "bc.col", value=v, hints=col_hints, gap=1)
+                    tb.load(dist_base + v * WORD, "bc.dist", value=dist[v], depends=True, gap=1)
+                    fresh = dist[v] < 0
+                    tb.branch(fresh)
+                    if fresh:
+                        dist[v] = dist[u] + 1
+                        tb.store(dist_base + v * WORD, "bc.setdist", gap=1)
+                        work.append(v)
+                    if dist[v] == dist[u] + 1:
+                        sigma[v] += sigma[u]
+                        tb.load(sigma_base + v * WORD, "bc.sigma", value=sigma[v], gap=1)
+                        tb.store(sigma_base + v * WORD, "bc.addsigma", gap=1)
+
+            # backward accumulation
+            for v in reversed(order):
+                lo, hi = graph.row_offsets[v], graph.row_offsets[v + 1]
+                tb.load(graph.row_addr(v), "bc.browlo", value=lo, hints=row_hints, gap=2)
+                for i in range(lo, hi):
+                    w = graph.col_indices[i]
+                    tb.load(graph.col_addr(i), "bc.bcol", value=w, hints=col_hints, gap=1)
+                    tb.load(delta_base + w * WORD, "bc.delta", value=0, depends=True, gap=2)
+                    downstream = dist[w] == dist[v] + 1
+                    tb.branch(downstream)
+                    if downstream:
+                        tb.store(delta_base + v * WORD, "bc.adddelta", gap=2)
+        return tb
+
+
+class SSCA2ListProgram(_SSCA2Base):
+    """Betweenness centrality over the naive linked layout (SSCA_LDS)."""
+
+    name = "ssca2-list"
+    suite = "hpcs"
+
+    def build(self) -> TraceBuilder:
+        heap = Heap(placement=self.placement, seed=self.seed)
+        tb = TraceBuilder()
+        n = 1 << self.scale
+        graph = LinkedGraph(n, rmat_edges(self.scale, self.edge_factor, self.seed), heap)
+        sigma_base = heap.alloc(n * WORD)
+        dist_base = heap.alloc(n * WORD)
+        delta_base = heap.alloc(n * WORD)
+        edge_hints = tb.pointer_hints("edge", EDGE_NEXT_OFFSET)
+        head_hints = tb.pointer_hints("vertex", EDGES_OFFSET)
+
+        def _edge_sweep(u: int, site_prefix: str, body) -> None:
+            vert = graph.vertices[u]
+            edge = vert.edges
+            tb.load(
+                vert.addr + EDGES_OFFSET,
+                f"{site_prefix}.head",
+                value=edge.addr if edge else 0,
+                hints=head_hints,
+                gap=2,
+            )
+            while edge is not None:
+                tb.load(
+                    edge.addr + EDGE_TARGET_OFFSET,
+                    f"{site_prefix}.target",
+                    value=edge.target.addr,
+                    depends=True,
+                    gap=1,
+                )
+                body(edge.target.vid)
+                nxt = edge.next
+                tb.load(
+                    edge.addr + EDGE_NEXT_OFFSET,
+                    f"{site_prefix}.next",
+                    value=nxt.addr if nxt else 0,
+                    depends=True,
+                    hints=edge_hints,
+                    gap=1,
+                )
+                edge = nxt
+
+        for s in self._sources(n):
+            sigma = [0] * n
+            dist = [-1] * n
+            sigma[s] = 1
+            dist[s] = 0
+            order: list[int] = []
+            work = deque([s])
+            while work:
+                u = work.popleft()
+                order.append(u)
+
+                def _forward(v: int, u: int = u) -> None:
+                    tb.load(dist_base + v * WORD, "lbc.dist", value=dist[v], gap=1)
+                    fresh = dist[v] < 0
+                    tb.branch(fresh)
+                    if fresh:
+                        dist[v] = dist[u] + 1
+                        tb.store(dist_base + v * WORD, "lbc.setdist", gap=1)
+                        work.append(v)
+                    if dist[v] == dist[u] + 1:
+                        sigma[v] += sigma[u]
+                        tb.load(sigma_base + v * WORD, "lbc.sigma", value=sigma[v], gap=1)
+                        tb.store(sigma_base + v * WORD, "lbc.addsigma", gap=1)
+
+                _edge_sweep(u, "lbc.f", _forward)
+
+            for v in reversed(order):
+
+                def _backward(w: int, v: int = v) -> None:
+                    tb.load(delta_base + w * WORD, "lbc.delta", value=0, gap=2)
+                    downstream = dist[w] == dist[v] + 1
+                    tb.branch(downstream)
+                    if downstream:
+                        tb.store(delta_base + v * WORD, "lbc.adddelta", gap=2)
+
+                _edge_sweep(v, "lbc.b", _backward)
+        return tb
+
+
+class SSCALDSProgram(SSCA2ListProgram):
+    """The μkernel alias the paper lists separately (linked version)."""
+
+    name = "ssca-lds"
+    suite = "ukernel-alg"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("scale", 7)
+        kwargs.setdefault("num_sources", 3)
+        super().__init__(**kwargs)

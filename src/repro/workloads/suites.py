@@ -1,0 +1,132 @@
+"""The workload registry — Table 3 of the paper.
+
+Maps every benchmark the paper evaluates to the factory that builds its
+trace program, organised by suite.  The experiment harness iterates this
+registry; sizes are tuned so a full multi-prefetcher sweep stays tractable
+in a pure-Python simulator while preserving each workload's character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.arrays import ArrayTraversalProgram, RandomAccessProgram
+from repro.workloads.convexhull import ConvexHullProgram
+from repro.workloads.bfs import (
+    BFSLinkedProgram,
+    Graph500CSRProgram,
+    Graph500Program,
+    PBBSBFSProgram,
+)
+from repro.workloads.hashtable import HashLookupProgram
+from repro.workloads.linked_list import InsertionSortProgram, ListTraversalProgram
+from repro.workloads.pbbs import KNNProgram, SetCoverProgram, SuffixArrayProgram
+from repro.workloads.prim import PrimProgram
+from repro.workloads.spec_proxy import SPEC_PROFILES, SpecProxyProgram
+from repro.workloads.ssca2 import SSCA2CSRProgram, SSCA2ListProgram, SSCALDSProgram
+from repro.workloads.trace import TraceProgram
+from repro.workloads.trees import ArrayBSTProgram, BSTLookupProgram, RBTreeMapProgram
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry row: how to build a workload and how to report it."""
+
+    name: str
+    suite: str
+    factory: Callable[[], TraceProgram]
+    #: True for workloads dominated by irregular (non-spatial) patterns
+    irregular: bool = False
+    #: rough guide used by "memory-intensive only" figures (10 and 11)
+    memory_intensive: bool = True
+
+    def build(self) -> TraceProgram:
+        return self.factory()
+
+
+def _spec_spec(name: str) -> WorkloadSpec:
+    irregular = name in ("mcf", "omnetpp", "astar")
+    intensive = name not in ("sjeng", "povray", "gobmk", "namd")
+    return WorkloadSpec(
+        name=name,
+        suite="spec2006",
+        factory=lambda name=name: SpecProxyProgram(name),
+        irregular=irregular,
+        memory_intensive=intensive,
+    )
+
+
+_UKERNEL_SPECS = [
+    WorkloadSpec("list", "ukernel-ds", ListTraversalProgram, irregular=True),
+    WorkloadSpec("array", "ukernel-ds", ArrayTraversalProgram),
+    WorkloadSpec("hashtest", "ukernel-ds", HashLookupProgram, irregular=True),
+    WorkloadSpec("maptest", "ukernel-ds", RBTreeMapProgram, irregular=True),
+    WorkloadSpec("bst", "ukernel-ds", BSTLookupProgram, irregular=True),
+    WorkloadSpec("bst-array", "ukernel-ds", ArrayBSTProgram),
+    WorkloadSpec("random", "ukernel-ds", RandomAccessProgram, irregular=True),
+    WorkloadSpec("prim", "ukernel-alg", PrimProgram, irregular=True),
+    WorkloadSpec(
+        "listsort",
+        "ukernel-alg",
+        # memory-bound steady-state phase: ~160kB of 64-byte nodes, tracing
+        # the last 40 insertions (the paper simulates phases the same way)
+        lambda: InsertionSortProgram(
+            num_elements=2540, trace_from=2500, node_bytes=64
+        ),
+        irregular=True,
+    ),
+    WorkloadSpec("ssca-lds", "ukernel-alg", SSCALDSProgram, irregular=True),
+    WorkloadSpec("bfs", "ukernel-alg", BFSLinkedProgram, irregular=True),
+]
+
+_SUITE_SPECS = [
+    WorkloadSpec("graph500-list", "graph500", Graph500Program, irregular=True),
+    WorkloadSpec("graph500-csr", "graph500", Graph500CSRProgram),
+    WorkloadSpec("ssca2-csr", "hpcs", SSCA2CSRProgram),
+    WorkloadSpec("ssca2-list", "hpcs", SSCA2ListProgram, irregular=True),
+    WorkloadSpec("suffixarray", "pbbs", SuffixArrayProgram, irregular=True),
+    WorkloadSpec("pbbs-bfs", "pbbs", PBBSBFSProgram),
+    WorkloadSpec("setcover", "pbbs", SetCoverProgram),
+    WorkloadSpec("knn", "pbbs", KNNProgram),
+    WorkloadSpec("convexhull", "pbbs", ConvexHullProgram),
+]
+
+#: every workload, keyed by name
+_REGISTRY: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        [_spec_spec(name) for name in SPEC_PROFILES]
+        + _SUITE_SPECS
+        + _UKERNEL_SPECS
+    )
+}
+
+#: suite name -> workload names, in Table 3 order
+SUITES: dict[str, list[str]] = {}
+for _spec in _REGISTRY.values():
+    SUITES.setdefault(_spec.suite, []).append(_spec.name)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up one workload by name; raises KeyError with suggestions."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")
+    return _REGISTRY[name]
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    """Every registered workload (Table 3 order: SPEC, suites, μkernels)."""
+    return list(_REGISTRY.values())
+
+
+def workloads_in_suite(suite: str) -> list[WorkloadSpec]:
+    if suite not in SUITES:
+        known = ", ".join(sorted(SUITES))
+        raise KeyError(f"unknown suite {suite!r}; known: {known}")
+    return [_REGISTRY[name] for name in SUITES[suite]]
+
+
+def irregular_workloads() -> list[WorkloadSpec]:
+    return [spec for spec in _REGISTRY.values() if spec.irregular]

@@ -1,0 +1,325 @@
+"""Trace records, the trace builder, and the heap-allocation model.
+
+A workload emits :class:`MemoryAccess` records carrying everything the
+machine would expose to the prefetcher: the address and PC, instruction
+gaps (for IPC/MPKI accounting), branch outcomes (for the global history
+register), the loaded value (the next access's ``last_value`` attribute),
+a live register value, data-dependence flags (pointer chasing), and the
+compiler hints.
+
+The :class:`Heap` models a dynamic allocator.  Real allocators hand out
+same-sized objects from per-size pools, so objects allocated close in time
+land close in memory even when logically unrelated — and objects freed and
+reallocated scatter.  The ``placement`` modes capture both regimes; the
+paper's Figure 1 scatter comes from the ``shuffled`` mode.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hints import NO_HINTS, RefForm, SemanticHints, TypeRegistry
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One demand memory access as the core's memory unit sees it."""
+
+    addr: int
+    pc: int
+    is_load: bool = True
+    #: non-memory instructions executed since the previous access
+    inst_gap: int = 2
+    #: the address of this access was produced by the previous load
+    depends_on_prev: bool = False
+    #: branch outcomes since the previous access, oldest first
+    branches: tuple[bool, ...] = ()
+    #: live "key" register contents (e.g. a search key)
+    reg_value: int = 0
+    #: data returned by this access (next access observes it as last_value)
+    value: int = 0
+    hints: SemanticHints = NO_HINTS
+
+
+class Heap:
+    """Bump/pool allocator with controllable placement randomness.
+
+    ``placement``:
+
+    * ``"sequential"`` — classic bump allocation; consecutive allocations
+      are adjacent (spatially friendly layouts, e.g. arrays of nodes).
+    * ``"shuffled"`` — allocations land at a random free slot within a
+      sliding window of ``shuffle_window`` bytes, modelling a churned
+      heap where allocation order no longer matches address order.
+
+    ``utilization`` (shuffled mode) models a heap shared with the rest of
+    the program: only that fraction of each window's slots is handed out;
+    the remainder stands for other live objects and fragmentation.  This
+    matters for spatial prefetchers — a traversal over a structure at 50%
+    heap utilization touches a different subset of lines in every region,
+    so region footprints stop being learnable.
+    """
+
+    def __init__(
+        self,
+        base: int = 0x1000_0000,
+        *,
+        placement: str = "sequential",
+        shuffle_window: int = 8192,
+        utilization: float = 1.0,
+        seed: int = 1234,
+        align: int = 8,
+    ):
+        if placement not in ("sequential", "shuffled"):
+            raise ValueError(f"unknown placement {placement!r}")
+        if base <= 0:
+            raise ValueError("heap base must be positive")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        self.base = base
+        self.placement = placement
+        self.shuffle_window = shuffle_window
+        self.utilization = utilization
+        self.align = align
+        self._rng = random.Random(seed)
+        self._cursor = base
+        self._window_slots: list[int] = []
+        self._window_slot_size = 0
+        self.allocated_bytes = 0
+
+    def _bump(self, size: int) -> int:
+        addr = self._cursor
+        self._cursor += (size + self.align - 1) & ~(self.align - 1)
+        return addr
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the object's base address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        self.allocated_bytes += size
+        if self.placement == "sequential":
+            return self._bump(size)
+
+        # Shuffled: carve the window into size-class slots, keep only the
+        # utilized fraction (the rest belongs to "other" program data),
+        # and hand slots out in random order, refilling with a fresh
+        # window when drained.
+        slot = (size + self.align - 1) & ~(self.align - 1)
+        if not self._window_slots or slot != self._window_slot_size:
+            start = self._cursor
+            count = max(1, self.shuffle_window // slot)
+            slots = [start + i * slot for i in range(count)]
+            if self.utilization < 1.0:
+                keep = max(1, int(count * self.utilization))
+                slots = self._rng.sample(slots, keep)
+            self._rng.shuffle(slots)
+            self._window_slots = slots
+            self._window_slot_size = slot
+            self._cursor = start + count * slot
+        return self._window_slots.pop()
+
+    def span(self) -> tuple[int, int]:
+        """(low, high) byte addresses of everything carved so far."""
+        return self.base, self._cursor
+
+
+@dataclass
+class TraceBuilder:
+    """Incremental trace construction with PC/site and branch bookkeeping.
+
+    Workloads call :meth:`site` once per load/store site in their "code"
+    to obtain a stable PC, then emit accesses through :meth:`load` /
+    :meth:`store`.  Branch outcomes queue up via :meth:`branch` and attach
+    to the next access, mirroring how the hardware's global history
+    register would have advanced by then.
+    """
+
+    code_base: int = 0x40_0000
+    type_registry: TypeRegistry = field(default_factory=TypeRegistry)
+
+    def __post_init__(self) -> None:
+        self._sites: dict[str, int] = {}
+        self._pending_branches: list[bool] = []
+        self._pending_gap = 0
+        self._accesses: list[MemoryAccess] = []
+
+    # ------------------------------------------------------------------
+
+    def site(self, name: str) -> int:
+        """Stable PC for the named load/store site (8 bytes per 'inst')."""
+        if name not in self._sites:
+            self._sites[name] = self.code_base + 8 * len(self._sites)
+        return self._sites[name]
+
+    def type_id(self, name: str) -> int:
+        return self.type_registry.type_id(name)
+
+    def branch(self, taken: bool) -> None:
+        """Record a branch outcome to attach to the next access."""
+        self._pending_branches.append(taken)
+        self._pending_gap += 1  # the branch instruction itself
+
+    def gap(self, instructions: int) -> None:
+        """Record non-memory compute between accesses."""
+        if instructions < 0:
+            raise ValueError("instruction gap cannot be negative")
+        self._pending_gap += instructions
+
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        addr: int,
+        pc: int,
+        *,
+        is_load: bool,
+        value: int,
+        depends: bool,
+        reg_value: int,
+        hints: SemanticHints,
+        extra_gap: int,
+    ) -> MemoryAccess:
+        if addr <= 0:
+            raise ValueError(f"non-positive address {addr:#x} at pc {pc:#x}")
+        access = MemoryAccess(
+            addr=addr,
+            pc=pc,
+            is_load=is_load,
+            inst_gap=self._pending_gap + extra_gap,
+            depends_on_prev=depends,
+            branches=tuple(self._pending_branches),
+            reg_value=reg_value,
+            value=value,
+            hints=hints,
+        )
+        self._pending_branches.clear()
+        self._pending_gap = 0
+        self._accesses.append(access)
+        return access
+
+    def load(
+        self,
+        addr: int,
+        site: str,
+        *,
+        value: int = 0,
+        depends: bool = False,
+        reg_value: int = 0,
+        hints: SemanticHints = NO_HINTS,
+        gap: int = 2,
+    ) -> MemoryAccess:
+        return self._emit(
+            addr,
+            self.site(site),
+            is_load=True,
+            value=value,
+            depends=depends,
+            reg_value=reg_value,
+            hints=hints,
+            extra_gap=gap,
+        )
+
+    def store(
+        self,
+        addr: int,
+        site: str,
+        *,
+        depends: bool = False,
+        reg_value: int = 0,
+        hints: SemanticHints = NO_HINTS,
+        gap: int = 2,
+    ) -> MemoryAccess:
+        return self._emit(
+            addr,
+            self.site(site),
+            is_load=False,
+            value=0,
+            depends=depends,
+            reg_value=reg_value,
+            hints=hints,
+            extra_gap=gap,
+        )
+
+    # ------------------------------------------------------------------
+
+    def pointer_hints(self, type_name: str, link_offset: int) -> SemanticHints:
+        """Hints for a pointer-producing access, as the LLVM pass emits."""
+        return SemanticHints(
+            type_id=self.type_id(type_name),
+            link_offset=link_offset,
+            ref_form=RefForm.ARROW,
+        )
+
+    def index_hints(self, type_name: str) -> SemanticHints:
+        """Hints for an array-indexed access producing an index/pointer."""
+        return SemanticHints(
+            type_id=self.type_id(type_name),
+            link_offset=0,
+            ref_form=RefForm.INDEX,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> list[MemoryAccess]:
+        return self._accesses
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+
+class TraceProgram(abc.ABC):
+    """A benchmark: produces a memory-access trace deterministically."""
+
+    #: short identifier used in figures and the suite registry
+    name: str = "program"
+    #: Table 3 suite this workload belongs to
+    suite: str = "ukernel"
+
+    def __init__(self, *, seed: int = 7):
+        self.seed = seed
+
+    @abc.abstractmethod
+    def build(self) -> TraceBuilder:
+        """Construct and return the full trace."""
+
+    def trace(self) -> list[MemoryAccess]:
+        """The access stream (cached per instance)."""
+        cached = getattr(self, "_trace_cache", None)
+        if cached is None:
+            cached = self.build().accesses
+            self._trace_cache = cached
+        return cached
+
+    def instruction_count(self) -> int:
+        """Total instructions in the trace (memory ops + gaps).
+
+        ``inst_gap`` already includes branch instructions, per the
+        :class:`TraceBuilder` contract.
+        """
+        trace = self.trace()
+        return sum(a.inst_gap + 1 for a in trace)
+
+    def access_count(self) -> int:
+        return len(self.trace())
+
+
+def interleave(
+    streams: Iterable[list[MemoryAccess]], seed: int = 11
+) -> list[MemoryAccess]:
+    """Randomly interleave several access streams (phase-mix helper)."""
+    rng = random.Random(seed)
+    cursors = [(list(s), 0) for s in streams if s]
+    out: list[MemoryAccess] = []
+    live = [[s, 0] for s, _ in cursors]
+    while live:
+        pick = rng.randrange(len(live))
+        stream, pos = live[pick]
+        out.append(stream[pos])
+        live[pick][1] += 1
+        if live[pick][1] >= len(stream):
+            live.pop(pick)
+    return out

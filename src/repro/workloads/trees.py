@@ -1,0 +1,436 @@
+"""Tree μbenchmarks: binary search trees and the ``maptest`` RB-tree map.
+
+Covers the paper's BST μkernel (Figure 2's two layouts: linked nodes vs.
+an array-mapped tree) and ``maptest`` (an STL ``map``-style red-black
+tree).  Lookup traversals branch on key comparisons, making these the
+paper's hardest cases ("input dependent lookup operations ... very
+difficult to predict, mostly due to their high degree of branching").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.trace import Heap, TraceBuilder, TraceProgram
+
+NODE_BYTES = 32
+KEY_OFFSET = 0
+LEFT_OFFSET = 8
+RIGHT_OFFSET = 16
+
+RED = 0
+BLACK = 1
+
+
+# ----------------------------------------------------------------------
+# plain BST substrate
+
+
+@dataclass
+class BSTNode:
+    addr: int
+    key: int
+    left: "BSTNode | None" = None
+    right: "BSTNode | None" = None
+
+
+class BinarySearchTree:
+    """Unbalanced BST over heap-allocated nodes (the substrate)."""
+
+    def __init__(self, heap: Heap):
+        self.heap = heap
+        self.root: BSTNode | None = None
+        self.size = 0
+
+    def insert(self, key: int) -> BSTNode:
+        node = BSTNode(addr=self.heap.alloc(NODE_BYTES), key=key)
+        self.size += 1
+        if self.root is None:
+            self.root = node
+            return node
+        cur = self.root
+        while True:
+            if key < cur.key:
+                if cur.left is None:
+                    cur.left = node
+                    return node
+                cur = cur.left
+            else:
+                if cur.right is None:
+                    cur.right = node
+                    return node
+                cur = cur.right
+
+    def lookup_path(self, key: int) -> list[tuple[BSTNode, bool | None]]:
+        """Nodes visited searching ``key``; each with the branch taken
+        (True = went left, False = went right, None = stopped here)."""
+        path: list[tuple[BSTNode, bool | None]] = []
+        cur = self.root
+        while cur is not None:
+            if key == cur.key:
+                path.append((cur, None))
+                return path
+            go_left = key < cur.key
+            path.append((cur, go_left))
+            cur = cur.left if go_left else cur.right
+        return path
+
+    def depth(self) -> int:
+        def _d(node: BSTNode | None) -> int:
+            if node is None:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        return _d(self.root)
+
+
+# ----------------------------------------------------------------------
+# red-black tree substrate (maptest)
+
+
+@dataclass
+class RBNode:
+    addr: int
+    key: int
+    color: int = RED
+    left: "RBNode | None" = None
+    right: "RBNode | None" = None
+    parent: "RBNode | None" = None
+
+
+class RedBlackTree:
+    """Left/right-rotating red-black tree (the STL ``map`` stand-in).
+
+    Implements the classic CLRS insertion algorithm; the validation
+    helpers back the property-based tests on the substrate itself.
+    """
+
+    def __init__(self, heap: Heap):
+        self.heap = heap
+        self.root: RBNode | None = None
+        self.size = 0
+
+    # -- rotations ------------------------------------------------------
+
+    def _rotate_left(self, x: RBNode) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: RBNode) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # -- insertion ------------------------------------------------------
+
+    def insert(self, key: int) -> RBNode:
+        node = RBNode(addr=self.heap.alloc(NODE_BYTES), key=key)
+        self.size += 1
+        parent: RBNode | None = None
+        cur = self.root
+        while cur is not None:
+            parent = cur
+            cur = cur.left if key < cur.key else cur.right
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._fix_insert(node)
+        return node
+
+    def _fix_insert(self, z: RBNode) -> None:
+        while z.parent is not None and z.parent.color == RED:
+            grand = z.parent.parent
+            assert grand is not None  # red parent implies a grandparent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    assert z.parent is not None and z.parent.parent is not None
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    assert z.parent is not None and z.parent.parent is not None
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        assert self.root is not None
+        self.root.color = BLACK
+
+    # -- queries / validation --------------------------------------------
+
+    def lookup_path(self, key: int) -> list[tuple[RBNode, bool | None]]:
+        path: list[tuple[RBNode, bool | None]] = []
+        cur = self.root
+        while cur is not None:
+            if key == cur.key:
+                path.append((cur, None))
+                return path
+            go_left = key < cur.key
+            path.append((cur, go_left))
+            cur = cur.left if go_left else cur.right
+        return path
+
+    def keys_inorder(self) -> list[int]:
+        out: list[int] = []
+
+        def _walk(node: RBNode | None) -> None:
+            if node is None:
+                return
+            _walk(node.left)
+            out.append(node.key)
+            _walk(node.right)
+
+        _walk(self.root)
+        return out
+
+    def black_height(self) -> int:
+        """Black-node count on every root→leaf path; raises when unequal."""
+
+        def _h(node: RBNode | None) -> int:
+            if node is None:
+                return 1
+            lh = _h(node.left)
+            rh = _h(node.right)
+            if lh != rh:
+                raise AssertionError("unequal black heights")
+            return lh + (1 if node.color == BLACK else 0)
+
+        return _h(self.root)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when any red-black property is violated."""
+        if self.root is None:
+            return
+        assert self.root.color == BLACK, "root must be black"
+
+        def _walk(node: RBNode | None) -> None:
+            if node is None:
+                return
+            if node.color == RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color == BLACK, (
+                        "red node with red child"
+                    )
+            if node.left is not None:
+                assert node.left.parent is node, "broken parent link"
+                assert node.left.key < node.key or node.left.key == node.key
+            if node.right is not None:
+                assert node.right.parent is node, "broken parent link"
+                assert node.right.key >= node.key
+            _walk(node.left)
+            _walk(node.right)
+
+        _walk(self.root)
+        self.black_height()
+        keys = self.keys_inorder()
+        assert keys == sorted(keys), "in-order traversal not sorted"
+
+
+# ----------------------------------------------------------------------
+# workload programs
+
+
+class _TreeLookupProgram(TraceProgram):
+    """Shared driver: build a tree, then run random lookups through it."""
+
+    tree_type_name = "tree_node"
+
+    def __init__(
+        self,
+        *,
+        num_keys: int = 2048,
+        num_lookups: int = 2500,
+        placement: str = "shuffled",
+        heap_utilization: float = 0.5,
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.num_keys = num_keys
+        self.num_lookups = num_lookups
+        self.placement = placement
+        self.heap_utilization = heap_utilization
+
+    def _make_tree(self, heap: Heap):
+        raise NotImplementedError
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(
+            placement=self.placement,
+            utilization=self.heap_utilization,
+            seed=self.seed,
+        )
+        tb = TraceBuilder()
+        tree = self._make_tree(heap)
+        keys = rng.sample(range(1 << 20), self.num_keys)
+        for key in keys:
+            tree.insert(key)
+
+        left_hints = tb.pointer_hints(self.tree_type_name, LEFT_OFFSET)
+        right_hints = tb.pointer_hints(self.tree_type_name, RIGHT_OFFSET)
+        for _ in range(self.num_lookups):
+            key = rng.choice(keys)
+            first = True
+            for node, went_left in tree.lookup_path(key):
+                tb.load(
+                    node.addr + KEY_OFFSET,
+                    "tree.key",
+                    value=node.key,
+                    depends=not first,
+                    reg_value=key,
+                    gap=2,
+                )
+                if went_left is None:
+                    tb.branch(False)
+                    break
+                tb.branch(went_left)
+                child = node.left if went_left else node.right
+                offset = LEFT_OFFSET if went_left else RIGHT_OFFSET
+                tb.load(
+                    node.addr + offset,
+                    "tree.left" if went_left else "tree.right",
+                    value=child.addr if child else 0,
+                    depends=not first,
+                    hints=left_hints if went_left else right_hints,
+                    reg_value=key,
+                    gap=1,
+                )
+                first = False
+        return tb
+
+
+class BSTLookupProgram(_TreeLookupProgram):
+    """The ``BST`` μkernel: unbalanced linked binary search tree."""
+
+    name = "bst"
+    suite = "ukernel-ds"
+    tree_type_name = "bst_node"
+
+    def _make_tree(self, heap: Heap) -> BinarySearchTree:
+        return BinarySearchTree(heap)
+
+
+class RBTreeMapProgram(_TreeLookupProgram):
+    """The ``maptest`` μkernel: STL ``map``-style red-black tree lookups."""
+
+    name = "maptest"
+    suite = "ukernel-ds"
+    tree_type_name = "rb_node"
+
+    def _make_tree(self, heap: Heap) -> RedBlackTree:
+        return RedBlackTree(heap)
+
+
+class ArrayBSTProgram(TraceProgram):
+    """Figure 2's alternative layout: a BST mapped onto an array.
+
+    Children of index ``i`` live at ``2i+1`` / ``2i+2``; the traversal is
+    index arithmetic over one dense allocation, recovering spatial
+    locality at the cost of obfuscated code — the trade-off the paper's
+    Section 2.2 describes.
+    """
+
+    name = "bst-array"
+    suite = "ukernel-ds"
+
+    def __init__(
+        self,
+        *,
+        num_keys: int = 8191,  # perfect tree of depth 13
+        num_lookups: int = 3000,
+        element_bytes: int = 16,
+        seed: int = 7,
+    ):
+        super().__init__(seed=seed)
+        self.num_keys = num_keys
+        self.num_lookups = num_lookups
+        self.element_bytes = element_bytes
+
+    def build(self) -> TraceBuilder:
+        rng = random.Random(self.seed)
+        heap = Heap(seed=self.seed)
+        tb = TraceBuilder()
+        keys = sorted(rng.sample(range(1 << 20), self.num_keys))
+
+        # Store the sorted keys as an implicit balanced tree (array heap
+        # order): the median at index 0, recursively.
+        table: list[int | None] = [None] * (2 * self.num_keys + 2)
+
+        def _place(lo: int, hi: int, idx: int) -> None:
+            if lo > hi or idx >= len(table):
+                return
+            mid = (lo + hi) // 2
+            table[idx] = keys[mid]
+            _place(lo, mid - 1, 2 * idx + 1)
+            _place(mid + 1, hi, 2 * idx + 2)
+
+        _place(0, self.num_keys - 1, 0)
+        base = heap.alloc(len(table) * self.element_bytes)
+        hints = tb.index_hints("array_bst")
+
+        for _ in range(self.num_lookups):
+            key = rng.choice(keys)
+            idx = 0
+            while idx < len(table) and table[idx] is not None:
+                node_key = table[idx]
+                tb.load(
+                    base + idx * self.element_bytes,
+                    "abst.probe",
+                    value=node_key,
+                    reg_value=key,
+                    hints=hints,
+                    gap=3,  # index arithmetic replaces the pointer load
+                )
+                if node_key == key:
+                    tb.branch(False)
+                    break
+                go_left = key < node_key
+                tb.branch(go_left)
+                idx = 2 * idx + 1 if go_left else 2 * idx + 2
+        return tb

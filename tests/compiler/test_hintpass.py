@@ -1,0 +1,86 @@
+"""Tests for the hint-injection pass (the Section 6 rule)."""
+
+from repro.compiler.hintpass import HintInjectionPass
+from repro.compiler.ir import FunctionBuilder
+from repro.compiler.programs import build_array_sum, build_list_sum
+from repro.hints import RefForm, TypeRegistry
+
+
+class TestPointerLoadRule:
+    def test_pointer_field_load_hinted(self):
+        fn = build_list_sum()
+        table = HintInjectionPass().run(fn)
+        # the "next" load in block "body" at index 2 is pointer-typed
+        hints = table.lookup("body", 2)
+        assert hints is not None
+        assert hints.link_offset == 8
+        assert hints.ref_form is RefForm.ARROW
+
+    def test_data_field_load_not_hinted(self):
+        fn = build_list_sum()
+        table = HintInjectionPass().run(fn)
+        # the "value" load in block "body" at index 0 is an int
+        assert table.lookup("body", 0) is None
+
+    def test_overhead_accounting(self):
+        fn = build_list_sum()
+        table = HintInjectionPass().run(fn)
+        assert table.memory_instructions == 2
+        assert table.hinted_instructions == 1
+        assert table.hint_overhead == 0.5
+
+    def test_int_array_load_not_hinted(self):
+        fn = build_array_sum()
+        table = HintInjectionPass().run(fn)
+        assert table.hinted_instructions == 0
+
+    def test_pointer_array_load_hinted_as_index(self):
+        fb = FunctionBuilder("f", params=("arr", "i"))
+        fb.block("entry")
+        fb.load_idx("p", "arr", "i", elem_type="ptr:node")
+        fb.ret("p")
+        table = HintInjectionPass().run(fb.build())
+        hints = table.lookup("entry", 0)
+        assert hints is not None
+        assert hints.ref_form is RefForm.INDEX
+
+    def test_pointer_store_hinted(self):
+        fb = FunctionBuilder("f", params=("obj", "p"))
+        fb.struct("node", [("value", 0, "int"), ("next", 8, "ptr:node")])
+        fb.block("entry")
+        fb.store("p", "obj", "node", "next")
+        fb.store("p", "obj", "node", "value")
+        fb.ret(0)
+        table = HintInjectionPass().run(fb.build())
+        assert table.lookup("entry", 0) is not None  # pointer store
+        assert table.lookup("entry", 1) is None  # data store
+
+
+class TestTypeEnumeration:
+    def test_same_struct_same_id(self):
+        registry = TypeRegistry()
+        pass_ = HintInjectionPass(registry)
+        table = pass_.run(build_list_sum())
+        ids = {h.type_id for h in table.hints.values()}
+        assert len(ids) == 1
+
+    def test_distinct_structs_distinct_ids(self):
+        fb = FunctionBuilder("f", params=("a", "b"))
+        fb.struct("alpha", [("link", 0, "ptr:alpha")])
+        fb.struct("beta", [("link", 0, "ptr:beta")])
+        fb.block("entry")
+        fb.load("x", "a", "alpha", "link")
+        fb.load("y", "b", "beta", "link")
+        fb.ret(0)
+        table = HintInjectionPass().run(fb.build())
+        ids = {h.type_id for h in table.hints.values()}
+        assert len(ids) == 2
+
+    def test_registry_shared_across_functions(self):
+        registry = TypeRegistry()
+        pass_ = HintInjectionPass(registry)
+        t1 = pass_.run(build_list_sum())
+        t2 = pass_.run(build_list_sum())
+        id1 = next(iter(t1.hints.values())).type_id
+        id2 = next(iter(t2.hints.values())).type_id
+        assert id1 == id2

@@ -1,0 +1,155 @@
+"""Tests for the IR interpreter and the compiled workload adapter."""
+
+import pytest
+
+from repro.compiler.interp import Interpreter, Memory, TrapError
+from repro.compiler.ir import FunctionBuilder
+from repro.compiler.programs import (
+    CompiledListSumProgram,
+    build_array_sum,
+    build_list_search,
+    build_list_sum,
+    setup_array,
+    setup_linked_list,
+)
+from repro.hints import RefForm
+from repro.workloads.trace import Heap
+
+
+class TestMemory:
+    def test_uninitialised_reads_zero(self):
+        assert Memory().read(0x1000) == 0
+
+    def test_word_alignment(self):
+        memory = Memory()
+        memory.write(0x1003, 7)
+        assert memory.read(0x1000) == 7
+
+
+class TestListSum:
+    def test_computes_correct_sum(self):
+        memory = Memory()
+        heap = Heap()
+        layout = setup_linked_list(memory, heap, [1, 2, 3, 4, 5])
+        interp = Interpreter(build_list_sum(), memory=memory)
+        result = interp.run(layout.head)
+        assert result.return_value == 15
+
+    def test_empty_list(self):
+        interp = Interpreter(build_list_sum())
+        assert interp.run(0).return_value == 0
+
+    def test_trace_has_two_loads_per_node(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [10, 20, 30])
+        interp = Interpreter(build_list_sum(), memory=memory)
+        result = interp.run(layout.head)
+        loads = [a for a in result.trace if a.is_load]
+        assert len(loads) == 6
+
+    def test_next_loads_carry_arrow_hints(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [10, 20, 30])
+        result = Interpreter(build_list_sum(), memory=memory).run(layout.head)
+        hinted = [a for a in result.trace if a.hints.ref_form is RefForm.ARROW]
+        assert len(hinted) == 3  # one next-load per node
+        assert all(a.hints.link_offset == 8 for a in hinted)
+
+    def test_pointer_chase_is_dependent(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [1, 2, 3])
+        result = Interpreter(build_list_sum(), memory=memory).run(layout.head)
+        # the second node's loads depend on the first node's next-load
+        later = result.trace[2:]
+        assert any(a.depends_on_prev for a in later)
+
+    def test_branch_outcomes_recorded(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [1, 2])
+        result = Interpreter(build_list_sum(), memory=memory).run(layout.head)
+        outcomes = [t for a in result.trace for t in a.branches]
+        assert True in outcomes
+
+
+class TestListSearch:
+    def test_finds_key(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [5, 9, 13])
+        interp = Interpreter(build_list_search(), memory=memory)
+        result = interp.run(layout.head, 9)
+        assert result.return_value == layout.node_addrs[1]
+
+    def test_missing_key_returns_null(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [5, 9])
+        result = Interpreter(build_list_search(), memory=memory).run(layout.head, 99)
+        assert result.return_value == 0
+
+    def test_key_register_exposed(self):
+        memory = Memory()
+        layout = setup_linked_list(memory, Heap(), [5, 9])
+        result = Interpreter(build_list_search(), memory=memory).run(layout.head, 9)
+        assert all(a.reg_value == 9 for a in result.trace)
+
+
+class TestArraySum:
+    def test_computes_sum_with_index_loads(self):
+        memory = Memory()
+        base = setup_array(memory, Heap(), [2, 4, 6])
+        result = Interpreter(build_array_sum(), memory=memory).run(base, 3)
+        assert result.return_value == 12
+        assert all(not a.hints.type_id for a in result.trace)  # ints: no hints
+
+    def test_sequential_addresses(self):
+        memory = Memory()
+        base = setup_array(memory, Heap(), list(range(8)))
+        result = Interpreter(build_array_sum(), memory=memory).run(base, 8)
+        addrs = [a.addr for a in result.trace if a.is_load]
+        assert addrs == [base + 8 * i for i in range(8)]
+
+
+class TestTraps:
+    def test_null_dereference(self):
+        with pytest.raises(TrapError, match="null"):
+            # non-empty list claim but head is null -> first load traps
+            fb = FunctionBuilder("f", params=("p",))
+            fb.struct("node", [("next", 0, "ptr:node")])
+            fb.block("entry")
+            fb.load("x", "p", "node", "next")
+            fb.ret("x")
+            Interpreter(fb.build()).run(0)
+
+    def test_step_budget(self):
+        fb = FunctionBuilder("spin")
+        fb.block("entry")
+        fb.jump("entry")
+        interp = Interpreter(fb.build(), max_steps=100)
+        with pytest.raises(TrapError, match="budget"):
+            interp.run()
+
+    def test_undefined_register(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret("ghost")
+        with pytest.raises(TrapError, match="undefined"):
+            Interpreter(fb.build()).run()
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeError):
+            Interpreter(build_list_sum()).run()
+
+
+class TestCompiledWorkload:
+    def test_trace_program_round_trip(self):
+        program = CompiledListSumProgram(num_nodes=64, iterations=2)
+        trace = program.trace()
+        assert trace
+        assert program.expected_sum > 0
+
+    def test_compiled_workload_simulates_and_learns(self):
+        from repro.sim.runner import run_workload
+
+        program = CompiledListSumProgram(num_nodes=512, iterations=6)
+        base = run_workload(program, "none")
+        ctx = run_workload(CompiledListSumProgram(num_nodes=512, iterations=6), "context")
+        assert ctx.speedup_over(base) > 1.1

@@ -1,0 +1,105 @@
+"""Tests for the mini-IR: structs, builder, validation."""
+
+import pytest
+
+from repro.compiler.ir import (
+    FunctionBuilder,
+    Jump,
+    StructDecl,
+    is_pointer_type,
+)
+
+
+class TestStructDecl:
+    def test_field_info(self):
+        s = StructDecl("node", (("value", 0, "int"), ("next", 8, "ptr:node")))
+        assert s.field_info("next") == (8, "ptr:node")
+
+    def test_unknown_field(self):
+        s = StructDecl("node", (("value", 0, "int"),))
+        with pytest.raises(KeyError):
+            s.field_info("nope")
+
+    def test_size_rounds_to_words(self):
+        s = StructDecl("node", (("a", 0, "int"), ("b", 12, "int")))
+        assert s.size == 24  # 12 + 8 rounded up
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            StructDecl("s", (("a", 0, "int"), ("a", 8, "int")))
+
+    def test_duplicate_offset_rejected(self):
+        with pytest.raises(ValueError):
+            StructDecl("s", (("a", 0, "int"), ("b", 0, "int")))
+
+
+class TestPointerTypes:
+    @pytest.mark.parametrize("name", ["ptr", "ptr:node", "ptr:edge"])
+    def test_pointers(self, name):
+        assert is_pointer_type(name)
+
+    @pytest.mark.parametrize("name", ["int", "float", "ptrish"])
+    def test_non_pointers(self, name):
+        assert not is_pointer_type(name)
+
+
+class TestBuilderAndValidation:
+    def _trivial(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret(0)
+        return fb
+
+    def test_entry_is_first_block(self):
+        fn = self._trivial().build()
+        assert fn.entry == "entry"
+
+    def test_empty_block_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret(0)
+        fb.block("orphan")
+        with pytest.raises(ValueError, match="empty|terminator"):
+            fb.build()
+
+    def test_missing_terminator_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.arith("x", "add", 1, 2)
+        with pytest.raises(ValueError, match="terminator"):
+            fb.build()
+
+    def test_mid_block_terminator_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret(0)
+        fb._current.append(Jump("entry"))
+        with pytest.raises(ValueError, match="terminator"):
+            fb.build()
+
+    def test_branch_to_unknown_block_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.jump("nowhere")
+        with pytest.raises(ValueError, match="unknown block"):
+            fb.build()
+
+    def test_load_of_unknown_struct_rejected(self):
+        fb = FunctionBuilder("f", params=("p",))
+        fb.block("entry")
+        fb.load("x", "p", "ghost", "field")
+        fb.ret("x")
+        with pytest.raises(ValueError, match="unknown struct"):
+            fb.build()
+
+    def test_duplicate_block_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.ret(0)
+        with pytest.raises(ValueError, match="duplicate"):
+            fb.block("entry")
+
+    def test_emit_outside_block_rejected(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(ValueError, match="no open block"):
+            fb.ret(0)

@@ -1,0 +1,114 @@
+"""Exhaustive semantics tests for the IR's arithmetic and compare ops."""
+
+import pytest
+
+from repro.compiler.interp import Interpreter, TrapError
+from repro.compiler.ir import FunctionBuilder
+
+
+def run_op(kind, op, a, b):
+    fb = FunctionBuilder(f"op_{op}", params=("a", "b"))
+    fb.block("entry")
+    if kind == "arith":
+        fb.arith("r", op, "a", "b")
+    else:
+        fb.cmp("r", op, "a", "b")
+    fb.ret("r")
+    return Interpreter(fb.build()).run(a, b).return_value
+
+
+class TestArithOps:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 7, 5, 12),
+            ("sub", 7, 5, 2),
+            ("mul", 7, 5, 35),
+            ("div", 7, 5, 1),
+            ("div", 20, 5, 4),
+            ("mod", 7, 5, 2),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 3, 4, 48),
+            ("shr", 48, 4, 3),
+        ],
+    )
+    def test_semantics(self, op, a, b, expected):
+        assert run_op("arith", op, a, b) == expected
+
+    def test_immediate_operands(self):
+        fb = FunctionBuilder("imm")
+        fb.block("entry")
+        fb.arith("r", "add", 40, 2)
+        fb.ret("r")
+        assert Interpreter(fb.build()).run().return_value == 42
+
+    def test_unknown_op_traps(self):
+        fb = FunctionBuilder("bad", params=("a",))
+        fb.block("entry")
+        fb.arith("r", "pow", "a", "a")
+        fb.ret("r")
+        with pytest.raises(TrapError, match="unknown arith"):
+            Interpreter(fb.build()).run(2)
+
+
+class TestCmpOps:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("eq", 3, 3, 1),
+            ("eq", 3, 4, 0),
+            ("ne", 3, 4, 1),
+            ("lt", 3, 4, 1),
+            ("lt", 4, 3, 0),
+            ("le", 3, 3, 1),
+            ("gt", 4, 3, 1),
+            ("ge", 3, 3, 1),
+            ("ge", 2, 3, 0),
+        ],
+    )
+    def test_semantics(self, op, a, b, expected):
+        assert run_op("cmp", op, a, b) == expected
+
+    def test_unknown_cmp_traps(self):
+        fb = FunctionBuilder("bad", params=("a",))
+        fb.block("entry")
+        fb.cmp("r", "spaceship", "a", "a")
+        fb.ret("r")
+        with pytest.raises(TrapError, match="unknown cmp"):
+            Interpreter(fb.build()).run(2)
+
+
+class TestTaintPropagation:
+    def test_arith_propagates_load_taint(self):
+        # r = load p->next; q = r + 8; load q->next  => dependent access
+        fb = FunctionBuilder("taint", params=("p",))
+        fb.struct("node", [("next", 0, "ptr:node")])
+        fb.block("entry")
+        fb.load("r", "p", "node", "next")
+        fb.arith("q", "add", "r", 0)
+        fb.load("s", "q", "node", "next")
+        fb.ret("s")
+        interp = Interpreter(fb.build())
+        interp.memory.write(0x1000, 0x2000)
+        interp.memory.write(0x2000, 0)
+        result = interp.run(0x1000)
+        loads = [a for a in result.trace if a.is_load]
+        assert not loads[0].depends_on_prev
+        assert loads[1].depends_on_prev
+
+    def test_overwriting_register_clears_taint(self):
+        fb = FunctionBuilder("clear", params=("p", "q"))
+        fb.struct("node", [("next", 0, "ptr:node")])
+        fb.block("entry")
+        fb.load("r", "p", "node", "next")
+        fb.arith("r", "add", "q", 0)  # r no longer derived from the load
+        fb.load("s", "r", "node", "next")
+        fb.ret("s")
+        interp = Interpreter(fb.build())
+        interp.memory.write(0x1000, 0x9999)
+        interp.memory.write(0x2000, 0)
+        result = interp.run(0x1000, 0x2000)
+        loads = [a for a in result.trace if a.is_load]
+        assert not loads[1].depends_on_prev

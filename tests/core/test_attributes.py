@@ -1,0 +1,87 @@
+"""Tests for context attributes and attribute-set bitmaps."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import (
+    ALL_ATTRIBUTES,
+    DEFAULT_ACTIVE,
+    Attribute,
+    AttributeSet,
+)
+
+
+class TestAttributeEnum:
+    def test_eight_attributes_as_in_table1(self):
+        assert len(ALL_ATTRIBUTES) == 8
+
+    def test_hardware_and_compiler_split(self):
+        compiler = {Attribute.TYPE_ID, Attribute.LINK_OFFSET, Attribute.REF_FORM}
+        hardware = set(ALL_ATTRIBUTES) - compiler
+        assert len(hardware) == 5
+
+    def test_addr_history_activates_last(self):
+        # "this feature ... must be used sparingly" (Table 1)
+        assert ALL_ATTRIBUTES[-1] is Attribute.ADDR_HISTORY
+
+
+class TestAttributeSet:
+    def test_default_active_contains_ip_and_hints(self):
+        active = AttributeSet()
+        assert Attribute.IP in active
+        assert Attribute.TYPE_ID in active
+        assert Attribute.ADDR_HISTORY not in active
+
+    def test_membership_and_iteration_agree(self):
+        active = AttributeSet((Attribute.IP, Attribute.REG_VALUE))
+        assert list(active) == [Attribute.IP, Attribute.REG_VALUE]
+        assert len(active) == 2
+
+    def test_from_bits_round_trip(self):
+        active = AttributeSet(DEFAULT_ACTIVE)
+        assert AttributeSet.from_bits(active.bits) == active
+
+    def test_equality_and_hash(self):
+        a = AttributeSet((Attribute.IP,))
+        b = AttributeSet((Attribute.IP,))
+        assert a == b and hash(a) == hash(b)
+
+    def test_indices_cache_matches_membership(self):
+        active = AttributeSet((Attribute.IP, Attribute.BRANCH_HISTORY))
+        assert active.indices == (int(Attribute.IP), int(Attribute.BRANCH_HISTORY))
+
+
+class TestActivation:
+    def test_activate_next_picks_first_inactive(self):
+        active = AttributeSet()
+        grown = active.activate_next()
+        assert Attribute.LAST_VALUE in grown  # first inactive after defaults
+
+    def test_activate_next_saturates(self):
+        active = AttributeSet(ALL_ATTRIBUTES)
+        assert active.activate_next() is active
+
+    def test_deactivate_last_drops_most_recent(self):
+        active = AttributeSet().activate_next()
+        shrunk = active.deactivate_last()
+        assert Attribute.LAST_VALUE not in shrunk
+
+    def test_ip_never_deactivated(self):
+        active = AttributeSet((Attribute.IP,))
+        assert active.deactivate_last() is active
+
+    def test_activate_then_deactivate_round_trip(self):
+        active = AttributeSet()
+        assert active.activate_next().deactivate_last() == active
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_activate_never_shrinks(self, bits):
+        active = AttributeSet.from_bits(bits | 1)  # ensure IP set
+        grown = active.activate_next()
+        assert len(grown) >= len(active)
+        assert all(attr in grown for attr in active)
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_deactivate_never_grows(self, bits):
+        active = AttributeSet.from_bits(bits | 1)
+        shrunk = active.deactivate_last()
+        assert len(shrunk) <= len(active)

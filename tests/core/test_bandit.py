@@ -1,0 +1,126 @@
+"""Tests for ε-greedy action selection, adaptive ε and degree throttling."""
+
+import pytest
+
+from repro.core.bandit import EpsilonGreedyPolicy
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.cst import Candidate, CSTEntry
+
+
+def policy(**overrides) -> EpsilonGreedyPolicy:
+    return EpsilonGreedyPolicy(ContextPrefetcherConfig(**overrides))
+
+
+def cst_entry(scores) -> CSTEntry:
+    entry = CSTEntry(tag=0)
+    entry.candidates = [Candidate(delta=i + 1, score=s) for i, s in enumerate(scores)]
+    return entry
+
+
+class TestAdaptiveEpsilon:
+    def test_cold_policy_explores_at_max(self):
+        p = policy()
+        assert p.epsilon() == pytest.approx(p.config.epsilon_max)
+
+    def test_converged_policy_explores_at_min(self):
+        p = policy()
+        for _ in range(3000):
+            p.observe_outcome(hit=True)
+        assert p.epsilon() == pytest.approx(p.config.epsilon_min, abs=0.01)
+
+    def test_fixed_epsilon_ablation(self):
+        p = policy(adaptive_epsilon=False, fixed_epsilon=0.07)
+        for _ in range(100):
+            p.observe_outcome(hit=True)
+        assert p.epsilon() == 0.07
+
+    def test_accuracy_ema_moves_toward_outcomes(self):
+        p = policy()
+        for _ in range(200):
+            p.observe_outcome(hit=True)
+        high = p.accuracy
+        for _ in range(200):
+            p.observe_outcome(hit=False)
+        assert p.accuracy < high
+
+
+class TestDegreeThrottle:
+    def test_cold_degree_is_one(self):
+        assert policy().degree() == 1
+
+    def test_degree_grows_with_accuracy(self):
+        p = policy()
+        for _ in range(5000):
+            p.observe_outcome(hit=True)
+        assert p.degree() == p.config.max_degree
+
+    def test_degree_thresholds_monotonic(self):
+        p = policy()
+        degrees = []
+        for _ in range(3000):
+            p.observe_outcome(hit=True)
+            degrees.append(p.degree())
+        assert degrees == sorted(degrees)
+
+
+class TestSelection:
+    def test_empty_entry_selects_nothing(self):
+        sel = policy().select(cst_entry([]))
+        assert sel.real == [] and sel.shadow == []
+
+    def test_exploit_picks_best_scores(self):
+        p = policy(epsilon_min=0.0, epsilon_max=0.0, shadow_probability=0.0)
+        sel = p.select(cst_entry([0, 7, 3]))
+        assert sel.real[0].score == 7
+
+    def test_negative_scores_excluded_from_real(self):
+        p = policy(epsilon_min=0.0, epsilon_max=0.0, shadow_probability=0.0)
+        sel = p.select(cst_entry([-1, -5]))
+        assert sel.real == []
+
+    def test_degree_limits_real_selection(self):
+        p = policy(epsilon_min=0.0, epsilon_max=0.0, shadow_probability=0.0)
+        sel = p.select(cst_entry([5, 4, 3, 2]))
+        assert len(sel.real) == 1  # cold accuracy -> degree 1
+
+    def test_exploration_can_pick_negative_candidate(self):
+        p = policy(epsilon_min=1.0, epsilon_max=1.0, shadow_probability=0.0)
+        sel = p.select(cst_entry([-5]))
+        assert len(sel.real) == 1
+        assert sel.explored
+
+    def test_shadow_prefetches_generated(self):
+        p = policy(
+            epsilon_min=0.0, epsilon_max=0.0, shadow_probability=1.0, max_degree=1
+        )
+        for _ in range(5000):
+            p.observe_outcome(hit=True)  # keep epsilon at min
+        found_shadow = False
+        for _ in range(50):
+            sel = p.select(cst_entry([9, 8, 7]))
+            if sel.shadow:
+                found_shadow = True
+                assert sel.shadow[0] not in sel.real
+        assert found_shadow
+
+    def test_shadow_ablation_disables_shadows(self):
+        p = policy(shadow_prefetches=False, shadow_probability=1.0)
+        for _ in range(50):
+            assert p.select(cst_entry([5, 3])).shadow == []
+
+    def test_deterministic_under_seed(self):
+        a, b = policy(seed=42), policy(seed=42)
+        entry = cst_entry([3, 2, 1])
+        for _ in range(100):
+            sa, sb = a.select(entry), b.select(entry)
+            assert [c.delta for c in sa.real] == [c.delta for c in sb.real]
+
+    def test_reset_restores_seed_and_accuracy(self):
+        p = policy(seed=42)
+        entry = cst_entry([3, 2, 1])
+        first = [tuple(c.delta for c in p.select(entry).real) for _ in range(20)]
+        p.observe_outcome(hit=True)
+        p.reset()
+        assert p.accuracy == 0.0
+        second = [tuple(c.delta for c in p.select(entry).real) for _ in range(20)]
+        assert first == second

@@ -1,0 +1,113 @@
+"""Tests for context capture and hashing."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import ALL_ATTRIBUTES, Attribute, AttributeSet
+from repro.core.context import ContextCapture, ContextTracker, context_hash
+from repro.hints import RefForm, SemanticHints
+from repro.prefetchers.base import AccessInfo
+
+
+def info(addr=0x1000, pc=0x400000, **kwargs):
+    return AccessInfo(index=0, cycle=0, addr=addr, pc=pc, **kwargs)
+
+
+values8 = st.tuples(*[st.integers(min_value=0, max_value=1 << 48)] * 8)
+
+
+class TestContextHash:
+    @given(values8)
+    def test_deterministic(self, values):
+        active = AttributeSet()
+        assert context_hash(values, active, 16) == context_hash(values, active, 16)
+
+    @given(values8)
+    def test_respects_bit_width(self, values):
+        assert context_hash(values, AttributeSet(), 14) < (1 << 14)
+        assert context_hash(values, AttributeSet(ALL_ATTRIBUTES), 19) < (1 << 19)
+
+    def test_inactive_attributes_do_not_affect_hash(self):
+        active = AttributeSet((Attribute.IP,))
+        a = context_hash((1, 2, 3, 4, 5, 6, 7, 8), active, 19)
+        b = context_hash((1, 9, 9, 9, 9, 9, 9, 9), active, 19)
+        assert a == b
+
+    def test_active_attribute_changes_hash(self):
+        active = AttributeSet((Attribute.IP, Attribute.TYPE_ID))
+        a = context_hash((1, 2, 0, 0, 0, 0, 0, 0), active, 19)
+        b = context_hash((1, 3, 0, 0, 0, 0, 0, 0), active, 19)
+        assert a != b
+
+    def test_active_set_is_part_of_key(self):
+        # the same values under different selections must hash apart,
+        # otherwise splitting a context would alias its old entry
+        values = (1, 0, 0, 0, 0, 0, 0, 0)
+        a = context_hash(values, AttributeSet((Attribute.IP,)), 19)
+        b = context_hash(
+            values, AttributeSet((Attribute.IP, Attribute.TYPE_ID)), 19
+        )
+        assert a != b
+
+
+class TestContextTracker:
+    def test_captures_all_table1_attributes(self):
+        tracker = ContextTracker(block_bytes=32)
+        hints = SemanticHints(type_id=3, link_offset=16, ref_form=RefForm.ARROW)
+        capture = tracker.capture(
+            info(
+                addr=0x1234,
+                pc=0x400100,
+                branch_history=0b1011,
+                reg_value=99,
+                last_value=0x5678,
+                hints=hints,
+            )
+        )
+        v = capture.values
+        assert v[Attribute.IP] == 0x400100
+        assert v[Attribute.TYPE_ID] == 3
+        assert v[Attribute.LINK_OFFSET] == 16
+        assert v[Attribute.REF_FORM] == int(RefForm.ARROW)
+        assert v[Attribute.BRANCH_HISTORY] == 0b1011
+        assert v[Attribute.REG_VALUE] == 99
+        assert v[Attribute.LAST_VALUE] == 0x5678
+        assert capture.block == 0x1234 // 32
+
+    def test_addr_history_excludes_current_access(self):
+        tracker = ContextTracker(block_bytes=32)
+        first = tracker.capture(info(addr=0x1000))
+        assert first.values[Attribute.ADDR_HISTORY] == 0
+
+    def test_addr_history_reflects_previous_accesses(self):
+        t1 = ContextTracker(block_bytes=32)
+        t2 = ContextTracker(block_bytes=32)
+        t1.capture(info(addr=0x1000))
+        t2.capture(info(addr=0x2000))
+        a = t1.capture(info(addr=0x9000))
+        b = t2.capture(info(addr=0x9000))
+        assert a.values[Attribute.ADDR_HISTORY] != b.values[Attribute.ADDR_HISTORY]
+
+    def test_history_depth_bounds_memory(self):
+        tracker = ContextTracker(block_bytes=32, addr_history_depth=2)
+        for i in range(10):
+            tracker.capture(info(addr=0x1000 + i * 64))
+        # only the last two accesses matter: replaying them from scratch
+        # must give the same history value
+        fresh = ContextTracker(block_bytes=32, addr_history_depth=2)
+        fresh.capture(info(addr=0x1000 + 8 * 64))
+        fresh.capture(info(addr=0x1000 + 9 * 64))
+        a = tracker.capture(info(addr=0x5000))
+        b = fresh.capture(info(addr=0x5000))
+        assert a.values[Attribute.ADDR_HISTORY] == b.values[Attribute.ADDR_HISTORY]
+
+    def test_reset(self):
+        tracker = ContextTracker(block_bytes=32)
+        tracker.capture(info(addr=0x1000))
+        tracker.reset()
+        capture = tracker.capture(info(addr=0x2000))
+        assert capture.values[Attribute.ADDR_HISTORY] == 0
+
+    def test_capture_hash_shortcut(self):
+        capture = ContextCapture(values=(1, 2, 3, 4, 5, 6, 7, 8), block=10)
+        active = AttributeSet()
+        assert capture.hash(active, 19) == context_hash(capture.values, active, 19)

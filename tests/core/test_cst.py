@@ -1,0 +1,174 @@
+"""Tests for the Context-States Table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.cst import ContextStatesTable
+
+
+def make_cst(**overrides) -> ContextStatesTable:
+    return ContextStatesTable(ContextPrefetcherConfig(**overrides))
+
+
+KEY = 0x12345  # any 19-bit reduced hash
+
+
+class TestAssociations:
+    def test_add_then_lookup(self):
+        cst = make_cst()
+        assert cst.add_association(KEY, delta=5)
+        entry = cst.lookup(KEY)
+        assert entry is not None
+        assert entry.find(5).score == 0
+
+    def test_duplicate_delta_not_duplicated(self):
+        cst = make_cst()
+        cst.add_association(KEY, 5)
+        cst.add_association(KEY, 5)
+        assert len(cst.lookup(KEY).candidates) == 1
+
+    def test_at_most_four_links(self):
+        cst = make_cst()
+        for delta in range(1, 10):
+            cst.add_association(KEY, delta)
+        assert len(cst.lookup(KEY).candidates) <= 4
+
+    def test_out_of_range_delta_rejected(self):
+        cst = make_cst()
+        assert not cst.add_association(KEY, 128)  # beyond +127
+        assert not cst.add_association(KEY, -129)
+        assert cst.associations_rejected_range == 2
+
+    def test_extreme_valid_deltas_accepted(self):
+        cst = make_cst()
+        assert cst.add_association(KEY, 127)
+        assert cst.add_association(KEY, -128)
+
+
+class TestScoreBasedReplacement:
+    def test_zero_score_victim_replaced(self):
+        cst = make_cst()
+        for delta in (1, 2, 3, 4):
+            cst.add_association(KEY, delta)
+        assert cst.add_association(KEY, 9)  # all scores 0 <= threshold
+        assert cst.lookup(KEY).find(9) is not None
+
+    def test_rewarded_candidates_survive(self):
+        cst = make_cst()
+        for delta in (1, 2, 3, 4):
+            cst.add_association(KEY, delta)
+            cst.apply_reward(KEY, delta, +5)
+        assert not cst.add_association(KEY, 9)
+        assert cst.associations_rejected_full == 1
+
+    def test_demoted_candidate_becomes_victim(self):
+        cst = make_cst()
+        for delta in (1, 2, 3, 4):
+            cst.add_association(KEY, delta)
+            cst.apply_reward(KEY, delta, +5)
+        cst.apply_reward(KEY, 3, -10)  # score -5
+        assert cst.add_association(KEY, 9)
+        entry = cst.lookup(KEY)
+        assert entry.find(3) is None
+        assert entry.find(9) is not None
+
+
+class TestRewards:
+    def test_reward_accumulates(self):
+        cst = make_cst()
+        cst.add_association(KEY, 5)
+        cst.apply_reward(KEY, 5, 3)
+        cst.apply_reward(KEY, 5, 2)
+        assert cst.lookup(KEY).find(5).score == 5
+
+    def test_score_saturates_both_ways(self):
+        cst = make_cst()
+        cst.add_association(KEY, 5)
+        for _ in range(100):
+            cst.apply_reward(KEY, 5, 8)
+        assert cst.lookup(KEY).find(5).score == 127
+        for _ in range(100):
+            cst.apply_reward(KEY, 5, -8)
+        assert cst.lookup(KEY).find(5).score == -128
+
+    def test_reward_for_missing_entry_is_noop(self):
+        cst = make_cst()
+        assert not cst.apply_reward(KEY, 5, 3)
+
+    def test_reward_for_missing_delta_is_noop(self):
+        cst = make_cst()
+        cst.add_association(KEY, 5)
+        assert not cst.apply_reward(KEY, 7, 3)
+
+
+class TestIndexing:
+    def test_split_key_partition(self):
+        cst = make_cst()
+        index, tag = cst.split_key(0x7FFFF)
+        assert index < 2048
+        assert tag < 256
+
+    def test_tag_conflict_evicts(self):
+        cst = make_cst()
+        other = KEY + 2048  # same index, different tag
+        cst.add_association(KEY, 5)
+        cst.add_association(other, 6)
+        assert cst.lookup(KEY) is None
+        assert cst.lookup(other) is not None
+        assert cst.conflict_evictions == 1
+
+    def test_ranked_orders_by_score(self):
+        cst = make_cst()
+        cst.add_association(KEY, 1)
+        cst.add_association(KEY, 2)
+        cst.apply_reward(KEY, 2, 5)
+        ranked = cst.lookup(KEY).ranked()
+        assert [c.delta for c in ranked] == [2, 1]
+
+
+class TestPointerAccounting:
+    def test_add_remove_pointer(self):
+        cst = make_cst()
+        cst.add_pointer(KEY)
+        cst.add_pointer(KEY)
+        assert cst.pointer_count(KEY) == 2
+        cst.remove_pointer(KEY)
+        assert cst.pointer_count(KEY) == 1
+
+    def test_remove_never_goes_negative(self):
+        cst = make_cst()
+        cst.add_pointer(KEY)
+        cst.remove_pointer(KEY)
+        cst.remove_pointer(KEY)
+        assert cst.pointer_count(KEY) == 0
+
+
+class TestDeltaOf:
+    def test_line_granularity_scaling(self):
+        cst = make_cst()  # 32B blocks, 64B delta granularity
+        assert cst.delta_of(context_block=0, target_block=4) == 2
+
+    def test_same_line_rejected(self):
+        cst = make_cst()
+        assert cst.delta_of(0, 1) is None  # both blocks in line 0
+
+    def test_out_of_reach_rejected(self):
+        cst = make_cst()
+        assert cst.delta_of(0, 2 * 300) is None  # 300 lines away
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_delta_reconstructs_target_line(self, ctx, tgt):
+        cst = make_cst()
+        delta = cst.delta_of(ctx, tgt)
+        if delta is not None:
+            assert ctx // 2 + delta == tgt // 2
+
+
+class TestReset:
+    def test_reset_clears(self):
+        cst = make_cst()
+        cst.add_association(KEY, 5)
+        cst.reset()
+        assert cst.lookup(KEY) is None
+        assert cst.occupancy() == 0

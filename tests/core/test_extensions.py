@@ -1,0 +1,123 @@
+"""Tests for the future-work extensions: softmax policy, adaptive window."""
+
+import pytest
+
+from repro.core.bandit import EpsilonGreedyPolicy, SoftmaxPolicy, make_policy
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.cst import Candidate, CSTEntry
+from repro.core.prefetcher import ContextPrefetcher
+from tests.core.test_prefetcher import drive_ring, ring_trace
+
+
+def cst_entry(scores) -> CSTEntry:
+    entry = CSTEntry(tag=0)
+    entry.candidates = [Candidate(delta=i + 1, score=s) for i, s in enumerate(scores)]
+    return entry
+
+
+class TestMakePolicy:
+    def test_default_is_egreedy(self):
+        policy = make_policy(ContextPrefetcherConfig())
+        assert type(policy) is EpsilonGreedyPolicy
+
+    def test_softmax_selected_by_config(self):
+        policy = make_policy(ContextPrefetcherConfig(policy="softmax"))
+        assert isinstance(policy, SoftmaxPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ContextPrefetcherConfig(policy="thompson")
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ContextPrefetcherConfig(softmax_temperature=0)
+
+
+class TestSoftmaxPolicy:
+    def test_prefers_high_scores(self):
+        policy = SoftmaxPolicy(ContextPrefetcherConfig(policy="softmax", seed=3))
+        entry = cst_entry([20, -20])
+        picks = [policy.select(entry).real[0].delta for _ in range(200)]
+        assert picks.count(1) > 150  # delta 1 carries score 20
+
+    def test_low_scores_still_sampled(self):
+        policy = SoftmaxPolicy(
+            ContextPrefetcherConfig(policy="softmax", softmax_temperature=50.0, seed=3)
+        )
+        entry = cst_entry([5, 4])
+        picks = [policy.select(entry).real[0].delta for _ in range(200)]
+        assert picks.count(2) > 20  # near-uniform at high temperature
+
+    def test_temperature_anneals_with_accuracy(self):
+        policy = SoftmaxPolicy(ContextPrefetcherConfig(policy="softmax"))
+        cold = policy.temperature()
+        for _ in range(5000):
+            policy.observe_outcome(hit=True)
+        assert policy.temperature() < cold
+
+    def test_empty_entry(self):
+        policy = SoftmaxPolicy(ContextPrefetcherConfig(policy="softmax"))
+        sel = policy.select(cst_entry([]))
+        assert sel.real == [] and sel.shadow == []
+
+    def test_degree_respected(self):
+        policy = SoftmaxPolicy(ContextPrefetcherConfig(policy="softmax"))
+        for _ in range(5000):
+            policy.observe_outcome(hit=True)  # max degree
+        sel = policy.select(cst_entry([5, 4, 3, 2]))
+        assert len(sel.real) == policy.config.max_degree
+        assert len({id(c) for c in sel.real}) == len(sel.real)
+
+    def test_prefetcher_learns_with_softmax(self):
+        pf = ContextPrefetcher(ContextPrefetcherConfig(policy="softmax"))
+        drive_ring(pf, ring_trace(), iterations=100)
+        assert pf.accuracy() > 0.4
+
+
+class TestAdaptiveWindow:
+    def test_disabled_by_default(self):
+        pf = ContextPrefetcher()
+        drive_ring(pf, ring_trace(), iterations=60)
+        assert pf.window_updates == 0
+        assert pf.reward.center == pf.config.window_center
+
+    def test_recenters_toward_observed_depths(self):
+        # a ring of 25 nodes recurs at depth ~25, below the default bell
+        # center of 30; the adaptive variant should slide the bell down
+        # toward the observed hit depths
+        config = ContextPrefetcherConfig(
+            adaptive_window=True, window_update_period=256
+        )
+        pf = ContextPrefetcher(config)
+        drive_ring(pf, ring_trace(num_nodes=25), iterations=200)
+        assert pf.window_updates >= 1
+        assert pf.reward.center < config.window_center
+
+    def test_center_respects_bounds(self):
+        config = ContextPrefetcherConfig(
+            adaptive_window=True,
+            window_update_period=64,
+            window_center_bounds=(12, 40),
+        )
+        pf = ContextPrefetcher(config)
+        drive_ring(pf, ring_trace(num_nodes=80), iterations=120)
+        assert pf.reward.center <= 40
+
+    def test_window_shape_preserved(self):
+        config = ContextPrefetcherConfig(
+            adaptive_window=True, window_update_period=256
+        )
+        pf = ContextPrefetcher(config)
+        drive_ring(pf, ring_trace(num_nodes=70), iterations=120)
+        reward = pf.reward
+        assert reward.hi - reward.lo == config.window_hi - config.window_lo
+
+    def test_reset_restores_default_window(self):
+        config = ContextPrefetcherConfig(
+            adaptive_window=True, window_update_period=256
+        )
+        pf = ContextPrefetcher(config)
+        drive_ring(pf, ring_trace(num_nodes=70), iterations=120)
+        pf.reset()
+        assert pf.reward.center == config.window_center
+        assert pf.window_updates == 0

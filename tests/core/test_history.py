@@ -1,0 +1,83 @@
+"""Tests for the history queue ring buffer."""
+
+import pytest
+
+from repro.core.history import HistoryQueue, HistoryRecord
+
+
+def rec(i):
+    return HistoryRecord(reduced_hash=i, block=i * 2, line=i, index=i)
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryQueue(0, (1,))
+
+    def test_rejects_depths_beyond_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryQueue(10, (5, 11))
+
+    def test_rejects_depth_zero(self):
+        with pytest.raises(ValueError):
+            HistoryQueue(10, (0,))
+
+
+class TestSampling:
+    def test_depth_one_is_newest(self):
+        hq = HistoryQueue(10, (1,))
+        hq.push(rec(1))
+        hq.push(rec(2))
+        assert hq.sample()[0].index == 2
+
+    def test_depths_count_backwards(self):
+        hq = HistoryQueue(10, (1, 3))
+        for i in range(5):
+            hq.push(rec(i))
+        sampled = hq.sample()
+        assert [r.index for r in sampled] == [4, 2]
+
+    def test_shallow_queue_yields_partial_sample(self):
+        hq = HistoryQueue(50, (1, 18, 50))
+        hq.push(rec(0))
+        hq.push(rec(1))
+        assert len(hq.sample()) == 1
+
+    def test_wraparound_keeps_newest(self):
+        hq = HistoryQueue(4, (1, 4))
+        for i in range(10):
+            hq.push(rec(i))
+        sampled = hq.sample()
+        assert [r.index for r in sampled] == [9, 6]
+
+    def test_duplicate_depths_deduplicated(self):
+        hq = HistoryQueue(10, (3, 3, 1))
+        assert hq.sample_depths == (1, 3)
+
+
+class TestAccessors:
+    def test_len_caps_at_capacity(self):
+        hq = HistoryQueue(4, (1,))
+        for i in range(10):
+            hq.push(rec(i))
+        assert len(hq) == 4
+
+    def test_at_depth_bounds(self):
+        hq = HistoryQueue(4, (1,))
+        hq.push(rec(7))
+        assert hq.at_depth(1).index == 7
+        assert hq.at_depth(2) is None
+        assert hq.at_depth(0) is None
+
+    def test_newest(self):
+        hq = HistoryQueue(4, (1,))
+        assert hq.newest() is None
+        hq.push(rec(3))
+        assert hq.newest().index == 3
+
+    def test_reset(self):
+        hq = HistoryQueue(4, (1,))
+        hq.push(rec(1))
+        hq.reset()
+        assert len(hq) == 0
+        assert hq.sample() == []

@@ -1,0 +1,68 @@
+"""Tests for the prefetcher-state introspection helpers."""
+
+import pytest
+
+from repro.core.introspect import (
+    attribute_set_distribution,
+    delta_distribution,
+    render_state,
+    state_report,
+    top_contexts,
+)
+from repro.core.prefetcher import ContextPrefetcher
+from tests.core.test_prefetcher import drive_ring, ring_trace
+
+
+@pytest.fixture(scope="module")
+def trained():
+    pf = ContextPrefetcher()
+    drive_ring(pf, ring_trace(), iterations=60)
+    return pf
+
+
+class TestTopContexts:
+    def test_sorted_by_best_score(self, trained):
+        tops = top_contexts(trained, count=5)
+        scores = [s.best_score for s in tops]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_count_respected(self, trained):
+        assert len(top_contexts(trained, count=3)) == 3
+
+    def test_trained_prefetcher_has_positive_contexts(self, trained):
+        assert top_contexts(trained, count=1)[0].best_score > 0
+
+    def test_cold_prefetcher_empty(self):
+        assert top_contexts(ContextPrefetcher()) == []
+
+
+class TestDistributions:
+    def test_attribute_distribution_nonempty(self, trained):
+        dist = attribute_set_distribution(trained)
+        assert sum(dist.values()) == trained.reducer.occupancy()
+
+    def test_delta_distribution_within_range(self, trained):
+        dist = delta_distribution(trained)
+        assert dist
+        cfg = trained.config
+        assert all(cfg.delta_min <= d <= cfg.delta_max for d in dist)
+        assert 0 not in dist  # same-line deltas are never stored
+
+
+class TestStateReport:
+    def test_counts_consistent(self, trained):
+        report = state_report(trained)
+        assert report.cst_occupancy <= report.cst_capacity
+        assert report.reducer_occupancy <= report.reducer_capacity
+        total = report.positive_candidates + report.negative_candidates
+        assert total <= report.cst_occupancy * trained.config.cst_links
+        assert 0.0 <= report.queue_hit_rate <= 1.0
+
+    def test_trained_state_has_positive_candidates(self, trained):
+        assert state_report(trained).positive_candidates > 0
+
+    def test_render_sections(self, trained):
+        text = render_state(trained)
+        assert "Prefetcher state" in text
+        assert "Attribute selections" in text
+        assert "Top" in text

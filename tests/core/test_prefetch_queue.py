@@ -1,0 +1,118 @@
+"""Tests for the prefetch/feedback queue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prefetch_queue import PrefetchQueue, QueueEntry
+
+
+def entry(block, issue=0, shadow=False, key=1, delta=2):
+    return QueueEntry(
+        reduced_hash=key,
+        delta=delta,
+        target_block=block,
+        issue_index=issue,
+        shadow=shadow,
+    )
+
+
+class TestMatching:
+    def test_match_reports_depth(self):
+        q = PrefetchQueue(capacity=8)
+        q.push(entry(block=10, issue=5))
+        events = q.match(block=10, access_index=35)
+        assert len(events) == 1
+        assert events[0].depth == 30
+        assert not events[0].expired
+
+    def test_match_marks_hit_once(self):
+        q = PrefetchQueue(capacity=8)
+        q.push(entry(block=10))
+        assert len(q.match(10, 5)) == 1
+        assert q.match(10, 6) == []
+        assert q.hits == 1
+
+    def test_multiple_predictions_of_same_block_all_match(self):
+        # Section 4.2: an address already queued is re-added as a shadow
+        # prefetch to train another context-address pair
+        q = PrefetchQueue(capacity=8)
+        q.push(entry(block=10, key=1))
+        q.push(entry(block=10, key=2, shadow=True))
+        events = q.match(10, 20)
+        assert {e.entry.reduced_hash for e in events} == {1, 2}
+
+    def test_non_matching_block(self):
+        q = PrefetchQueue(capacity=8)
+        q.push(entry(block=10))
+        assert q.match(11, 5) == []
+
+
+class TestExpiry:
+    def test_unhit_entry_expires_with_event(self):
+        q = PrefetchQueue(capacity=2)
+        q.push(entry(block=1))
+        q.push(entry(block=2))
+        events = q.push(entry(block=3))
+        assert len(events) == 1
+        assert events[0].expired
+        assert events[0].entry.target_block == 1
+        assert q.expirations == 1
+
+    def test_hit_entry_expires_silently(self):
+        q = PrefetchQueue(capacity=2)
+        q.push(entry(block=1))
+        q.match(1, 5)
+        q.push(entry(block=2))
+        events = q.push(entry(block=3))
+        assert events == []
+
+    def test_capacity_enforced(self):
+        q = PrefetchQueue(capacity=4)
+        for i in range(20):
+            q.push(entry(block=i))
+        assert len(q) == 4
+
+
+class TestBookkeeping:
+    def test_outstanding_for(self):
+        q = PrefetchQueue(capacity=8)
+        q.push(entry(block=10))
+        assert q.outstanding_for(10)
+        assert not q.outstanding_for(11)
+        q.match(10, 5)
+        assert not q.outstanding_for(10)
+
+    def test_hit_rate(self):
+        q = PrefetchQueue(capacity=2)
+        q.push(entry(block=1))
+        q.match(1, 5)
+        q.push(entry(block=2))
+        q.push(entry(block=3))
+        q.push(entry(block=4))  # expires block=2 then block=3 unhit
+        assert q.hits == 1
+        assert q.expirations >= 1
+        assert 0.0 < q.hit_rate() < 1.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)
+
+    def test_reset(self):
+        q = PrefetchQueue(capacity=4)
+        q.push(entry(block=1))
+        q.reset()
+        assert len(q) == 0
+        assert q.hits == 0 and q.expirations == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=200))
+    def test_index_consistency_under_churn(self, blocks):
+        q = PrefetchQueue(capacity=8)
+        for i, block in enumerate(blocks):
+            q.push(entry(block=block, issue=i))
+            if i % 3 == 0:
+                q.match(block, i)
+        # every unhit queued entry must be findable via outstanding_for
+        unhit = {e.target_block for e in q._queue if not e.hit}
+        for block in unhit:
+            assert q.outstanding_for(block)

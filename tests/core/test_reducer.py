@@ -1,0 +1,141 @@
+"""Tests for the Reducer's online feature selection."""
+
+from repro.core.attributes import Attribute, AttributeSet
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.context import ContextCapture
+from repro.core.cst import ContextStatesTable
+from repro.core.reducer import Reducer
+
+
+def setup(**overrides):
+    config = ContextPrefetcherConfig(**overrides)
+    return config, Reducer(config), ContextStatesTable(config)
+
+
+def capture(ip=1, type_id=0, last_value=0, addr_hist=0, block=0):
+    values = [0] * 8
+    values[Attribute.IP] = ip
+    values[Attribute.TYPE_ID] = type_id
+    values[Attribute.LAST_VALUE] = last_value
+    values[Attribute.ADDR_HISTORY] = addr_hist
+    return ContextCapture(values=tuple(values), block=block)
+
+
+class TestLookup:
+    def test_allocates_with_default_attributes(self):
+        config, reducer, cst = setup()
+        entry, _ = reducer.lookup(capture(), cst)
+        assert entry.active == AttributeSet(config.initial_attributes)
+        assert reducer.allocations == 1
+
+    def test_same_context_reuses_entry(self):
+        _, reducer, cst = setup()
+        reducer.lookup(capture(ip=5), cst)
+        reducer.lookup(capture(ip=5), cst)
+        assert reducer.allocations == 1
+
+    def test_reduced_hash_stable_for_same_context(self):
+        _, reducer, cst = setup()
+        _, r1 = reducer.lookup(capture(ip=5), cst)
+        _, r2 = reducer.lookup(capture(ip=5), cst)
+        assert r1 == r2
+
+    def test_pointer_count_tracks_mapping(self):
+        _, reducer, cst = setup()
+        _, reduced = reducer.lookup(capture(ip=5), cst)
+        assert cst.pointer_count(reduced) == 1
+
+    def test_distinct_full_contexts_same_reduced_context(self):
+        # same IP/hints but different inactive attributes: several reducer
+        # entries must map onto one CST entry (the overload scenario)
+        _, reducer, cst = setup()
+        reduced_hashes = set()
+        for lv in range(1, 6):
+            _, reduced = reducer.lookup(capture(ip=5, last_value=lv), cst)
+            reduced_hashes.add(reduced)
+        assert len(reduced_hashes) == 1
+        assert cst.pointer_count(reduced_hashes.pop()) == 5
+
+    def test_ablation_uses_full_context(self):
+        _, reducer, cst = setup(adaptive_reduction=False)
+        _, r1 = reducer.lookup(capture(ip=5, last_value=1), cst)
+        _, r2 = reducer.lookup(capture(ip=5, last_value=2), cst)
+        assert r1 != r2  # LAST_VALUE participates when reduction is off
+
+
+class TestOverloadAdaptation:
+    def test_overload_activates_attribute(self):
+        config, reducer, cst = setup(overload_refs=3, overload_check_period=1)
+        # many full contexts differing only in LAST_VALUE collapse onto one
+        # reduced context
+        entries = []
+        for lv in range(1, 8):
+            entry, reduced = reducer.lookup(capture(ip=5, last_value=lv), cst)
+            entries.append(entry)
+        # drive adaptation on one entry
+        entry, reduced = reducer.lookup(capture(ip=5, last_value=1), cst)
+        new_reduced = reducer.adapt(entry, capture(ip=5, last_value=1), cst, reduced)
+        assert reducer.activations >= 1
+        assert len(entry.active) > len(AttributeSet(config.initial_attributes))
+
+    def test_adaptation_rehomes_pointer(self):
+        _, reducer, cst = setup(overload_refs=2, overload_check_period=1)
+        for lv in range(1, 6):
+            reducer.lookup(capture(ip=5, last_value=lv), cst)
+        entry, reduced = reducer.lookup(capture(ip=5, last_value=1), cst)
+        new_reduced = reducer.adapt(entry, capture(ip=5, last_value=1), cst, reduced)
+        if new_reduced != reduced:
+            assert entry.cst_key == new_reduced
+
+    def test_no_adaptation_when_disabled(self):
+        _, reducer, cst = setup(adaptive_reduction=False, overload_check_period=1)
+        for lv in range(1, 8):
+            entry, reduced = reducer.lookup(capture(ip=5, last_value=lv), cst)
+            reducer.adapt(entry, capture(ip=5, last_value=lv), cst, reduced)
+        assert reducer.activations == 0
+
+
+class TestUnderloadAdaptation:
+    def test_underload_deactivates_useless_attribute(self):
+        _, reducer, cst = setup(
+            overload_check_period=1, underload_lookups=4, overload_refs=100
+        )
+        cap = capture(ip=5, last_value=9)
+        entry, reduced = reducer.lookup(cap, cst)
+        # grow the active set artificially, as an earlier overload would
+        entry.active = entry.active.activate_next()
+        _, reduced = reducer.lookup(cap, cst)  # remap pointer to new key
+        reduced = cap.hash(entry.active, 19)
+        cst.add_association(reduced, 5)  # candidate that never earns reward
+        before = len(entry.active)
+        for _ in range(10):
+            entry2, r2 = reducer.lookup(cap, cst)
+            reducer.adapt(entry2, cap, cst, r2)
+        assert len(entry.active) < before
+        assert reducer.deactivations >= 1
+
+    def test_underload_never_drops_initial_attributes(self):
+        config, reducer, cst = setup(
+            overload_check_period=1, underload_lookups=1, overload_refs=100
+        )
+        cap = capture(ip=5)
+        for _ in range(20):
+            entry, reduced = reducer.lookup(cap, cst)
+            cst.add_association(reduced, 5)
+            reducer.adapt(entry, cap, cst, reduced)
+        assert len(entry.active) >= len(AttributeSet(config.initial_attributes))
+
+
+class TestConflicts:
+    def test_conflicting_tag_reallocates(self):
+        _, reducer, cst = setup(reducer_entries=1, reducer_tag_bits=8)
+        reducer.lookup(capture(ip=1), cst)
+        reducer.lookup(capture(ip=2), cst)
+        # with a single entry, different full hashes conflict constantly
+        assert reducer.allocations + reducer.conflict_evictions >= 2
+
+    def test_reset(self):
+        _, reducer, cst = setup()
+        reducer.lookup(capture(ip=1), cst)
+        reducer.reset()
+        assert reducer.occupancy() == 0

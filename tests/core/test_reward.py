@@ -1,0 +1,99 @@
+"""Tests for the bell-shaped reward function and distance formulas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reward import RewardFunction, target_prefetch_distance
+
+
+class TestWindowShape:
+    def test_peak_at_center(self):
+        reward = RewardFunction()
+        assert reward(30) == reward.peak
+
+    def test_positive_throughout_window(self):
+        reward = RewardFunction()
+        assert all(reward(d) >= 1 for d in range(18, 51))
+
+    def test_negative_outside_window(self):
+        reward = RewardFunction()
+        assert reward(17) < 0
+        assert reward(51) < 0
+        assert reward(0) < 0
+        assert reward(128) < 0
+
+    def test_bell_decays_from_center(self):
+        reward = RewardFunction()
+        left = [reward(d) for d in range(18, 31)]
+        right = [reward(d) for d in range(30, 51)]
+        assert left == sorted(left)  # non-decreasing toward the peak
+        assert right == sorted(right, reverse=True)
+
+    def test_late_and_early_penalties_differ(self):
+        reward = RewardFunction(late_penalty=-1, early_penalty=-2)
+        assert reward(5) == -1
+        assert reward(80) == -2
+        assert reward.expiry_reward() == -2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RewardFunction()(-1)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_reward_bounded(self, depth):
+        reward = RewardFunction()
+        value = reward(depth)
+        assert reward.early_penalty <= value <= reward.peak
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            RewardFunction(lo=50, hi=18)
+
+    def test_center_must_be_inside(self):
+        with pytest.raises(ValueError):
+            RewardFunction(lo=18, hi=50, center=60)
+
+    def test_penalties_must_be_negative(self):
+        with pytest.raises(ValueError):
+            RewardFunction(late_penalty=1)
+
+    def test_peak_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RewardFunction(peak=0)
+
+
+class TestCurve:
+    def test_curve_matches_call(self):
+        reward = RewardFunction()
+        curve = reward.curve(max_depth=60)
+        assert len(curve) == 61
+        assert all(reward(d) == v for d, v in curve)
+
+    def test_figure5_shape(self):
+        # Figure 5: negative edge, positive bell over [18, 50], negative tail
+        curve = dict(RewardFunction().curve(80))
+        assert curve[10] < 0 < curve[30]
+        assert curve[60] < 0
+
+
+class TestTargetDistance:
+    def test_paper_formula(self):
+        # L1 miss penalty = L2 latency + L2 miss rate * DRAM latency
+        # distance = penalty * IPC * P(mem op)
+        distance = target_prefetch_distance(
+            l2_latency=20, l2_miss_rate=0.1, dram_latency=300, ipc=1.2, prob_mem_op=0.5
+        )
+        assert distance == pytest.approx((20 + 30) * 1.2 * 0.5)
+
+    def test_average_workload_lands_near_30(self):
+        # Section 4.3: target distances range ~10-90, averaging ~30
+        distance = target_prefetch_distance(20, 0.25, 300, 1.0, 0.33)
+        assert 20 < distance < 40
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            target_prefetch_distance(20, 1.5, 300, 1.0, 0.3)
+        with pytest.raises(ValueError):
+            target_prefetch_distance(20, 0.5, 300, 1.0, -0.1)

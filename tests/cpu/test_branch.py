@@ -1,0 +1,47 @@
+"""Tests for the global branch-history register."""
+
+import pytest
+
+from repro.cpu.branch import BranchHistoryRegister
+
+
+class TestBranchHistory:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            BranchHistoryRegister(bits=0)
+
+    def test_initial_value_zero(self):
+        assert BranchHistoryRegister().value == 0
+
+    def test_shift_in_taken(self):
+        bhr = BranchHistoryRegister(bits=4)
+        bhr.update(True)
+        assert bhr.value == 0b1
+
+    def test_most_recent_in_bit_zero(self):
+        bhr = BranchHistoryRegister(bits=4)
+        bhr.update(True)
+        bhr.update(False)
+        assert bhr.value == 0b10
+
+    def test_width_masking(self):
+        bhr = BranchHistoryRegister(bits=2)
+        for _ in range(10):
+            bhr.update(True)
+        assert bhr.value == 0b11
+
+    def test_update_many_oldest_first(self):
+        bhr = BranchHistoryRegister(bits=8)
+        bhr.update_many((True, False, True))
+        assert bhr.value == 0b101
+
+    def test_update_counter(self):
+        bhr = BranchHistoryRegister()
+        bhr.update_many([True] * 5)
+        assert bhr.updates == 5
+
+    def test_reset(self):
+        bhr = BranchHistoryRegister()
+        bhr.update(True)
+        bhr.reset()
+        assert bhr.value == 0

@@ -1,0 +1,80 @@
+"""Analytic cross-checks of the timing model against closed-form bounds.
+
+For simple regular traces the expected cycle counts can be derived by
+hand; these tests pin the model to those derivations so timing changes
+cannot drift silently.
+"""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import TraceBuilder
+
+
+def chase_trace(n, *, stride=4096, gap=1):
+    """Dependent chain of distinct lines (serial DRAM misses)."""
+    tb = TraceBuilder()
+    for i in range(n):
+        tb.load(0x100000 + i * stride, "chase", depends=True, gap=gap)
+    return tb.accesses
+
+
+def independent_trace(n, *, stride=4096, gap=1):
+    tb = TraceBuilder()
+    for i in range(n):
+        tb.load(0x100000 + i * stride, "indep", gap=gap)
+    return tb.accesses
+
+
+class TestClosedFormBounds:
+    def test_serial_chase_costs_one_dram_latency_per_access(self):
+        n = 100
+        result = Simulator(NoPrefetcher()).run(chase_trace(n))
+        per_access = result.cycles / n
+        # each hop waits for the previous completion: ~322 cycles
+        assert per_access == pytest.approx(322, rel=0.05)
+
+    def test_independent_misses_bounded_by_mshr_mlp(self):
+        n = 200
+        result = Simulator(NoPrefetcher()).run(independent_trace(n))
+        per_access = result.cycles / n
+        # 4 L1 MSHRs -> at best 322/4 ≈ 80 cycles per miss
+        assert per_access == pytest.approx(322 / 4, rel=0.10)
+
+    def test_l2_resident_chase_is_far_cheaper_than_dram(self):
+        # 1200 lines at stride 128: too many for the L1's conflict sets,
+        # comfortably L2-resident.  The second pass pays L2-hit chases.
+        first = chase_trace(1200, stride=128)
+        trace = first + first
+        result = Simulator(NoPrefetcher()).run(trace)
+        per_access = result.cycles / 2400
+        # average of a DRAM pass (~322) and an L2 pass (~22) is ~172
+        assert per_access < 250
+
+    def test_dram_bandwidth_floor(self):
+        # far more parallelism than the channel can serve: with 4cy per
+        # line, 400 independent lines need >= 1600 cycles of channel time
+        config = HierarchyConfig(l1_mshrs=64)
+        result = Simulator(NoPrefetcher(), hierarchy_config=config).run(
+            independent_trace(400)
+        )
+        assert result.cycles >= 400 * 4
+
+    def test_frontend_floor(self):
+        # all-hit trace: cycles ~= instructions / width
+        tb = TraceBuilder()
+        for _ in range(500):
+            for i in range(4):
+                tb.load(0x100000 + i * 64, "hot", gap=7)
+        result = Simulator(NoPrefetcher()).run(tb.accesses)
+        floor = result.instructions / 4
+        assert result.cycles == pytest.approx(floor, rel=0.15)
+
+    def test_gap_instructions_cost_frontend_time(self):
+        lean = Simulator(NoPrefetcher()).run(chase_trace(50, gap=1))
+        dense = Simulator(NoPrefetcher()).run(chase_trace(50, gap=200))
+        # 200-instruction gaps at 4-wide add ~50 cycles per access but
+        # overlap with the 322-cycle miss -> totals stay close
+        assert dense.cycles < lean.cycles * 1.3

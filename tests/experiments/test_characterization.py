@@ -1,0 +1,32 @@
+"""Tests for the characterization experiment module."""
+
+import pytest
+
+from repro.experiments import characterization
+
+
+class TestCharacterizationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return characterization.run(
+            workloads=("list", "array", "mcf"), limit=5000
+        )
+
+    def test_profiles_per_workload(self, result):
+        assert set(result.profiles) == {"list", "array", "mcf"}
+
+    def test_linked_list_is_irregular(self, result):
+        assert "list" in result.irregular_workloads()
+        assert "array" not in result.irregular_workloads()
+
+    def test_array_has_dominant_stride(self, result):
+        assert result.profiles["array"].dominant_stride() == 8
+
+    def test_hint_coverage_nonzero_for_pointer_codes(self, result):
+        assert result.profiles["list"].hinted_fraction > 0.3
+
+    def test_render(self, result):
+        text = characterization.render(result)
+        assert "Workload characterization" in text
+        assert "mem/inst" in text
+        assert "list" in text

@@ -1,0 +1,59 @@
+"""Tests for the learning-convergence experiment."""
+
+import pytest
+
+from repro.experiments import convergence
+
+
+class TestTrajectory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return convergence.run(workloads=("list",), samples=6, limit=24000)
+
+    def test_sample_count(self, result):
+        assert len(result.trajectories["list"]) == 6
+
+    def test_accesses_monotone(self, result):
+        counts = [p.accesses for p in result.trajectories["list"]]
+        assert counts == sorted(counts)
+        assert counts[-1] == 24000
+
+    def test_accuracy_improves_over_training(self, result):
+        points = result.trajectories["list"]
+        assert points[-1].accuracy > points[0].accuracy
+
+    def test_epsilon_anneals(self, result):
+        points = result.trajectories["list"]
+        assert points[-1].epsilon < points[0].epsilon
+
+    def test_degree_grows(self, result):
+        points = result.trajectories["list"]
+        assert points[-1].degree >= points[0].degree
+
+    def test_cst_occupancy_grows(self, result):
+        points = result.trajectories["list"]
+        assert points[-1].cst_occupancy >= points[0].cst_occupancy
+
+    def test_final_accuracy_accessor(self, result):
+        assert result.final_accuracy("list") == result.trajectories["list"][-1].accuracy
+
+    def test_render(self, result):
+        text = convergence.render(result)
+        assert "Convergence" in text and "list" in text
+
+
+class TestConvergedPredicate:
+    def test_flat_tail_is_converged(self):
+        points = [
+            convergence.ConvergencePoint(i, 0.7, 0.05, 4, 100, 5) for i in range(8)
+        ]
+        result = convergence.ConvergenceResult(trajectories={"w": points})
+        assert result.converged("w")
+
+    def test_moving_tail_is_not(self):
+        points = [
+            convergence.ConvergencePoint(i, 0.1 * i, 0.05, 4, 100, 5)
+            for i in range(8)
+        ]
+        result = convergence.ConvergenceResult(trajectories={"w": points})
+        assert not result.converged("w")

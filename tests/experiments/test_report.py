@@ -1,0 +1,55 @@
+"""Tests for the text rendering helpers."""
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(("name", "value"), [("alpha", 1.5), ("b", 20)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        # column positions line up
+        assert lines[0].index("value") == lines[2].index("1.50")
+
+    def test_title_underlined(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_floats_formatted_to_two_places(self):
+        text = render_table(("v",), [(3.14159,)])
+        assert "3.14" in text and "3.142" not in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(("h",), [("a-very-long-cell-value",)])
+        assert "a-very-long-cell-value" in text
+
+    def test_empty_rows(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_magnitude(self):
+        text = render_series([(0, 1.0), (1, 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[-1].count("█") == 10
+        assert lines[-2].count("█") == 5
+
+    def test_negative_values_use_alternate_glyph(self):
+        text = render_series([(0, -1.0), (1, 1.0)])
+        assert "▒" in text and "█" in text
+
+    def test_title_and_labels(self):
+        text = render_series([(0, 1.0)], title="T", label_x="depth", label_y="reward")
+        assert text.startswith("T")
+        assert "depth" in text and "reward" in text
+
+    def test_empty_series(self):
+        assert "empty" in render_series([], title="T")
+
+    def test_all_zero_series_does_not_divide_by_zero(self):
+        text = render_series([(0, 0.0), (1, 0.0)])
+        assert "0" in text

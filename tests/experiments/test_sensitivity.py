@@ -1,0 +1,50 @@
+"""Tests for the parameter-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+class TestGrid:
+    def test_all_knobs_present(self):
+        grid = sensitivity.parameter_grid()
+        assert set(grid) == {
+            "window",
+            "cst_links",
+            "queue_depth",
+            "max_degree",
+            "epsilon_max",
+        }
+
+    def test_each_knob_has_default_setting(self):
+        grid = sensitivity.parameter_grid()
+        # the paper default appears in every knob's settings
+        assert "paper(18-50)" in grid["window"]
+        assert "4" in grid["cst_links"]
+        assert "128" in grid["queue_depth"]
+
+    def test_configs_are_valid(self):
+        for settings in sensitivity.parameter_grid().values():
+            for config in settings.values():
+                assert config.cst_entries > 0  # construction validated
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run(workloads=("array",))
+
+    def test_grid_fully_populated(self, result):
+        for knob, settings in result.grid.items():
+            assert settings, knob
+            assert all(v > 0 for v in settings.values())
+
+    def test_best_setting_is_argmax(self, result):
+        for knob, settings in result.grid.items():
+            best = result.best_setting(knob)
+            assert settings[best] == max(settings.values())
+
+    def test_render_marks_best(self, result):
+        text = sensitivity.render(result)
+        assert "best" in text
+        assert "Parameter sensitivity" in text

@@ -1,0 +1,38 @@
+"""Tests for the per-suite summary view."""
+
+import pytest
+
+from repro.experiments import suite_summary
+from repro.sim.runner import compare
+from repro.workloads.suites import get_workload
+
+
+@pytest.fixture(scope="module")
+def summary():
+    workloads = [get_workload(n) for n in ("list", "array", "lbm", "mcf")]
+    comparison = compare(workloads, prefetchers=("none", "sms", "context"), limit=4000)
+    return suite_summary.run(comparison=comparison)
+
+
+class TestGrouping:
+    def test_suites_discovered(self, summary):
+        assert set(summary.by_suite) == {"ukernel-ds", "spec2006"}
+
+    def test_prefetchers_exclude_baseline(self, summary):
+        assert set(summary.by_suite["spec2006"]) == {"sms", "context"}
+
+    def test_peak_at_least_geomean(self, summary):
+        for suite in summary.by_suite:
+            for pf, mean in summary.by_suite[suite].items():
+                assert summary.peaks[suite][pf] >= mean - 1e-9
+
+    def test_best_prefetcher_accessor(self, summary):
+        suite = "ukernel-ds"
+        best = summary.best_prefetcher(suite)
+        row = summary.by_suite[suite]
+        assert row[best] == max(row.values())
+
+    def test_render(self, summary):
+        text = suite_summary.render(summary)
+        assert "Per-suite" in text
+        assert "geomean" in text and "peak" in text

@@ -1,0 +1,67 @@
+"""Tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import (
+    BLOCK_BYTES,
+    LINE_BYTES,
+    align_down,
+    block_of,
+    block_to_addr,
+    is_power_of_two,
+    line_of,
+    line_to_addr,
+)
+
+
+class TestAlignDown:
+    def test_already_aligned(self):
+        assert align_down(128, 64) == 128
+
+    def test_rounds_down(self):
+        assert align_down(130, 64) == 128
+
+    def test_zero(self):
+        assert align_down(0, 64) == 0
+
+    def test_one_below_boundary(self):
+        assert align_down(127, 64) == 64
+
+    @given(st.integers(min_value=0, max_value=1 << 48), st.sampled_from([8, 32, 64, 4096]))
+    def test_result_is_aligned_and_close(self, addr, gran):
+        out = align_down(addr, gran)
+        assert out % gran == 0
+        assert 0 <= addr - out < gran
+
+
+class TestBlockLineMath:
+    def test_block_of_default_granularity(self):
+        assert block_of(0) == 0
+        assert block_of(BLOCK_BYTES - 1) == 0
+        assert block_of(BLOCK_BYTES) == 1
+
+    def test_line_of_default_granularity(self):
+        assert line_of(LINE_BYTES - 1) == 0
+        assert line_of(LINE_BYTES) == 1
+
+    def test_block_roundtrip(self):
+        assert block_to_addr(block_of(1000)) <= 1000 < block_to_addr(block_of(1000) + 1)
+
+    def test_line_roundtrip(self):
+        assert line_to_addr(line_of(1000)) <= 1000 < line_to_addr(line_of(1000) + 1)
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_block_within_line_consistency(self, addr):
+        # 32-byte blocks nest exactly two per 64-byte line
+        assert block_of(addr) // 2 == line_of(addr)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1 << 20])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)

@@ -1,0 +1,136 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4) -> Cache:
+    return Cache(CacheConfig(size_bytes=ways * sets * 64, ways=ways, name="t"))
+
+
+class TestConfigValidation:
+    def test_table2_l1_geometry(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, ways=8)
+        assert cfg.num_sets == 128
+        assert cfg.num_lines == 1024
+
+    def test_table2_l2_geometry(self):
+        cfg = CacheConfig(size_bytes=2 * 1024 * 1024, ways=16)
+        assert cfg.num_sets == 2048
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * 2, ways=2)
+
+
+class TestFillAndLookup:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(10) is None
+        cache.fill(10)
+        assert cache.lookup(10) is not None
+
+    def test_contains_does_not_disturb_lru(self):
+        cache = small_cache(ways=2)
+        cache.fill(0)
+        cache.fill(4)  # same set (4 sets): lines 0 and 4 map to set 0
+        cache.contains(0)  # should NOT refresh line 0
+        cache.fill(8)  # evicts LRU = line 0
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_lookup_refreshes_lru(self):
+        cache = small_cache(ways=2)
+        cache.fill(0)
+        cache.fill(4)
+        cache.lookup(0)  # refresh line 0
+        cache.fill(8)  # evicts line 4 now
+        assert cache.contains(0)
+        assert not cache.contains(4)
+
+    def test_refill_existing_keeps_single_copy(self):
+        cache = small_cache()
+        cache.fill(3)
+        cache.fill(3)
+        assert cache.occupancy() == 1
+
+    def test_fill_returns_victim(self):
+        cache = small_cache(ways=1)
+        assert cache.fill(0) is None
+        assert cache.fill(4) == 0
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(5)
+        assert cache.invalidate(5)
+        assert not cache.contains(5)
+        assert not cache.invalidate(5)
+
+
+class TestPrefetchBits:
+    def test_prefetched_line_marked(self):
+        cache = small_cache()
+        cache.fill(1, prefetched=True)
+        entry = cache.peek(1)
+        assert entry.prefetched and not entry.referenced
+
+    def test_demand_touch_sets_referenced(self):
+        cache = small_cache()
+        cache.fill(1, prefetched=True)
+        cache.lookup(1)
+        assert cache.peek(1).referenced
+        assert cache.used_prefetch_fills == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = small_cache(ways=1)
+        cache.fill(0, prefetched=True)
+        cache.fill(4)  # evicts the untouched prefetch
+        assert cache.unused_prefetch_evictions == 1
+
+    def test_used_prefetch_eviction_not_counted(self):
+        cache = small_cache(ways=1)
+        cache.fill(0, prefetched=True)
+        cache.lookup(0)
+        cache.fill(4)
+        assert cache.unused_prefetch_evictions == 0
+
+    def test_demand_fill_never_downgraded_to_prefetch(self):
+        cache = small_cache()
+        cache.fill(2, prefetched=False)
+        cache.fill(2, prefetched=True)  # redundant prefetch of resident line
+        assert not cache.peek(2).prefetched
+
+    def test_resident_unused_count(self):
+        cache = small_cache()
+        cache.fill(0, prefetched=True)
+        cache.fill(1, prefetched=True)
+        cache.lookup(0)
+        assert cache.resident_unused_prefetches() == 1
+
+
+class TestCapacityInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300))
+    def test_never_exceeds_ways_per_set(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.fill(line)
+        per_set: dict[int, int] = {}
+        for line in cache.resident_lines():
+            per_set[line % 4] = per_set.get(line % 4, 0) + 1
+        assert all(count <= 2 for count in per_set.values())
+        assert cache.occupancy() <= 8
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_most_recent_fill_always_resident(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.fill(line)
+        assert cache.contains(lines[-1])

@@ -1,0 +1,180 @@
+"""Tests for the two-level hierarchy with prefetch timing."""
+
+from repro.memory.hierarchy import Hierarchy, HierarchyConfig
+from repro.memory.stats import AccessClass
+
+
+def tiny_hierarchy(**overrides) -> Hierarchy:
+    """A small hierarchy with Table 2 latencies but tiny capacities."""
+    defaults = dict(
+        l1_size=8 * 64,  # 8 lines, 2 ways
+        l1_ways=2,
+        l1_latency=2,
+        l1_mshrs=4,
+        l2_size=64 * 64,
+        l2_ways=4,
+        l2_latency=20,
+        l2_mshrs=20,
+        dram_latency=300,
+    )
+    defaults.update(overrides)
+    return Hierarchy(HierarchyConfig(**defaults))
+
+
+ADDR = 0x10000
+
+
+class TestDemandLatencies:
+    def test_cold_miss_pays_full_dram_path(self):
+        hier = tiny_hierarchy()
+        result = hier.demand_access(ADDR, now=0)
+        assert result.latency == 2 + 20 + 300
+        assert not result.l1_hit and not result.l2_hit
+        assert result.served_by == "dram"
+
+    def test_l1_hit_after_fill(self):
+        hier = tiny_hierarchy()
+        hier.demand_access(ADDR, now=0)
+        result = hier.demand_access(ADDR, now=1000)
+        assert result.l1_hit
+        assert result.latency == 2
+        assert result.access_class is AccessClass.HIT_OLDER_DEMAND
+
+    def test_l2_hit_after_l1_eviction(self):
+        hier = tiny_hierarchy()
+        hier.demand_access(ADDR, now=0)
+        # thrash set 0 of the tiny L1 (4 sets => lines 4 apart conflict)
+        hier.demand_access(ADDR + 4 * 64, now=1000)
+        hier.demand_access(ADDR + 8 * 64, now=2000)
+        result = hier.demand_access(ADDR, now=3000)
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == 2 + 20
+
+    def test_demand_merge_with_inflight_demand(self):
+        hier = tiny_hierarchy()
+        first = hier.demand_access(ADDR, now=0)
+        second = hier.demand_access(ADDR + 8, now=100)  # same line
+        assert second.served_by == "mshr"
+        assert second.latency == first.latency - 100
+        assert second.access_class is AccessClass.HIT_OLDER_DEMAND
+
+    def test_mshr_exhaustion_delays_demand(self):
+        hier = tiny_hierarchy(l1_mshrs=2)
+        hier.demand_access(ADDR, now=0)
+        hier.demand_access(ADDR + 64, now=0)
+        result = hier.demand_access(ADDR + 128, now=0)
+        # must wait for an earlier miss to retire before starting
+        assert result.latency > 322
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_l1_after_latency(self):
+        hier = tiny_hierarchy()
+        outcome = hier.prefetch(ADDR, now=0)
+        assert outcome.issued
+        result = hier.demand_access(ADDR, now=outcome.completes_at + 1)
+        assert result.l1_hit
+        assert result.access_class is AccessClass.HIT_PREFETCHED
+
+    def test_second_touch_of_prefetched_line_is_older_demand(self):
+        hier = tiny_hierarchy()
+        outcome = hier.prefetch(ADDR, now=0)
+        hier.demand_access(ADDR, now=outcome.completes_at + 1)
+        result = hier.demand_access(ADDR, now=outcome.completes_at + 2)
+        assert result.access_class is AccessClass.HIT_OLDER_DEMAND
+
+    def test_demand_during_prefetch_gets_shorter_wait(self):
+        hier = tiny_hierarchy()
+        hier.prefetch(ADDR, now=0)  # cold: completes at 322
+        result = hier.demand_access(ADDR, now=300)
+        assert result.access_class is AccessClass.SHORTER_WAIT
+        assert result.latency == 22  # only the remainder
+
+    def test_dram_prefetch_also_fills_l2(self):
+        hier = tiny_hierarchy()
+        outcome = hier.prefetch(ADDR, now=0)
+        hier.drain(outcome.completes_at + 1)
+        assert hier.l2.contains(ADDR // 64)
+
+    def test_l2_resident_prefetch_is_fast(self):
+        hier = tiny_hierarchy()
+        first = hier.demand_access(ADDR, now=0)  # brings line into L1+L2
+        # evict from L1 via conflicts
+        hier.demand_access(ADDR + 4 * 64, now=1000)
+        hier.demand_access(ADDR + 8 * 64, now=2000)
+        outcome = hier.prefetch(ADDR, now=3000)
+        assert outcome.completes_at - 3000 == 22
+
+    def test_redundant_prefetch_of_resident_line(self):
+        hier = tiny_hierarchy()
+        hier.demand_access(ADDR, now=0)
+        outcome = hier.prefetch(ADDR, now=1000)
+        assert not outcome.issued
+        assert outcome.reason == "resident"
+        assert hier.prefetches_redundant == 1
+
+    def test_redundant_prefetch_of_inflight_line(self):
+        hier = tiny_hierarchy()
+        hier.prefetch(ADDR, now=0)
+        outcome = hier.prefetch(ADDR, now=10)
+        assert not outcome.issued
+        assert outcome.reason == "in-flight"
+
+
+class TestBacklog:
+    def test_excess_prefetches_queue_and_drain(self):
+        hier = tiny_hierarchy(prefetch_buffers=2, prefetch_mshr_reserve=0)
+        outcomes = [hier.prefetch(ADDR + i * 64, now=0) for i in range(5)]
+        assert all(o.issued for o in outcomes)
+        assert hier.prefetches_issued == 2
+        # after the first two complete, the backlog drains
+        hier.drain(400)
+        assert hier.prefetches_issued == 4
+        hier.drain(800)
+        assert hier.prefetches_issued == 5
+
+    def test_backlog_overflow_rejected(self):
+        hier = tiny_hierarchy(
+            prefetch_buffers=1, prefetch_backlog_depth=2, prefetch_mshr_reserve=0
+        )
+        for i in range(6):
+            hier.prefetch(ADDR + i * 64, now=0)
+        assert hier.prefetches_rejected_mshr > 0
+
+    def test_queued_line_not_requeued(self):
+        hier = tiny_hierarchy(prefetch_buffers=1, prefetch_mshr_reserve=0)
+        hier.prefetch(ADDR, now=0)
+        hier.prefetch(ADDR + 64, now=0)  # queued
+        outcome = hier.prefetch(ADDR + 64, now=0)
+        assert outcome.reason == "queued-already"
+
+
+class TestClassificationPlumbing:
+    def test_non_timely_when_prediction_never_issued(self):
+        hier = tiny_hierarchy()
+        hier.note_unissued_prediction(ADDR // 64)
+        result = hier.demand_access(ADDR, now=0)
+        assert result.access_class is AccessClass.NON_TIMELY
+
+    def test_plain_miss_not_prefetched(self):
+        hier = tiny_hierarchy()
+        result = hier.demand_access(ADDR, now=0)
+        assert result.access_class is AccessClass.MISS_NOT_PREFETCHED
+
+    def test_wasted_prefetch_counted_on_eviction(self):
+        hier = tiny_hierarchy()
+        out = hier.prefetch(ADDR, now=0)
+        hier.drain(out.completes_at + 1)
+        # evict the prefetched line with conflicting demand fills
+        t = out.completes_at + 10
+        for i in range(1, 3):
+            r = hier.demand_access(ADDR + 4 * i * 64, now=t)
+            t += r.latency + 10
+        hier.drain(t + 1000)
+        assert hier.wasted_prefetches() == 1
+
+    def test_l2_stats_recorded_on_l1_miss_only(self):
+        hier = tiny_hierarchy()
+        hier.demand_access(ADDR, now=0)
+        hier.demand_access(ADDR, now=1000)  # L1 hit: no L2 access
+        assert hier.l2_stats.accesses == 1

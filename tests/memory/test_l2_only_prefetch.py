@@ -1,0 +1,58 @@
+"""Tests for the L2-only prefetch fill mode (ablation of Section 4.3)."""
+
+from repro.memory.hierarchy import Hierarchy, HierarchyConfig
+from repro.memory.stats import AccessClass
+
+ADDR = 0x40000
+
+
+def l2_only() -> Hierarchy:
+    return Hierarchy(HierarchyConfig(prefetch_fill_l1=False))
+
+
+class TestL2OnlyMode:
+    def test_prefetch_fills_l2_not_l1(self):
+        hier = l2_only()
+        out = hier.prefetch(ADDR, now=0)
+        hier.drain(out.completes_at + 1)
+        assert hier.l2.contains(ADDR // 64)
+        assert not hier.l1.contains(ADDR // 64)
+
+    def test_demand_after_prefetch_is_l2_hit(self):
+        hier = l2_only()
+        out = hier.prefetch(ADDR, now=0)
+        result = hier.demand_access(ADDR, now=out.completes_at + 1)
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == 22
+
+    def test_l2_resident_prefetch_rejected(self):
+        hier = l2_only()
+        out = hier.prefetch(ADDR, now=0)
+        hier.drain(out.completes_at + 1)
+        second = hier.prefetch(ADDR, now=out.completes_at + 10)
+        assert not second.issued
+        assert second.reason == "resident-l2"
+
+    def test_demand_fills_still_reach_l1(self):
+        hier = l2_only()
+        first = hier.demand_access(ADDR, now=0)
+        result = hier.demand_access(ADDR, now=first.latency + 10)
+        assert result.l1_hit
+
+    def test_no_l1_prefetch_pollution(self):
+        hier = l2_only()
+        # resident demand line in L1
+        first = hier.demand_access(ADDR, now=0)
+        t = first.latency + 10
+        # prefetch many conflicting lines; L1 contents must be untouched
+        for i in range(1, 20):
+            hier.prefetch(ADDR + i * 64 * 128, now=t)
+        hier.drain(t + 5000)
+        assert hier.l1.contains(ADDR // 64)
+
+    def test_default_mode_still_fills_l1(self):
+        hier = Hierarchy()
+        out = hier.prefetch(ADDR, now=0)
+        result = hier.demand_access(ADDR, now=out.completes_at + 1)
+        assert result.l1_hit
+        assert result.access_class is AccessClass.HIT_PREFETCHED

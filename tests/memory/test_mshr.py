@@ -1,0 +1,74 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_and_lookup(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(line=5, now=0, completes_at=100)
+        assert mshrs.lookup(5, now=10) == 100
+
+    def test_full_file_rejects(self):
+        mshrs = MSHRFile(1)
+        assert mshrs.allocate(1, 0, 100)
+        assert not mshrs.allocate(2, 0, 100)
+        assert mshrs.rejections == 1
+
+    def test_merge_always_succeeds_when_full(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, 0, 100)
+        assert mshrs.allocate(1, 50, 100)  # secondary miss to same line
+        assert mshrs.merges == 1
+
+    def test_available_counts(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(1, 0, 100)
+        mshrs.allocate(2, 0, 100)
+        assert mshrs.available(0) == 2
+        assert mshrs.outstanding(0) == 2
+
+
+class TestExpiry:
+    def test_entry_retires_at_completion(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, 0, 100)
+        assert mshrs.lookup(1, 99) == 100
+        assert mshrs.lookup(1, 100) is None
+        assert mshrs.available(100) == 1
+
+    def test_expired_entry_frees_slot(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, 0, 100)
+        assert mshrs.allocate(2, 100, 200)
+
+    def test_in_flight_lines_sorted(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(9, 0, 100)
+        mshrs.allocate(3, 0, 100)
+        assert mshrs.in_flight_lines(0) == [3, 9]
+
+
+class TestPrefetchFlag:
+    def test_prefetch_flag_tracked(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, 0, 100, is_prefetch=True)
+        assert mshrs.is_prefetch(1, 0)
+
+    def test_demand_merge_clears_prefetch_flag(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, 0, 100, is_prefetch=True)
+        mshrs.allocate(1, 10, 100, is_prefetch=False)
+        assert not mshrs.is_prefetch(1, 10)
+
+    def test_prefetch_merge_does_not_set_flag(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, 0, 100, is_prefetch=False)
+        mshrs.allocate(1, 10, 100, is_prefetch=True)
+        assert not mshrs.is_prefetch(1, 10)

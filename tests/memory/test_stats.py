@@ -1,0 +1,82 @@
+"""Tests for cache statistics and the Figure 9 classifier."""
+
+import pytest
+
+from repro.memory.stats import (
+    ACCESS_CLASS_ORDER,
+    AccessClass,
+    AccessClassifier,
+    CacheStats,
+)
+
+
+class TestCacheStats:
+    def test_initial_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+        assert stats.mpki(1000) == 0.0
+
+    def test_record_accumulates(self):
+        stats = CacheStats()
+        stats.record(hit=True)
+        stats.record(hit=True)
+        stats.record(hit=False)
+        assert stats.accesses == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_mpki_definition(self):
+        stats = CacheStats()
+        for _ in range(40):
+            stats.record(hit=False)
+        # 40 misses in 1000 instructions = 40 MPKI (the paper's L2 average
+        # without prefetching, Section 7.2)
+        assert stats.mpki(1000) == pytest.approx(40.0)
+
+    def test_mpki_guards_zero_instructions(self):
+        stats = CacheStats()
+        stats.record(hit=False)
+        assert stats.mpki(0) == 0.0
+
+
+class TestAccessClassifier:
+    def test_fractions_sum_to_one_without_wasted(self):
+        clf = AccessClassifier()
+        clf.record_demand(AccessClass.HIT_PREFETCHED)
+        clf.record_demand(AccessClass.MISS_NOT_PREFETCHED)
+        total = sum(clf.fractions().values())
+        assert total == pytest.approx(1.0)
+
+    def test_wasted_prefetches_push_past_one(self):
+        # Paper: "These wrong predictions are counted on top of the
+        # program's demand accesses, and therefore pass the 100% mark."
+        clf = AccessClassifier()
+        clf.record_demand(AccessClass.HIT_OLDER_DEMAND)
+        clf.record_wasted_prefetch(3)
+        assert sum(clf.fractions().values()) == pytest.approx(4.0)
+
+    def test_wasted_is_not_a_demand_class(self):
+        clf = AccessClassifier()
+        with pytest.raises(ValueError):
+            clf.record_demand(AccessClass.PREFETCH_NEVER_HIT)
+
+    def test_useful_fraction_counts_hits_and_shorter_waits(self):
+        clf = AccessClassifier()
+        clf.record_demand(AccessClass.HIT_PREFETCHED)
+        clf.record_demand(AccessClass.SHORTER_WAIT)
+        clf.record_demand(AccessClass.NON_TIMELY)
+        clf.record_demand(AccessClass.MISS_NOT_PREFETCHED)
+        assert clf.useful_fraction() == pytest.approx(0.5)
+
+    def test_empty_classifier_fractions(self):
+        clf = AccessClassifier()
+        assert all(v == 0.0 for v in clf.fractions().values())
+        assert clf.useful_fraction() == 0.0
+
+    def test_order_matches_paper_stack(self):
+        names = [cls.name for cls in ACCESS_CLASS_ORDER]
+        assert names[0] == "HIT_PREFETCHED"
+        assert names[-1] == "PREFETCH_NEVER_HIT"
+        assert len(names) == 6

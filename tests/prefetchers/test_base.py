@@ -1,0 +1,73 @@
+"""Tests for the prefetcher interface layer and the no-op baseline."""
+
+from repro.hints import NO_HINTS, RefForm, SemanticHints
+from repro.prefetchers.base import AccessInfo, DegreeCounter, PrefetchRequest
+from repro.prefetchers.nopf import NoPrefetcher
+
+
+class TestNoPrefetcher:
+    def test_never_prefetches(self):
+        pf = NoPrefetcher()
+        info = AccessInfo(index=0, cycle=0, addr=0x1000, pc=0x400000)
+        assert pf.on_access(info) == []
+
+    def test_zero_storage(self):
+        assert NoPrefetcher().storage_bits() == 0
+        assert NoPrefetcher().storage_kib() == 0.0
+
+    def test_name(self):
+        assert NoPrefetcher().name == "none"
+
+
+class TestAccessInfo:
+    def test_defaults(self):
+        info = AccessInfo(index=0, cycle=0, addr=0x1000, pc=0x400000)
+        assert info.is_load
+        assert not info.l1_hit
+        assert not info.primary_miss
+        assert info.hints is NO_HINTS
+
+    def test_frozen(self):
+        info = AccessInfo(index=0, cycle=0, addr=0x1000, pc=0x400000)
+        try:
+            info.addr = 5
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("AccessInfo should be immutable")
+
+
+class TestSemanticHints:
+    def test_packed_round_trip_fields(self):
+        hints = SemanticHints(type_id=7, link_offset=16, ref_form=RefForm.ARROW)
+        packed = hints.packed()
+        assert packed & 0xFFFF == 7
+        assert (packed >> 16) & 0xFFF == 16
+        assert (packed >> 28) & 0xF == int(RefForm.ARROW)
+
+    def test_hints_hashable_and_comparable(self):
+        a = SemanticHints(type_id=1, link_offset=8, ref_form=RefForm.DOT)
+        b = SemanticHints(type_id=1, link_offset=8, ref_form=RefForm.DOT)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDegreeCounter:
+    def test_take_until_exhausted(self):
+        counter = DegreeCounter(degree=2)
+        assert counter.take()
+        assert counter.take()
+        assert not counter.take()
+
+    def test_reset_restores(self):
+        counter = DegreeCounter(degree=1)
+        counter.take()
+        counter.reset()
+        assert counter.take()
+
+
+class TestPrefetchRequest:
+    def test_defaults(self):
+        req = PrefetchRequest(addr=0x1000)
+        assert not req.shadow
+        assert req.meta is None

@@ -1,0 +1,65 @@
+"""Tests for the SystemConfig bundle and streaming trace input."""
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import TraceBuilder
+
+
+class TestSystemConfig:
+    def test_table2_defaults(self):
+        config = SystemConfig()
+        assert config.hierarchy.l1_size == 64 * 1024
+        assert config.hierarchy.l2_size == 2 * 1024 * 1024
+        assert config.hierarchy.dram_latency == 300
+        assert config.core.issue_width == 4
+        assert config.core.rob_size == 192
+        assert config.context.cst_entries == 2048
+
+    def test_components_are_independent_instances(self):
+        a, b = SystemConfig(), SystemConfig()
+        assert a.hierarchy is not b.hierarchy
+        assert a.context is not b.context
+
+    def test_custom_components(self):
+        config = SystemConfig(
+            hierarchy=HierarchyConfig(dram_latency=100),
+            core=CoreConfig(issue_width=2),
+            context=ContextPrefetcherConfig(cst_entries=512),
+        )
+        assert config.hierarchy.dram_latency == 100
+        assert config.core.issue_width == 2
+        assert config.context.cst_entries == 512
+
+
+class TestStreamingTraces:
+    def _trace_list(self, n=50):
+        tb = TraceBuilder()
+        for i in range(n):
+            tb.load(0x10000 + i * 64, "s", gap=2)
+        return tb.accesses
+
+    def test_generator_input_equivalent_to_list(self):
+        trace = self._trace_list()
+        from_list = Simulator(NoPrefetcher()).run(trace)
+        from_gen = Simulator(NoPrefetcher()).run(a for a in trace)
+        assert from_list.cycles == from_gen.cycles
+        assert from_list.l1.misses == from_gen.l1.misses
+
+    def test_limit_applies_to_generators(self):
+        trace = self._trace_list(50)
+        result = Simulator(NoPrefetcher()).run((a for a in trace), limit=10)
+        assert result.l1.accesses == 10
+
+    def test_streaming_jsonl_replay(self, tmp_path):
+        from repro.workloads.serialize import iter_trace, save_trace
+
+        trace = self._trace_list()
+        path = tmp_path / "stream.jsonl"
+        save_trace(trace, path)
+        with open(path) as fp:
+            result = Simulator(NoPrefetcher()).run(iter_trace(fp))
+        assert result.l1.accesses == len(trace)

@@ -1,0 +1,94 @@
+"""Tests for result export (dict/CSV/markdown/stats dump)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.sim.export import (
+    comparison_to_csv,
+    comparison_to_markdown,
+    result_to_dict,
+    results_to_csv,
+    stats_dump,
+)
+from repro.sim.runner import compare, run_workload
+from repro.workloads.arrays import ArrayTraversalProgram
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_workload(ArrayTraversalProgram(num_elements=256, iterations=2), "context")
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    return compare(
+        [ArrayTraversalProgram(num_elements=256, iterations=2)],
+        prefetchers=("none", "context"),
+    )
+
+
+class TestResultToDict:
+    def test_headline_fields(self, small_result):
+        data = result_to_dict(small_result)
+        assert data["workload"] == "array"
+        assert data["prefetcher"] == "context"
+        assert data["ipc"] == pytest.approx(small_result.ipc)
+        assert data["l1_mpki"] == pytest.approx(small_result.l1_mpki)
+
+    def test_classification_fields_present(self, small_result):
+        data = result_to_dict(small_result)
+        assert "class_hit_prefetched" in data
+        assert "class_prefetch_never_hit" in data
+
+    def test_values_json_safe(self, small_result):
+        import json
+
+        json.dumps(result_to_dict(small_result))
+
+
+class TestCSV:
+    def test_round_trip_via_csv_reader(self, small_result):
+        text = results_to_csv([small_result])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 1
+        assert rows[0]["workload"] == "array"
+        assert float(rows[0]["ipc"]) == pytest.approx(small_result.ipc)
+
+    def test_empty_input(self):
+        assert results_to_csv([]) == ""
+
+    def test_comparison_flattens_grid(self, small_comparison):
+        text = comparison_to_csv(small_comparison)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2  # 1 workload x 2 prefetchers
+        assert {r["prefetcher"] for r in rows} == {"none", "context"}
+
+
+class TestMarkdown:
+    def test_speedup_table_excludes_baseline(self, small_comparison):
+        text = comparison_to_markdown(small_comparison)
+        header = text.splitlines()[0]
+        assert "context" in header and "none" not in header
+        assert text.count("|---") >= 2
+
+    def test_ipc_table_includes_all(self, small_comparison):
+        text = comparison_to_markdown(small_comparison, metric="ipc")
+        assert "none" in text.splitlines()[0]
+
+    def test_unknown_metric_rejected(self, small_comparison):
+        with pytest.raises(ValueError):
+            comparison_to_markdown(small_comparison, metric="vibes")
+
+
+class TestStatsDump:
+    def test_gem5_flavoured_format(self, small_result):
+        text = stats_dump(small_result)
+        assert text.startswith("---------- Begin Simulation Statistics")
+        assert text.rstrip().endswith("End Simulation Statistics ----------")
+        assert "sim.ipc" in text and "l1d.mpki" in text
+
+    def test_every_line_has_comment(self, small_result):
+        lines = stats_dump(small_result).splitlines()[1:-1]
+        assert all("#" in line for line in lines)

@@ -1,0 +1,79 @@
+"""Tests for multi-phase simulation."""
+
+import pytest
+
+from repro.sim.phases import PhasedResult, run_phased, split_phases
+from repro.workloads.suites import get_workload
+from repro.workloads.trace import TraceBuilder
+
+
+def toy_trace(n=100):
+    tb = TraceBuilder()
+    for i in range(n):
+        tb.load(0x1000 + i * 64, "x", gap=2)
+    return tb.accesses
+
+
+class TestSplitPhases:
+    def test_partitions_whole_trace(self):
+        trace = toy_trace(100)
+        phases = split_phases(trace, 4)
+        assert sum(len(p) for p in phases) == 100
+        assert [a for p in phases for a in p] == trace
+
+    def test_near_equal_sizes(self):
+        phases = split_phases(toy_trace(101), 4)
+        sizes = [len(p) for p in phases]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_phase(self):
+        trace = toy_trace(10)
+        assert split_phases(trace, 1) == [trace]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_phases(toy_trace(10), 0)
+        with pytest.raises(ValueError):
+            split_phases(toy_trace(10), 11)
+
+
+class TestRunPhased:
+    @pytest.fixture(scope="class")
+    def list_trace(self):
+        return get_workload("list").build().trace()[:8000]
+
+    def test_aggregates_sum_phases(self, list_trace):
+        result = run_phased(list_trace, "none", num_phases=4)
+        assert len(result.phases) == 4
+        assert result.instructions == sum(p.instructions for p in result.phases)
+        assert result.cycles == sum(p.cycles for p in result.phases)
+        assert result.ipc > 0
+
+    def test_mpki_aggregation(self, list_trace):
+        result = run_phased(list_trace, "none", num_phases=2)
+        total_misses = sum(p.l1.misses for p in result.phases)
+        assert result.l1_mpki == pytest.approx(
+            1000 * total_misses / result.instructions
+        )
+
+    def test_warm_start_beats_cold_start_for_learner(self, list_trace):
+        cold = run_phased(list_trace, "context", num_phases=4, cold_start=True)
+        warm = run_phased(list_trace, "context", num_phases=4, cold_start=False)
+        # keeping learned state across phases can only help a recurring
+        # traversal (the training-speed limitation of Section 7.3)
+        assert warm.ipc >= cold.ipc * 0.98
+
+    def test_speedup_over(self, list_trace):
+        base = run_phased(list_trace, "none", num_phases=2)
+        ctx = run_phased(list_trace, "context", num_phases=2)
+        assert ctx.speedup_over(base) > 1.0
+
+    def test_ipc_variation(self, list_trace):
+        result = run_phased(list_trace, "none", num_phases=4)
+        assert result.ipc_variation() >= 1.0
+
+    def test_empty_result_properties(self):
+        empty = PhasedResult(workload="w", prefetcher="p")
+        assert empty.ipc == 0.0
+        assert empty.l1_mpki == 0.0
+        assert empty.ipc_variation() == 0.0

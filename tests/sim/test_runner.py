@@ -1,0 +1,102 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.sim.config import PREFETCHER_FACTORIES, make_prefetcher
+from repro.sim.runner import compare, run_workload, storage_sweep
+from repro.workloads.arrays import ArrayTraversalProgram
+from repro.workloads.linked_list import ListTraversalProgram
+
+
+SMALL_LIST = lambda: ListTraversalProgram(num_nodes=128, iterations=4)
+SMALL_ARRAY = lambda: ArrayTraversalProgram(num_elements=512, iterations=3)
+
+
+class TestFactories:
+    def test_all_prefetchers_registered(self):
+        assert set(PREFETCHER_FACTORIES) == {
+            "none",
+            "stride",
+            "ghb-gdc",
+            "ghb-pcdc",
+            "sms",
+            "markov",
+            "context",
+        }
+
+    def test_make_prefetcher(self):
+        assert make_prefetcher("sms").name == "sms"
+
+    def test_unknown_prefetcher(self):
+        with pytest.raises(KeyError):
+            make_prefetcher("oracle")
+
+
+class TestRunWorkload:
+    def test_accepts_program_instance(self):
+        result = run_workload(SMALL_LIST(), "none")
+        assert result.workload == "list"
+        assert result.prefetcher == "none"
+
+    def test_accepts_registry_name(self):
+        result = run_workload("random", "none", limit=500)
+        assert result.workload == "random"
+
+    def test_accepts_prefetcher_instance(self):
+        pf = make_prefetcher("stride")
+        result = run_workload(SMALL_ARRAY(), pf)
+        assert result.prefetcher == "stride"
+
+
+class TestCompare:
+    def test_grid_complete(self):
+        comp = compare([SMALL_LIST(), SMALL_ARRAY()], prefetchers=("none", "context"))
+        assert comp.workloads() == ["list", "array"]
+        assert comp.prefetchers() == ["none", "context"]
+
+    def test_speedups_relative_to_baseline(self):
+        comp = compare([SMALL_LIST()], prefetchers=("none", "context"))
+        speedups = comp.speedups()
+        assert "none" not in speedups["list"]
+        assert speedups["list"]["context"] > 0
+
+    def test_mean_speedups_geomean(self):
+        comp = compare(
+            [SMALL_LIST(), SMALL_ARRAY()], prefetchers=("none", "context")
+        )
+        mean = comp.mean_speedups()["context"]
+        per_wl = comp.speedups()
+        lo = min(per_wl[w]["context"] for w in per_wl)
+        hi = max(per_wl[w]["context"] for w in per_wl)
+        assert lo <= mean <= hi
+
+    def test_mpki_table(self):
+        comp = compare([SMALL_LIST()], prefetchers=("none",))
+        table = comp.mpki("l1")
+        assert table["list"]["none"] >= 0
+
+    def test_progress_callback(self):
+        lines = []
+        compare([SMALL_ARRAY()], prefetchers=("none",), progress=lines.append)
+        assert len(lines) == 1
+        assert "array/none" in lines[0]
+
+    def test_same_trace_replayed_per_prefetcher(self):
+        comp = compare([SMALL_LIST()], prefetchers=("none", "stride"))
+        a = comp.get("list", "none")
+        b = comp.get("list", "stride")
+        assert a.instructions == b.instructions
+
+
+class TestStorageSweep:
+    def test_figure13_grid(self):
+        results = storage_sweep([SMALL_LIST()], cst_sizes=[256, 1024], limit=800)
+        assert set(results) == {256, 1024}
+        assert "list" in results[256]
+
+    def test_larger_cst_not_worse_on_small_workload(self):
+        results = storage_sweep([SMALL_LIST()], cst_sizes=[64, 2048])
+        # with a tiny CST the working set cannot be covered
+        small = results[64]["list"].ipc
+        large = results[2048]["list"].ipc
+        assert large >= small * 0.9

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_suites_and_prefetchers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "spec2006" in out
+        assert "context" in out and "sms" in out
+
+
+class TestRun:
+    def test_run_prints_summary_and_classes(self, capsys):
+        assert main(["run", "random", "none", "--limit", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "random/none" in out
+        assert "miss not prefetched" in out
+
+    def test_run_with_context_prefetcher(self, capsys):
+        assert main(["run", "array", "context", "--limit", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "array/context" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "not-a-workload", "none"])
+
+    def test_unknown_prefetcher_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "array", "oracle"])
+
+
+class TestSweep:
+    def test_explicit_workloads_and_prefetchers(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "array,random",
+                "--prefetchers",
+                "none,context",
+                "--limit",
+                "1000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEOMEAN" in out
+        assert "array" in out and "random" in out
+
+
+class TestFigure:
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_figure_5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["figure", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTraceAndReplay:
+    def test_trace_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "random.jsonl")
+        assert main(["trace", "random", path, "--limit", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 400 accesses" in out
+
+        assert main(["replay", path, "none"]) == 0
+        out = capsys.readouterr().out
+        assert "/none" in out and "IPC" in out
+
+    def test_replay_with_stats_dump(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        main(["trace", "array", path, "--limit", "300"])
+        capsys.readouterr()
+        assert main(["replay", path, "context", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Begin Simulation Statistics" in out
+        assert "pf.issued" in out

@@ -1,0 +1,134 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import pytest
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.memory.stats import ACCESS_CLASS_ORDER, AccessClass
+from repro.sim.config import PREFETCHER_FACTORIES
+from repro.sim.runner import compare, run_workload
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import SUITES, get_workload
+
+#: one representative per suite, kept tiny through the limit below
+SUITE_REPRESENTATIVES = {
+    "spec2006": "hmmer",
+    "graph500": "graph500-csr",
+    "hpcs": "ssca2-csr",
+    "pbbs": "setcover",
+    "ukernel-ds": "list",
+    "ukernel-alg": "listsort",
+}
+LIMIT = 2500
+
+
+class TestEverySuiteRuns:
+    @pytest.mark.parametrize("suite,name", sorted(SUITE_REPRESENTATIVES.items()))
+    def test_context_prefetcher_over_suite(self, suite, name):
+        assert name in SUITES[suite]
+        result = run_workload(name, "context", limit=LIMIT)
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.l1.accesses == min(
+            LIMIT, get_workload(name).build().access_count()
+        )
+
+
+class TestFunctionalInvariants:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_workload("list", "context", limit=4000)
+
+    def test_l1_hits_plus_misses_equal_accesses(self, result):
+        assert result.l1.hits + result.l1.misses == result.l1.accesses
+
+    def test_demand_classification_is_a_partition(self, result):
+        demand = [
+            c for c in ACCESS_CLASS_ORDER if c is not AccessClass.PREFETCH_NEVER_HIT
+        ]
+        assert (
+            sum(result.classifier.counts[c] for c in demand)
+            == result.classifier.demand_accesses
+            == result.l1.accesses
+        )
+
+    def test_l2_sees_no_more_than_l1_misses(self, result):
+        assert result.l2.accesses <= result.l1.misses
+
+    def test_ipc_positive_and_bounded_by_width(self, result):
+        assert 0 < result.ipc <= 4.0
+
+    def test_hit_depth_total_bounded_by_predictions(self, result):
+        total_predictions = result.prefetches_issued + result.prefetches_shadow
+        assert result.hit_depths.total <= total_predictions + 1
+
+
+class TestPrefetchingNeverChangesFunctionalStream:
+    def test_instruction_count_identical_across_prefetchers(self):
+        comparison = compare(
+            ["array"], prefetchers=("none", "stride", "context"), limit=3000
+        )
+        counts = {
+            pf: comparison.get("array", pf).instructions
+            for pf in ("none", "stride", "context")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_demand_access_counts_identical(self):
+        comparison = compare(
+            ["hashtest"], prefetchers=("none", "sms", "context"), limit=3000
+        )
+        accesses = {
+            pf: comparison.get("hashtest", pf).l1.accesses
+            for pf in ("none", "sms", "context")
+        }
+        assert len(set(accesses.values())) == 1
+
+
+class TestDeterminism:
+    def test_full_pipeline_repeatable(self):
+        a = run_workload("graph500-list", "context", limit=3000)
+        b = run_workload("graph500-list", "context", limit=3000)
+        assert a.cycles == b.cycles
+        assert a.l1.misses == b.l1.misses
+        assert a.prefetches_issued == b.prefetches_issued
+        assert a.classifier.counts == b.classifier.counts
+
+    def test_every_registered_prefetcher_runs(self):
+        for name in PREFETCHER_FACTORIES:
+            result = run_workload("array", name, limit=1500)
+            assert result.prefetcher == name
+            assert result.cycles > 0
+
+
+class TestShadowOnlyConfiguration:
+    def test_epsilon_zero_no_shadow_yields_fewer_requests(self):
+        quiet = ContextPrefetcherConfig(
+            epsilon_min=0.0,
+            epsilon_max=0.0,
+            shadow_prefetches=False,
+            shadow_probability=0.0,
+        )
+        noisy = ContextPrefetcherConfig(epsilon_min=0.3, epsilon_max=0.3)
+        trace = get_workload("list").build().trace()
+        quiet_res = Simulator(ContextPrefetcher(quiet)).run(trace, limit=4000)
+        noisy_res = Simulator(ContextPrefetcher(noisy)).run(trace, limit=4000)
+        quiet_total = quiet_res.prefetches_issued + quiet_res.prefetches_shadow
+        noisy_total = noisy_res.prefetches_issued + noisy_res.prefetches_shadow
+        assert quiet_total < noisy_total
+
+
+class TestBaselineSanity:
+    def test_no_prefetcher_never_touches_memory(self):
+        result = run_workload("lbm", "none", limit=2000)
+        assert result.prefetches_issued == 0
+        assert result.prefetches_shadow == 0
+        assert result.classifier.counts[AccessClass.PREFETCH_NEVER_HIT] == 0
+
+    def test_prefetching_never_slows_regular_streams(self):
+        comparison = compare(
+            ["lbm"], prefetchers=("none", "stride", "sms", "context"), limit=8000
+        )
+        base = comparison.get("lbm", "none").ipc
+        for pf in ("stride", "sms", "context"):
+            assert comparison.get("lbm", pf).ipc >= base * 0.95, pf

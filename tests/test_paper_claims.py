@@ -1,0 +1,85 @@
+"""Direct tests of the paper's central claims at test-tractable scale.
+
+The benchmarks assert figure shapes at larger scale; these are the same
+claims distilled into the fastest configurations that still demonstrate
+them, so a plain ``pytest tests/`` run already verifies the core story.
+"""
+
+import pytest
+
+from repro.sim.runner import compare, run_workload
+from repro.workloads.linked_list import ListTraversalProgram
+
+
+class TestSemanticLocalityClaim:
+    """Section 1: irregular codes gain from semantic, not spatial, locality."""
+
+    @pytest.fixture(scope="class")
+    def linked_sweep(self):
+        return compare(
+            [ListTraversalProgram(num_nodes=800, iterations=10)],
+            prefetchers=("none", "stride", "ghb-pcdc", "sms", "context"),
+        )
+
+    def test_spatio_temporal_prefetchers_fail_on_scattered_list(self, linked_sweep):
+        base = linked_sweep.get("list", "none")
+        for pf in ("stride", "ghb-pcdc"):
+            assert linked_sweep.get("list", pf).speedup_over(base) < 1.1, pf
+
+    def test_context_prefetcher_succeeds_on_scattered_list(self, linked_sweep):
+        base = linked_sweep.get("list", "none")
+        assert linked_sweep.get("list", "context").speedup_over(base) > 1.5
+
+    def test_context_beats_every_competitor_on_scattered_list(self, linked_sweep):
+        base = linked_sweep.get("list", "none")
+        context = linked_sweep.get("list", "context").speedup_over(base)
+        for pf in ("stride", "ghb-pcdc", "sms"):
+            assert context > linked_sweep.get("list", pf).speedup_over(base), pf
+
+
+class TestGeneralityClaim:
+    """Section 7.1: the prefetcher "indeed captures access semantics
+    rather than focusing on a specific access pattern" — it must also
+    handle strictly regular patterns."""
+
+    def test_context_prefetcher_speeds_up_regular_arrays(self):
+        base = run_workload("array", "none", limit=40000)
+        ctx = run_workload("array", "context", limit=40000)
+        assert ctx.speedup_over(base) > 1.3
+
+
+class TestLayoutTranscendenceClaim:
+    """Section 2: semantic locality is layout-agnostic — the same logical
+    structure in a different physical layout remains learnable."""
+
+    def test_sequential_and_shuffled_lists_both_learned(self):
+        results = {}
+        for placement in ("sequential", "shuffled"):
+            program = ListTraversalProgram(
+                num_nodes=800, iterations=10, placement=placement
+            )
+            base = run_workload(program, "none")
+            program2 = ListTraversalProgram(
+                num_nodes=800, iterations=10, placement=placement
+            )
+            ctx = run_workload(program2, "context")
+            results[placement] = ctx.speedup_over(base)
+        assert results["sequential"] > 1.2
+        assert results["shuffled"] > 1.2
+
+
+class TestRLConvergenceClaim:
+    """Section 4: the contextual-bandit loop converges — accuracy rises
+    and exploration falls as the predictor trains."""
+
+    def test_accuracy_increases_with_training(self):
+        short_prog = ListTraversalProgram(num_nodes=400, iterations=2)
+        long_prog = ListTraversalProgram(num_nodes=400, iterations=20)
+        short = run_workload(short_prog, "context")
+        long = run_workload(long_prog, "context")
+        assert long.prefetcher_accuracy > short.prefetcher_accuracy
+
+    def test_timeliness_concentrates_in_reward_window(self):
+        program = ListTraversalProgram(num_nodes=400, iterations=20)
+        result = run_workload(program, "context")
+        assert result.hit_depths.fraction_in_window(18, 50) > 0.4

@@ -1,0 +1,122 @@
+"""Property-based robustness tests over the full simulator pipeline.
+
+Hypothesis generates adversarial access streams — arbitrary addresses,
+gaps, dependence flags, branch patterns — and every prefetcher must
+digest them without crashing while the system invariants hold.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.memory.stats import ACCESS_CLASS_ORDER, AccessClass
+from repro.sim.config import PREFETCHER_FACTORIES
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import MemoryAccess
+
+access_strategy = st.builds(
+    MemoryAccess,
+    addr=st.integers(min_value=1, max_value=1 << 34),
+    pc=st.sampled_from([0x400000 + 8 * i for i in range(6)]),
+    is_load=st.booleans(),
+    inst_gap=st.integers(min_value=0, max_value=12),
+    depends_on_prev=st.booleans(),
+    branches=st.lists(st.booleans(), max_size=3).map(tuple),
+    reg_value=st.integers(min_value=0, max_value=1 << 20),
+    value=st.integers(min_value=0, max_value=1 << 34),
+)
+
+trace_strategy = st.lists(access_strategy, min_size=1, max_size=120)
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSimulatorNeverCrashes:
+    @_settings
+    @given(trace=trace_strategy, pf_name=st.sampled_from(sorted(PREFETCHER_FACTORIES)))
+    def test_any_trace_any_prefetcher(self, trace, pf_name):
+        sim = Simulator(PREFETCHER_FACTORIES[pf_name]())
+        result = sim.run(trace)
+        assert result.cycles >= 0
+        assert result.l1.accesses == len(trace)
+
+    @_settings
+    @given(trace=trace_strategy)
+    def test_invariants_hold_on_random_traffic(self, trace):
+        result = Simulator(ContextPrefetcher()).run(trace)
+        # classification partitions demand accesses
+        demand = [
+            c for c in ACCESS_CLASS_ORDER if c is not AccessClass.PREFETCH_NEVER_HIT
+        ]
+        assert sum(result.classifier.counts[c] for c in demand) == len(trace)
+        # cache counters are consistent
+        assert result.l1.hits + result.l1.misses == result.l1.accesses
+        assert result.l2.accesses <= result.l1.misses
+        # IPC bounded by machine width
+        assert result.ipc <= 4.0 + 1e-9
+
+    @_settings
+    @given(trace=trace_strategy)
+    def test_timing_monotone_in_dram_latency(self, trace):
+        from repro.memory.hierarchy import HierarchyConfig
+        from repro.prefetchers.nopf import NoPrefetcher
+
+        fast = Simulator(
+            NoPrefetcher(), hierarchy_config=HierarchyConfig(dram_latency=100)
+        ).run(trace)
+        slow = Simulator(
+            NoPrefetcher(), hierarchy_config=HierarchyConfig(dram_latency=500)
+        ).run(trace)
+        assert slow.cycles >= fast.cycles
+
+
+class TestContextPrefetcherRobustness:
+    @_settings
+    @given(trace=trace_strategy)
+    def test_requests_always_wellformed(self, trace):
+        from repro.prefetchers.base import AccessInfo
+
+        pf = ContextPrefetcher()
+        for i, access in enumerate(trace):
+            requests = pf.on_access(
+                AccessInfo(
+                    index=i,
+                    cycle=i,
+                    addr=access.addr,
+                    pc=access.pc,
+                    reg_value=access.reg_value,
+                    last_value=access.value,
+                    hints=access.hints,
+                )
+            )
+            for request in requests:
+                assert request.addr >= 0
+                assert request.addr % pf.config.delta_granularity == 0
+
+    @_settings
+    @given(
+        trace=trace_strategy,
+        policy=st.sampled_from(["egreedy", "softmax"]),
+        adaptive=st.booleans(),
+    )
+    def test_extension_configs_never_crash(self, trace, policy, adaptive):
+        config = ContextPrefetcherConfig(
+            policy=policy, adaptive_window=adaptive, window_update_period=16
+        )
+        result = Simulator(ContextPrefetcher(config)).run(trace)
+        assert result.cycles >= 0
+
+    @_settings
+    @given(trace=trace_strategy)
+    def test_scores_stay_saturated(self, trace):
+        pf = ContextPrefetcher()
+        Simulator(pf).run(trace)
+        cfg = pf.config
+        for entry in pf.cst._entries.values():
+            for cand in entry.candidates:
+                assert cfg.score_min <= cand.score <= cfg.score_max
+                assert cfg.delta_min <= cand.delta <= cfg.delta_max

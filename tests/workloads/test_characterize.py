@@ -1,0 +1,129 @@
+"""Tests for workload characterization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hints import RefForm, SemanticHints
+from repro.workloads.characterize import characterize
+from repro.workloads.trace import MemoryAccess, TraceBuilder
+
+
+def make_trace(addrs, **kwargs):
+    tb = TraceBuilder()
+    for addr in addrs:
+        tb.load(addr, "x", **kwargs)
+    return tb.accesses
+
+
+class TestBasicCounts:
+    def test_accesses_and_instructions(self):
+        profile = characterize(make_trace([0x1000, 0x2000], gap=4))
+        assert profile.accesses == 2
+        assert profile.instructions == 10
+        assert profile.memory_intensity == pytest.approx(0.2)
+
+    def test_unique_lines_and_footprint(self):
+        profile = characterize(make_trace([0x1000, 0x1008, 0x2000]))
+        assert profile.unique_lines == 2
+        assert profile.footprint_bytes == 128
+
+    def test_empty_trace(self):
+        profile = characterize([])
+        assert profile.accesses == 0
+        assert profile.memory_intensity == 0.0
+        assert profile.cold_fraction == 0.0
+
+
+class TestFractions:
+    def test_dependent_fraction(self):
+        tb = TraceBuilder()
+        tb.load(0x1000, "a")
+        tb.load(0x2000, "b", depends=True)
+        profile = characterize(tb.accesses)
+        assert profile.dependent_fraction == pytest.approx(0.5)
+
+    def test_hinted_fraction(self):
+        tb = TraceBuilder()
+        tb.load(0x1000, "a", hints=SemanticHints(type_id=1, ref_form=RefForm.ARROW))
+        tb.load(0x2000, "b")
+        profile = characterize(tb.accesses)
+        assert profile.hinted_fraction == pytest.approx(0.5)
+
+    def test_store_fraction(self):
+        tb = TraceBuilder()
+        tb.load(0x1000, "a")
+        tb.store(0x2000, "b")
+        profile = characterize(tb.accesses)
+        assert profile.store_fraction == pytest.approx(0.5)
+
+    def test_branch_rate(self):
+        tb = TraceBuilder()
+        tb.branch(True)
+        tb.branch(False)
+        tb.load(0x1000, "a")
+        tb.load(0x2000, "b")
+        profile = characterize(tb.accesses)
+        assert profile.branch_rate == pytest.approx(1.0)
+
+
+class TestStrides:
+    def test_dominant_unit_stride(self):
+        profile = characterize(make_trace([0x1000 + 8 * i for i in range(100)]))
+        assert profile.dominant_stride() == 8
+        assert profile.top_strides[0] == (8, pytest.approx(1.0))
+
+    def test_no_dominant_stride_on_random(self):
+        import random
+
+        rng = random.Random(3)
+        addrs = [rng.randrange(1, 1 << 28) * 8 for _ in range(200)]
+        profile = characterize(make_trace(addrs))
+        assert profile.dominant_stride() is None
+
+
+class TestReuse:
+    def test_streaming_trace_is_cold(self):
+        profile = characterize(make_trace([0x1000 + 64 * i for i in range(200)]))
+        assert profile.cold_fraction == pytest.approx(1.0)
+
+    def test_hot_loop_has_tiny_reuse_distance(self):
+        addrs = [0x1000 + 64 * (i % 4) for i in range(400)]
+        profile = characterize(make_trace(addrs))
+        assert profile.cold_fraction < 0.05
+        assert profile.reuse_p90 <= 4
+
+    def test_large_loop_has_large_reuse_distance(self):
+        addrs = [0x1000 + 64 * (i % 256) for i in range(1024)]
+        profile = characterize(make_trace(addrs))
+        assert profile.reuse_p50 == pytest.approx(256, rel=0.05)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=300))
+    def test_reuse_distances_bounded_by_footprint(self, line_ids):
+        addrs = [0x1000 + 64 * i for i in line_ids]
+        profile = characterize(make_trace(addrs), reuse_sample_every=1)
+        assert profile.reuse_p90 <= profile.unique_lines
+
+
+class TestProxyProfilesHonest:
+    def test_pointer_proxy_is_dependent(self):
+        from repro.workloads.spec_proxy import SpecProxyProgram
+
+        profile = characterize(SpecProxyProgram("mcf", num_accesses=3000).trace())
+        assert profile.dependent_fraction > 0.5
+
+    def test_streaming_proxy_has_unit_stride(self):
+        from repro.workloads.spec_proxy import SpecProxyProgram
+
+        profile = characterize(
+            SpecProxyProgram("libquantum", num_accesses=3000).trace()
+        )
+        assert profile.dominant_stride() == 8
+
+    def test_memory_intensity_tracks_profile(self):
+        from repro.workloads.spec_proxy import SPEC_PROFILES, SpecProxyProgram
+
+        for name in ("sjeng", "lbm"):
+            profile = characterize(SpecProxyProgram(name, num_accesses=3000).trace())
+            declared = SPEC_PROFILES[name].mem_ratio
+            assert profile.memory_intensity == pytest.approx(declared, rel=0.35)

@@ -1,0 +1,80 @@
+"""Tests for the convexHull workload and its quickhull substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.convexhull import ConvexHullProgram, convex_hull, cross
+
+
+class TestCrossProduct:
+    def test_counterclockwise_positive(self):
+        assert cross((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_clockwise_negative(self):
+        assert cross((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestReferenceHull:
+    def test_square(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        assert sorted(convex_hull(square)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_degenerate_line(self):
+        line = [(0, 0), (1, 1), (2, 2)]
+        hull = convex_hull(line)
+        assert (0, 0) in hull and (2, 2) in hull
+
+    def test_tiny_inputs(self):
+        assert convex_hull([(0, 0)]) == [(0, 0)]
+        assert convex_hull([(0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=3,
+            max_size=60,
+        )
+    )
+    def test_all_points_inside_hull(self, points):
+        pts = [(float(x), float(y)) for x, y in points]
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        # every input point is inside or on the hull polygon boundary
+        for p in pts:
+            for a, b in zip(hull, hull[1:] + hull[:1]):
+                assert cross(a, b, p) >= -1e-9
+
+
+class TestWorkload:
+    def test_quickhull_matches_reference(self):
+        program = ConvexHullProgram(num_points=256)
+        program.trace()
+        rng = random.Random(program.seed)
+        points = [(rng.random(), rng.random()) for _ in range(256)]
+        expected = sorted(set(convex_hull(points)))
+        assert program.result_hull == expected
+
+    def test_trace_nonempty_and_deterministic(self):
+        a = ConvexHullProgram(num_points=128).trace()
+        b = ConvexHullProgram(num_points=128).trace()
+        assert a and [x.addr for x in a] == [x.addr for x in b]
+
+    def test_registered_in_pbbs_suite(self):
+        from repro.workloads.suites import SUITES
+
+        assert "convexhull" in SUITES["pbbs"]
+
+    def test_branchy_partition_sweeps(self):
+        program = ConvexHullProgram(num_points=128)
+        trace = program.trace()
+        branchful = sum(len(a.branches) for a in trace)
+        assert branchful > len(trace) * 0.1

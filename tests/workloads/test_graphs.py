@@ -1,0 +1,170 @@
+"""Tests for graph substrates, generators and graph algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    LinkedGraph,
+    bfs_order,
+    grid_edges,
+    random_edges,
+    rmat_edges,
+)
+from repro.workloads.prim import PrimProgram, prim_mst_weight
+from repro.workloads.ssca2 import betweenness_reference
+from repro.workloads.trace import Heap
+
+
+class TestGenerators:
+    def test_rmat_vertex_range(self):
+        edges = rmat_edges(scale=6, edge_factor=4, seed=1)
+        assert all(0 <= u < 64 and 0 <= v < 64 for u, v in edges)
+
+    def test_rmat_no_self_loops(self):
+        assert all(u != v for u, v in rmat_edges(scale=6, seed=1))
+
+    def test_rmat_is_skewed(self):
+        # RMAT concentrates edges on low-numbered vertices
+        edges = rmat_edges(scale=8, edge_factor=8, seed=1)
+        degree = {}
+        for u, _ in edges:
+            degree[u] = degree.get(u, 0) + 1
+        top = sorted(degree.values(), reverse=True)
+        assert top[0] > 4 * (len(edges) / 256)
+
+    def test_rmat_deterministic(self):
+        assert rmat_edges(6, seed=5) == rmat_edges(6, seed=5)
+
+    def test_random_edges_count_and_range(self):
+        edges = random_edges(50, 200, seed=2)
+        assert len(edges) == 200
+        assert all(u != v for u, v in edges)
+
+    def test_grid_edges_structure(self):
+        edges = grid_edges(3)
+        assert len(edges) == 12  # 2*3*(3-1)
+        assert (0, 1) in edges and (0, 3) in edges
+
+    def test_rmat_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0)
+
+
+class TestLayoutEquivalence:
+    def test_linked_and_csr_expose_same_neighbors(self):
+        edges = rmat_edges(scale=6, edge_factor=4, seed=3)
+        linked = LinkedGraph(64, edges, Heap(seed=1))
+        csr = CSRGraph(64, edges, Heap(seed=2))
+        for v in range(64):
+            assert sorted(linked.neighbors(v)) == sorted(csr.neighbors(v))
+
+    def test_edge_counts_agree(self):
+        edges = rmat_edges(scale=6, edge_factor=4, seed=3)
+        linked = LinkedGraph(64, edges, Heap(seed=1))
+        csr = CSRGraph(64, edges, Heap(seed=2))
+        assert linked.num_edges == csr.num_edges == len(edges)
+
+    def test_csr_row_offsets_monotonic(self):
+        csr = CSRGraph(64, rmat_edges(6, seed=3), Heap())
+        offsets = csr.row_offsets
+        assert offsets == sorted(offsets)
+        assert offsets[-1] == csr.num_edges
+
+    def test_csr_addresses_disjoint(self):
+        csr = CSRGraph(64, rmat_edges(6, seed=3), Heap())
+        bases = [csr.row_base, csr.col_base, csr.weight_base, csr.visited_base]
+        assert len(set(bases)) == 4
+
+
+class TestBFSOrder:
+    def test_visits_reachable_component_once(self):
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4)]
+        linked = LinkedGraph(5, edges, Heap())
+        order = bfs_order(linked.neighbors, 5, root=0)
+        assert sorted(order) == [0, 1, 2]
+        assert len(order) == len(set(order))
+
+    def test_level_order(self):
+        edges = [(0, 1), (0, 2), (1, 3), (2, 4)]
+        linked = LinkedGraph(5, edges, Heap())
+        order = bfs_order(linked.neighbors, 5, root=0)
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 2}
+        assert set(order[3:]) == {3, 4}
+
+    def test_matches_networkx(self):
+        edges = random_edges(40, 150, seed=4)
+        linked = LinkedGraph(40, edges, Heap())
+        ours = set(bfs_order(linked.neighbors, 40, root=0))
+        g = nx.DiGraph(edges)
+        g.add_nodes_from(range(40))
+        theirs = set(nx.descendants(g, 0)) | {0}
+        assert ours == theirs
+
+
+class TestPrimReference:
+    def test_known_small_graph(self):
+        heap = Heap()
+        graph = LinkedGraph(3, [], heap)
+        graph.add_edge(0, 1, weight=5)
+        graph.add_edge(1, 0, weight=5)
+        graph.add_edge(1, 2, weight=2)
+        graph.add_edge(2, 1, weight=2)
+        graph.add_edge(0, 2, weight=9)
+        graph.add_edge(2, 0, weight=9)
+        assert prim_mst_weight(graph) == 7
+
+    def test_matches_networkx_on_undirected_graph(self):
+        import random as _random
+
+        rng = _random.Random(8)
+        heap = Heap()
+        graph = LinkedGraph(20, [], heap)
+        g = nx.Graph()
+        g.add_nodes_from(range(20))
+        # connected ring + chords, symmetric weights
+        pairs = [(i, (i + 1) % 20) for i in range(20)]
+        pairs += [(rng.randrange(20), rng.randrange(20)) for _ in range(30)]
+        for u, v in pairs:
+            if u == v or g.has_edge(u, v):
+                continue
+            w = rng.randrange(1, 50)
+            g.add_edge(u, v, weight=w)
+            graph.add_edge(u, v, weight=w)
+            graph.add_edge(v, u, weight=w)
+        expected = sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True))
+        assert prim_mst_weight(graph) == expected
+
+    def test_prim_trace_builds(self):
+        prog = PrimProgram(num_vertices=24, num_edges=80)
+        assert len(prog.trace()) > 0
+
+
+class TestBetweennessReference:
+    def test_matches_networkx_directed(self):
+        # deduplicate: nx.DiGraph collapses parallel edges, LinkedGraph
+        # keeps them, and shortest-path counts differ on multigraphs
+        edges = sorted(set(random_edges(25, 120, seed=6)))
+        g = nx.DiGraph()
+        g.add_nodes_from(range(25))
+        g.add_edges_from(edges)
+        expected = nx.betweenness_centrality(g, normalized=False)
+        linked = LinkedGraph(25, edges, Heap())
+        ours = betweenness_reference(linked.neighbors, 25, sources=list(range(25)))
+        for v in range(25):
+            assert ours[v] == pytest.approx(expected[v], abs=1e-9)
+
+    def test_star_graph_center_has_zero_betweenness_from_leaves(self):
+        # directed star (center -> leaves): no vertex lies between others
+        edges = [(0, i) for i in range(1, 6)]
+        linked = LinkedGraph(6, edges, Heap())
+        bc = betweenness_reference(linked.neighbors, 6, sources=list(range(6)))
+        assert all(v == 0 for v in bc)
+
+    def test_path_graph_middle_maximal(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        linked = LinkedGraph(4, edges, Heap())
+        bc = betweenness_reference(linked.neighbors, 4, sources=[0, 1, 2, 3])
+        assert bc[1] > 0 and bc[2] > 0
+        assert bc[0] == bc[3] == 0

@@ -1,0 +1,78 @@
+"""Substrate-correctness tests for the PBBS kernel workloads."""
+
+import random
+
+from repro.workloads.pbbs import KNNProgram, SetCoverProgram, SuffixArrayProgram
+
+
+class TestSuffixArraySubstrate:
+    def test_sorted_by_prefix_after_doubling(self):
+        program = SuffixArrayProgram(text_len=256, rounds=4)
+        program.trace()
+        sa = program.result_sa
+        # after 4 doubling rounds, suffixes are sorted by their first
+        # 2^4 = 16 characters
+        rng = random.Random(program.seed)
+        text = [rng.randrange(4) for _ in range(256)]
+        k = 16
+        keys = [tuple(text[i : i + k]) for i in sa]
+        assert keys == sorted(keys)
+
+    def test_is_a_permutation(self):
+        program = SuffixArrayProgram(text_len=128, rounds=3)
+        program.trace()
+        assert sorted(program.result_sa) == list(range(128))
+
+    def test_trace_has_indirect_dependent_loads(self):
+        program = SuffixArrayProgram(text_len=128, rounds=2)
+        trace = program.trace()
+        assert any(a.depends_on_prev for a in trace)
+
+
+class TestSetCoverSubstrate:
+    def test_chosen_sets_cover_everything_coverable(self):
+        program = SetCoverProgram(num_elements=256, num_sets=40, mean_set_size=24)
+        program.trace()
+        rng = random.Random(program.seed)
+        sets = [
+            sorted(
+                rng.sample(
+                    range(256), rng.randrange(24 // 2, 24 * 2)
+                )
+            )
+            for _ in range(40)
+        ]
+        coverable = set().union(*map(set, sets))
+        covered = set().union(*(set(sets[i]) for i in program.result_sets))
+        assert covered == coverable
+
+    def test_greedy_picks_largest_first(self):
+        program = SetCoverProgram(num_elements=256, num_sets=30, mean_set_size=20)
+        program.trace()
+        rng = random.Random(program.seed)
+        sets = [
+            sorted(rng.sample(range(256), rng.randrange(10, 40)))
+            for _ in range(30)
+        ]
+        first = program.result_sets[0]
+        assert len(sets[first]) == max(len(s) for s in sets)
+
+    def test_no_set_chosen_twice(self):
+        program = SetCoverProgram(num_elements=200, num_sets=25)
+        program.trace()
+        assert len(program.result_sets) == len(set(program.result_sets))
+
+
+class TestKNN:
+    def test_trace_deterministic(self):
+        a = KNNProgram(num_points=256, num_queries=40).trace()
+        b = KNNProgram(num_points=256, num_queries=40).trace()
+        assert [x.addr for x in a] == [x.addr for x in b]
+
+    def test_grid_cells_bounded(self):
+        program = KNNProgram(num_points=256, grid_side=8, num_queries=20)
+        trace = program.trace()
+        assert trace
+        # a query touches at most 9 cells' heads
+        heads = [a for a in trace if a.pc == trace[0].pc]
+        assert heads

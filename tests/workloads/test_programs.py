@@ -1,0 +1,193 @@
+"""Cross-cutting tests over every registered workload program."""
+
+import pytest
+
+from repro.hints import RefForm
+from repro.workloads.hashtable import ChainedHashTable
+from repro.workloads.linked_list import InsertionSortProgram, ListTraversalProgram
+from repro.workloads.spec_proxy import SPEC_PROFILES, SpecProfile, SpecProxyProgram
+from repro.workloads.suites import SUITES, all_workloads, get_workload
+from repro.workloads.trace import Heap
+
+
+# small parameterisations so the whole-registry scan stays fast
+SMALL = {
+    "list": dict(num_nodes=64, iterations=3),
+    "listsort": dict(num_elements=40),
+}
+
+
+class TestRegistry:
+    def test_table3_suites_present(self):
+        assert set(SUITES) == {
+            "spec2006",
+            "pbbs",
+            "graph500",
+            "hpcs",
+            "ukernel-alg",
+            "ukernel-ds",
+        }
+
+    def test_sixteen_spec_workloads(self):
+        assert len(SUITES["spec2006"]) == 16
+
+    def test_unknown_workload_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_workload("nope")
+
+    def test_every_workload_buildable(self):
+        for spec in all_workloads():
+            assert callable(spec.factory)
+
+    def test_names_unique(self):
+        names = [spec.name for spec in all_workloads()]
+        assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in all_workloads() if spec.suite != "spec2006"]
+)
+class TestEveryProgramTrace:
+    def _trace(self, name):
+        spec = get_workload(name)
+        prog = spec.build()
+        return prog.trace()[:4000]
+
+    def test_trace_nonempty_with_positive_addresses(self, name):
+        trace = self._trace(name)
+        assert trace
+        assert all(a.addr > 0 for a in trace)
+
+    def test_trace_has_instruction_gaps(self, name):
+        trace = self._trace(name)
+        assert all(a.inst_gap >= 0 for a in trace)
+        assert sum(a.inst_gap for a in trace) > 0
+
+
+class TestListPrograms:
+    def test_traversal_revisits_same_addresses(self):
+        prog = ListTraversalProgram(**SMALL["list"])
+        trace = prog.trace()
+        per_iter = len(trace) // 3
+        first = [a.addr for a in trace[:per_iter]]
+        second = [a.addr for a in trace[per_iter : 2 * per_iter]]
+        assert first == second  # semantic recurrence (Figure 1 bottom)
+
+    def test_shuffled_layout_is_not_address_ordered(self):
+        prog = ListTraversalProgram(**SMALL["list"], placement="shuffled")
+        addrs = [a.addr for a in prog.trace() if a.is_load][:40]
+        assert addrs != sorted(addrs)
+
+    def test_sequential_layout_is_address_ordered(self):
+        prog = ListTraversalProgram(**SMALL["list"], placement="sequential")
+        key_addrs = [a.addr for a in prog.trace() if a.addr % 32 == 0][:20]
+        assert key_addrs == sorted(key_addrs)
+
+    def test_pointer_loads_hinted(self):
+        prog = ListTraversalProgram(**SMALL["list"])
+        hinted = [a for a in prog.trace() if a.hints.ref_form is RefForm.ARROW]
+        assert hinted
+        assert all(a.hints.link_offset == 16 for a in hinted)
+
+    def test_next_loads_carry_successor_address(self):
+        prog = ListTraversalProgram(num_nodes=16, iterations=1)
+        trace = prog.trace()
+        next_loads = [a for a in trace if a.hints.ref_form is RefForm.ARROW]
+        # each next-pointer load's value is the next node's base address
+        for load, nxt in zip(next_loads, next_loads[1:]):
+            assert load.value == nxt.addr - 16
+
+
+class TestInsertionSort:
+    def test_figure1_series_populated(self):
+        prog = InsertionSortProgram(num_elements=40)
+        prog.trace()
+        assert prog.figure1_series
+        ordinals = [o for o, _, _ in prog.figure1_series]
+        assert ordinals == sorted(ordinals)
+
+    def test_logical_indices_increase_within_insertion(self):
+        prog = InsertionSortProgram(num_elements=40)
+        prog.trace()
+        logical = [l for _, _, l in prog.figure1_series]
+        # each traversal restarts at 0 and walks up
+        assert logical[0] == 0
+        assert max(logical) > 3
+
+    def test_phase_mode_traces_only_tail(self):
+        full = InsertionSortProgram(num_elements=60)
+        tail = InsertionSortProgram(num_elements=60, trace_from=50)
+        assert len(tail.trace()) < len(full.trace())
+        assert len(tail.trace()) > 0
+
+    def test_phase_mode_validation(self):
+        with pytest.raises(ValueError):
+            InsertionSortProgram(num_elements=10, trace_from=10)
+
+    def test_trace_deterministic(self):
+        a = InsertionSortProgram(num_elements=30).trace()
+        b = InsertionSortProgram(num_elements=30).trace()
+        assert [x.addr for x in a] == [x.addr for x in b]
+
+
+class TestHashTable:
+    def test_chain_finds_key(self):
+        table = ChainedHashTable(Heap(), num_buckets=8)
+        table.insert(42)
+        chain = table.chain(42)
+        assert chain[-1].key == 42
+
+    def test_chain_walks_collisions(self):
+        table = ChainedHashTable(Heap(), num_buckets=1)
+        for key in (1, 2, 3):
+            table.insert(key)
+        assert len(table.chain(1)) == 3  # inserted at head: 3,2,1
+
+    def test_load_factor(self):
+        table = ChainedHashTable(Heap(), num_buckets=4)
+        for key in range(8):
+            table.insert(key)
+        assert table.load_factor() == 2.0
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(Heap(), num_buckets=0)
+
+
+class TestSpecProxies:
+    def test_all_profiles_have_valid_mixes(self):
+        for profile in SPEC_PROFILES.values():
+            mix = profile.mix()
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            SpecProfile("broken", 0.3).mix()
+
+    def test_proxy_by_name(self):
+        prog = SpecProxyProgram("mcf", num_accesses=500)
+        assert prog.name == "mcf"
+        assert len(prog.trace()) >= 500
+
+    def test_streaming_profile_is_mostly_sequential(self):
+        prog = SpecProxyProgram("libquantum", num_accesses=2000)
+        addrs = [a.addr for a in prog.trace()]
+        ups = sum(1 for x, y in zip(addrs, addrs[1:]) if 0 < y - x <= 64)
+        assert ups / len(addrs) > 0.5
+
+    def test_pointer_profile_has_dependent_loads(self):
+        prog = SpecProxyProgram("mcf", num_accesses=2000)
+        dependent = sum(1 for a in prog.trace() if a.depends_on_prev)
+        assert dependent / len(prog.trace()) > 0.3
+
+    def test_mem_ratio_shapes_instruction_gaps(self):
+        lean = SpecProxyProgram("sjeng", num_accesses=2000)  # mem_ratio .25
+        dense = SpecProxyProgram("lbm", num_accesses=2000)  # mem_ratio .45
+        lean_ratio = lean.access_count() / lean.instruction_count()
+        dense_ratio = dense.access_count() / dense.instruction_count()
+        assert dense_ratio > lean_ratio
+
+    def test_deterministic(self):
+        a = SpecProxyProgram("omnetpp", num_accesses=1000).trace()
+        b = SpecProxyProgram("omnetpp", num_accesses=1000).trace()
+        assert [x.addr for x in a] == [x.addr for x in b]

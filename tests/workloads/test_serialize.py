@@ -1,0 +1,118 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hints import RefForm, SemanticHints
+from repro.workloads.linked_list import ListTraversalProgram
+from repro.workloads.serialize import (
+    access_from_dict,
+    access_to_dict,
+    dump_trace,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.trace import MemoryAccess
+
+
+def sample_access(**overrides) -> MemoryAccess:
+    defaults = dict(
+        addr=0x1234,
+        pc=0x400010,
+        is_load=False,
+        inst_gap=5,
+        depends_on_prev=True,
+        branches=(True, False),
+        reg_value=42,
+        value=0x9000,
+        hints=SemanticHints(type_id=3, link_offset=16, ref_form=RefForm.ARROW),
+    )
+    defaults.update(overrides)
+    return MemoryAccess(**defaults)
+
+
+class TestRoundTrip:
+    def test_full_record(self):
+        access = sample_access()
+        assert access_from_dict(access_to_dict(access)) == access
+
+    def test_minimal_record(self):
+        access = MemoryAccess(addr=0x10, pc=0x20)
+        assert access_from_dict(access_to_dict(access)) == access
+
+    def test_defaults_omitted(self):
+        data = access_to_dict(MemoryAccess(addr=0x10, pc=0x20))
+        assert set(data) == {"a", "p"}
+
+    @settings(max_examples=60)
+    @given(
+        addr=st.integers(min_value=1, max_value=1 << 48),
+        pc=st.integers(min_value=1, max_value=1 << 32),
+        gap=st.integers(min_value=0, max_value=100),
+        is_load=st.booleans(),
+        depends=st.booleans(),
+        branches=st.lists(st.booleans(), max_size=4),
+        value=st.integers(min_value=0, max_value=1 << 48),
+    )
+    def test_round_trip_property(self, addr, pc, gap, is_load, depends, branches, value):
+        access = MemoryAccess(
+            addr=addr,
+            pc=pc,
+            is_load=is_load,
+            inst_gap=gap,
+            depends_on_prev=depends,
+            branches=tuple(branches),
+            value=value,
+        )
+        assert access_from_dict(access_to_dict(access)) == access
+
+
+class TestStreaming:
+    def test_dump_then_iter(self):
+        trace = [sample_access(addr=0x1000 + i * 8) for i in range(10)]
+        buffer = io.StringIO()
+        assert dump_trace(trace, buffer) == 10
+        buffer.seek(0)
+        assert list(iter_trace(buffer)) == trace
+
+    def test_rejects_wrong_format(self):
+        buffer = io.StringIO('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            list(iter_trace(buffer))
+
+    def test_rejects_wrong_version(self):
+        buffer = io.StringIO('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(ValueError, match="unsupported"):
+            list(iter_trace(buffer))
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_trace(io.StringIO("")))
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            access_from_dict({"a": 5})
+
+
+class TestFiles:
+    def test_save_and_load_workload_trace(self, tmp_path):
+        program = ListTraversalProgram(num_nodes=32, iterations=2)
+        trace = program.trace()
+        path = tmp_path / "list.trace.jsonl"
+        assert save_trace(trace, path) == len(trace)
+        assert load_trace(path) == trace
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.prefetchers.nopf import NoPrefetcher
+        from repro.sim.simulator import Simulator
+
+        program = ListTraversalProgram(num_nodes=32, iterations=2)
+        path = tmp_path / "t.jsonl"
+        save_trace(program.trace(), path)
+        a = Simulator(NoPrefetcher()).run(program.trace())
+        b = Simulator(NoPrefetcher()).run(load_trace(path))
+        assert a.cycles == b.cycles
+        assert a.l1.misses == b.l1.misses

@@ -1,0 +1,147 @@
+"""Tests for trace records, the builder and the heap allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hints import RefForm
+from repro.workloads.trace import Heap, TraceBuilder, interleave
+
+
+class TestHeapSequential:
+    def test_allocations_are_adjacent(self):
+        heap = Heap(placement="sequential")
+        a = heap.alloc(32)
+        b = heap.alloc(32)
+        assert b == a + 32
+
+    def test_alignment(self):
+        heap = Heap(placement="sequential", align=8)
+        heap.alloc(5)
+        b = heap.alloc(8)
+        assert b % 8 == 0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Heap().alloc(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=2, max_size=100))
+    def test_no_overlapping_allocations(self, sizes):
+        heap = Heap(placement="sequential")
+        regions = sorted((heap.alloc(s), s) for s in sizes)
+        for (a, sa), (b, _) in zip(regions, regions[1:]):
+            assert a + sa <= b
+
+
+class TestHeapShuffled:
+    def test_allocation_order_differs_from_address_order(self):
+        heap = Heap(placement="shuffled", seed=3)
+        addrs = [heap.alloc(32) for _ in range(64)]
+        assert addrs != sorted(addrs)
+
+    def test_addresses_stay_within_window_span(self):
+        heap = Heap(placement="shuffled", shuffle_window=8192, seed=3)
+        addrs = [heap.alloc(32) for _ in range(100)]
+        # consecutive allocations come from at most two adjacent windows
+        for a, b in zip(addrs, addrs[1:]):
+            assert abs(a - b) <= 2 * 8192
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from([16, 32, 64]), min_size=2, max_size=150))
+    def test_no_overlapping_allocations_shuffled(self, sizes):
+        heap = Heap(placement="shuffled", seed=5)
+        regions = sorted((heap.alloc(s), s) for s in sizes)
+        for (a, sa), (b, _) in zip(regions, regions[1:]):
+            assert a + sa <= b
+
+    def test_deterministic_under_seed(self):
+        a = [Heap(placement="shuffled", seed=9).alloc(32) for _ in range(1)]
+        b = [Heap(placement="shuffled", seed=9).alloc(32) for _ in range(1)]
+        assert a == b
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError):
+            Heap(placement="chaotic")
+
+
+class TestTraceBuilder:
+    def test_sites_get_stable_distinct_pcs(self):
+        tb = TraceBuilder()
+        a = tb.site("load_a")
+        b = tb.site("load_b")
+        assert a != b
+        assert tb.site("load_a") == a
+
+    def test_branches_attach_to_next_access(self):
+        tb = TraceBuilder()
+        tb.branch(True)
+        tb.branch(False)
+        access = tb.load(0x1000, "x")
+        assert access.branches == (True, False)
+        assert tb.load(0x1008, "x").branches == ()
+
+    def test_branch_counts_as_instruction(self):
+        tb = TraceBuilder()
+        tb.branch(True)
+        access = tb.load(0x1000, "x", gap=2)
+        assert access.inst_gap == 3
+
+    def test_gap_accumulates(self):
+        tb = TraceBuilder()
+        tb.gap(10)
+        access = tb.load(0x1000, "x", gap=2)
+        assert access.inst_gap == 12
+
+    def test_rejects_negative_gap(self):
+        tb = TraceBuilder()
+        with pytest.raises(ValueError):
+            tb.gap(-1)
+
+    def test_rejects_non_positive_address(self):
+        tb = TraceBuilder()
+        with pytest.raises(ValueError):
+            tb.load(0, "x")
+
+    def test_store_is_not_a_load(self):
+        tb = TraceBuilder()
+        assert not tb.store(0x1000, "s").is_load
+        assert tb.load(0x1000, "l").is_load
+
+    def test_pointer_hints_shape(self):
+        tb = TraceBuilder()
+        hints = tb.pointer_hints("node", 16)
+        assert hints.ref_form is RefForm.ARROW
+        assert hints.link_offset == 16
+        assert hints.type_id == tb.type_id("node")
+
+    def test_index_hints_shape(self):
+        tb = TraceBuilder()
+        hints = tb.index_hints("arr")
+        assert hints.ref_form is RefForm.INDEX
+
+    def test_type_ids_unique_per_name(self):
+        tb = TraceBuilder()
+        assert tb.type_id("a") != tb.type_id("b")
+        assert tb.type_id("a") == tb.type_id("a")
+
+
+class TestInterleave:
+    def test_preserves_all_accesses(self):
+        tb1, tb2 = TraceBuilder(), TraceBuilder()
+        for i in range(5):
+            tb1.load(0x1000 + i * 8, "a")
+            tb2.load(0x2000 + i * 8, "b")
+        merged = interleave([tb1.accesses, tb2.accesses])
+        assert len(merged) == 10
+        assert {a.addr for a in merged} == {
+            a.addr for a in tb1.accesses + tb2.accesses
+        }
+
+    def test_preserves_per_stream_order(self):
+        tb1, tb2 = TraceBuilder(), TraceBuilder()
+        for i in range(5):
+            tb1.load(0x1000 + i * 8, "a")
+            tb2.load(0x2000 + i * 8, "b")
+        merged = interleave([tb1.accesses, tb2.accesses], seed=1)
+        a_addrs = [a.addr for a in merged if a.addr < 0x2000]
+        assert a_addrs == sorted(a_addrs)

@@ -1,0 +1,123 @@
+"""Tests for the tree substrates (BST, red-black tree) and workloads."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.trace import Heap
+from repro.workloads.trees import (
+    ArrayBSTProgram,
+    BinarySearchTree,
+    BSTLookupProgram,
+    RBTreeMapProgram,
+    RedBlackTree,
+)
+
+
+class TestBinarySearchTree:
+    def test_lookup_finds_inserted_keys(self):
+        tree = BinarySearchTree(Heap())
+        for key in [50, 30, 70, 20, 40]:
+            tree.insert(key)
+        path = tree.lookup_path(40)
+        assert path[-1][0].key == 40
+        assert path[-1][1] is None
+
+    def test_lookup_path_follows_comparisons(self):
+        tree = BinarySearchTree(Heap())
+        for key in [50, 30, 70]:
+            tree.insert(key)
+        path = tree.lookup_path(30)
+        assert [went_left for _, went_left in path] == [True, None]
+
+    def test_missing_key_path_ends_without_match(self):
+        tree = BinarySearchTree(Heap())
+        tree.insert(50)
+        path = tree.lookup_path(10)
+        assert path[-1][1] is not None
+
+    def test_sorted_inserts_degenerate_depth(self):
+        tree = BinarySearchTree(Heap())
+        for key in range(20):
+            tree.insert(key)
+        assert tree.depth() == 20
+
+
+class TestRedBlackTree:
+    def test_invariants_after_sequential_inserts(self):
+        tree = RedBlackTree(Heap())
+        for key in range(100):
+            tree.insert(key)
+        tree.check_invariants()
+
+    def test_balanced_despite_sorted_input(self):
+        tree = RedBlackTree(Heap())
+        for key in range(128):
+            tree.insert(key)
+        # RB trees bound depth to 2*log2(n+1)
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(tree.root) <= 2 * 8
+
+    def test_inorder_is_sorted(self):
+        tree = RedBlackTree(Heap())
+        rng = random.Random(1)
+        keys = rng.sample(range(1000), 200)
+        for key in keys:
+            tree.insert(key)
+        assert tree.keys_inorder() == sorted(keys)
+
+    def test_lookup_path_terminates_at_key(self):
+        tree = RedBlackTree(Heap())
+        for key in [5, 3, 8, 1, 4]:
+            tree.insert(key)
+        assert tree.lookup_path(4)[-1][0].key == 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=300, unique=True))
+    def test_invariants_hold_for_any_insert_order(self, keys):
+        tree = RedBlackTree(Heap())
+        for key in keys:
+            tree.insert(key)
+        tree.check_invariants()
+        assert tree.keys_inorder() == sorted(keys)
+        assert tree.size == len(keys)
+
+
+class TestTreeWorkloads:
+    def test_bst_trace_is_deterministic(self):
+        a = BSTLookupProgram(num_keys=64, num_lookups=50).trace()
+        b = BSTLookupProgram(num_keys=64, num_lookups=50).trace()
+        assert [x.addr for x in a] == [x.addr for x in b]
+
+    def test_bst_lookups_carry_search_key_in_register(self):
+        prog = BSTLookupProgram(num_keys=32, num_lookups=20)
+        assert any(a.reg_value != 0 for a in prog.trace())
+
+    def test_bst_traversal_is_dependent(self):
+        prog = BSTLookupProgram(num_keys=64, num_lookups=30)
+        assert any(a.depends_on_prev for a in prog.trace())
+
+    def test_maptest_pointer_hints_present(self):
+        prog = RBTreeMapProgram(num_keys=64, num_lookups=20)
+        hinted = [a for a in prog.trace() if a.hints.type_id != 0]
+        assert hinted
+        assert {a.hints.link_offset for a in hinted} <= {8, 16}
+
+    def test_array_bst_addresses_stay_in_one_allocation(self):
+        prog = ArrayBSTProgram(num_keys=255, num_lookups=50)
+        trace = prog.trace()
+        lo, hi = min(a.addr for a in trace), max(a.addr for a in trace)
+        assert hi - lo <= (2 * 255 + 2) * prog.element_bytes
+
+    def test_array_bst_has_no_dependent_loads(self):
+        # index arithmetic, not pointer chasing (Figure 2's array variant)
+        prog = ArrayBSTProgram(num_keys=255, num_lookups=20)
+        assert not any(a.depends_on_prev for a in prog.trace())
+
+    def test_branch_outcomes_reflect_comparisons(self):
+        prog = BSTLookupProgram(num_keys=64, num_lookups=30)
+        assert any(True in a.branches or False in a.branches for a in prog.trace())
