@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments figures examples clean
+.PHONY: install test bench experiments figures examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# the correctness gate: the repo's own static-analysis pass (determinism,
+# hardware budget, prefetcher contracts, experiment hygiene), plus ruff and
+# mypy when installed (pip install -e .[lint]); the custom pass is mandatory
+lint:
+	$(PYTHON) -m repro lint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,44 @@
+"""Custom static-analysis pass over the reproduction's source tree.
+
+The pass machine-checks the invariants the paper's claims rest on, so
+that they cannot drift silently:
+
+* **determinism** (``DET*``) — the simulator must be bit-reproducible
+  run to run, so global-RNG calls, wall-clock reads, unordered ``set``
+  iteration, and float literal equality are banned in the core;
+* **hardware budget** (``BUD*``) — the table geometry declared in
+  :mod:`repro.core.config` must match the checked-in manifest derived
+  from Section 4.4 / Table 2 of the paper;
+* **prefetcher contract** (``CON*``) — every prefetcher subclasses the
+  common interface with compatible signatures and is registered in the
+  factory;
+* **experiment hygiene** (``EXP*``) — every ``experiments/fig*.py``
+  exposes the ``run()``/``render()`` entry points the runner and the
+  CLI rely on.
+
+Run it with ``python -m repro lint`` (or ``make lint``).  See
+``docs/static_analysis.md`` for the rule catalogue and how to add a
+rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, format_findings
+from repro.analysis.registry import Rule, all_rules, register_rule
+from repro.analysis.runner import analyze, load_manifest, main
+from repro.analysis.visitor import NodeRule, Project, SourceFile, load_project
+
+__all__ = [
+    "Finding",
+    "NodeRule",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "analyze",
+    "format_findings",
+    "load_manifest",
+    "load_project",
+    "main",
+    "register_rule",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — direct entry to the static-analysis pass."""
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

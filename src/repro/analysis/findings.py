@@ -1,0 +1,43 @@
+"""Findings: what a rule reports, and how it is rendered.
+
+A finding pins a violation to ``path:line`` so editors and CI logs can
+jump straight to it.  The reporter groups findings by file and appends a
+per-rule summary; the exit-code contract (0 clean, 1 findings, 2 usage
+or internal error) lives in :mod:`repro.analysis.runner`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    path: str  # posix path relative to the package root (e.g. core/cst.py)
+    line: int  # 1-based; 0 means "whole file / project"
+    rule: str  # e.g. DET001
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: by file, then line, then rule."""
+    return sorted(set(findings))
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Render a full report: one line per finding plus a rule summary."""
+    ordered = sort_findings(findings)
+    if not ordered:
+        return "analysis: clean (0 findings)"
+    lines = [f.render() for f in ordered]
+    by_rule = Counter(f.rule for f in ordered)
+    summary = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"analysis: {len(ordered)} finding(s) [{summary}]")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Rule registry: rules register themselves at import time.
+
+``@register_rule`` adds a rule class to the catalogue; ``all_rules``
+instantiates the catalogue in deterministic (rule-id) order.  The rule
+modules under :mod:`repro.analysis.rules` are imported lazily by
+``all_rules`` so that importing the framework never costs a full rule
+load, and so tests can instantiate individual rules directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.findings import Finding
+    from repro.analysis.visitor import Project
+
+
+class Rule(abc.ABC):
+    """Base class of every analysis rule.
+
+    ``rule_id`` is the finding-code prefix (``DET``, ``BUD``, ...); a
+    rule may emit several numbered codes under its prefix.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, project: "Project") -> Iterator["Finding"]:
+        """Yield findings for the given project."""
+
+
+_RULES: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the catalogue."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define rule_id")
+    existing = _RULES.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def _load_rule_modules() -> None:
+    # importing the package registers every built-in rule family
+    import repro.analysis.rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate the full catalogue in rule-id order."""
+    _load_rule_modules()
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def rule_catalogue() -> dict[str, Type[Rule]]:
+    """The registered rule classes by id (for ``lint --list-rules``)."""
+    _load_rule_modules()
+    return dict(sorted(_RULES.items()))

@@ -1,0 +1,7 @@
+"""Built-in rule families; importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import budget, contracts, determinism, experiments
+
+__all__ = ["budget", "contracts", "determinism", "experiments"]

@@ -1,0 +1,174 @@
+"""Hardware-budget rules (``BUD*``).
+
+The feature/storage budget is part of the paper's claim, not an
+implementation detail (Section 4.4 / Table 2; Pythia, MICRO 2021, makes
+the same point for RL prefetchers).  This family statically extracts
+the geometry declared in ``core/config.py`` plus the structures in the
+four hardware modules and verifies them against the checked-in
+``budget_manifest.json``:
+
+* ``BUD001`` — a config default differs from the manifest value;
+* ``BUD002`` — an expected declaration is missing or not statically
+  extractable (the budget can no longer be audited);
+* ``BUD003`` — derived geometry (index widths, per-entry bits, total
+  storage) no longer matches the manifest;
+* ``BUD004`` — a hardware structure lost one of its declared fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.visitor import Project, class_fields, top_level_classes
+
+CONFIG_FILE = "core/config.py"
+CONFIG_CLASS = "ContextPrefetcherConfig"
+
+
+def extract_int_defaults(cls: ast.ClassDef) -> dict[str, int]:
+    """Dataclass field defaults that are plain integer literals."""
+    defaults: dict[str, int] = {}
+    for stmt in cls.body:
+        if not (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and type(stmt.value.value) is int
+        ):
+            continue
+        defaults[stmt.target.id] = stmt.value.value
+    return defaults
+
+
+@register_rule
+class HardwareBudgetRule(Rule):
+    """BUD*: the declared geometry must match the paper manifest."""
+
+    rule_id = "BUD"
+    title = "hardware budget matches the Section 4.4 manifest"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        manifest = project.manifest
+        if not manifest:
+            yield Finding(
+                "", 0, "BUD002", "no budget manifest loaded; cannot audit"
+            )
+            return
+        yield from self._check_config(project, manifest)
+        yield from self._check_structure(project, manifest)
+
+    # ------------------------------------------------------------------
+
+    def _check_config(self, project: Project, manifest: dict) -> Iterator[Finding]:
+        source = project.get(CONFIG_FILE)
+        if source is None:
+            yield Finding(CONFIG_FILE, 0, "BUD002", "config module not found")
+            return
+        cls = top_level_classes(source.tree).get(CONFIG_CLASS)
+        if cls is None:
+            yield Finding(
+                CONFIG_FILE, 0, "BUD002", f"class {CONFIG_CLASS} not found"
+            )
+            return
+        declared = extract_int_defaults(cls)
+        expected: dict[str, int] = manifest.get("config_defaults", {})
+        for name, want in sorted(expected.items()):
+            if name not in declared:
+                yield Finding(
+                    source.rel,
+                    cls.lineno,
+                    "BUD002",
+                    f"{CONFIG_CLASS}.{name} has no statically extractable "
+                    "integer default; the budget can no longer be audited",
+                )
+            elif declared[name] != want:
+                yield Finding(
+                    source.rel,
+                    cls.lineno,
+                    "BUD001",
+                    f"{CONFIG_CLASS}.{name} = {declared[name]} but the paper "
+                    f"manifest (Section 4.4 / Table 2) requires {want}",
+                )
+        if any(name not in declared for name in expected):
+            return  # derived math would only produce noise
+        yield from self._check_derived(source.rel, cls.lineno, declared, manifest)
+
+    def _check_derived(
+        self, rel: str, line: int, cfg: dict[str, int], manifest: dict
+    ) -> Iterator[Finding]:
+        derived: dict[str, int] = manifest.get("derived", {})
+        if not derived:
+            return
+        score_bits = derived.get("score_bits", 8)
+        reducer_payload = derived.get("reducer_payload_bits", 8)
+        queue_extra = derived.get("queue_extra_bits", 56)
+
+        checks: list[tuple[str, int]] = []
+        reducer_index_bits = (cfg["reducer_entries"] - 1).bit_length()
+        checks.append(("reducer_index_bits", reducer_index_bits))
+        cst_index_bits = (cfg["cst_entries"] - 1).bit_length()
+        checks.append(("cst_index_bits", cst_index_bits))
+        cst_entry_bits = cfg["cst_tag_bits"] + cfg["cst_links"] * (
+            cfg["delta_bits"] + score_bits
+        )
+        checks.append(("cst_entry_bits", cst_entry_bits))
+        total_bits = (
+            cfg["cst_entries"] * cst_entry_bits
+            + cfg["reducer_entries"] * (cfg["reducer_tag_bits"] + reducer_payload)
+            + cfg["history_entries"] * cfg["reduced_hash_bits"]
+            + cfg["prefetch_queue_entries"]
+            * (cfg["reduced_hash_bits"] + queue_extra)
+        )
+        checks.append(("expected_total_bits", total_bits))
+
+        for key, actual in checks:
+            want = derived.get(key)
+            if want is not None and actual != want:
+                yield Finding(
+                    rel,
+                    line,
+                    "BUD003",
+                    f"derived {key} = {actual} but the manifest requires "
+                    f"{want}; the hardware budget drifted from the paper",
+                )
+        cap = derived.get("max_total_bits")
+        if cap is not None and total_bits > cap:
+            yield Finding(
+                rel,
+                line,
+                "BUD003",
+                f"total storage {total_bits} bits exceeds the manifest cap "
+                f"of {cap} bits ({cap / 8 / 1024:.1f} KiB)",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _check_structure(self, project: Project, manifest: dict) -> Iterator[Finding]:
+        structure: dict[str, dict[str, list[str]]] = manifest.get("structure", {})
+        for rel, classes in sorted(structure.items()):
+            source = project.get(rel)
+            if source is None:
+                yield Finding(rel, 0, "BUD002", "hardware module not found")
+                continue
+            defined = top_level_classes(source.tree)
+            for cls_name, required_fields in sorted(classes.items()):
+                cls = defined.get(cls_name)
+                if cls is None:
+                    yield Finding(
+                        rel, 0, "BUD002", f"expected class {cls_name} not found"
+                    )
+                    continue
+                have = set(class_fields(cls))
+                for field_name in required_fields:
+                    if field_name not in have:
+                        yield Finding(
+                            rel,
+                            cls.lineno,
+                            "BUD004",
+                            f"{cls_name} lost declared field {field_name!r}; "
+                            "update budget_manifest.json in the same commit "
+                            "if this is an intentional geometry change",
+                        )

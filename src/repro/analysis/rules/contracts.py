@@ -1,0 +1,282 @@
+"""Prefetcher-contract rules (``CON*``).
+
+Every prefetcher — the baselines and the paper's context prefetcher —
+must plug into the simulator through the same interface, and must be
+reachable from the factory registry the runner/CLI use.  A prefetcher
+that drifts from the contract fails at a distance (a sweep silently
+skips it, or the simulator dies mid-run), so the contract is checked
+statically:
+
+* ``CON001`` — a ``*Prefetcher`` class does not (transitively)
+  subclass :class:`repro.prefetchers.base.Prefetcher`;
+* ``CON002`` — an incompatible method signature (``on_access`` must
+  take exactly ``(self, access)``; ``on_prefetch_issue`` must take
+  ``(self, request, issued, reason)``), or a concrete prefetcher that
+  never defines ``on_access``;
+* ``CON003`` — a concrete prefetcher is not registered in
+  ``PREFETCHER_FACTORIES`` (``sim/config.py``);
+* ``CON004`` — a concrete prefetcher never sets a report ``name``
+  (class attribute or ``self.name = ...``), so figures would label it
+  with the base-class placeholder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.visitor import Project, SourceFile, top_level_classes
+
+BASE_FILE = "prefetchers/base.py"
+BASE_CLASS = "Prefetcher"
+FACTORY_FILE = "sim/config.py"
+FACTORY_NAME = "PREFETCHER_FACTORIES"
+#: modules that may define concrete prefetchers
+PREFETCHER_DIRS = ("prefetchers/", "core/prefetcher.py")
+
+#: method name -> expected positional parameters after ``self``
+SIGNATURES = {
+    "on_access": ["access"],
+    "on_prefetch_issue": ["request", "issued", "reason"],
+}
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    for base in _base_names(cls):
+        if base in ("ABC", "ABCMeta"):
+            return True
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                name = deco.attr if isinstance(deco, ast.Attribute) else getattr(deco, "id", "")
+                if name == "abstractmethod":
+                    return True
+    return False
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _positional_params(fn: ast.FunctionDef) -> list[str]:
+    args = fn.args
+    return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+def _sets_name_attribute(cls: ast.ClassDef) -> bool:
+    """True when the class assigns ``name`` or any method sets ``self.name``."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "name":
+                return True
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "name"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def registered_factory_classes(source: SourceFile) -> set[str] | None:
+    """Class names referenced in the PREFETCHER_FACTORIES dict, or None."""
+    for stmt in source.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == FACTORY_NAME:
+                value = stmt.value
+                if not isinstance(value, ast.Dict):
+                    return None
+                names: set[str] = set()
+                for entry in value.values:
+                    for node in ast.walk(entry):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+                        elif isinstance(node, ast.Attribute):
+                            names.add(node.attr)
+                return names
+    return None
+
+
+@register_rule
+class PrefetcherContractRule(Rule):
+    """CON*: the prefetcher interface and factory wiring."""
+
+    rule_id = "CON"
+    title = "prefetchers implement the base contract and are registered"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # 1. collect every class in the prefetcher modules
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        for source in project.in_dir(*PREFETCHER_DIRS):
+            for name, cls in top_level_classes(source.tree).items():
+                classes[name] = (source, cls)
+
+        if BASE_CLASS not in classes:
+            yield Finding(
+                BASE_FILE, 0, "CON001", f"base class {BASE_CLASS} not found"
+            )
+            return
+
+        def subclasses_base(name: str, seen: frozenset[str] = frozenset()) -> bool:
+            if name == BASE_CLASS:
+                return True
+            entry = classes.get(name)
+            if entry is None or name in seen:
+                return False
+            return any(
+                subclasses_base(base, seen | {name})
+                for base in _base_names(entry[1])
+            )
+
+        factory_source = project.get(FACTORY_FILE)
+        registered = (
+            registered_factory_classes(factory_source)
+            if factory_source is not None
+            else None
+        )
+        if registered is None:
+            yield Finding(
+                FACTORY_FILE,
+                0,
+                "CON003",
+                f"{FACTORY_NAME} dict not found or not statically readable",
+            )
+
+        for name in sorted(classes):
+            source, cls = classes[name]
+            if not name.endswith("Prefetcher") or name.startswith("_"):
+                continue
+            if name == BASE_CLASS:
+                continue
+            if not subclasses_base(name):
+                yield Finding(
+                    source.rel,
+                    cls.lineno,
+                    "CON001",
+                    f"{name} does not subclass {BASE_CLASS}; every "
+                    "prefetcher must implement the common interface",
+                )
+                continue
+            if _is_abstract(cls):
+                continue
+            yield from self._check_signatures(source, cls, classes)
+            if registered is not None and name not in registered:
+                yield Finding(
+                    source.rel,
+                    cls.lineno,
+                    "CON003",
+                    f"{name} is not registered in {FACTORY_NAME} "
+                    f"({FACTORY_FILE}); the runner/CLI cannot reach it",
+                )
+            yield from self._check_name(source, cls, classes)
+
+    # ------------------------------------------------------------------
+
+    def _mro_chain(
+        self,
+        cls: ast.ClassDef,
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]],
+    ) -> list[ast.ClassDef]:
+        """The class and its statically resolvable ancestors (base last)."""
+        chain: list[ast.ClassDef] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in _base_names(current):
+                entry = classes.get(base)
+                if entry is not None:
+                    stack.append(entry[1])
+        return chain
+
+    def _check_signatures(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]],
+    ) -> Iterator[Finding]:
+        chain = self._mro_chain(cls, classes)
+        for method, expected in sorted(SIGNATURES.items()):
+            fn = _methods(cls).get(method)
+            if fn is not None:
+                params = _positional_params(fn)
+                want = ["self", *expected]
+                if params != want:
+                    yield Finding(
+                        source.rel,
+                        fn.lineno,
+                        "CON002",
+                        f"{cls.name}.{method} takes ({', '.join(params)}) "
+                        f"but the contract is ({', '.join(want)})",
+                    )
+            elif method == "on_access":
+                # on_access is abstract in the base: a concrete prefetcher
+                # must define it somewhere in its (static) MRO
+                defined = any(
+                    method in _methods(ancestor)
+                    for ancestor in chain
+                    if ancestor.name != BASE_CLASS
+                )
+                if not defined:
+                    yield Finding(
+                        source.rel,
+                        cls.lineno,
+                        "CON002",
+                        f"{cls.name} never defines on_access; the simulator "
+                        "cannot drive it",
+                    )
+
+    def _check_name(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]],
+    ) -> Iterator[Finding]:
+        chain = self._mro_chain(cls, classes)
+        if any(
+            _sets_name_attribute(ancestor)
+            for ancestor in chain
+            if ancestor.name != BASE_CLASS
+        ):
+            return
+        yield Finding(
+            source.rel,
+            cls.lineno,
+            "CON004",
+            f"{cls.name} never sets a report `name`; figures would label "
+            "it with the base-class placeholder",
+        )

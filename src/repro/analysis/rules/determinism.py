@@ -1,0 +1,278 @@
+"""Determinism rules (``DET*``).
+
+The contextual-bandit loop must be bit-reproducible run to run (the
+seed-robustness experiment and every regression test depend on it), so
+the simulator core may not consult process-global randomness or the
+wall clock, and may not iterate hash-randomized containers.
+
+* ``DET001`` — call to a ``random``-module function using the *global*
+  RNG (``random.random()``, ``random.choice()``, ...).  Use a seeded
+  ``random.Random`` instance instead.
+* ``DET002`` — ``random.Random()`` constructed without a seed (falls
+  back to OS entropy); in the strict core the seed must additionally be
+  threaded through config, not hard-coded at the call site.
+* ``DET003`` — wall-clock reads (``time.time()``, ``perf_counter``,
+  ``datetime.now()``, ...).  Simulated time is the only clock.
+* ``DET004`` — iteration over a ``set``/``frozenset`` expression.
+  String hashing is randomized per process (PYTHONHASHSEED), so set
+  order is not reproducible; sort first (``sorted(...)`` is fine).
+* ``DET005`` — ``==``/``!=`` against a float literal; accumulated EMAs
+  and rewards must be compared with tolerances or integer math.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.visitor import NodeRule, SourceFile
+
+#: the simulator core that must be strictly deterministic
+STRICT_DIRS = ("core/", "sim/", "memory/", "prefetchers/")
+
+#: random-module functions that touch the hidden global Random instance
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: wall-clock reads; simulated cycles are the only legitimate time base
+CLOCK_FUNCS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that are statically known to be sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a - b, ...) on at least one known set
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+@register_rule
+class GlobalRandomRule(NodeRule):
+    """DET001: ban the module-level (global-state) random functions."""
+
+    rule_id = "DET001"
+    title = "module-level random.* call (unseeded global RNG)"
+    node_types = (ast.Call,)
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr in GLOBAL_RANDOM_FUNCS
+        ):
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                f"random.{func.attr}() uses the process-global RNG; "
+                "use a seeded random.Random instance",
+            )
+
+
+@register_rule
+class UnseededRandomRule(NodeRule):
+    """DET002: every random.Random must be seeded (from config, in core)."""
+
+    rule_id = "DET002"
+    title = "random.Random() without a reproducible seed"
+    node_types = (ast.Call,)
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        name = _dotted(node.func)
+        if name not in ("random.Random", "random.SystemRandom", "Random"):
+            return
+        if name == "random.SystemRandom":
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                "SystemRandom is OS entropy and can never be reproduced",
+            )
+            return
+        if not node.args and not node.keywords:
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                "random.Random() without a seed falls back to OS entropy; "
+                "pass a seed from config",
+            )
+            return
+        in_strict = any(source.rel.startswith(p) for p in STRICT_DIRS)
+        if (
+            in_strict
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                "hard-coded seed literal in the simulator core; thread the "
+                "seed through the config object",
+            )
+
+
+@register_rule
+class WallClockRule(NodeRule):
+    """DET003: the wall clock must never leak into simulated behaviour."""
+
+    rule_id = "DET003"
+    title = "wall-clock read (time.time / datetime.now / ...)"
+    node_types = (ast.Call,)
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        name = _dotted(node.func)
+        if name is None:
+            return
+        if name in CLOCK_FUNCS:
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                f"{name}() reads the wall clock; simulated cycles are the "
+                "only time base",
+            )
+        elif (
+            name.split(".")[-1] in CLOCK_DATETIME_ATTRS
+            and "datetime" in name.split(".")[:-1]
+        ):
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.rule_id,
+                f"{name}() reads the wall clock; simulated cycles are the "
+                "only time base",
+            )
+
+
+@register_rule
+class SetIterationRule(NodeRule):
+    """DET004: no iteration over sets in the strict simulator core."""
+
+    rule_id = "DET004"
+    title = "iteration over an unordered set expression"
+    node_types = (ast.For, ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp, ast.Call)
+    scope = STRICT_DIRS
+
+    _ORDER_SENSITIVE_CALLS = ("list", "tuple", "enumerate", "iter")
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        if isinstance(node, ast.For):
+            if _is_set_expression(node.iter):
+                yield self._finding(source, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expression(gen.iter):
+                    yield self._finding(source, gen.iter)
+        elif isinstance(node, ast.Call):
+            # list(set(...)) / tuple(set(...)) materialize hash order
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                yield self._finding(source, node)
+
+    def _finding(self, source: SourceFile, node: ast.AST) -> Finding:
+        return Finding(
+            source.rel,
+            getattr(node, "lineno", 0),
+            self.rule_id,
+            "iterating a set is hash-order dependent and not reproducible "
+            "across processes; sort first (sorted(...) is deterministic)",
+        )
+
+
+@register_rule
+class FloatEqualityRule(NodeRule):
+    """DET005: no ``==``/``!=`` against float literals in the core."""
+
+    rule_id = "DET005"
+    title = "equality comparison against a float literal"
+    node_types = (ast.Compare,)
+    scope = STRICT_DIRS
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_float_literal(left) or self._is_float_literal(right):
+                yield Finding(
+                    source.rel,
+                    node.lineno,
+                    self.rule_id,
+                    "exact equality against a float literal is fragile for "
+                    "accumulated values; compare with a tolerance or use "
+                    "integer math",
+                )
+                return

@@ -1,0 +1,133 @@
+"""Experiment-hygiene rules (``EXP*``).
+
+The runner and the CLI drive every figure module through the same two
+entry points — ``run(...)`` builds the result object, ``render(result)``
+formats it — and dispatch through the ``_FIGURES`` table in ``cli.py``.
+A figure module that drifts from this shape disappears from ``python -m
+repro figure`` without any test noticing, so the shape is enforced:
+
+* ``EXP001`` — ``experiments/fig*.py`` has no top-level ``run``;
+* ``EXP002`` — no top-level ``render``, or ``render`` cannot accept a
+  single positional result;
+* ``EXP003`` — ``run`` cannot be called as ``run()`` or ``run(scale)``
+  (at most one positional parameter may lack a default);
+* ``EXP004`` — the figure module is not wired into the CLI's
+  ``_FIGURES`` dispatch table.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.visitor import Project, SourceFile, top_level_functions
+
+FIGURE_GLOB = "experiments/fig*.py"
+CLI_FILE = "cli.py"
+DISPATCH_NAME = "_FIGURES"
+
+
+def _required_positional(fn: ast.FunctionDef) -> int:
+    args = fn.args
+    positional = [*args.posonlyargs, *args.args]
+    return len(positional) - len(args.defaults)
+
+
+def _max_positional(fn: ast.FunctionDef) -> int:
+    args = fn.args
+    if args.vararg is not None:
+        return 1 << 30
+    return len(args.posonlyargs) + len(args.args)
+
+
+def cli_dispatch_modules(source: SourceFile) -> set[str] | None:
+    """Module names referenced in the CLI ``_FIGURES`` table, or None."""
+    for stmt in source.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == DISPATCH_NAME:
+                if not isinstance(stmt.value, ast.Dict):
+                    return None
+                names: set[str] = set()
+                for entry in stmt.value.values:
+                    for node in ast.walk(entry):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+                        elif isinstance(node, ast.Attribute):
+                            names.add(node.attr)
+                return names
+    return None
+
+
+@register_rule
+class ExperimentHygieneRule(Rule):
+    """EXP*: every figure module exposes the common entry points."""
+
+    rule_id = "EXP"
+    title = "figure modules expose run()/render() and are CLI-dispatchable"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        cli = project.get(CLI_FILE)
+        dispatch = cli_dispatch_modules(cli) if cli is not None else None
+        if dispatch is None:
+            yield Finding(
+                CLI_FILE,
+                0,
+                "EXP004",
+                f"{DISPATCH_NAME} dict not found or not statically readable",
+            )
+
+        for source in project.in_dir("experiments/"):
+            if not fnmatch.fnmatch(source.rel, FIGURE_GLOB):
+                continue
+            functions = top_level_functions(source.tree)
+
+            run = functions.get("run")
+            if run is None:
+                yield Finding(
+                    source.rel,
+                    0,
+                    "EXP001",
+                    "no top-level run(); the runner/CLI cannot build this "
+                    "figure",
+                )
+            elif _required_positional(run) > 1:
+                yield Finding(
+                    source.rel,
+                    run.lineno,
+                    "EXP003",
+                    "run() requires more than one positional argument; the "
+                    "CLI calls it as run() or run(scale)",
+                )
+
+            render = functions.get("render")
+            if render is None:
+                yield Finding(
+                    source.rel,
+                    0,
+                    "EXP002",
+                    "no top-level render(); the runner/CLI cannot format "
+                    "this figure",
+                )
+            elif _max_positional(render) < 1 or _required_positional(render) > 1:
+                yield Finding(
+                    source.rel,
+                    render.lineno,
+                    "EXP002",
+                    "render() must accept exactly one positional result "
+                    "object",
+                )
+
+            module = source.rel.rsplit("/", 1)[-1].removesuffix(".py")
+            if dispatch is not None and module not in dispatch:
+                yield Finding(
+                    source.rel,
+                    0,
+                    "EXP004",
+                    f"figure module {module} is not wired into the CLI "
+                    f"{DISPATCH_NAME} table",
+                )

@@ -1,0 +1,123 @@
+"""Analysis runner: discovery, rule execution, reporting, exit codes.
+
+``analyze`` is the library entry point (used by the CLI, ``make lint``
+and the test suite); ``main`` is the argparse front-end behind
+``python -m repro lint`` and ``python -m repro.analysis``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage or setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, format_findings, sort_findings
+from repro.analysis.registry import Rule, all_rules, rule_catalogue
+from repro.analysis.visitor import NodeRule, Project, load_project, run_node_rules
+
+#: the package this pass audits by default: src/repro itself
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_MANIFEST = Path(__file__).resolve().with_name("budget_manifest.json")
+
+
+def load_manifest(path: Path | None = None) -> dict:
+    """Read the hardware-budget manifest (the checked-in one by default)."""
+    return json.loads((path or DEFAULT_MANIFEST).read_text(encoding="utf-8"))
+
+
+def analyze(
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+    manifest: dict | None = None,
+    project: Project | None = None,
+) -> list[Finding]:
+    """Run the pass and return its findings, deterministically ordered."""
+    if project is None:
+        if manifest is None:
+            manifest = load_manifest()
+        project = load_project(root or DEFAULT_ROOT, manifest=manifest)
+    selected = list(rules) if rules is not None else all_rules()
+
+    findings: list[Finding] = list(project.parse_errors)
+    node_rules = [r for r in selected if isinstance(r, NodeRule)]
+    findings.extend(run_node_rules(project, node_rules))
+    for rule in selected:
+        if not isinstance(rule, NodeRule):
+            findings.extend(rule.check(project))
+    return sort_findings(findings)
+
+
+def _select_rules(selectors: str | None) -> list[Rule]:
+    rules = all_rules()
+    if not selectors:
+        return rules
+    prefixes = tuple(s.strip() for s in selectors.split(",") if s.strip())
+    chosen = [r for r in rules if r.rule_id.startswith(prefixes)]
+    if not chosen:
+        known = ", ".join(r.rule_id for r in rules)
+        raise SystemExit(f"error: no rule matches {selectors!r}; known: {known}")
+    return chosen
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "static-analysis pass enforcing determinism, hardware-budget, "
+            "prefetcher-contract, and experiment-hygiene invariants"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package root to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="hardware-budget manifest (default: the checked-in one)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="PREFIXES",
+        help="comma-separated rule-id prefixes to run (e.g. DET,BUD)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in rule_catalogue().items():
+            print(f"{rule_id:8s} {cls.title}")
+        return 0
+    root = (args.root or DEFAULT_ROOT).resolve()
+    if not root.is_dir():
+        print(f"error: {root} is not a directory")
+        return 2
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load budget manifest: {exc}")
+        return 2
+    try:
+        rules = _select_rules(args.select)
+    except SystemExit as exc:
+        print(exc)
+        return 2
+    findings = analyze(root=root, rules=rules, manifest=manifest)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

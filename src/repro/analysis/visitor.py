@@ -1,0 +1,179 @@
+"""Visitor core: the project model and the shared single-pass AST walk.
+
+``load_project`` parses every ``*.py`` under the package root once into
+:class:`SourceFile` records.  :class:`NodeRule` is the base class for
+per-node rules; ``run_node_rules`` walks each file's AST exactly once
+and fans every node out to the rules that subscribed to its type, so
+adding a rule never adds another tree traversal.
+
+Project-level rules (budget, contract, hygiene) that need to correlate
+several files subclass :class:`repro.analysis.registry.Rule` directly
+and receive the whole :class:`Project`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule
+
+#: directories never scanned (build products, caches)
+EXCLUDED_DIRS = frozenset({"__pycache__", ".git", "egg-info"})
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed module of the project under analysis."""
+
+    rel: str  # posix path relative to the package root
+    path: Path
+    tree: ast.Module
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: parsed files plus the manifest."""
+
+    root: Path
+    files: dict[str, SourceFile] = field(default_factory=dict)
+    manifest: dict = field(default_factory=dict)
+    #: files that failed to parse, as findings (reported unconditionally)
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self.files.get(rel)
+
+    def in_dir(self, *prefixes: str) -> Iterator[SourceFile]:
+        """Files whose relative path starts with any of ``prefixes``."""
+        for rel in sorted(self.files):
+            if any(rel.startswith(p) for p in prefixes):
+                yield self.files[rel]
+
+
+def _iter_py_files(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        if any(part in EXCLUDED_DIRS or part.endswith(".egg-info") for part in parts):
+            continue
+        yield path
+
+
+def load_project(root: Path, manifest: dict | None = None) -> Project:
+    """Parse every python file under ``root`` into a :class:`Project`."""
+    root = root.resolve()
+    project = Project(root=root, manifest=manifest or {})
+    for path in _iter_py_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            project.parse_errors.append(
+                Finding(rel, exc.lineno or 0, "PARSE", f"syntax error: {exc.msg}")
+            )
+            continue
+        project.files[rel] = SourceFile(rel=rel, path=path, tree=tree)
+    return project
+
+
+class NodeRule(Rule):
+    """A per-node rule driven by the shared AST walk.
+
+    Subclasses declare the node types they care about and implement
+    :meth:`visit_node`; ``scope`` restricts the rule to files under the
+    given relative-path prefixes (empty = the whole package).
+    """
+
+    #: AST node classes this rule wants to see
+    node_types: tuple[type[ast.AST], ...] = ()
+    #: relative-path prefixes the rule applies to; empty = everywhere
+    scope: tuple[str, ...] = ()
+
+    def applies(self, source: SourceFile) -> bool:
+        return not self.scope or any(source.rel.startswith(p) for p in self.scope)
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # Standalone fallback so a single rule can run outside the shared
+        # walk (unit tests, --select with one rule).
+        for source in (project.files[rel] for rel in sorted(project.files)):
+            if not self.applies(source):
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, self.node_types):
+                    yield from self.visit_node(source, node)
+
+
+def run_node_rules(
+    project: Project, rules: Iterable[NodeRule]
+) -> Iterator[Finding]:
+    """Walk each file once, dispatching nodes to all subscribed rules."""
+    rules = list(rules)
+    for rel in sorted(project.files):
+        source = project.files[rel]
+        active = [rule for rule in rules if rule.applies(source)]
+        if not active:
+            continue
+        dispatch: Mapping[NodeRule, tuple[type[ast.AST], ...]] = {
+            rule: rule.node_types for rule in active
+        }
+        for node in ast.walk(source.tree):
+            for rule, types in dispatch.items():
+                if isinstance(node, types):
+                    yield from rule.visit_node(source, node)
+
+
+# ----------------------------------------------------------------------
+# small AST helpers shared by the rule families
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def class_fields(cls: ast.ClassDef) -> list[str]:
+    """Declared per-instance fields: dataclass AnnAssigns and __slots__."""
+    fields: list[str] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                        fields.extend(
+                            el.value
+                            for el in stmt.value.elts
+                            if isinstance(el, ast.Constant)
+                            and isinstance(el.value, str)
+                        )
+    return fields
+
+
+def top_level_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.ClassDef)
+    }
+
+
+def top_level_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }

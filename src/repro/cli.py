@@ -6,11 +6,17 @@ Commands:
 * ``run``      — simulate one (workload, prefetcher) pair
 * ``sweep``    — workloads × prefetchers speedup table (Figure 12 view)
 * ``figure``   — regenerate one paper figure or table set
+* ``lint``     — static-analysis pass (determinism, hardware budget,
+  prefetcher contracts, experiment hygiene; see docs/static_analysis.md)
+
+Every subcommand returns a nonzero exit code on failure so that
+``make lint`` and CI can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.experiments import (
@@ -105,6 +111,19 @@ def _build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("tracefile")
     replay_p.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
     replay_p.add_argument("--stats", action="store_true", help="gem5-style dump")
+
+    lint_p = sub.add_parser(
+        "lint", help="run the static-analysis pass over the package"
+    )
+    lint_p.add_argument(
+        "--select",
+        default=None,
+        metavar="PREFIXES",
+        help="comma-separated rule-id prefixes to run (e.g. DET,BUD)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
     return parser
 
 
@@ -174,20 +193,49 @@ def _cmd_replay(args: argparse.Namespace) -> str:
     return result.summary()
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import main as lint_main
+
+    lint_argv: list[str] = []
+    if args.select:
+        lint_argv += ["--select", args.select]
+    if args.list_rules:
+        lint_argv.append("--list-rules")
+    return lint_main(lint_argv)
+
+
+_COMMANDS = {
+    "list": lambda args: _cmd_list(),
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "figure": _cmd_figure,
+    "trace": _cmd_trace,
+    "replay": _cmd_replay,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        print(_cmd_list())
-    elif args.command == "run":
-        print(_cmd_run(args))
-    elif args.command == "sweep":
-        print(_cmd_sweep(args))
-    elif args.command == "figure":
-        print(_cmd_figure(args))
-    elif args.command == "trace":
-        print(_cmd_trace(args))
-    elif args.command == "replay":
-        print(_cmd_replay(args))
+    if args.command == "lint":
+        # lint prints its own report and owns the 0/1/2 exit contract
+        return _cmd_lint(args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # CI and make gate on the exit code; a traceback would bury the
+        # actionable message, so report the failure and exit nonzero
+        print(f"error: {args.command}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not a failure — but stop
+        # the interpreter from tracebacking on the shutdown flush
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 

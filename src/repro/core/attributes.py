@@ -11,6 +11,7 @@ that address history risks overly localized learning.
 from __future__ import annotations
 
 from enum import IntEnum
+from typing import Iterator
 
 
 class Attribute(IntEnum):
@@ -69,7 +70,7 @@ class AttributeSet:
     def __contains__(self, attr: Attribute) -> bool:
         return bool(self._bits & (1 << int(attr)))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Attribute]:
         for attr in ALL_ATTRIBUTES:
             if attr in self:
                 yield attr

@@ -131,7 +131,7 @@ class SoftmaxPolicy(EpsilonGreedyPolicy):
         # anneal toward 1/4 of the base temperature as accuracy -> 1
         return cfg.softmax_temperature * (1.0 - 0.75 * self._accuracy_ema)
 
-    def _sample(self, candidates) -> "Candidate":
+    def _sample(self, candidates: list[Candidate]) -> Candidate:
         tau = self.temperature()
         top = max(c.score for c in candidates)
         weights = [math.exp((c.score - top) / tau) for c in candidates]

@@ -63,7 +63,7 @@ class ContextPrefetcher(Prefetcher):
     def _line_of(self, addr: int) -> int:
         return addr // self.config.delta_granularity
 
-    def _make_reward(self, lo: int, hi: int, center: int):
+    def _make_reward(self, lo: int, hi: int, center: int) -> RewardFunction:
         cfg = self.config
         reward_cls = (
             FlatRewardFunction if cfg.reward_shape == "flat" else RewardFunction

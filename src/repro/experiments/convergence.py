@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from repro.core.prefetcher import ContextPrefetcher
 from repro.experiments.report import render_table
-from repro.prefetchers.base import AccessInfo
 from repro.sim.simulator import Simulator
 from repro.workloads.suites import get_workload
 

@@ -15,7 +15,7 @@ proxy actually exhibits the profile it claims.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.workloads.trace import MemoryAccess

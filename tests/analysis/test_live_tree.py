@@ -1,0 +1,51 @@
+"""The live source tree must be violation-free.
+
+This is the test CI gates on: if a rule family starts flagging the real
+package, either the code regressed (fix it) or the rule is wrong (fix
+the rule) — never silence the finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze, format_findings, load_manifest
+from repro.analysis.runner import DEFAULT_ROOT
+
+
+class TestLiveTree:
+    def test_package_is_violation_free(self):
+        findings = analyze()
+        assert findings == [], "\n" + format_findings(findings)
+
+    def test_manifest_matches_runtime_config(self):
+        # the static manifest and the runtime dataclass must agree, so
+        # that the lint pass audits what the simulator actually runs
+        from repro.core.config import ContextPrefetcherConfig
+
+        manifest = load_manifest()
+        config = ContextPrefetcherConfig()
+        for name, want in manifest["config_defaults"].items():
+            assert getattr(config, name) == want, name
+
+    def test_manifest_total_matches_storage_audit(self):
+        # storage_bits() is the runtime Table 2 audit; the manifest's
+        # expected total must be the same number, or the BUD rules and
+        # the figures would disagree about the hardware budget
+        from repro.core.config import ContextPrefetcherConfig
+
+        manifest = load_manifest()
+        expected = manifest["derived"]["expected_total_bits"]
+        assert ContextPrefetcherConfig().storage_bits() == expected
+        assert expected <= manifest["derived"]["max_total_bits"]
+
+    def test_default_root_is_the_package(self):
+        assert (DEFAULT_ROOT / "core" / "config.py").is_file()
+
+    def test_seeded_violation_is_caught(self, tmp_path):
+        # end-to-end: a module-level random.random() in core/ must fail
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "evil.py").write_text(
+            "import random\nJITTER = random.random()\n", encoding="utf-8"
+        )
+        findings = analyze(root=tmp_path, manifest={"config_defaults": {}})
+        assert any(f.rule == "DET001" for f in findings)

@@ -1,0 +1,541 @@
+"""Unit tests for the static-analysis rule families.
+
+Each family is exercised against known-good and known-bad snippets laid
+out as a miniature package under ``tmp_path``; the live-tree test lives
+in ``test_live_tree.py``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze, load_project
+from repro.analysis.registry import all_rules
+from repro.analysis.rules.budget import HardwareBudgetRule
+from repro.analysis.rules.contracts import PrefetcherContractRule
+from repro.analysis.rules.determinism import (
+    FloatEqualityRule,
+    GlobalRandomRule,
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.experiments import ExperimentHygieneRule
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+def run_rules(root: Path, rules, manifest: dict | None = None) -> list:
+    project = load_project(root, manifest=manifest or {})
+    return analyze(project=project, rules=rules)
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# determinism (DET*)
+
+
+class TestGlobalRandomRule:
+    def test_flags_global_rng_calls(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                import random
+                def pick(items):
+                    random.shuffle(items)
+                    return random.choice(items) if random.random() < 0.5 else None
+                """
+            },
+        )
+        findings = run_rules(tmp_path, [GlobalRandomRule()])
+        assert rule_ids(findings) == ["DET001", "DET001", "DET001"]
+        assert all(f.path == "core/x.py" for f in findings)
+
+    def test_seeded_instance_calls_are_fine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "workloads/x.py": """
+                import random
+                def pick(items, seed):
+                    rng = random.Random(seed)
+                    return rng.choice(items)
+                """
+            },
+        )
+        assert run_rules(tmp_path, [GlobalRandomRule()]) == []
+
+    def test_attribute_named_random_is_not_flagged(self, tmp_path):
+        # spec_proxy-style: a dataclass field called `random`
+        write_tree(
+            tmp_path,
+            {
+                "workloads/x.py": """
+                def mix(profile):
+                    return profile.random() + profile.random
+                """
+            },
+        )
+        assert run_rules(tmp_path, [GlobalRandomRule()]) == []
+
+
+class TestUnseededRandomRule:
+    def test_flags_unseeded_random(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"workloads/x.py": "import random\nrng = random.Random()\n"},
+        )
+        assert rule_ids(run_rules(tmp_path, [UnseededRandomRule()])) == ["DET002"]
+
+    def test_flags_system_random(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"workloads/x.py": "import random\nrng = random.SystemRandom()\n"},
+        )
+        assert rule_ids(run_rules(tmp_path, [UnseededRandomRule()])) == ["DET002"]
+
+    def test_literal_seed_in_core_is_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"core/x.py": "import random\nrng = random.Random(1234)\n"},
+        )
+        findings = run_rules(tmp_path, [UnseededRandomRule()])
+        assert rule_ids(findings) == ["DET002"]
+        assert "config" in findings[0].message
+
+    def test_literal_seed_in_workloads_is_fine(self, tmp_path):
+        # workload dataclasses carry their own seed defaults
+        write_tree(
+            tmp_path,
+            {"workloads/x.py": "import random\nrng = random.Random(1234)\n"},
+        )
+        assert run_rules(tmp_path, [UnseededRandomRule()]) == []
+
+    def test_config_seed_in_core_is_fine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"core/x.py": "import random\ndef f(cfg):\n    return random.Random(cfg.seed)\n"},
+        )
+        assert run_rules(tmp_path, [UnseededRandomRule()]) == []
+
+
+class TestWallClockRule:
+    def test_flags_time_and_datetime(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "sim/x.py": """
+                import time
+                import datetime
+                def stamp():
+                    return time.time(), time.perf_counter(), datetime.datetime.now()
+                """
+            },
+        )
+        findings = run_rules(tmp_path, [WallClockRule()])
+        assert rule_ids(findings) == ["DET003", "DET003", "DET003"]
+
+    def test_simulated_time_is_fine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"sim/x.py": "def tick(core):\n    return core.time + 1\n"},
+        )
+        assert run_rules(tmp_path, [WallClockRule()]) == []
+
+
+class TestSetIterationRule:
+    def test_flags_for_and_comprehension_and_list(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "memory/x.py": """
+                def f(a, b):
+                    for item in {1, 2, 3}:
+                        print(item)
+                    out = [v for v in set(a)]
+                    return list(set(a) | set(b)), out
+                """
+            },
+        )
+        findings = run_rules(tmp_path, [SetIterationRule()])
+        assert rule_ids(findings) == ["DET004", "DET004", "DET004"]
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "memory/x.py": """
+                def f(a):
+                    for item in sorted(set(a)):
+                        print(item)
+                    return item in set(a)
+                """
+            },
+        )
+        assert run_rules(tmp_path, [SetIterationRule()]) == []
+
+    def test_outside_strict_dirs_not_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"experiments/x.py": "def f(a):\n    return [v for v in set(a)]\n"},
+        )
+        assert run_rules(tmp_path, [SetIterationRule()]) == []
+
+
+class TestFloatEqualityRule:
+    def test_flags_float_literal_equality(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                def f(x, y):
+                    return x == 0.5 or y != -1.0
+                """
+            },
+        )
+        findings = run_rules(tmp_path, [FloatEqualityRule()])
+        assert rule_ids(findings) == ["DET005"]
+
+    def test_ordering_and_int_equality_are_fine(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                def f(x, y):
+                    return x >= 0.5 and y == 1 and x <= 1.0
+                """
+            },
+        )
+        assert run_rules(tmp_path, [FloatEqualityRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# hardware budget (BUD*)
+
+GOOD_CONFIG = """
+from dataclasses import dataclass
+
+@dataclass
+class ContextPrefetcherConfig:
+    cst_entries: int = 16
+    cst_links: int = 2
+    cst_tag_bits: int = 4
+    reducer_entries: int = 32
+    reducer_tag_bits: int = 2
+    full_hash_bits: int = 9
+    reduced_hash_bits: int = 8
+    history_entries: int = 4
+    prefetch_queue_entries: int = 8
+    delta_bits: int = 8
+"""
+
+GOOD_CST = """
+from dataclasses import dataclass
+
+@dataclass
+class Candidate:
+    delta: int
+    score: int
+"""
+
+MINI_MANIFEST = {
+    "config_defaults": {
+        "cst_entries": 16,
+        "cst_links": 2,
+        "cst_tag_bits": 4,
+        "reducer_entries": 32,
+        "reducer_tag_bits": 2,
+        "full_hash_bits": 9,
+        "reduced_hash_bits": 8,
+        "history_entries": 4,
+        "prefetch_queue_entries": 8,
+        "delta_bits": 8,
+    },
+    "derived": {
+        "score_bits": 8,
+        "reducer_payload_bits": 8,
+        "queue_extra_bits": 56,
+        "reducer_index_bits": 5,
+        "cst_index_bits": 4,
+        "cst_entry_bits": 36,
+        # 16*36 + 32*10 + 4*8 + 8*64 = 1440
+        "expected_total_bits": 1440,
+        "max_total_bits": 2048,
+    },
+    "structure": {"core/cst.py": {"Candidate": ["delta", "score"]}},
+}
+
+
+class TestHardwareBudgetRule:
+    def build(self, tmp_path, config=GOOD_CONFIG, cst=GOOD_CST):
+        return write_tree(
+            tmp_path, {"core/config.py": config, "core/cst.py": cst}
+        )
+
+    def test_clean_tree(self, tmp_path):
+        root = self.build(tmp_path)
+        assert run_rules(root, [HardwareBudgetRule()], MINI_MANIFEST) == []
+
+    def test_entry_count_drift_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            config=GOOD_CONFIG.replace(
+                "cst_entries: int = 16", "cst_entries: int = 64"
+            ),
+        )
+        findings = run_rules(root, [HardwareBudgetRule()], MINI_MANIFEST)
+        codes = set(rule_ids(findings))
+        assert "BUD001" in codes  # the default itself
+        assert "BUD003" in codes  # derived geometry + budget cap
+
+    def test_field_width_drift_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            config=GOOD_CONFIG.replace(
+                "delta_bits: int = 8", "delta_bits: int = 16"
+            ),
+        )
+        findings = run_rules(root, [HardwareBudgetRule()], MINI_MANIFEST)
+        assert "BUD001" in rule_ids(findings)
+
+    def test_non_literal_default_is_unauditable(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            config=GOOD_CONFIG.replace(
+                "cst_entries: int = 16", "cst_entries: int = 1 << 4"
+            ),
+        )
+        findings = run_rules(root, [HardwareBudgetRule()], MINI_MANIFEST)
+        assert rule_ids(findings) == ["BUD002"]
+
+    def test_lost_structure_field_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path, cst=GOOD_CST.replace("    score: int\n", "")
+        )
+        findings = run_rules(root, [HardwareBudgetRule()], MINI_MANIFEST)
+        assert rule_ids(findings) == ["BUD004"]
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        root = self.build(tmp_path)
+        findings = run_rules(root, [HardwareBudgetRule()], manifest={})
+        assert rule_ids(findings) == ["BUD002"]
+
+
+# ----------------------------------------------------------------------
+# prefetcher contract (CON*)
+
+BASE_MODULE = """
+import abc
+
+class Prefetcher(abc.ABC):
+    name = "base"
+
+    @abc.abstractmethod
+    def on_access(self, access):
+        ...
+
+    def on_prefetch_issue(self, request, issued, reason):
+        ...
+"""
+
+GOOD_IMPL = """
+from repro.prefetchers.base import Prefetcher
+
+class GoodPrefetcher(Prefetcher):
+    name = "good"
+
+    def on_access(self, access):
+        return []
+"""
+
+FACTORY = """
+PREFETCHER_FACTORIES = {
+    "good": GoodPrefetcher,
+}
+"""
+
+
+class TestPrefetcherContractRule:
+    def build(self, tmp_path, impl=GOOD_IMPL, factory=FACTORY):
+        return write_tree(
+            tmp_path,
+            {
+                "prefetchers/base.py": BASE_MODULE,
+                "prefetchers/good.py": impl,
+                "sim/config.py": factory,
+            },
+        )
+
+    def test_clean_tree(self, tmp_path):
+        root = self.build(tmp_path)
+        assert run_rules(root, [PrefetcherContractRule()]) == []
+
+    def test_not_subclassing_base_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path, impl=GOOD_IMPL.replace("(Prefetcher)", "")
+        )
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert "CON001" in rule_ids(findings)
+
+    def test_incompatible_signature_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            impl=GOOD_IMPL.replace(
+                "def on_access(self, access):",
+                "def on_access(self, access, extra):",
+            ),
+        )
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert rule_ids(findings) == ["CON002"]
+
+    def test_missing_on_access_is_flagged(self, tmp_path):
+        impl = """
+        from repro.prefetchers.base import Prefetcher
+
+        class GoodPrefetcher(Prefetcher):
+            name = "good"
+        """
+        root = self.build(tmp_path, impl=textwrap.dedent(impl))
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert "CON002" in rule_ids(findings)
+
+    def test_unregistered_prefetcher_is_flagged(self, tmp_path):
+        root = self.build(tmp_path, factory="PREFETCHER_FACTORIES = {}\n")
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert rule_ids(findings) == ["CON003"]
+
+    def test_registration_through_lambda_is_seen(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            factory=(
+                "PREFETCHER_FACTORIES = {\n"
+                '    "good": lambda: GoodPrefetcher(),\n'
+                "}\n"
+            ),
+        )
+        assert run_rules(root, [PrefetcherContractRule()]) == []
+
+    def test_missing_name_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path, impl=GOOD_IMPL.replace('    name = "good"\n', "")
+        )
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert rule_ids(findings) == ["CON004"]
+
+    def test_name_set_in_init_is_fine(self, tmp_path):
+        impl = GOOD_IMPL.replace(
+            '    name = "good"\n',
+            '    def __init__(self):\n        self.name = "good"\n',
+        )
+        root = self.build(tmp_path, impl=impl)
+        assert run_rules(root, [PrefetcherContractRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# experiment hygiene (EXP*)
+
+GOOD_FIGURE = """
+def run(scale: str = "small"):
+    return {"scale": scale}
+
+def render(result) -> str:
+    return str(result)
+"""
+
+GOOD_CLI = """
+from repro.experiments import fig99_demo
+
+_FIGURES = {
+    "99": (fig99_demo, True),
+}
+"""
+
+
+class TestExperimentHygieneRule:
+    def build(self, tmp_path, figure=GOOD_FIGURE, cli=GOOD_CLI):
+        return write_tree(
+            tmp_path,
+            {"experiments/fig99_demo.py": figure, "cli.py": cli},
+        )
+
+    def test_clean_tree(self, tmp_path):
+        root = self.build(tmp_path)
+        assert run_rules(root, [ExperimentHygieneRule()]) == []
+
+    def test_missing_run_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path, figure=GOOD_FIGURE.replace("def run", "def build")
+        )
+        findings = run_rules(root, [ExperimentHygieneRule()])
+        assert "EXP001" in rule_ids(findings)
+
+    def test_missing_render_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path, figure=GOOD_FIGURE.replace("def render", "def show")
+        )
+        findings = run_rules(root, [ExperimentHygieneRule()])
+        assert "EXP002" in rule_ids(findings)
+
+    def test_run_with_extra_required_args_is_flagged(self, tmp_path):
+        root = self.build(
+            tmp_path,
+            figure=GOOD_FIGURE.replace(
+                'def run(scale: str = "small"):', "def run(scale, extra):"
+            ),
+        )
+        findings = run_rules(root, [ExperimentHygieneRule()])
+        assert rule_ids(findings) == ["EXP003"]
+
+    def test_unwired_figure_is_flagged(self, tmp_path):
+        root = self.build(tmp_path, cli="_FIGURES = {}\n")
+        findings = run_rules(root, [ExperimentHygieneRule()])
+        assert rule_ids(findings) == ["EXP004"]
+
+    def test_non_figure_modules_are_ignored(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {"experiments/tables.py": "def main():\n    pass\n", "cli.py": "_FIGURES = {}\n"},
+        )
+        assert run_rules(root, [ExperimentHygieneRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# framework behaviour
+
+
+class TestFramework:
+    def test_parse_error_is_reported_not_fatal(self, tmp_path):
+        root = write_tree(tmp_path, {"core/broken.py": "def f(:\n"})
+        findings = run_rules(root, [GlobalRandomRule()])
+        assert rule_ids(findings) == ["PARSE"]
+
+    def test_catalogue_has_all_families(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert {"DET001", "DET002", "DET003", "DET004", "DET005"} <= ids
+        assert {"BUD", "CON", "EXP"} <= ids
+
+    def test_findings_are_deterministically_ordered(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/b.py": "import random\nx = random.random()\n",
+                "core/a.py": "import random\ny = random.random()\nz = random.random()\n",
+            },
+        )
+        findings = run_rules(tmp_path, [GlobalRandomRule()])
+        assert [(f.path, f.line) for f in findings] == [
+            ("core/a.py", 2),
+            ("core/a.py", 3),
+            ("core/b.py", 2),
+        ]

@@ -25,9 +25,12 @@ class TestRun:
         out = capsys.readouterr().out
         assert "array/context" in out
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "not-a-workload", "none"])
+    def test_unknown_workload_exits_nonzero(self, capsys):
+        # failed subcommands must report an error and return a nonzero
+        # exit code so make/CI can gate on python -m repro
+        assert main(["run", "not-a-workload", "none"]) == 1
+        err = capsys.readouterr().err
+        assert "error: run:" in err and "not-a-workload" in err
 
     def test_unknown_prefetcher_rejected_by_parser(self):
         with pytest.raises(SystemExit):
@@ -74,6 +77,27 @@ class TestFigure:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExitCodes:
+    def test_replay_missing_trace_exits_nonzero(self, capsys):
+        assert main(["replay", "/no/such/trace.jsonl", "none"]) == 1
+        assert "error: replay:" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "analysis: clean" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out and "BUD" in out and "EXP" in out
+
+    def test_lint_select_subset(self, capsys):
+        assert main(["lint", "--select", "DET"]) == 0
+        assert "analysis: clean" in capsys.readouterr().out
 
 
 class TestTraceAndReplay:
