@@ -7,14 +7,16 @@ PYTHON ?= python
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# the tier-1 gate, matching CI and ROADMAP.md exactly: works from a
+# clean checkout without an editable install (src/ goes on PYTHONPATH)
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
 
 # the correctness gate: the repo's own static-analysis pass (determinism,
 # hardware budget, prefetcher contracts, experiment hygiene), plus ruff and
 # mypy when installed (pip install -e .[lint]); the custom pass is mandatory
 lint:
-	$(PYTHON) -m repro lint
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro lint
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
 		$(PYTHON) -m ruff check src tests; \
 	else echo "ruff not installed; skipping (pip install -e .[lint])"; fi

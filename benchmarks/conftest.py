@@ -4,11 +4,17 @@ The sweep behind Figures 9–12 is expensive, so it runs once per session
 (``bench_sweep``); the per-figure benchmarks then measure regenerating
 each figure from it.  The sweep itself is benchmarked separately in
 ``test_bench_sweep.py``.
+
+The result cache is always disabled here — benchmarks must measure
+simulation, not disk reads.  Set ``REPRO_BENCH_JOBS=N`` to run the
+benchmark sweeps through the parallel engine (the parity suite
+guarantees the numbers themselves cannot change, only wall-clock time).
 """
+
+import os
 
 import pytest
 
-from repro.experiments.sweep import standard_sweep
 from repro.workloads.suites import get_workload
 
 #: the workload subset used by benchmark sweeps: one representative per
@@ -17,11 +23,24 @@ BENCH_WORKLOADS = ("lbm", "mcf", "array", "list", "graph500-list", "graph500-csr
 BENCH_LIMIT = 20000
 
 
-def bench_sweep_impl():
+def bench_jobs() -> int:
+    """Worker-process count for benchmark sweeps (default: serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def bench_sweep_impl(jobs: int | None = None):
     workloads = [get_workload(name) for name in BENCH_WORKLOADS]
     from repro.sim.runner import compare
 
-    return compare(workloads, limit=BENCH_LIMIT)
+    return compare(
+        workloads,
+        limit=BENCH_LIMIT,
+        jobs=bench_jobs() if jobs is None else jobs,
+        cache=False,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,24 @@
-"""Benchmark the standard sweep itself (the engine behind Figures 9-12)."""
+"""Benchmark the standard sweep itself (the engine behind Figures 9-12).
+
+The parallel variant exercises the job engine end to end (spawned
+workers, codec round-trip, ordered merge); compare the two runs to
+measure the speedup on the current machine.  ``REPRO_BENCH_JOBS``
+overrides the parallel worker count (default 4).
+"""
+
+import os
 
 from conftest import bench_sweep_impl, run_once
 
 
 def test_bench_standard_sweep(benchmark):
-    comparison = run_once(benchmark, bench_sweep_impl)
+    comparison = run_once(benchmark, bench_sweep_impl, jobs=1)
+    assert len(comparison.workloads()) == 6
+    assert len(comparison.prefetchers()) == 6
+
+
+def test_bench_standard_sweep_parallel(benchmark):
+    jobs = max(2, int(os.environ.get("REPRO_BENCH_JOBS", "4")))
+    comparison = run_once(benchmark, bench_sweep_impl, jobs=jobs)
     assert len(comparison.workloads()) == 6
     assert len(comparison.prefetchers()) == 6

@@ -65,6 +65,45 @@ _FIGURES = {
 }
 
 
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The parallel/caching surface shared by sweep-driven commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep cell instead of reusing results/.cache/",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: results/.cache)",
+    )
+
+
+def _configure_execution(args: argparse.Namespace) -> None:
+    """Install the --jobs/--no-cache choices as process-wide defaults.
+
+    Figure modules call :func:`standard_sweep` themselves, so the flags
+    are threaded through the execution defaults rather than every
+    ``run()`` signature.  Results are bit-identical either way — the
+    cache and the worker pool only change wall-clock time.
+    """
+    from repro.sim.cache import DEFAULT_CACHE_DIR, SweepCache
+    from repro.sim.parallel import set_default_execution
+
+    cache = None
+    if not args.no_cache:
+        cache = SweepCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    set_default_execution(jobs=args.jobs, cache=cache)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,10 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated prefetcher names",
     )
     sweep_p.add_argument("--limit", type=int, default=None)
+    _add_execution_flags(sweep_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig_p.add_argument("which", choices=sorted(_FIGURES, key=str))
     fig_p.add_argument("--scale", choices=sorted(SCALES), default="small")
+    _add_execution_flags(fig_p)
 
     trace_p = sub.add_parser(
         "trace", help="save a workload's access trace as JSONL"
@@ -150,6 +191,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
+    _configure_execution(args)
     prefetchers = tuple(p.strip() for p in args.prefetchers.split(",") if p.strip())
     if args.workloads:
         workloads = [
@@ -163,6 +205,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:
+    _configure_execution(args)
     module, takes_scale = _FIGURES[args.which]
     if module is tables:
         return "\n\n".join((tables.table1(), tables.table2(), tables.table3()))

@@ -1,0 +1,221 @@
+"""On-disk result cache for sweep cells.
+
+Every evaluation figure reduces to the workload × prefetcher sweep, and
+every cell of that sweep is a pure function of (trace, prefetcher,
+configuration, limit, simulator code).  This module memoizes cells under
+``results/.cache/`` keyed by a stable hash of exactly those inputs, so
+re-running a figure after an unrelated edit (docs, CLI, figure
+formatting, the sweep engine itself) is a cache hit, while any change
+that could alter simulated behaviour — a trace, a config field, the
+truncation limit, or the simulator core's source — is a miss.
+
+Key anatomy (see docs/parallel_runner.md):
+
+* ``workload`` name **and** a fingerprint of its access trace — renaming
+  a workload or regenerating a different trace both invalidate;
+* ``prefetcher`` report name, plus the ``ContextPrefetcherConfig`` for
+  ``context`` cells (other prefetchers' defaults live in source and are
+  covered by the code fingerprint);
+* ``HierarchyConfig`` and ``CoreConfig`` field values;
+* the trace truncation ``limit``;
+* a fingerprint of the simulator's *semantic* source (the packages that
+  define simulated behaviour — not figures, CLI, docs or this engine);
+* the result codec version.
+
+Corrupt or version-skewed cache files are treated as misses and
+overwritten; a cache directory deleted mid-run is recreated on the next
+store.  The cache never changes results — only whether they are
+recomputed — and the parity suite proves a warm run equals a cold run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.sim.codec import CODEC_VERSION, CodecError, decode_result, encode_result
+from repro.sim.metrics import SimulationResult
+from repro.workloads.serialize import access_to_dict
+from repro.workloads.trace import MemoryAccess
+
+#: default cache location, relative to the invoking directory
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+#: source whose edits can change simulated behaviour: the packages the
+#: simulator core is built from.  experiments/, cli.py, analysis/ and the
+#: sweep engine itself (parallel.py, cache.py, export.py) are excluded on
+#: purpose — editing them must not invalidate cached results.
+SEMANTIC_SOURCE_PREFIXES = (
+    "compiler/",
+    "core/",
+    "cpu/",
+    "memory/",
+    "prefetchers/",
+    "workloads/",
+)
+SEMANTIC_SOURCE_FILES = (
+    "hints.py",
+    "sim/config.py",
+    "sim/metrics.py",
+    "sim/phases.py",
+    "sim/simulator.py",
+)
+
+_code_fingerprint_cache: str | None = None
+
+
+def _canonical(data: object) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def code_fingerprint() -> str:
+    """Hash of the simulator's semantic source files (cached per process)."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in SEMANTIC_SOURCE_FILES or rel.startswith(
+                SEMANTIC_SOURCE_PREFIXES
+            ):
+                digest.update(rel.encode("utf-8"))
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+        _code_fingerprint_cache = digest.hexdigest()
+    return _code_fingerprint_cache
+
+
+def trace_fingerprint(trace: Iterable[MemoryAccess]) -> str:
+    """Stable hash of an access stream (canonical serialized form)."""
+    digest = hashlib.sha256()
+    for access in trace:
+        digest.update(_canonical(access_to_dict(access)).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def cell_key(
+    *,
+    workload: str,
+    trace_fp: str,
+    prefetcher: str,
+    limit: int | None,
+    hierarchy_config: HierarchyConfig | None = None,
+    core_config: CoreConfig | None = None,
+    context_config: ContextPrefetcherConfig | None = None,
+    code_version: str | None = None,
+) -> str:
+    """The cache key for one (workload, prefetcher) sweep cell."""
+    context: dict | None = None
+    if prefetcher == "context":
+        context = dataclasses.asdict(context_config or ContextPrefetcherConfig())
+    payload = {
+        "codec": CODEC_VERSION,
+        "code": code_version if code_version is not None else code_fingerprint(),
+        "workload": workload,
+        "trace": trace_fp,
+        "prefetcher": prefetcher,
+        "limit": limit,
+        "hierarchy": dataclasses.asdict(hierarchy_config or HierarchyConfig()),
+        "core": dataclasses.asdict(core_config or CoreConfig()),
+        "context": context,
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheCounters:
+    """Per-run observability: how the cache behaved during a sweep."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stored, {self.errors} unreadable"
+        )
+
+
+class SweepCache:
+    """Directory of memoized sweep cells, one JSON file per cell key."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.counters = CacheCounters()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or None on any kind of miss.
+
+        Unreadable files — truncated writes, foreign junk, older codec
+        versions — count as misses so a corrupt cache degrades to a cold
+        start instead of failing the sweep.
+        """
+        try:
+            payload = json.loads(self._path(key).read_text(encoding="utf-8"))
+            result = decode_result(payload["result"])
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, CodecError):
+            self.counters.errors += 1
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Persist one cell atomically (write-temp-then-rename).
+
+        The directory is (re)created on every store, so deleting
+        ``results/.cache`` mid-run costs the remaining hits, not the run.
+        Storage failures are counted, not raised — caching is strictly
+        an optimization.
+        """
+        payload = {"codec": CODEC_VERSION, "key": key, "result": encode_result(result)}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(_canonical(payload), encoding="utf-8")
+            os.replace(tmp, self._path(key))
+        except OSError:
+            self.counters.errors += 1
+            return
+        self.counters.stores += 1
+
+
+def resolve_cache(
+    cache: "SweepCache | Path | str | bool | None",
+    default: SweepCache | None = None,
+) -> SweepCache | None:
+    """Normalize the user-facing ``cache`` argument.
+
+    ``None`` → the configured ``default`` (no caching when unset);
+    ``False`` → caching explicitly off; ``True`` → the default on-disk
+    location; a path → a cache rooted there; a :class:`SweepCache` →
+    itself.
+    """
+    if cache is None:
+        return default
+    if cache is False:
+        return None
+    if cache is True:
+        return SweepCache(DEFAULT_CACHE_DIR)
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(Path(cache))

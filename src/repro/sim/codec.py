@@ -1,0 +1,122 @@
+"""Versioned, lossless :class:`SimulationResult` codec.
+
+The parallel sweep engine ships results across process boundaries and
+the on-disk result cache persists them between runs; both paths go
+through this codec, so a decoded result must compare equal — field for
+field, dataclass ``==`` — to the result the simulator produced.  The
+determinism-parity suite (``tests/sim/test_parallel_parity.py``)
+enforces exactly that.
+
+``CODEC_VERSION`` is bumped on any schema change.  The cache treats a
+version mismatch as a miss (re-simulate), never as an error, so stale
+cache directories degrade to a cold start rather than a crash.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+from repro.memory.stats import ACCESS_CLASS_ORDER, AccessClassifier, CacheStats
+from repro.sim.metrics import HitDepthCDF, SimulationResult
+
+#: schema version of the encoded form; bump on any field change
+CODEC_VERSION = 1
+
+_CACHE_STATS_FIELDS = (
+    "name",
+    "accesses",
+    "hits",
+    "misses",
+    "prefetch_fills",
+    "demand_fills",
+)
+
+
+class CodecError(ValueError):
+    """An encoded result cannot be decoded (wrong version or shape)."""
+
+
+def _encode_cache_stats(stats: CacheStats) -> dict[str, Any]:
+    return {name: getattr(stats, name) for name in _CACHE_STATS_FIELDS}
+
+
+def _decode_cache_stats(data: Mapping[str, Any]) -> CacheStats:
+    try:
+        return CacheStats(**{name: data[name] for name in _CACHE_STATS_FIELDS})
+    except (KeyError, TypeError) as exc:
+        raise CodecError(f"malformed cache-stats record: {exc}") from exc
+
+
+def encode_result(result: SimulationResult) -> dict[str, Any]:
+    """Encode one run into a JSON-serializable dict (version-stamped)."""
+    return {
+        "codec": CODEC_VERSION,
+        "workload": result.workload,
+        "prefetcher": result.prefetcher,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "l1": _encode_cache_stats(result.l1),
+        "l2": _encode_cache_stats(result.l2),
+        "classifier": {
+            "demand_accesses": result.classifier.demand_accesses,
+            "counts": {
+                cls.name: result.classifier.counts[cls]
+                for cls in ACCESS_CLASS_ORDER
+            },
+        },
+        # JSON keys must be strings; depths decode back through int()
+        "hit_depths": {
+            str(depth): count
+            for depth, count in sorted(result.hit_depths.histogram.items())
+        },
+        "prefetches_issued": result.prefetches_issued,
+        "prefetches_shadow": result.prefetches_shadow,
+        "prefetches_rejected": result.prefetches_rejected,
+        "prefetches_redundant": result.prefetches_redundant,
+        "prefetcher_accuracy": result.prefetcher_accuracy,
+        "storage_bits": result.storage_bits,
+    }
+
+
+def decode_result(data: Mapping[str, Any]) -> SimulationResult:
+    """Inverse of :func:`encode_result`; raises :class:`CodecError`."""
+    version = data.get("codec")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"encoded result has codec version {version!r}; "
+            f"this build reads version {CODEC_VERSION}"
+        )
+    try:
+        classifier = AccessClassifier(
+            counts={
+                cls: int(data["classifier"]["counts"][cls.name])
+                for cls in ACCESS_CLASS_ORDER
+            },
+            demand_accesses=int(data["classifier"]["demand_accesses"]),
+        )
+        hit_depths = HitDepthCDF(
+            histogram=Counter(
+                {int(depth): int(count) for depth, count in data["hit_depths"].items()}
+            )
+        )
+        return SimulationResult(
+            workload=data["workload"],
+            prefetcher=data["prefetcher"],
+            instructions=int(data["instructions"]),
+            cycles=int(data["cycles"]),
+            l1=_decode_cache_stats(data["l1"]),
+            l2=_decode_cache_stats(data["l2"]),
+            classifier=classifier,
+            hit_depths=hit_depths,
+            prefetches_issued=int(data["prefetches_issued"]),
+            prefetches_shadow=int(data["prefetches_shadow"]),
+            prefetches_rejected=int(data["prefetches_rejected"]),
+            prefetches_redundant=int(data["prefetches_redundant"]),
+            prefetcher_accuracy=float(data["prefetcher_accuracy"]),
+            storage_bits=int(data["storage_bits"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(f"malformed encoded result: {exc}") from exc

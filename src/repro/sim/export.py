@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import Iterable
 
 from repro.memory.stats import ACCESS_CLASS_ORDER
+from repro.sim.codec import CODEC_VERSION, decode_result, encode_result
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import ComparisonResult
 
@@ -55,6 +57,43 @@ def results_to_csv(results: Iterable[SimulationResult]) -> str:
     writer.writeheader()
     writer.writerows(rows)
     return buffer.getvalue()
+
+
+def result_to_json(result: SimulationResult, *, indent: int | None = None) -> str:
+    """Lossless JSON form of one run (the cache/worker codec's encoding).
+
+    Unlike :func:`result_to_dict` — flat headline stats for CSV/tables —
+    this round-trips: ``result_from_json(result_to_json(r)) == r``.
+    """
+    return json.dumps(encode_result(result), sort_keys=True, indent=indent)
+
+
+def result_from_json(text: str) -> SimulationResult:
+    """Inverse of :func:`result_to_json` (validates the codec version)."""
+    return decode_result(json.loads(text))
+
+
+def comparison_to_json(comparison: ComparisonResult, *, indent: int | None = None) -> str:
+    """Lossless JSON form of a whole sweep, cell order preserved."""
+    payload = {
+        "codec": CODEC_VERSION,
+        "results": {
+            wl: {pf: encode_result(comparison.get(wl, pf)) for pf in by_pf}
+            for wl, by_pf in comparison.results.items()
+        },
+    }
+    return json.dumps(payload, sort_keys=False, indent=indent)
+
+
+def comparison_from_json(text: str) -> ComparisonResult:
+    """Inverse of :func:`comparison_to_json`."""
+    payload = json.loads(text)
+    comparison = ComparisonResult()
+    for wl, by_pf in payload["results"].items():
+        comparison.results[wl] = {
+            pf: decode_result(encoded) for pf, encoded in by_pf.items()
+        }
+    return comparison
 
 
 def comparison_to_csv(comparison: ComparisonResult) -> str:

@@ -1,0 +1,351 @@
+"""Parallel sweep engine: the grid → jobs → ordered merge pipeline.
+
+Every cell of a workload × prefetcher sweep is independent — the
+simulator is a pure function of (trace, prefetcher, configs, limit) —
+so the sweep is embarrassingly parallel.  This module fans the grid out
+over a ``ProcessPoolExecutor`` and merges results back **in grid
+order**, so the output is field-for-field identical to the serial path
+(``tests/sim/test_parallel_parity.py`` proves it):
+
+* jobs are enumerated and submitted in deterministic grid order
+  (workloads outer, prefetchers inner — the serial loop's order);
+* workers never inherit parent state: the pool uses the ``spawn`` start
+  method, and each worker rebuilds its workload and prefetcher from
+  config, re-seeding every RNG from the config's seed field;
+* results cross the process boundary through the versioned codec
+  (:mod:`repro.sim.codec`) — the same encoding the on-disk cache
+  persists, so both paths are exercised by the same parity tests;
+* the merge iterates the original grid, never completion order.
+
+Observability: ``progress`` receives one line per finished cell
+(``[done/total] workload/prefetcher: …``), flagged ``cached`` for cache
+hits.  Wall-clock timing is deliberately absent here — the simulator
+package is wall-clock-free by lint rule DET003 — so callers that want
+per-job timing inject a clock via ``progress`` closures (see
+``scripts/run_full_experiments.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # runner imports this module lazily; avoid the cycle
+    from repro.sim.runner import ComparisonResult
+
+from repro.core.config import ContextPrefetcherConfig
+from repro.core.prefetcher import ContextPrefetcher
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.sim.cache import SweepCache, cell_key, trace_fingerprint
+from repro.sim.codec import decode_result, encode_result
+from repro.sim.config import PREFETCHER_FACTORIES
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import WorkloadSpec, get_workload
+from repro.workloads.trace import MemoryAccess, TraceProgram
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One executable sweep cell, fully described by value.
+
+    ``trace`` is only populated for workloads that cannot be rebuilt
+    from the registry by name (ad-hoc :class:`TraceProgram` instances);
+    registry workloads ship as their name and are rebuilt inside the
+    worker, re-seeded from their own config — workers never receive
+    parent RNG state.
+    """
+
+    index: int
+    workload: str
+    prefetcher: str
+    limit: int | None
+    hierarchy_config: HierarchyConfig | None = None
+    core_config: CoreConfig | None = None
+    context_config: ContextPrefetcherConfig | None = None
+    trace: tuple[MemoryAccess, ...] | None = None
+
+
+@dataclass
+class ExecutionDefaults:
+    """Process-wide defaults the CLI/scripts set once per invocation."""
+
+    jobs: int = 1
+    cache: SweepCache | None = None
+
+
+_DEFAULTS = ExecutionDefaults()
+
+
+def default_execution() -> ExecutionDefaults:
+    """The currently configured process-wide execution defaults."""
+    return _DEFAULTS
+
+
+def set_default_execution(
+    *, jobs: int | None = None, cache: SweepCache | None | bool = False
+) -> ExecutionDefaults:
+    """Set process-wide defaults; returns the previous values.
+
+    ``cache=False`` (the sentinel) leaves the cache default untouched;
+    pass an explicit ``SweepCache`` or ``None`` to change it.
+    """
+    global _DEFAULTS
+    previous = _DEFAULTS
+    _DEFAULTS = ExecutionDefaults(
+        jobs=previous.jobs if jobs is None else max(1, jobs),
+        cache=previous.cache if cache is False else cache,
+    )
+    return previous
+
+
+def _make_prefetcher(job: SweepJob):
+    if job.prefetcher == "context" and job.context_config is not None:
+        return ContextPrefetcher(job.context_config)
+    return PREFETCHER_FACTORIES[job.prefetcher]()
+
+
+def _run_cell(job: SweepJob, trace: Sequence[MemoryAccess]) -> SimulationResult:
+    sim = Simulator(
+        _make_prefetcher(job),
+        hierarchy_config=job.hierarchy_config,
+        core_config=job.core_config,
+    )
+    return sim.run(trace, workload_name=job.workload, limit=job.limit)
+
+
+def run_job(job: SweepJob) -> SimulationResult:
+    """Execute one cell from scratch (also the in-worker entry point)."""
+    if job.trace is not None:
+        trace: Sequence[MemoryAccess] = job.trace
+    else:
+        trace = get_workload(job.workload).build().trace()
+    return _run_cell(job, trace)
+
+
+def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any]]:
+    """Worker body: run the cell, return its index + encoded result.
+
+    Returning the *encoded* form means every parallel result crosses the
+    process boundary through the same versioned codec the cache uses.
+    """
+    return job.index, encode_result(run_job(job))
+
+
+@dataclass
+class _Cell:
+    """Bookkeeping for one grid position during a sweep.
+
+    ``local_trace`` is the parent-resolved trace, used by the inline
+    (jobs == 1) path so cached-but-cold runs never rebuild a workload
+    per cell; it is never shipped to workers — only ``job`` is.
+    """
+
+    workload: str
+    prefetcher: str
+    job: SweepJob
+    local_trace: Sequence[MemoryAccess] | None = None
+    key: str | None = None
+    result: SimulationResult | None = None
+    cached: bool = False
+
+
+def _resolve_grid(
+    workloads: Iterable[WorkloadSpec | TraceProgram | str],
+) -> list[tuple[str, list[MemoryAccess], bool]]:
+    """(name, trace, rebuildable-by-name) per workload, in input order.
+
+    A workload is rebuilt by name inside workers only when the name
+    resolves to the *same* registry entry the caller passed — a custom
+    spec or ad-hoc program that merely shares a name ships its trace
+    explicitly instead, so workers can never run the wrong workload.
+    """
+    out: list[tuple[str, list[MemoryAccess], bool]] = []
+    for workload in workloads:
+        spec: WorkloadSpec | None = None
+        if isinstance(workload, str):
+            spec = get_workload(workload)
+        elif isinstance(workload, WorkloadSpec):
+            spec = workload
+        if spec is not None:
+            by_name = False
+            try:
+                by_name = get_workload(spec.name) is spec
+            except KeyError:
+                by_name = False
+            out.append((spec.name, spec.build().trace(), by_name))
+        else:
+            assert isinstance(workload, TraceProgram)
+            out.append((workload.name, workload.trace(), False))
+    return out
+
+
+def parallel_compare(
+    workloads: Iterable[WorkloadSpec | TraceProgram | str],
+    prefetchers: Iterable[str],
+    *,
+    hierarchy_config: HierarchyConfig | None = None,
+    core_config: CoreConfig | None = None,
+    context_config: ContextPrefetcherConfig | None = None,
+    limit: int | None = None,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    progress: ProgressFn | None = None,
+) -> "ComparisonResult":
+    """Run the sweep grid with ``jobs`` workers and an optional cache.
+
+    Returns the same :class:`~repro.sim.runner.ComparisonResult` the
+    serial path builds, with identical cell values and identical
+    workload/prefetcher ordering.
+    """
+    from repro.sim.runner import ComparisonResult
+
+    prefetcher_names = list(prefetchers)
+    grid = _resolve_grid(workloads)
+
+    cells: list[_Cell] = []
+    for name, trace, by_name in grid:
+        trace_fp = trace_fingerprint(trace) if cache is not None else ""
+        # ship the (truncated) trace to workers whenever a limit applies —
+        # rebuilding a full trace per cell just to truncate it dwarfs the
+        # pickling cost; only full-trace registry workloads rebuild by
+        # name, where a rebuild costs the same as shipping would
+        if by_name and limit is None:
+            shipped = None
+        elif limit is not None:
+            shipped = tuple(trace[:limit])
+        else:
+            shipped = tuple(trace)
+        for pf_name in prefetcher_names:
+            job = SweepJob(
+                index=len(cells),
+                workload=name,
+                prefetcher=pf_name,
+                limit=limit,
+                hierarchy_config=hierarchy_config,
+                core_config=core_config,
+                context_config=context_config,
+                trace=shipped,
+            )
+            cell = _Cell(
+                workload=name, prefetcher=pf_name, job=job, local_trace=trace
+            )
+            if cache is not None:
+                cell.key = cell_key(
+                    workload=name,
+                    trace_fp=trace_fp,
+                    prefetcher=pf_name,
+                    limit=limit,
+                    hierarchy_config=hierarchy_config,
+                    core_config=core_config,
+                    context_config=context_config,
+                )
+                cell.result = cache.load(cell.key)
+                cell.cached = cell.result is not None
+            cells.append(cell)
+
+    total = len(cells)
+    done = 0
+
+    def report(cell: _Cell) -> None:
+        if progress is None:
+            return
+        assert cell.result is not None
+        suffix = " [cached]" if cell.cached else ""
+        progress(f"[{done}/{total}] {cell.result.summary()}{suffix}")
+
+    for cell in cells:
+        if cell.cached:
+            done += 1
+            report(cell)
+
+    pending = [cell for cell in cells if cell.result is None]
+    if pending and jobs > 1:
+        # spawn (not fork): workers start from a clean interpreter and
+        # can only re-seed from config, never inherit parent RNG state
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=get_context("spawn"),
+        ) as pool:
+            futures: list[tuple[_Cell, Future]] = [
+                (cell, pool.submit(_execute_job, cell.job)) for cell in pending
+            ]
+            # iterate submission order, not completion order: progress
+            # lines and cache stores stay deterministic run to run
+            for cell, future in futures:
+                index, payload = future.result()
+                assert index == cell.job.index
+                cell.result = decode_result(payload)
+                done += 1
+                if cache is not None and cell.key is not None:
+                    cache.store(cell.key, cell.result)
+                report(cell)
+    else:
+        for cell in pending:
+            assert cell.local_trace is not None
+            cell.result = decode_result(
+                encode_result(_run_cell(cell.job, cell.local_trace))
+            )
+            done += 1
+            if cache is not None and cell.key is not None:
+                cache.store(cell.key, cell.result)
+            report(cell)
+
+    comparison = ComparisonResult()
+    for cell in cells:
+        assert cell.result is not None
+        comparison.results.setdefault(cell.workload, {})[cell.prefetcher] = cell.result
+    if progress is not None and cache is not None:
+        progress(cache.counters.summary())
+    return comparison
+
+
+def parallel_storage_sweep(
+    workloads: Iterable[WorkloadSpec | TraceProgram | str],
+    cst_sizes: Iterable[int],
+    *,
+    limit: int | None = None,
+    base_config: ContextPrefetcherConfig | None = None,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    progress: ProgressFn | None = None,
+) -> dict[int, dict[str, SimulationResult]]:
+    """Figure 13's (CST size × workload) grid on the parallel engine.
+
+    Each size is one ``context`` configuration (CST rescaled, reducer at
+    8×), so the cache keys config sweeps exactly like prefetcher sweeps.
+    """
+    base = base_config or ContextPrefetcherConfig()
+    workload_list = list(workloads)  # reused across sizes; don't exhaust
+    sizes = list(cst_sizes)
+    out: dict[int, dict[str, SimulationResult]] = {}
+    for size in sizes:
+        comparison = parallel_compare(
+            workload_list,
+            ("context",),
+            context_config=base.scaled(size),
+            limit=limit,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+        )
+        out[size] = {
+            wl: comparison.get(wl, "context") for wl in comparison.workloads()
+        }
+    return out
+
+
+__all__ = [
+    "ExecutionDefaults",
+    "SweepJob",
+    "default_execution",
+    "parallel_compare",
+    "parallel_storage_sweep",
+    "run_job",
+    "set_default_execution",
+]

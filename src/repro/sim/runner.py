@@ -8,7 +8,11 @@ Figure 13 storage sweep, which rescales the context prefetcher's CST.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:
+    from repro.sim.cache import SweepCache
 
 from repro.core.config import ContextPrefetcherConfig
 from repro.core.prefetcher import ContextPrefetcher
@@ -103,12 +107,40 @@ def compare(
     core_config: CoreConfig | None = None,
     limit: int | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int | None = None,
+    cache: "SweepCache | Path | str | bool | None" = None,
 ) -> ComparisonResult:
     """The standard sweep every evaluation figure is built from.
 
     Traces are built once per workload and replayed for each prefetcher,
     so results across prefetchers are strictly comparable.
+
+    ``jobs`` > 1 fans the grid out over worker processes and ``cache``
+    memoizes cells on disk (``True`` → ``results/.cache/``); both are
+    bit-neutral — the parity suite proves the output identical to this
+    serial loop.  ``None`` defers to the process-wide defaults the CLI
+    and scripts configure via
+    :func:`repro.sim.parallel.set_default_execution`; ``cache=False``
+    forces caching off regardless of those defaults.
     """
+    from repro.sim.cache import resolve_cache
+    from repro.sim.parallel import default_execution, parallel_compare
+
+    defaults = default_execution()
+    effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
+    effective_cache = resolve_cache(cache, default=defaults.cache)
+    if effective_jobs > 1 or effective_cache is not None:
+        return parallel_compare(
+            workloads,
+            prefetchers,
+            hierarchy_config=hierarchy_config,
+            core_config=core_config,
+            limit=limit,
+            jobs=effective_jobs,
+            cache=effective_cache,
+            progress=progress,
+        )
+
     comparison = ComparisonResult()
     for workload in workloads:
         name, trace = _resolve_trace(workload)
@@ -131,6 +163,8 @@ def storage_sweep(
     *,
     limit: int | None = None,
     base_config: ContextPrefetcherConfig | None = None,
+    jobs: int | None = None,
+    cache: "SweepCache | Path | str | bool | None" = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Figure 13: context-prefetcher results per CST size per workload.
 
@@ -141,7 +175,22 @@ def storage_sweep(
     a separate baseline comparison; this helper focuses on the context
     prefetcher itself.
     """
+    from repro.sim.cache import resolve_cache
+    from repro.sim.parallel import default_execution, parallel_storage_sweep
+
     base = base_config or ContextPrefetcherConfig()
+    defaults = default_execution()
+    effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
+    effective_cache = resolve_cache(cache, default=defaults.cache)
+    if effective_jobs > 1 or effective_cache is not None:
+        return parallel_storage_sweep(
+            workloads,
+            cst_sizes,
+            limit=limit,
+            base_config=base,
+            jobs=effective_jobs,
+            cache=effective_cache,
+        )
     resolved = [_resolve_trace(w) for w in workloads]
     out: dict[int, dict[str, SimulationResult]] = {}
     for size in cst_sizes:

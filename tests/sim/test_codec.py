@@ -1,0 +1,60 @@
+"""Round-trip tests for the versioned SimulationResult codec."""
+
+import json
+
+import pytest
+
+from repro.sim.codec import CODEC_VERSION, CodecError, decode_result, encode_result
+from repro.sim.export import (
+    comparison_from_json,
+    comparison_to_json,
+    result_from_json,
+    result_to_json,
+)
+from repro.sim.runner import compare, run_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    # the context prefetcher populates every field: hit depths, the
+    # classifier breakdown, shadow counters, the accuracy EMA
+    return run_workload("list", "context", limit=1200)
+
+
+class TestCodec:
+    def test_round_trip_equality(self, result):
+        assert decode_result(encode_result(result)) == result
+
+    def test_json_round_trip_equality(self, result):
+        assert decode_result(json.loads(json.dumps(encode_result(result)))) == result
+
+    def test_version_stamped(self, result):
+        assert encode_result(result)["codec"] == CODEC_VERSION
+
+    def test_version_mismatch_raises(self, result):
+        encoded = encode_result(result)
+        encoded["codec"] = CODEC_VERSION + 1
+        with pytest.raises(CodecError):
+            decode_result(encoded)
+
+    def test_malformed_raises(self, result):
+        encoded = encode_result(result)
+        del encoded["classifier"]
+        with pytest.raises(CodecError):
+            decode_result(encoded)
+        with pytest.raises(CodecError):
+            decode_result({"codec": CODEC_VERSION})
+
+
+class TestExportJson:
+    def test_result_json_round_trip(self, result):
+        assert result_from_json(result_to_json(result)) == result
+
+    def test_comparison_json_round_trip(self):
+        sweep = compare(["array"], ("none", "stride"), limit=600)
+        restored = comparison_from_json(comparison_to_json(sweep))
+        assert restored.workloads() == sweep.workloads()
+        assert restored.prefetchers() == sweep.prefetchers()
+        for wl in sweep.workloads():
+            for pf in sweep.prefetchers():
+                assert restored.get(wl, pf) == sweep.get(wl, pf)

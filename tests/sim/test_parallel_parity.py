@@ -1,0 +1,119 @@
+"""Determinism-parity suite for the parallel sweep engine.
+
+PR 1 made bit-reproducibility a machine-enforced invariant; this suite
+extends it across process boundaries: fanning the sweep grid out over
+worker processes, or replaying cells from the on-disk cache, must change
+nothing but wall-clock time.  Every comparison here is field-for-field
+over the full :class:`SimulationResult` — counters, classifier
+breakdown, hit-depth histogram, accuracy EMA — not just headline IPC.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.cache import SweepCache
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import compare, storage_sweep
+from repro.workloads.linked_list import ListTraversalProgram
+
+#: a representative subset: regular (array), pointer-chasing (list),
+#: and the RL context prefetcher whose ε-greedy loop is the hardest
+#: determinism test — kept small enough for CI
+WORKLOADS = ("list", "array")
+PREFETCHERS = ("none", "ghb-pcdc", "context")
+LIMIT = 2500
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False)
+
+
+def assert_identical(a: SimulationResult, b: SimulationResult, where: str) -> None:
+    """Field-for-field equality with a per-field failure message."""
+    for field in dataclasses.fields(SimulationResult):
+        assert getattr(a, field.name) == getattr(b, field.name), (
+            f"{where}: field {field.name!r} differs"
+        )
+    assert a == b, where  # belt and braces: dataclass equality too
+
+
+def assert_sweeps_identical(a, b) -> None:
+    assert a.workloads() == b.workloads()
+    assert a.prefetchers() == b.prefetchers()
+    for wl in a.workloads():
+        for pf in a.prefetchers():
+            assert_identical(a.get(wl, pf), b.get(wl, pf), f"{wl}/{pf}")
+
+
+class TestParallelParity:
+    def test_jobs4_identical_to_serial(self, serial_sweep):
+        parallel = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=False)
+        assert_sweeps_identical(serial_sweep, parallel)
+
+    def test_grid_order_preserved(self, serial_sweep):
+        parallel = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=False)
+        # dict insertion order is the figures' plotting order; the merge
+        # must restore grid order no matter which worker finished first
+        assert list(parallel.results) == list(serial_sweep.results)
+        for wl in parallel.workloads():
+            assert list(parallel.results[wl]) == list(serial_sweep.results[wl])
+
+    def test_adhoc_trace_program(self):
+        # ad-hoc programs can't be rebuilt by name in workers; their
+        # traces ship by value and must produce the same results
+        make = lambda: ListTraversalProgram(num_nodes=256, iterations=4)
+        serial = compare([make()], ("none", "context"), jobs=1, cache=False)
+        parallel = compare([make()], ("none", "context"), jobs=3, cache=False)
+        assert_sweeps_identical(serial, parallel)
+
+    def test_progress_reports_every_cell(self, serial_sweep):
+        lines = []
+        compare(
+            WORKLOADS,
+            PREFETCHERS,
+            limit=LIMIT,
+            jobs=2,
+            cache=False,
+            progress=lines.append,
+        )
+        assert len(lines) == len(WORKLOADS) * len(PREFETCHERS)
+        assert lines[0].startswith("[1/6] ")
+        assert lines[-1].startswith("[6/6] ")
+
+
+class TestCacheParity:
+    def test_warm_run_identical_to_cold(self, serial_sweep, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cold = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=cache)
+        assert cache.counters.hits == 0
+        assert cache.counters.stores == len(WORKLOADS) * len(PREFETCHERS)
+
+        warm = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=cache)
+        assert cache.counters.hits == len(WORKLOADS) * len(PREFETCHERS)
+
+        assert_sweeps_identical(cold, warm)
+        assert_sweeps_identical(serial_sweep, cold)
+
+    def test_parallel_with_cache_matches_serial(self, serial_sweep, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cold = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=cache)
+        warm = compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=cache)
+        assert_sweeps_identical(serial_sweep, cold)
+        assert_sweeps_identical(serial_sweep, warm)
+
+    def test_storage_sweep_parity(self, tmp_path):
+        sizes = (512, 1024)
+        serial = storage_sweep(["list"], sizes, limit=1500)
+        parallel = storage_sweep(
+            ["list"], sizes, limit=1500, jobs=2, cache=tmp_path / "cache"
+        )
+        warm = storage_sweep(
+            ["list"], sizes, limit=1500, jobs=1, cache=tmp_path / "cache"
+        )
+        for size in sizes:
+            assert_identical(
+                serial[size]["list"], parallel[size]["list"], f"cst={size}"
+            )
+            assert_identical(serial[size]["list"], warm[size]["list"], f"cst={size}")
