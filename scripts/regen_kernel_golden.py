@@ -1,0 +1,102 @@
+"""Regenerate the kernel-parity golden (tests/golden/kernel_parity.json).
+
+Usage:  PYTHONPATH=src python scripts/regen_kernel_golden.py
+
+The fixture pins the complete :class:`SimulationResult` (every field,
+via the lossless codec) for every registered prefetcher across three
+workloads, including the warmup and multi-phase simulator paths.  It was
+generated from the pre-PR-4 tree, *before* the hot-path rewrite, so
+``tests/sim/test_kernel_parity.py`` proves the optimized kernel
+bit-identical to the unoptimized one.  Regenerate only when a change is
+*supposed* to move simulation results, and say why in the commit
+message — a perf-only PR must never need to touch this file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sim.codec import encode_result  # noqa: E402
+from repro.sim.config import PREFETCHER_FACTORIES  # noqa: E402
+from repro.sim.phases import run_phased  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+from repro.workloads.suites import get_workload  # noqa: E402
+
+#: also recorded inside the JSON so the parity test re-runs exactly this
+SPEC = {
+    "workloads": ["list", "mcf", "graph500-csr"],
+    "prefetchers": sorted(PREFETCHER_FACTORIES),
+    "limit": 3000,
+    "warmup": {"workloads": ["list", "mcf"], "warmup": 500},
+    "phased": {
+        "workload": "list",
+        "prefetchers": ["context", "stride"],
+        "num_phases": 3,
+        "cold_start": False,
+    },
+}
+
+GOLDEN_PATH = REPO / "tests" / "golden" / "kernel_parity.json"
+
+
+def collect() -> dict:
+    traces = {
+        name: get_workload(name).build().trace()[: SPEC["limit"]]
+        for name in SPEC["workloads"]
+    }
+    results: dict[str, dict] = {}
+    for wl in SPEC["workloads"]:
+        for pf in SPEC["prefetchers"]:
+            sim = Simulator(PREFETCHER_FACTORIES[pf]())
+            results[f"plain/{wl}/{pf}"] = encode_result(
+                sim.run(traces[wl], workload_name=wl)
+            )
+    for wl in SPEC["warmup"]["workloads"]:
+        for pf in SPEC["prefetchers"]:
+            sim = Simulator(PREFETCHER_FACTORIES[pf]())
+            results[f"warmup/{wl}/{pf}"] = encode_result(
+                sim.run(
+                    traces[wl],
+                    workload_name=wl,
+                    warmup=SPEC["warmup"]["warmup"],
+                )
+            )
+    phased = SPEC["phased"]
+    for pf in phased["prefetchers"]:
+        run = run_phased(
+            traces[phased["workload"]],
+            pf,
+            workload_name=phased["workload"],
+            num_phases=phased["num_phases"],
+            cold_start=phased["cold_start"],
+        )
+        for i, phase_result in enumerate(run.phases):
+            results[f"phased/{phased['workload']}/{pf}/p{i}"] = encode_result(
+                phase_result
+            )
+    return results
+
+
+def main() -> int:
+    payload = {
+        "description": (
+            "Field-for-field SimulationResult golden pinned before the "
+            "PR-4 hot-path rewrite; the kernel-parity suite proves the "
+            "optimized kernel produces identical results."
+        ),
+        "spec": SPEC,
+        "results": collect(),
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['results'])} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
-from repro.analysis.rules import budget, contracts, determinism, experiments
+from repro.analysis.rules import (
+    budget,
+    contracts,
+    determinism,
+    experiments,
+    perf,
+)
 
-__all__ = ["budget", "contracts", "determinism", "experiments"]
+__all__ = ["budget", "contracts", "determinism", "experiments", "perf"]

@@ -17,7 +17,11 @@ statically:
   ``PREFETCHER_FACTORIES`` (``sim/config.py``);
 * ``CON004`` — a concrete prefetcher never sets a report ``name``
   (class attribute or ``self.name = ...``), so figures would label it
-  with the base-class placeholder.
+  with the base-class placeholder;
+* ``CON005`` — the base class does not define ``accuracy()`` (the
+  simulator reads it unconditionally for every
+  ``SimulationResult.prefetcher_accuracy``), or an override changes
+  its ``(self)`` signature.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ PREFETCHER_DIRS = ("prefetchers/", "core/prefetcher.py")
 
 #: method name -> expected positional parameters after ``self``
 SIGNATURES = {
+    "accuracy": [],
     "on_access": ["access"],
     "on_prefetch_issue": ["request", "issued", "reason"],
 }
@@ -146,6 +151,17 @@ class PrefetcherContractRule(Rule):
                 BASE_FILE, 0, "CON001", f"base class {BASE_CLASS} not found"
             )
             return
+
+        base_source, base_cls = classes[BASE_CLASS]
+        if "accuracy" not in _methods(base_cls):
+            yield Finding(
+                base_source.rel,
+                base_cls.lineno,
+                "CON005",
+                f"{BASE_CLASS} must define accuracy() with a 0.0 default — "
+                "the simulator reads it unconditionally for "
+                "SimulationResult.prefetcher_accuracy",
+            )
 
         def subclasses_base(name: str, seen: frozenset[str] = frozenset()) -> bool:
             if name == BASE_CLASS:

@@ -1,0 +1,119 @@
+"""Hot-path performance rules (``PERF*``).
+
+The per-access simulation loop constructs and touches objects of the
+classes defined under ``core/``, ``prefetchers/``, ``memory/`` and
+``cpu/`` millions of times per sweep.  A class without ``__slots__``
+carries a per-instance ``__dict__`` — slower attribute access and a
+~3× memory footprint — so the hot-path modules must opt every class
+into slotted layout:
+
+* ``PERF001`` — a class in a hot-path module declares neither
+  ``__slots__`` nor ``@dataclass(slots=True)`` and is not one of the
+  layouts that manage their own storage (``NamedTuple``, enums,
+  exceptions).  Legitimately dict-backed classes are listed in
+  :data:`DICT_BACKED_ALLOWLIST` (budget-style: the allowlist *is* the
+  inventory, so growing it is a reviewed decision).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.visitor import NodeRule, SourceFile
+
+#: modules whose classes live on the per-access path
+HOT_DIRS = ("core/", "prefetchers/", "memory/", "cpu/")
+
+#: base classes that manage instance storage themselves
+_SELF_STORING_BASES = frozenset(
+    {"NamedTuple", "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "Protocol"}
+)
+
+#: ``rel-path:ClassName`` entries reviewed as legitimately dict-backed
+DICT_BACKED_ALLOWLIST = frozenset(
+    {
+        # frozen dataclasses that derive ``_bell_denom`` in __post_init__
+        # via object.__setattr__; declaring it as a field would leak the
+        # derived value into asdict()/repr comparisons, and the objects
+        # are constructed once per run, not per access
+        "core/reward.py:RewardFunction",
+        "core/reward.py:FlatRewardFunction",
+    }
+)
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_with_slots(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = (
+            deco.func.attr
+            if isinstance(deco.func, ast.Attribute)
+            else getattr(deco.func, "id", "")
+        )
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+@register_rule
+class SlotsRule(NodeRule):
+    """PERF001: hot-path classes must use slotted instance layout."""
+
+    rule_id = "PERF001"
+    title = "hot-path class without __slots__"
+    node_types = (ast.ClassDef,)
+    scope = HOT_DIRS
+
+    def visit_node(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        bases = _base_names(node)
+        if any(base in _SELF_STORING_BASES for base in bases):
+            return
+        if any(base.endswith(("Error", "Exception")) for base in bases):
+            return
+        if _declares_slots(node) or _dataclass_with_slots(node):
+            return
+        if f"{source.rel}:{node.name}" in DICT_BACKED_ALLOWLIST:
+            return
+        yield Finding(
+            source.rel,
+            node.lineno,
+            self.rule_id,
+            f"{node.name} is on the hot path but has no __slots__ "
+            "(declare __slots__, use @dataclass(slots=True), or add a "
+            "reviewed entry to DICT_BACKED_ALLOWLIST)",
+        )

@@ -6,6 +6,8 @@ Commands:
 * ``run``      — simulate one (workload, prefetcher) pair
 * ``sweep``    — workloads × prefetchers speedup table (Figure 12 view)
 * ``figure``   — regenerate one paper figure or table set
+* ``profile``  — per-unit kernel counters + cProfile for one run
+  (see docs/performance.md)
 * ``lint``     — static-analysis pass (determinism, hardware budget,
   prefetcher contracts, experiment hygiene; see docs/static_analysis.md)
 
@@ -139,6 +141,21 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", choices=sorted(SCALES), default="small")
     _add_execution_flags(fig_p)
 
+    profile_p = sub.add_parser(
+        "profile", help="profile one run: per-unit counters + cProfile"
+    )
+    profile_p.add_argument("workload")
+    profile_p.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
+    profile_p.add_argument("--limit", type=int, default=None, help="truncate the trace")
+    profile_p.add_argument(
+        "--top", type=int, default=12, help="rows in the cProfile table"
+    )
+    profile_p.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip the timing table; emit only the deterministic counters",
+    )
+
     trace_p = sub.add_parser(
         "trace", help="save a workload's access trace as JSONL"
     )
@@ -213,6 +230,19 @@ def _cmd_figure(args: argparse.Namespace) -> str:
     return module.render(result)
 
 
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from repro.sim.profile import profile_run, render
+
+    report = profile_run(
+        args.workload,
+        args.prefetcher,
+        limit=args.limit,
+        with_cprofile=not args.no_cprofile,
+        top=args.top,
+    )
+    return render(report)
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.workloads.serialize import save_trace
 
@@ -252,6 +282,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
+    "profile": _cmd_profile,
     "trace": _cmd_trace,
     "replay": _cmd_replay,
 }

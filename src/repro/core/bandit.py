@@ -11,15 +11,19 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from operator import attrgetter
+from typing import NamedTuple
 
 from repro.core.config import ContextPrefetcherConfig
 from repro.core.cst import Candidate, CSTEntry
 
+#: same C-level score key as the CST's ranking (identical ordering to
+#: ``CSTEntry.ranked()``)
+_SCORE_KEY = attrgetter("score")
 
-@dataclass
-class Selection:
-    """Candidates chosen for one prediction round."""
+
+class Selection(NamedTuple):
+    """Candidates chosen for one prediction round (immutable)."""
 
     real: list[Candidate]
     shadow: list[Candidate]
@@ -29,10 +33,44 @@ class Selection:
 class EpsilonGreedyPolicy:
     """Selects prefetch candidates from a CST entry."""
 
+    __slots__ = (
+        "config",
+        "_rng",
+        "_rng_random",
+        "_rng_choice",
+        "_accuracy_ema",
+        "_alpha",
+        "_adaptive_eps",
+        "_eps_min",
+        "_eps_range",
+        "_fixed_eps",
+        "_degree_thresholds",
+        "_max_degree",
+        "_score_threshold",
+        "_shadow_on",
+        "_shadow_p",
+        "explorations",
+        "exploitations",
+    )
+
     def __init__(self, config: ContextPrefetcherConfig):
         self.config = config
         self._rng = random.Random(config.seed)
+        # select() runs on every CST hit; bind the RNG methods and flatten
+        # the (immutable-per-run) config knobs into plain attributes
+        self._rng_random = self._rng.random
+        self._rng_choice = self._rng.choice
         self._accuracy_ema = 0.0
+        self._alpha = config.accuracy_ema_alpha
+        self._adaptive_eps = config.adaptive_epsilon
+        self._eps_min = config.epsilon_min
+        self._eps_range = config.epsilon_max - config.epsilon_min
+        self._fixed_eps = config.fixed_epsilon
+        self._degree_thresholds = config.degree_thresholds
+        self._max_degree = config.max_degree
+        self._score_threshold = config.prefetch_score_threshold
+        self._shadow_on = config.shadow_prefetches
+        self._shadow_p = config.shadow_probability
         self.explorations = 0
         self.exploitations = 0
 
@@ -45,30 +83,26 @@ class EpsilonGreedyPolicy:
 
     def observe_outcome(self, hit: bool) -> None:
         """Fold one resolved prediction into the accuracy EMA."""
-        alpha = self.config.accuracy_ema_alpha
-        self._accuracy_ema += alpha * (float(hit) - self._accuracy_ema)
+        self._accuracy_ema += self._alpha * (float(hit) - self._accuracy_ema)
 
     def epsilon(self) -> float:
         """Current exploration rate."""
-        cfg = self.config
-        if not cfg.adaptive_epsilon:
-            return cfg.fixed_epsilon
+        if not self._adaptive_eps:
+            return self._fixed_eps
         # High accuracy -> little exploration; cold predictor -> lots.
-        return cfg.epsilon_min + (cfg.epsilon_max - cfg.epsilon_min) * (
-            1.0 - self._accuracy_ema
-        )
+        return self._eps_min + self._eps_range * (1.0 - self._accuracy_ema)
 
     # ------------------------------------------------------------------
     # degree throttling (Section 4.2)
 
     def degree(self) -> int:
         """Prefetch degree as a function of the accuracy EMA."""
-        cfg = self.config
+        ema = self._accuracy_ema
         level = 1
-        for threshold in cfg.degree_thresholds:
-            if self._accuracy_ema >= threshold:
+        for threshold in self._degree_thresholds:
+            if ema >= threshold:
                 level += 1
-        return min(level, cfg.max_degree)
+        return min(level, self._max_degree)
 
     # ------------------------------------------------------------------
 
@@ -81,19 +115,35 @@ class EpsilonGreedyPolicy:
         is the bandit's exploration arm).  Additional random candidates go
         out as shadow prefetches to gather off-policy feedback.
         """
-        cfg = self.config
-        ranked = entry.ranked()
-        if not ranked:
-            return Selection(real=[], shadow=[])
+        candidates = entry.candidates
+        if not candidates:
+            return Selection([], [])
+        ema = self._accuracy_ema
+        if len(candidates) == 1:
+            # a one-element sort is the identity, and since the degree is
+            # always >= 1 the top-slice is this lone candidate whatever
+            # level the thresholds would have produced
+            cand = candidates[0]
+            ranked = [cand]
+            real = [cand] if cand.score >= self._score_threshold else []
+        else:
+            ranked = sorted(candidates, key=_SCORE_KEY, reverse=True)
+            level = 1
+            for threshold in self._degree_thresholds:
+                if ema >= threshold:
+                    level += 1
+            if level > self._max_degree:
+                level = self._max_degree
+            threshold = self._score_threshold
+            real = [cand for cand in ranked[:level] if cand.score >= threshold]
 
-        real = [
-            cand
-            for cand in ranked[: self.degree()]
-            if cand.score >= cfg.prefetch_score_threshold
-        ]
+        if self._adaptive_eps:
+            eps = self._eps_min + self._eps_range * (1.0 - ema)
+        else:
+            eps = self._fixed_eps
         explored = False
-        if self._rng.random() < self.epsilon():
-            choice = self._rng.choice(ranked)
+        if self._rng_random() < eps:
+            choice = self._rng_choice(ranked)
             explored = True
             self.explorations += 1
             if all(choice is not c for c in real):
@@ -102,14 +152,16 @@ class EpsilonGreedyPolicy:
             self.exploitations += 1
 
         shadow: list[Candidate] = []
-        if cfg.shadow_prefetches and self._rng.random() < cfg.shadow_probability:
-            choice = self._rng.choice(ranked)
+        if self._shadow_on and self._rng_random() < self._shadow_p:
+            choice = self._rng_choice(ranked)
             if all(choice is not c for c in real):
                 shadow.append(choice)
-        return Selection(real=real, shadow=shadow, explored=explored)
+        return Selection(real, shadow, explored)
 
     def reset(self) -> None:
         self._rng = random.Random(self.config.seed)
+        self._rng_random = self._rng.random
+        self._rng_choice = self._rng.choice
         self._accuracy_ema = 0.0
         self.explorations = 0
         self.exploitations = 0
@@ -125,6 +177,8 @@ class SoftmaxPolicy(EpsilonGreedyPolicy):
     with the accuracy EMA, so a converged predictor becomes near-greedy
     while a cold one explores broadly.
     """
+
+    __slots__ = ()
 
     def temperature(self) -> float:
         cfg = self.config

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from repro.core.attributes import DEFAULT_ACTIVE, Attribute
 
 
-@dataclass
+@dataclass(slots=True)
 class ContextPrefetcherConfig:
     # ------------------------------------------------------------------
     # table geometry (Table 2 / Figure 7)

@@ -13,6 +13,17 @@ from repro.prefetchers.base import AccessInfo
 
 _MASK64 = (1 << 64) - 1
 
+# plain-int attribute positions: list indexing with an IntEnum member pays
+# an __index__ call per store, and capture() stores all eight every access
+_IP = int(Attribute.IP)
+_TYPE_ID = int(Attribute.TYPE_ID)
+_LINK_OFFSET = int(Attribute.LINK_OFFSET)
+_REF_FORM = int(Attribute.REF_FORM)
+_LAST_VALUE = int(Attribute.LAST_VALUE)
+_BRANCH_HISTORY = int(Attribute.BRANCH_HISTORY)
+_REG_VALUE = int(Attribute.REG_VALUE)
+_ADDR_HISTORY = int(Attribute.ADDR_HISTORY)
+
 
 def _mix(state: int, value: int) -> int:
     """One splitmix64-style mixing step; deterministic across runs."""
@@ -42,16 +53,46 @@ def context_hash(
 
 
 class ContextCapture:
-    """A captured context: the raw attribute vector plus the access block."""
+    """A captured context: the raw attribute vector plus the access block.
 
-    __slots__ = ("values", "block")
+    ``values`` is any indexable sequence of the eight attribute values.
+    Tracker-produced captures share the tracker's reusable buffer, so they
+    are valid only until the tracker's next capture — exactly the
+    per-access lifetime the prefetcher needs.
 
-    def __init__(self, values: tuple[int, ...], block: int):
+    The pre-truncation hash key is memoized per active-set bitmap: the
+    Reducer hashes every capture under the full set and again under the
+    entry's active set (twice when adaptation runs), and the memo makes
+    the repeats free without changing a single produced hash.
+    """
+
+    __slots__ = ("values", "block", "_keys")
+
+    def __init__(
+        self,
+        values: "tuple[int, ...] | list[int]",
+        block: int,
+        _keys: dict[int, int] | None = None,
+    ):
         self.values = values
         self.block = block
+        self._keys = {} if _keys is None else _keys
 
     def hash(self, active: AttributeSet, bits: int) -> int:
-        return context_hash(self.values, active, bits)
+        key = self._keys.get(active.bits)
+        if key is None:
+            values = self.values
+            indices = active.indices
+            if len(indices) == len(values):
+                # full set: the gather would reproduce ``values`` verbatim
+                # (indices are unique, sorted and in range), so splat it
+                key = hash((active.bits, *values))
+            else:
+                key = hash((active.bits, *[values[i] for i in indices]))
+            key = (key * 0x9E3779B97F4A7C15) & _MASK64
+            key ^= key >> 29
+            self._keys[active.bits] = key
+        return key & ((1 << bits) - 1)
 
 
 class ContextTracker:
@@ -62,39 +103,69 @@ class ContextTracker:
     carried on the :class:`~repro.prefetchers.base.AccessInfo`.
     """
 
+    __slots__ = (
+        "block_bytes",
+        "addr_history_depth",
+        "_recent_blocks",
+        "_values",
+        "_keys",
+        "_capture",
+    )
+
     def __init__(self, *, block_bytes: int, addr_history_depth: int = 2):
         if addr_history_depth < 1:
             raise ValueError("address history needs at least one entry")
         self.block_bytes = block_bytes
         self.addr_history_depth = addr_history_depth
         self._recent_blocks: list[int] = []
+        # reusable per-access buffers: the attribute vector, the hash memo
+        # and the capture object itself are overwritten on every capture
+        # instead of being reallocated (the capture's lifetime is one
+        # access, documented on ContextCapture)
+        self._values: list[int] = [0] * len(ALL_ATTRIBUTES)
+        self._keys: dict[int, int] = {}
+        self._capture = ContextCapture(self._values, 0, self._keys)
 
     def capture(self, access: AccessInfo) -> ContextCapture:
         """Capture the context of ``access`` *before* recording its address.
 
         The address-history attribute must reflect the accesses preceding
         this one; the current address becomes history only afterwards.
+        The returned capture aliases the tracker's buffers and is
+        invalidated by the next :meth:`capture` call.
         """
+        recent = self._recent_blocks
         addr_hist = 0
-        for block in self._recent_blocks:
-            addr_hist = _mix(addr_hist, block)
+        for block in recent:
+            # inlined _mix (splitmix64 step) — the per-access loop runs it
+            # addr_history_depth times and the call overhead dominates
+            state = (addr_hist + (block & _MASK64) + 0x9E3779B97F4A7C15) & _MASK64
+            state ^= state >> 30
+            state = (state * 0xBF58476D1CE4E5B9) & _MASK64
+            state ^= state >> 27
+            state = (state * 0x94D049BB133111EB) & _MASK64
+            addr_hist = state ^ (state >> 31)
 
         block = access.addr // self.block_bytes
-        values = [0] * len(ALL_ATTRIBUTES)
-        values[Attribute.IP] = access.pc
-        values[Attribute.TYPE_ID] = access.hints.type_id
-        values[Attribute.LINK_OFFSET] = access.hints.link_offset
-        values[Attribute.REF_FORM] = int(access.hints.ref_form)
-        values[Attribute.LAST_VALUE] = access.last_value
-        values[Attribute.BRANCH_HISTORY] = access.branch_history
-        values[Attribute.REG_VALUE] = access.reg_value
-        values[Attribute.ADDR_HISTORY] = addr_hist
+        hints = access.hints
+        values = self._values
+        values[_IP] = access.pc
+        values[_TYPE_ID] = hints.type_id
+        values[_LINK_OFFSET] = hints.link_offset
+        values[_REF_FORM] = int(hints.ref_form)
+        values[_LAST_VALUE] = access.last_value
+        values[_BRANCH_HISTORY] = access.branch_history
+        values[_REG_VALUE] = access.reg_value
+        values[_ADDR_HISTORY] = addr_hist
 
-        self._recent_blocks.append(block)
-        if len(self._recent_blocks) > self.addr_history_depth:
-            self._recent_blocks.pop(0)
+        recent.append(block)
+        if len(recent) > self.addr_history_depth:
+            recent.pop(0)
 
-        return ContextCapture(values=tuple(values), block=block)
+        self._keys.clear()
+        capture = self._capture
+        capture.block = block
+        return capture
 
     def reset(self) -> None:
         self._recent_blocks.clear()

@@ -12,11 +12,17 @@ the replacement threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.core.config import ContextPrefetcherConfig
 
+#: C-level score key for ranking/victim selection — identical ordering to
+#: ``lambda c: c.score`` (and, with ``reverse=True``, to ``-c.score``,
+#: since both stable sorts keep insertion order among equal scores).
+_SCORE_KEY = attrgetter("score")
 
-@dataclass
+
+@dataclass(slots=True)
 class Candidate:
     """One context→address association: a delta and its learned score."""
 
@@ -24,7 +30,7 @@ class Candidate:
     score: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CSTEntry:
     tag: int
     candidates: list[Candidate] = field(default_factory=list)
@@ -42,19 +48,49 @@ class CSTEntry:
     def best(self) -> Candidate | None:
         if not self.candidates:
             return None
-        return max(self.candidates, key=lambda c: c.score)
+        return max(self.candidates, key=_SCORE_KEY)
 
     def ranked(self) -> list[Candidate]:
         """Candidates sorted by score, best first (stable for ties)."""
-        return sorted(self.candidates, key=lambda c: -c.score)
+        return sorted(self.candidates, key=_SCORE_KEY, reverse=True)
 
 
 class ContextStatesTable:
     """Direct-mapped CST with score-based replacement."""
 
+    __slots__ = (
+        "config",
+        "_index_bits",
+        "_index_mask",
+        "_tag_mask",
+        "_delta_min",
+        "_delta_max",
+        "_links",
+        "_initial_score",
+        "_replace_threshold",
+        "_score_min",
+        "_score_max",
+        "_entries",
+        "associations_added",
+        "associations_rejected_full",
+        "associations_rejected_range",
+        "conflict_evictions",
+    )
+
     def __init__(self, config: ContextPrefetcherConfig):
         self.config = config
         self._index_bits = (config.cst_entries - 1).bit_length()
+        self._index_mask = config.cst_entries - 1
+        self._tag_mask = (1 << config.cst_tag_bits) - 1
+        # the delta bounds are config properties (bit arithmetic on every
+        # read); the hot collection path wants plain attributes
+        self._delta_min = config.delta_min
+        self._delta_max = config.delta_max
+        self._links = config.cst_links
+        self._initial_score = config.initial_score
+        self._replace_threshold = config.replace_threshold
+        self._score_min = config.score_min
+        self._score_max = config.score_max
         self._entries: dict[int, CSTEntry] = {}
         self.associations_added = 0
         self.associations_rejected_full = 0
@@ -65,17 +101,16 @@ class ContextStatesTable:
 
     def split_key(self, reduced_hash: int) -> tuple[int, int]:
         """Split the 19-bit reduced hash into (index, tag) per Figure 7."""
-        index = reduced_hash & (self.config.cst_entries - 1)
-        tag = (reduced_hash >> self._index_bits) & (
-            (1 << self.config.cst_tag_bits) - 1
-        )
+        index = reduced_hash & self._index_mask
+        tag = (reduced_hash >> self._index_bits) & self._tag_mask
         return index, tag
 
     def lookup(self, reduced_hash: int) -> CSTEntry | None:
         """Return the entry for ``reduced_hash`` if present with a tag match."""
-        index, tag = self.split_key(reduced_hash)
-        entry = self._entries.get(index)
-        if entry is None or entry.tag != tag:
+        entry = self._entries.get(reduced_hash & self._index_mask)
+        if entry is None or entry.tag != (
+            (reduced_hash >> self._index_bits) & self._tag_mask
+        ):
             return None
         entry.lookups += 1
         return entry
@@ -115,21 +150,32 @@ class ContextStatesTable:
 
         Returns True when the association is now present in the table.
         """
-        cfg = self.config
-        if not cfg.delta_min <= delta <= cfg.delta_max:
+        if not self._delta_min <= delta <= self._delta_max:
             self.associations_rejected_range += 1
             return False
-        entry = self._entry_for_update(reduced_hash)
-        if entry.find(delta) is not None:
-            return True
-        if len(entry.candidates) < cfg.cst_links:
-            entry.candidates.append(Candidate(delta=delta, score=cfg.initial_score))
+        # inlined _entry_for_update: this runs once per sampled history
+        # record on every access
+        index = reduced_hash & self._index_mask
+        tag = (reduced_hash >> self._index_bits) & self._tag_mask
+        entries = self._entries
+        entry = entries.get(index)
+        if entry is None or entry.tag != tag:
+            if entry is not None:
+                self.conflict_evictions += 1
+            entry = CSTEntry(tag=tag)
+            entries[index] = entry
+        candidates = entry.candidates
+        for cand in candidates:
+            if cand.delta == delta:
+                return True
+        if len(candidates) < self._links:
+            candidates.append(Candidate(delta, self._initial_score))
             self.associations_added += 1
             return True
-        victim = min(entry.candidates, key=lambda c: c.score)
-        if victim.score <= cfg.replace_threshold:
+        victim = min(candidates, key=_SCORE_KEY)
+        if victim.score <= self._replace_threshold:
             victim.delta = delta
-            victim.score = cfg.initial_score
+            victim.score = self._initial_score
             entry.replacements += 1
             self.associations_added += 1
             return True
@@ -137,17 +183,28 @@ class ContextStatesTable:
         return False
 
     def apply_reward(self, reduced_hash: int, delta: int, reward: int) -> bool:
-        """Add ``reward`` to the association's score (feedback unit)."""
-        cfg = self.config
-        entry = self.lookup(reduced_hash)
-        if entry is None:
+        """Add ``reward`` to the association's score (feedback unit).
+
+        Bypasses :meth:`lookup`/:meth:`~CSTEntry.find` — reward lookups
+        don't count as predictions, so the entry is probed directly.
+        """
+        entry = self._entries.get(reduced_hash & self._index_mask)
+        if entry is None or entry.tag != (
+            (reduced_hash >> self._index_bits) & self._tag_mask
+        ):
             return False
-        entry.lookups -= 1  # reward lookups don't count as predictions
-        cand = entry.find(delta)
-        if cand is None:
-            return False
-        cand.score = max(cfg.score_min, min(cfg.score_max, cand.score + reward))
-        return True
+        for cand in entry.candidates:
+            if cand.delta == delta:
+                # clamp without the max(min(...)) builtin pair; identical
+                # since score_min <= score_max
+                score = cand.score + reward
+                if score > self._score_max:
+                    score = self._score_max
+                elif score < self._score_min:
+                    score = self._score_min
+                cand.score = score
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # reducer-pointer accounting (overload detection, Section 4.4)

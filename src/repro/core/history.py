@@ -11,21 +11,26 @@ Implemented as a ring buffer so that sampling a depth is O(1).
 
 from __future__ import annotations
 
+from typing import NamedTuple
 
-class HistoryRecord:
-    """One past context: its reduced CST key and the block it accessed."""
 
-    __slots__ = ("reduced_hash", "block", "line", "index")
+class HistoryRecord(NamedTuple):
+    """One past context: its reduced CST key and the block it accessed.
 
-    def __init__(self, reduced_hash: int, block: int, line: int, index: int):
-        self.reduced_hash = reduced_hash
-        self.block = block  # at the prefetcher's tracking granularity
-        self.line = line  # at the delta (cache line) granularity
-        self.index = index  # position in the demand-access stream
+    A named tuple: one is pushed per demand access and the records are
+    read-only once in the ring.
+    """
+
+    reduced_hash: int
+    block: int  # at the prefetcher's tracking granularity
+    line: int  # at the delta (cache line) granularity
+    index: int  # position in the demand-access stream
 
 
 class HistoryQueue:
     """Bounded ring of context observations with O(1) depth sampling."""
+
+    __slots__ = ("capacity", "sample_depths", "_ring", "_count")
 
     def __init__(self, capacity: int, sample_depths: tuple[int, ...]):
         if capacity < 1:

@@ -16,7 +16,7 @@ from repro.core.prefetcher import ContextPrefetcher
 from repro.experiments.report import render_table
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContextSummary:
     """One CST entry's learned state."""
 
@@ -63,7 +63,7 @@ def delta_distribution(prefetcher: ContextPrefetcher) -> Counter[int]:
     return counts
 
 
-@dataclass
+@dataclass(slots=True)
 class StateReport:
     cst_occupancy: int
     cst_capacity: int

@@ -11,9 +11,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import NamedTuple
+
+#: the generated NamedTuple __new__ is a Python frame per construction
+#: that does exactly ``tuple.__new__(cls, (args...))``; calling that
+#: directly builds an identical instance without the frame
+_tuple_new = tuple.__new__
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueEntry:
     """One outstanding prediction."""
 
@@ -25,9 +31,12 @@ class QueueEntry:
     hit: bool = False
 
 
-@dataclass
-class FeedbackEvent:
-    """A reward-worthy event surfaced to the learning loop."""
+class FeedbackEvent(NamedTuple):
+    """A reward-worthy event surfaced to the learning loop.
+
+    A named tuple: one is built per queue hit/expiry on the hot path and
+    consumed immutably by the feedback unit.
+    """
 
     entry: QueueEntry
     depth: int  # accesses between issue and hit (or capacity on expiry)
@@ -36,6 +45,8 @@ class FeedbackEvent:
 
 class PrefetchQueue:
     """Bounded FIFO of outstanding predictions with hit-depth feedback."""
+
+    __slots__ = ("capacity", "_queue", "_by_block", "hits", "expirations")
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -55,40 +66,51 @@ class PrefetchQueue:
     def push(self, entry: QueueEntry) -> list[FeedbackEvent]:
         """Add a prediction; returns expiry events for displaced entries."""
         events: list[FeedbackEvent] = []
-        self._queue.append(entry)
-        self._by_block.setdefault(entry.target_block, []).append(entry)
-        while len(self._queue) > self.capacity:
-            evicted = self._queue.popleft()
-            bucket = self._by_block.get(evicted.target_block)
+        queue = self._queue
+        by_block = self._by_block
+        queue.append(entry)
+        target = entry.target_block
+        bucket = by_block.get(target)
+        if bucket is None:
+            by_block[target] = [entry]
+        else:
+            bucket.append(entry)
+        capacity = self.capacity
+        while len(queue) > capacity:
+            evicted = queue.popleft()
+            bucket = by_block.get(evicted.target_block)
             if bucket is not None:
                 try:
                     bucket.remove(evicted)
                 except ValueError:
                     pass
                 if not bucket:
-                    del self._by_block[evicted.target_block]
+                    del by_block[evicted.target_block]
             if not evicted.hit:
                 self.expirations += 1
-                events.append(
-                    FeedbackEvent(entry=evicted, depth=self.capacity, expired=True)
-                )
+                events.append(_tuple_new(FeedbackEvent, (evicted, capacity, True)))
         return events
 
     def match(self, block: int, access_index: int) -> list[FeedbackEvent]:
         """All unhit predictions of ``block``; marks them hit."""
-        bucket = self._by_block.get(block)
-        if not bucket:
+        # buckets are removed when they empty, so a present bucket is
+        # non-empty and popping it up front equals the get-then-pop pair
+        bucket = self._by_block.pop(block, None)
+        if bucket is None:
             return []
         events = []
+        hits = 0
         for entry in bucket:
             if entry.hit:
                 continue
             entry.hit = True
-            self.hits += 1
+            hits += 1
             events.append(
-                FeedbackEvent(entry=entry, depth=access_index - entry.issue_index)
+                _tuple_new(
+                    FeedbackEvent, (entry, access_index - entry.issue_index, False)
+                )
             )
-        self._by_block.pop(block, None)
+        self.hits += hits
         return events
 
     # ------------------------------------------------------------------

@@ -18,23 +18,109 @@ access cannot immediately reward itself at depth zero.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
-from repro.core.bandit import make_policy
+from repro.core.bandit import EpsilonGreedyPolicy, make_policy
 from repro.core.config import ContextPrefetcherConfig
-from repro.core.context import ContextTracker
-from repro.core.cst import ContextStatesTable
+from repro.core.context import (
+    _ADDR_HISTORY,
+    _BRANCH_HISTORY,
+    _IP,
+    _LAST_VALUE,
+    _LINK_OFFSET,
+    _MASK64,
+    _REF_FORM,
+    _REG_VALUE,
+    _TYPE_ID,
+    ContextTracker,
+)
+from repro.core.cst import _SCORE_KEY, Candidate, ContextStatesTable, CSTEntry
 from repro.core.history import HistoryQueue, HistoryRecord
 from repro.core.prefetch_queue import FeedbackEvent, PrefetchQueue, QueueEntry
-from repro.core.reducer import Reducer
+from repro.core.reducer import Reducer, ReducerEntry
 from repro.core.reward import FlatRewardFunction, RewardFunction
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
+
+#: the generated NamedTuple __new__ is a Python frame per construction
+#: that does exactly ``tuple.__new__(cls, (args...))``; calling that
+#: directly builds an identical instance without the frame
+_tuple_new = tuple.__new__
 
 
 class ContextPrefetcher(Prefetcher):
     """Reinforcement-learning prefetcher approximating semantic locality."""
 
     name = "context"
+
+    __slots__ = (
+        "config",
+        "tracker",
+        "reducer",
+        "cst",
+        "history",
+        "queue",
+        "policy",
+        "reward",
+        "hit_depth_histogram",
+        "predictions_real",
+        "predictions_shadow",
+        "rewards_applied",
+        "_depth_ema",
+        "_feedback_events",
+        "window_updates",
+        "_granularity",
+        "_dmin",
+        "_dmax",
+        "_adapt_enabled",
+        "_overload_period",
+        "_adaptive_window",
+        "_window_update_period",
+        "_sample_depths",
+        "_by_block",
+        "_cst_entries",
+        "_cst_index_mask",
+        "_cst_index_bits",
+        "_cst_tag_mask",
+        "_cst_links",
+        "_cst_initial_score",
+        "_cst_replace_threshold",
+        "_cst_score_min",
+        "_cst_score_max",
+        "_policy_select",
+        "_observe_inline",
+        # tracker internals (ContextTracker.capture is inlined in on_access)
+        "_block_bytes",
+        "_addr_history_depth",
+        "_recent_blocks",
+        "_addr_hist_memo",
+        "_hist_pos",
+        "_ctx_values",
+        "_ctx_keys",
+        "_ctx_capture",
+        # reducer internals (Reducer.lookup is inlined in on_access)
+        "_r_full_bits",
+        "_r_full_mask",
+        "_r_reduced_mask",
+        "_r_index_mask",
+        "_r_index_bits",
+        "_r_tag_mask",
+        "_r_entries",
+        "_r_alloc_active",
+        # policy internals (EpsilonGreedyPolicy.select is inlined)
+        "_select_inline",
+        "_rng_random",
+        "_rng_choice",
+        "_pol_score_threshold",
+        "_pol_degree_thresholds",
+        "_pol_max_degree",
+        "_pol_adaptive_eps",
+        "_pol_eps_min",
+        "_pol_eps_range",
+        "_pol_fixed_eps",
+        "_pol_shadow_on",
+        "_pol_shadow_p",
+    )
 
     def __init__(self, config: ContextPrefetcherConfig | None = None):
         self.config = config or ContextPrefetcherConfig()
@@ -57,6 +143,84 @@ class ContextPrefetcher(Prefetcher):
         self._depth_ema = float(cfg.window_center)
         self._feedback_events = 0
         self.window_updates = 0
+        # per-access hot-path constants flattened out of the config (the
+        # delta bounds are properties — bit arithmetic per read)
+        self._granularity = cfg.delta_granularity
+        self._dmin = cfg.delta_min
+        self._dmax = cfg.delta_max
+        self._adapt_enabled = cfg.adaptive_reduction
+        self._overload_period = cfg.overload_check_period
+        self._adaptive_window = cfg.adaptive_window
+        self._window_update_period = cfg.window_update_period
+        # hot-path aliases: the components themselves are never reassigned
+        # (reset() clears them in place), so bound methods and their
+        # in-place-mutated containers can be bound once here
+        self._sample_depths = self.history.sample_depths
+        self._by_block = self.queue._by_block
+        self._cst_entries = self.cst._entries
+        self._cst_index_mask = self.cst._index_mask
+        self._cst_index_bits = self.cst._index_bits
+        self._cst_tag_mask = self.cst._tag_mask
+        self._cst_links = self.cst._links
+        self._cst_initial_score = self.cst._initial_score
+        self._cst_replace_threshold = self.cst._replace_threshold
+        self._cst_score_min = self.cst._score_min
+        self._cst_score_max = self.cst._score_max
+        self._policy_select = self.policy.select
+        # the EMA update is inlined only while the policy keeps the base
+        # implementation (guards against a subclass override)
+        self._observe_inline = (
+            type(self.policy).observe_outcome
+            is EpsilonGreedyPolicy.observe_outcome
+        )
+        # tracker internals: the inlined capture reads/writes the very same
+        # buffers ContextTracker.capture would (reset() clears in place)
+        tracker = self.tracker
+        self._block_bytes = tracker.block_bytes
+        self._addr_history_depth = tracker.addr_history_depth
+        self._recent_blocks = tracker._recent_blocks
+        self._ctx_values = tracker._values
+        self._ctx_keys = tracker._keys
+        self._ctx_capture = tracker._capture
+        #: software memo of the (pure) address-history hash chain, keyed
+        #: by the recent-block window; bounded by clearing when full
+        self._addr_hist_memo: dict[tuple[int, ...], int] = {}
+        #: ``history._count % capacity`` maintained incrementally — this
+        #: method is the only writer of the ring during a run
+        self._hist_pos = 0
+        # reducer internals for the inlined lookup
+        reducer = self.reducer
+        self._r_full_bits = reducer._full_bits_map
+        self._r_full_mask = reducer._full_mask
+        self._r_reduced_mask = reducer._reduced_mask
+        self._r_index_mask = reducer._index_mask
+        self._r_index_bits = reducer._index_bits
+        self._r_tag_mask = reducer._tag_mask
+        self._r_entries = reducer._entries
+        self._r_alloc_active = (
+            reducer._full_set if not cfg.adaptive_reduction else reducer._initial
+        )
+        # policy internals for the inlined ε-greedy select; a subclass
+        # (softmax) overrides select, so only the exact base class is
+        # inlined — anything else falls back to the bound method
+        self._select_inline = type(self.policy) is EpsilonGreedyPolicy
+        self._bind_policy_aliases()
+
+    def _bind_policy_aliases(self) -> None:
+        """(Re)bind the RNG methods — ``policy.reset()`` replaces the RNG
+        object, so the aliases must be refreshed whenever it runs."""
+        policy = self.policy
+        self._rng_random = policy._rng_random
+        self._rng_choice = policy._rng_choice
+        self._pol_score_threshold = policy._score_threshold
+        self._pol_degree_thresholds = policy._degree_thresholds
+        self._pol_max_degree = policy._max_degree
+        self._pol_adaptive_eps = policy._adaptive_eps
+        self._pol_eps_min = policy._eps_min
+        self._pol_eps_range = policy._eps_range
+        self._pol_fixed_eps = policy._fixed_eps
+        self._pol_shadow_on = policy._shadow_on
+        self._pol_shadow_p = policy._shadow_p
 
     # ------------------------------------------------------------------
 
@@ -78,24 +242,82 @@ class ContextPrefetcher(Prefetcher):
         )
 
     def _apply_feedback(self, events: list[FeedbackEvent]) -> None:
+        reward_fn = self.reward
+        # RewardFunction.__call__ is inlined below only for the exact base
+        # class (a subclass shape such as the flat ablation keeps the
+        # call); arithmetic and clamping are copied verbatim, including
+        # the degenerate peak == 1 division-by-zero at evaluation time
+        bell = type(reward_fn) is RewardFunction
+        lo = reward_fn.lo
+        hi = reward_fn.hi
+        center = reward_fn.center
+        peak = reward_fn.peak
+        late = reward_fn.late_penalty
+        early = reward_fn.early_penalty
+        denom = reward_fn._bell_denom
+        exp = math.exp
+        policy = self.policy
+        observe_inline = self._observe_inline
+        alpha = policy._alpha
+        # cst.apply_reward inlined: a reward probe is not a prediction
+        # lookup, so only the tag check and the candidate scan happen
+        cst_entries = self._cst_entries
+        index_mask = self._cst_index_mask
+        index_bits = self._cst_index_bits
+        tag_mask = self._cst_tag_mask
+        score_min = self._cst_score_min
+        score_max = self._cst_score_max
+        histogram = self.hit_depth_histogram
+        depth_ema = self._depth_ema
         for event in events:
-            if event.expired or event.depth < 0:
+            depth = event.depth
+            if event.expired or depth < 0:
                 # negative depths can only come from an index epoch change
                 # (e.g. a caller restarting the stream); treat as expiry
-                reward = self.reward.expiry_reward()
-                self.policy.observe_outcome(hit=False)
+                reward = early if bell else reward_fn.expiry_reward()
+                hit = False
             else:
-                reward = self.reward(event.depth)
-                self.hit_depth_histogram[event.depth] += 1
-                self.policy.observe_outcome(hit=reward > 0)
-                self._depth_ema += 0.005 * (event.depth - self._depth_ema)
+                if not bell:
+                    reward = reward_fn(depth)
+                elif depth < lo:
+                    reward = late
+                elif depth > hi:
+                    reward = early
+                else:
+                    reward = round(peak * exp(-((depth - center) ** 2) / denom))
+                    if reward < 1:
+                        reward = 1
+                histogram[depth] += 1
+                hit = reward > 0
+                depth_ema += 0.005 * (depth - depth_ema)
+            if observe_inline:
+                policy._accuracy_ema += alpha * (float(hit) - policy._accuracy_ema)
+            else:
+                policy.observe_outcome(hit)
             entry = event.entry
-            if self.cst.apply_reward(entry.reduced_hash, entry.delta, reward):
-                self.rewards_applied += 1
-            self._feedback_events += 1
+            rh = entry.reduced_hash
+            delta = entry.delta
+            cst_entry = cst_entries.get(rh & index_mask)
+            if cst_entry is not None and cst_entry.tag == (
+                (rh >> index_bits) & tag_mask
+            ):
+                for cand in cst_entry.candidates:
+                    if cand.delta == delta:
+                        # clamp as apply_reward does; identical since
+                        # score_min <= score_max
+                        score = cand.score + reward
+                        if score > score_max:
+                            score = score_max
+                        elif score < score_min:
+                            score = score_min
+                        cand.score = score
+                        self.rewards_applied += 1
+                        break
+        self._depth_ema = depth_ema
+        self._feedback_events += len(events)
         if (
-            self.config.adaptive_window
-            and self._feedback_events >= self.config.window_update_period
+            self._adaptive_window
+            and self._feedback_events >= self._window_update_period
         ):
             self._feedback_events = 0
             self._recenter_window()
@@ -125,63 +347,324 @@ class ContextPrefetcher(Prefetcher):
     # ------------------------------------------------------------------
 
     def on_access(self, access: AccessInfo) -> list[PrefetchRequest]:
-        cfg = self.config
-        capture = self.tracker.capture(access)
-        line = self._line_of(access.addr)
+        # --- context capture (ContextTracker.capture inlined) ---------
+        # identical buffer writes in identical order; the capture object,
+        # values vector and hash memo are the tracker's own, so a later
+        # ``tracker.capture`` or ``capture.hash`` call sees the same state
+        recent = self._recent_blocks
+        memo = self._addr_hist_memo
+        rkey = tuple(recent)
+        addr_hist = memo.get(rkey)
+        if addr_hist is None:
+            addr_hist = 0
+            for blk in recent:
+                state = (addr_hist + (blk & _MASK64) + 0x9E3779B97F4A7C15) & _MASK64
+                state ^= state >> 30
+                state = (state * 0xBF58476D1CE4E5B9) & _MASK64
+                state ^= state >> 27
+                state = (state * 0x94D049BB133111EB) & _MASK64
+                addr_hist = state ^ (state >> 31)
+            if len(memo) >= 65536:
+                memo.clear()
+            memo[rkey] = addr_hist
+        addr = access.addr
+        block = addr // self._block_bytes
+        hints = access.hints
+        values = self._ctx_values
+        values[_IP] = access.pc
+        values[_TYPE_ID] = hints.type_id
+        values[_LINK_OFFSET] = hints.link_offset
+        values[_REF_FORM] = int(hints.ref_form)
+        values[_LAST_VALUE] = access.last_value
+        values[_BRANCH_HISTORY] = access.branch_history
+        values[_REG_VALUE] = access.reg_value
+        values[_ADDR_HISTORY] = addr_hist
+        recent.append(block)
+        if len(recent) > self._addr_history_depth:
+            recent.pop(0)
+        keys = self._ctx_keys
+        keys.clear()
+        capture = self._ctx_capture
+        capture.block = block
+
+        granularity = self._granularity
+        line = addr // granularity
+        index = access.index
+        queue = self.queue
+        cst = self.cst
 
         # --- feedback unit -------------------------------------------
-        self._apply_feedback(self.queue.match(line, access.index))
+        # match() returns events iff a bucket exists for the line (buckets
+        # never persist empty), so the membership probe skips both calls on
+        # the common no-feedback access
+        if line in self._by_block:
+            self._apply_feedback(queue.match(line, index))
 
         # --- collection unit -----------------------------------------
-        dmin, dmax = cfg.delta_min, cfg.delta_max
-        add_association = self.cst.add_association
-        for record in self.history.sample():
-            delta = line - record.line
-            if delta != 0 and dmin <= delta <= dmax:
-                add_association(record.reduced_hash, delta)
+        # the history ring is read in place (HistoryQueue.sample() inlined:
+        # this loop runs per access, and the sampled depths are sorted so
+        # the occupancy check is a break, not a filter)
+        history = self.history
+        count = history._count
+        pos = self._hist_pos  # == count % capacity; sampled depths never
+        # exceed the capacity, so one conditional add folds the index back
+        ring = history._ring
+        capacity = history.capacity
+        if count:
+            dmin = self._dmin
+            dmax = self._dmax
+            cst_entries = self._cst_entries
+            index_mask = self._cst_index_mask
+            index_bits = self._cst_index_bits
+            tag_mask = self._cst_tag_mask
+            for depth in self._sample_depths:
+                if depth > count:
+                    break
+                ridx = pos - depth
+                if ridx < 0:
+                    ridx += capacity
+                record = ring[ridx]
+                delta = line - record.line
+                if delta and dmin <= delta <= dmax:
+                    # cst.add_association inlined (its return value is
+                    # unused here); the delta-window test above subsumes
+                    # its range check — same configured bounds — so the
+                    # range-reject counter cannot fire from this path
+                    rh = record.reduced_hash
+                    eidx = rh & index_mask
+                    etag = (rh >> index_bits) & tag_mask
+                    entry = cst_entries.get(eidx)
+                    if entry is None or entry.tag != etag:
+                        if entry is not None:
+                            cst.conflict_evictions += 1
+                        entry = CSTEntry(tag=etag)
+                        cst_entries[eidx] = entry
+                    candidates = entry.candidates
+                    for cand in candidates:
+                        if cand.delta == delta:
+                            break
+                    else:
+                        if len(candidates) < self._cst_links:
+                            candidates.append(
+                                Candidate(delta, self._cst_initial_score)
+                            )
+                            cst.associations_added += 1
+                        else:
+                            # first-minimum scan over the (short, bounded)
+                            # candidate list == min(candidates, key=score)
+                            victim = candidates[0]
+                            vscore = victim.score
+                            for cand in candidates:
+                                if cand.score < vscore:
+                                    victim = cand
+                                    vscore = cand.score
+                            if vscore <= self._cst_replace_threshold:
+                                victim.delta = delta
+                                victim.score = self._cst_initial_score
+                                entry.replacements += 1
+                                cst.associations_added += 1
+                            else:
+                                cst.associations_rejected_full += 1
 
-        # --- context reduction ----------------------------------------
-        reducer_entry, reduced = self.reducer.lookup(capture, self.cst)
-        reduced = self.reducer.adapt(reducer_entry, capture, self.cst, reduced)
+        # --- context reduction (Reducer.lookup inlined) ---------------
+        # The memo was cleared by the capture above, so the full-set probe
+        # always misses; the hash is computed and memoised exactly as the
+        # method would, leaving the memo in the identical state for any
+        # later ``capture.hash`` call (e.g. from Reducer.adapt).
+        full_bits = self._r_full_bits
+        key = hash((full_bits, *values))
+        key = (key * 0x9E3779B97F4A7C15) & _MASK64
+        key ^= key >> 29
+        keys[full_bits] = key
+        full_hash = key & self._r_full_mask
+        r_index = full_hash & self._r_index_mask
+        r_tag = (full_hash >> self._r_index_bits) & self._r_tag_mask
+        r_entries = self._r_entries
+        rentry = r_entries.get(r_index)
+        reducer = self.reducer
+        if rentry is None or rentry.tag != r_tag:
+            if rentry is not None:
+                reducer.conflict_evictions += 1
+                if rentry.cst_key is not None:
+                    cst.remove_pointer(rentry.cst_key)
+            rentry = ReducerEntry(tag=r_tag, active=self._r_alloc_active)
+            r_entries[r_index] = rentry
+            reducer.allocations += 1
+        rentry.lookups += 1
+        active = rentry.active
+        active_bits = active.bits
+        if active_bits == full_bits:
+            # the method's memo probe would hit the entry written above
+            reduced_key = key
+        else:
+            indices = active.indices
+            if len(indices) == len(values):
+                reduced_key = hash((active_bits, *values))
+            else:
+                reduced_key = hash((active_bits, *[values[i] for i in indices]))
+            reduced_key = (reduced_key * 0x9E3779B97F4A7C15) & _MASK64
+            reduced_key ^= reduced_key >> 29
+            keys[active_bits] = reduced_key
+        reduced = reduced_key & self._r_reduced_mask
+        if rentry.cst_key != reduced:
+            if rentry.cst_key is not None:
+                cst.remove_pointer(rentry.cst_key)
+            cst.add_pointer(reduced)
+            rentry.cst_key = reduced
+        # Reducer.adapt's early-outs (disabled / between check periods)
+        # are evaluated here so the common case skips the call entirely
+        if (
+            self._adapt_enabled
+            and rentry.lookups - rentry.lookups_at_last_adapt
+            >= self._overload_period
+        ):
+            reduced = reducer.adapt(rentry, capture, cst, reduced)
 
         # --- prediction unit ------------------------------------------
+        # (cst.lookup inlined: direct-mapped probe with tag check; only a
+        # match counts as a prediction lookup, exactly as the method does)
         requests: list[PrefetchRequest] = []
-        cst_entry = self.cst.lookup(reduced)
-        if cst_entry is not None:
-            selection = self.policy.select(cst_entry)
-            for cand, shadow in [(c, False) for c in selection.real] + [
-                (c, True) for c in selection.shadow
-            ]:
+        cst_entry = self._cst_entries.get(reduced & self._cst_index_mask)
+        if cst_entry is not None and cst_entry.tag == (
+            (reduced >> self._cst_index_bits) & self._cst_tag_mask
+        ):
+            cst_entry.lookups += 1
+            # EpsilonGreedyPolicy.select inlined (identical RNG draw order
+            # and counter updates); a subclass policy keeps the call
+            candidates = cst_entry.candidates
+            real_sel: list[Candidate] = []
+            shadow_sel: list[Candidate] = []
+            if not candidates:
+                pass  # select returns empty before any RNG draw
+            elif self._select_inline:
+                policy = self.policy
+                ema = policy._accuracy_ema
+                if len(candidates) == 1:
+                    # one-element sort is the identity; degree >= 1 means
+                    # the top-slice is the lone candidate at any level
+                    cand = candidates[0]
+                    ranked = [cand]
+                    if cand.score >= self._pol_score_threshold:
+                        real_sel.append(cand)
+                else:
+                    ranked = sorted(candidates, key=_SCORE_KEY, reverse=True)
+                    level = 1
+                    for threshold in self._pol_degree_thresholds:
+                        if ema >= threshold:
+                            level += 1
+                    if level > self._pol_max_degree:
+                        level = self._pol_max_degree
+                    threshold = self._pol_score_threshold
+                    real_sel = [
+                        cand for cand in ranked[:level] if cand.score >= threshold
+                    ]
+                if self._pol_adaptive_eps:
+                    eps = self._pol_eps_min + self._pol_eps_range * (1.0 - ema)
+                else:
+                    eps = self._pol_fixed_eps
+                if self._rng_random() < eps:
+                    choice = self._rng_choice(ranked)
+                    policy.explorations += 1
+                    if all(choice is not c for c in real_sel):
+                        real_sel.append(choice)
+                else:
+                    policy.exploitations += 1
+                if self._pol_shadow_on and self._rng_random() < self._pol_shadow_p:
+                    choice = self._rng_choice(ranked)
+                    if all(choice is not c for c in real_sel):
+                        shadow_sel.append(choice)
+            else:
+                selection = self._policy_select(cst_entry)
+                real_sel = selection.real
+                shadow_sel = selection.shadow
+            by_block = self._by_block
+            q = queue._queue
+            q_capacity = queue.capacity
+            for cand in real_sel:
                 target_line = line + cand.delta
                 if target_line < 0:
                     continue
                 # A line already predicted by an outstanding entry is
                 # re-added as a shadow prefetch to train another pair
-                # (Section 4.2).
-                if not shadow and self.queue.outstanding_for(target_line):
-                    shadow = True
-                entry = QueueEntry(
-                    reduced_hash=reduced,
-                    delta=cand.delta,
-                    target_block=target_line,
-                    issue_index=access.index,
-                    shadow=shadow,
-                )
-                self._apply_feedback(self.queue.push(entry))
+                # (Section 4.2).  (outstanding_for inlined: a present
+                # bucket is non-empty.)
+                shadow = bool(by_block.get(target_line))
+                entry = QueueEntry(reduced, cand.delta, target_line, index, shadow)
+                # queue.push inlined; a single append overflows the
+                # FIFO by at most one entry, so the expiry batch is a
+                # zero-or-one-event list exactly as push would return
+                q.append(entry)
+                bucket = by_block.get(target_line)
+                if bucket is None:
+                    by_block[target_line] = [entry]
+                else:
+                    bucket.append(entry)
+                if len(q) > q_capacity:
+                    evicted = q.popleft()
+                    bucket = by_block.get(evicted.target_block)
+                    if bucket is not None:
+                        try:
+                            bucket.remove(evicted)
+                        except ValueError:
+                            pass
+                        if not bucket:
+                            del by_block[evicted.target_block]
+                    if not evicted.hit:
+                        queue.expirations += 1
+                        self._apply_feedback(
+                            [_tuple_new(FeedbackEvent, (evicted, q_capacity, True))]
+                        )
                 if shadow:
                     self.predictions_shadow += 1
                 else:
                     self.predictions_real += 1
                 requests.append(
-                    PrefetchRequest(
-                        addr=target_line * cfg.delta_granularity,
-                        shadow=shadow,
-                        meta=entry,
+                    _tuple_new(
+                        PrefetchRequest, (target_line * granularity, shadow, entry)
+                    )
+                )
+            for cand in shadow_sel:
+                # same push path with shadow pinned True (the outstanding
+                # re-add check is a no-op for an already-shadow prediction)
+                target_line = line + cand.delta
+                if target_line < 0:
+                    continue
+                entry = QueueEntry(reduced, cand.delta, target_line, index, True)
+                q.append(entry)
+                bucket = by_block.get(target_line)
+                if bucket is None:
+                    by_block[target_line] = [entry]
+                else:
+                    bucket.append(entry)
+                if len(q) > q_capacity:
+                    evicted = q.popleft()
+                    bucket = by_block.get(evicted.target_block)
+                    if bucket is not None:
+                        try:
+                            bucket.remove(evicted)
+                        except ValueError:
+                            pass
+                        if not bucket:
+                            del by_block[evicted.target_block]
+                    if not evicted.hit:
+                        queue.expirations += 1
+                        self._apply_feedback(
+                            [_tuple_new(FeedbackEvent, (evicted, q_capacity, True))]
+                        )
+                self.predictions_shadow += 1
+                requests.append(
+                    _tuple_new(
+                        PrefetchRequest, (target_line * granularity, True, entry)
                     )
                 )
 
         # --- record this context for future collection ----------------
-        self.history.push(HistoryRecord(reduced, capture.block, line, access.index))
+        # (HistoryQueue.push inlined; nothing above pushed, so ``count``
+        # still names the next slot)
+        ring[pos] = _tuple_new(HistoryRecord, (reduced, block, line, index))
+        history._count = count + 1
+        pos += 1
+        self._hist_pos = 0 if pos == capacity else pos
         return requests
 
     # ------------------------------------------------------------------
@@ -214,6 +697,11 @@ class ContextPrefetcher(Prefetcher):
         self.history.reset()
         self.queue.reset()
         self.policy.reset()
+        self._addr_hist_memo.clear()
+        self._hist_pos = 0
+        # policy.reset() replaces its RNG; every other component clears in
+        # place, so only the policy aliases need rebinding
+        self._bind_policy_aliases()
         self.hit_depth_histogram.clear()
         self.predictions_real = 0
         self.predictions_shadow = 0

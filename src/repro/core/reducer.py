@@ -22,11 +22,11 @@ from dataclasses import dataclass
 
 from repro.core.attributes import ALL_ATTRIBUTES, AttributeSet
 from repro.core.config import ContextPrefetcherConfig
-from repro.core.context import ContextCapture
+from repro.core.context import _MASK64, ContextCapture
 from repro.core.cst import ContextStatesTable
 
 
-@dataclass
+@dataclass(slots=True)
 class ReducerEntry:
     tag: int
     active: AttributeSet
@@ -39,10 +39,36 @@ class ReducerEntry:
 class Reducer:
     """Direct-mapped feature-selection table in front of the CST."""
 
+    __slots__ = (
+        "config",
+        "_index_bits",
+        "_index_mask",
+        "_tag_mask",
+        "_full_hash_bits",
+        "_reduced_hash_bits",
+        "_full_bits_map",
+        "_full_mask",
+        "_reduced_mask",
+        "_full_set",
+        "_initial",
+        "_entries",
+        "allocations",
+        "conflict_evictions",
+        "activations",
+        "deactivations",
+    )
+
     def __init__(self, config: ContextPrefetcherConfig):
         self.config = config
         self._index_bits = (config.reducer_entries - 1).bit_length()
+        self._index_mask = config.reducer_entries - 1
+        self._tag_mask = (1 << config.reducer_tag_bits) - 1
+        self._full_hash_bits = config.full_hash_bits
+        self._reduced_hash_bits = config.reduced_hash_bits
+        self._full_mask = (1 << config.full_hash_bits) - 1
+        self._reduced_mask = (1 << config.reduced_hash_bits) - 1
         self._full_set = AttributeSet(ALL_ATTRIBUTES)
+        self._full_bits_map = self._full_set.bits
         self._initial = AttributeSet(config.initial_attributes)
         self._entries: dict[int, ReducerEntry] = {}
         self.allocations = 0
@@ -53,10 +79,8 @@ class Reducer:
     # ------------------------------------------------------------------
 
     def _split_full_hash(self, full_hash: int) -> tuple[int, int]:
-        index = full_hash & (self.config.reducer_entries - 1)
-        tag = (full_hash >> self._index_bits) & (
-            (1 << self.config.reducer_tag_bits) - 1
-        )
+        index = full_hash & self._index_mask
+        tag = (full_hash >> self._index_bits) & self._tag_mask
         return index, tag
 
     def lookup(
@@ -68,10 +92,25 @@ class Reducer:
         counts in sync.  When adaptive reduction is disabled (ablation),
         every entry keeps the full attribute set, reducing the scheme to
         plain full-context hashing.
+
+        Both ``ContextCapture.hash`` calls are inlined here (this method
+        runs on every access and computes two hashes); the memo dict is
+        read and populated exactly as the method would, so every produced
+        key — and every later ``hash`` call on the capture — is identical.
         """
-        cfg = self.config
-        full_hash = capture.hash(self._full_set, cfg.full_hash_bits)
-        index, tag = self._split_full_hash(full_hash)
+        values = capture.values
+        keys = capture._keys
+        full_bits_map = self._full_bits_map
+        key = keys.get(full_bits_map)
+        if key is None:
+            # the full set gathers every value in order — splat directly
+            key = hash((full_bits_map, *values))
+            key = (key * 0x9E3779B97F4A7C15) & _MASK64
+            key ^= key >> 29
+            keys[full_bits_map] = key
+        full_hash = key & self._full_mask
+        index = full_hash & self._index_mask
+        tag = (full_hash >> self._index_bits) & self._tag_mask
 
         entry = self._entries.get(index)
         if entry is None or entry.tag != tag:
@@ -79,13 +118,25 @@ class Reducer:
                 self.conflict_evictions += 1
                 if entry.cst_key is not None:
                     cst.remove_pointer(entry.cst_key)
+            cfg = self.config
             active = self._full_set if not cfg.adaptive_reduction else self._initial
             entry = ReducerEntry(tag=tag, active=active)
             self._entries[index] = entry
             self.allocations += 1
 
         entry.lookups += 1
-        reduced = capture.hash(entry.active, cfg.reduced_hash_bits)
+        active_bits = entry.active.bits
+        key = keys.get(active_bits)
+        if key is None:
+            indices = entry.active.indices
+            if len(indices) == len(values):
+                key = hash((active_bits, *values))
+            else:
+                key = hash((active_bits, *[values[i] for i in indices]))
+            key = (key * 0x9E3779B97F4A7C15) & _MASK64
+            key ^= key >> 29
+            keys[active_bits] = key
+        reduced = key & self._reduced_mask
         if entry.cst_key != reduced:
             if entry.cst_key is not None:
                 cst.remove_pointer(entry.cst_key)

@@ -68,6 +68,16 @@ class RewardFunction:
             raise ValueError("peak must be positive")
         if self.late_penalty >= 0 or self.early_penalty >= 0:
             raise ValueError("edge penalties must be negative")
+        # the bell denominator 2σ² is fixed by the window parameters; the
+        # feedback unit evaluates the bell on every in-window hit, so
+        # precompute it (object.__setattr__ because the dataclass is frozen).
+        # peak == 1 keeps the degenerate 0.0 so division still fails at
+        # call time, as the on-demand σ computation did.
+        denom = 0.0
+        if self.peak > 1:
+            sigma = self._sigma
+            denom = 2 * sigma**2
+        object.__setattr__(self, "_bell_denom", denom)
 
     @property
     def _sigma(self) -> float:
@@ -83,8 +93,7 @@ class RewardFunction:
             return self.late_penalty
         if depth > self.hi:
             return self.early_penalty
-        sigma = self._sigma
-        value = self.peak * math.exp(-((depth - self.center) ** 2) / (2 * sigma**2))
+        value = self.peak * math.exp(-((depth - self.center) ** 2) / self._bell_denom)
         return max(1, round(value))
 
     def expiry_reward(self) -> int:

@@ -11,6 +11,8 @@ from __future__ import annotations
 class BranchHistoryRegister:
     """Fixed-width shift register of recent branch outcomes."""
 
+    __slots__ = ("bits", "_mask", "_value", "updates")
+
     def __init__(self, bits: int = 8):
         if bits <= 0:
             raise ValueError("history width must be positive")
@@ -31,8 +33,14 @@ class BranchHistoryRegister:
 
     def update_many(self, outcomes: tuple[bool, ...] | list[bool]) -> None:
         """Shift in several outcomes, oldest first."""
+        if not outcomes:
+            return
+        value = self._value
+        mask = self._mask
         for taken in outcomes:
-            self.update(taken)
+            value = ((value << 1) | taken) & mask
+        self._value = value
+        self.updates += len(outcomes)
 
     def reset(self) -> None:
         self._value = 0

@@ -26,7 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreConfig:
     """Core parameters (defaults reproduce Table 2)."""
 
@@ -35,7 +35,7 @@ class CoreConfig:
     lq_size: int = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Aggregate timing results."""
 
@@ -53,27 +53,49 @@ class CoreStats:
         return self.cycles / self.instructions if self.instructions else 0.0
 
 
-@dataclass
+def _state(default: object = None) -> object:
+    """An internal-state field: not part of init, repr or equality, so the
+    dataclass behaves exactly as before slots were added."""
+    return field(init=False, repr=False, compare=False, default=default)
+
+
+@dataclass(slots=True)
 class CoreModel:
     """Tracks issue/completion times for a stream of memory accesses.
 
     Usage: call :meth:`issue_time` to learn when the next access issues
     (this is the ``now`` handed to the memory hierarchy), then report the
     hierarchy's latency back through :meth:`complete`.
+
+    ``slots=True`` keeps the per-access methods on slot reads; the state
+    attributes are declared as non-init fields and set in __post_init__.
     """
 
     config: CoreConfig = field(default_factory=CoreConfig)
     stats: CoreStats = field(default_factory=CoreStats)
+    _cursor: float = _state()  # issue time of the most recent access
+    _last_completion: float = _state()
+    _max_completion: float = _state()
+    _inst_pos: int = _state()  # instructions issued so far
+    _issue_width: int = _state()
+    _rob_size: int = _state()
+    #: completions bounded by the load queue (ring of size lq_size)
+    _lq_ring: "deque[float]" = _state()
+    #: (completion, inst position) per outstanding access, for the ROB cap
+    _rob_window: "deque[tuple[float, int]]" = _state()
+    _rob_floor: float = _state()
 
     def __post_init__(self) -> None:
-        self._cursor = 0.0  # issue time of the most recent access
+        self._cursor = 0.0
         self._last_completion = 0.0
         self._max_completion = 0.0
-        self._inst_pos = 0  # instructions issued so far
-        #: completions bounded by the load queue (ring of size lq_size)
-        self._lq_ring: deque[float] = deque(maxlen=self.config.lq_size)
-        #: (completion, inst position) per outstanding access, for the ROB cap
-        self._rob_window: deque[tuple[float, int]] = deque()
+        self._inst_pos = 0
+        # config parameters are immutable per run; cache them as plain
+        # attributes so the per-access methods skip the double lookup
+        self._issue_width = self.config.issue_width
+        self._rob_size = self.config.rob_size
+        self._lq_ring = deque(maxlen=self.config.lq_size)
+        self._rob_window = deque()
         self._rob_floor = 0.0
 
     def issue_time(self, inst_gap: int, *, depends_on_prev: bool) -> int:
@@ -85,36 +107,43 @@ class CoreModel:
         previous access's data; a full load queue or ROB waits for the
         oldest outstanding completion.
         """
-        issue = self._cursor + (inst_gap + 1) / self.config.issue_width
-        if depends_on_prev:
-            issue = max(issue, self._last_completion)
-        if len(self._lq_ring) == self._lq_ring.maxlen:
-            issue = max(issue, self._lq_ring[0])
+        issue = self._cursor + (inst_gap + 1) / self._issue_width
+        if depends_on_prev and self._last_completion > issue:
+            issue = self._last_completion
+        lq_ring = self._lq_ring
+        if len(lq_ring) == lq_ring.maxlen and lq_ring[0] > issue:
+            issue = lq_ring[0]
         # Retirement: accesses more than rob_size instructions older than
         # the frontend must have completed before this one can issue.
-        rob_horizon = self._inst_pos + inst_gap + 1 - self.config.rob_size
-        while self._rob_window and self._rob_window[0][1] <= rob_horizon:
-            completion, _ = self._rob_window.popleft()
-            if completion > self._rob_floor:
-                self._rob_floor = completion
-        issue = max(issue, self._rob_floor)
+        rob_window = self._rob_window
+        if rob_window:
+            rob_horizon = self._inst_pos + inst_gap + 1 - self._rob_size
+            while rob_window and rob_window[0][1] <= rob_horizon:
+                completion, _ = rob_window.popleft()
+                if completion > self._rob_floor:
+                    self._rob_floor = completion
+        if self._rob_floor > issue:
+            issue = self._rob_floor
         return int(issue)
 
     def complete(self, issue: int, latency: int, inst_gap: int) -> int:
         """Record the completion of an access; returns the completion cycle."""
         completion = float(issue + latency)
-        stall = issue - (self._cursor + (inst_gap + 1) / self.config.issue_width)
+        insts = inst_gap + 1
+        stats = self.stats
+        stall = issue - (self._cursor + insts / self._issue_width)
         if stall > 0:
-            self.stats.stall_cycles += int(stall)
+            stats.stall_cycles += int(stall)
         self._cursor = float(issue)
-        self._inst_pos += inst_gap + 1
+        inst_pos = self._inst_pos + insts
+        self._inst_pos = inst_pos
         self._last_completion = completion
         if completion > self._max_completion:
             self._max_completion = completion
         self._lq_ring.append(completion)
-        self._rob_window.append((completion, self._inst_pos))
-        self.stats.instructions += inst_gap + 1
-        self.stats.memory_accesses += 1
+        self._rob_window.append((completion, inst_pos))
+        stats.instructions += insts
+        stats.memory_accesses += 1
         return int(completion)
 
     def finalize(self) -> CoreStats:

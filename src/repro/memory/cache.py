@@ -8,13 +8,12 @@ access classification (useful prefetch vs. ``prefetch never hit``).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.memory.address import LINE_BYTES, is_power_of_two
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheConfig:
     """Geometry of one cache level (Table 2 of the paper)."""
 
@@ -44,7 +43,7 @@ class CacheConfig:
         return self.size_bytes // self.line_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Metadata for one resident line."""
 
@@ -54,12 +53,17 @@ class CacheLine:
     fill_time: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _CacheSet:
-    """One associativity set; tracks LRU order via a use counter per way."""
+    """One associativity set.
+
+    The ``lines`` dict doubles as the LRU order: every touch deletes and
+    re-inserts the key, so iteration order is recency order and the LRU
+    victim is the first key.  Use ticks were unique per set, so the old
+    min-tick victim scan selected exactly this line.
+    """
 
     lines: dict[int, CacheLine] = field(default_factory=dict)
-    last_use: dict[int, int] = field(default_factory=dict)
 
 
 class Cache:
@@ -70,37 +74,69 @@ class Cache:
     line arithmetic.
     """
 
+    __slots__ = (
+        "config",
+        "_sets",
+        "_num_sets",
+        "_ways",
+        "unused_prefetch_evictions",
+        "used_prefetch_fills",
+    )
+
     def __init__(self, config: CacheConfig):
         self.config = config
         self._sets = [_CacheSet() for _ in range(config.num_sets)]
-        self._tick = itertools.count()
+        self._num_sets = config.num_sets
+        self._ways = config.ways
         #: lines that were filled by a prefetch and evicted untouched
         self.unused_prefetch_evictions = 0
         #: lines that were filled by a prefetch and later referenced
         self.used_prefetch_fills = 0
 
     def _set_for(self, line: int) -> _CacheSet:
-        return self._sets[line % self.config.num_sets]
+        return self._sets[line % self._num_sets]
 
     def contains(self, line: int) -> bool:
         """True when ``line`` is resident (does not update LRU state)."""
-        return line in self._set_for(line).lines
+        return line in self._sets[line % self._num_sets].lines
 
     def peek(self, line: int) -> CacheLine | None:
         """Return resident-line metadata without touching LRU state."""
-        return self._set_for(line).lines.get(line)
+        return self._sets[line % self._num_sets].lines.get(line)
 
     def lookup(self, line: int) -> CacheLine | None:
         """Demand lookup: returns the line and updates LRU / reference bits."""
-        cset = self._set_for(line)
-        entry = cset.lines.get(line)
+        lines = self._sets[line % self._num_sets].lines
+        entry = lines.get(line)
         if entry is None:
             return None
-        cset.last_use[line] = next(self._tick)
+        del lines[line]  # move to the most-recent end
+        lines[line] = entry
         if entry.prefetched and not entry.referenced:
             self.used_prefetch_fills += 1
         entry.referenced = True
         return entry
+
+    def demand_lookup(self, line: int) -> tuple[CacheLine | None, bool]:
+        """Fused peek + lookup for the demand path.
+
+        Returns ``(entry, fresh_prefetch)`` where ``fresh_prefetch`` is
+        whether the line arrived by prefetch and this is its first demand
+        touch — the value :meth:`peek` would have reported *before* the
+        :meth:`lookup` side effects.  State updates are exactly those of
+        ``lookup`` on a hit and none on a miss.
+        """
+        lines = self._sets[line % self._num_sets].lines
+        entry = lines.get(line)
+        if entry is None:
+            return None, False
+        del lines[line]  # move to the most-recent end
+        lines[line] = entry
+        fresh_prefetch = entry.prefetched and not entry.referenced
+        if fresh_prefetch:
+            self.used_prefetch_fills += 1
+        entry.referenced = True
+        return entry, fresh_prefetch
 
     def fill(self, line: int, *, prefetched: bool = False, now: int = 0) -> int | None:
         """Install ``line``; returns the evicted line number, if any.
@@ -108,20 +144,19 @@ class Cache:
         Filling a line that is already resident refreshes its LRU position
         but never downgrades a demand-fetched line to ``prefetched``.
         """
-        cset = self._set_for(line)
-        existing = cset.lines.get(line)
+        lines = self._sets[line % self._num_sets].lines
+        existing = lines.get(line)
         if existing is not None:
-            cset.last_use[line] = next(self._tick)
+            del lines[line]  # refresh: move to the most-recent end
+            lines[line] = existing
             return None
         victim = None
-        if len(cset.lines) >= self.config.ways:
-            victim = min(cset.last_use, key=cset.last_use.get)
-            evicted = cset.lines.pop(victim)
-            del cset.last_use[victim]
+        if len(lines) >= self._ways:
+            victim = next(iter(lines))  # least recently used
+            evicted = lines.pop(victim)
             if evicted.prefetched and not evicted.referenced:
                 self.unused_prefetch_evictions += 1
-        cset.lines[line] = CacheLine(line=line, prefetched=prefetched, fill_time=now)
-        cset.last_use[line] = next(self._tick)
+        lines[line] = CacheLine(line=line, prefetched=prefetched, fill_time=now)
         return victim
 
     def invalidate(self, line: int) -> bool:
@@ -129,7 +164,6 @@ class Cache:
         cset = self._set_for(line)
         if line in cset.lines:
             entry = cset.lines.pop(line)
-            del cset.last_use[line]
             if entry.prefetched and not entry.referenced:
                 self.unused_prefetch_evictions += 1
             return True

@@ -14,14 +14,23 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.memory.address import LINE_BYTES
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.mshr import MSHRFile
 from repro.memory.stats import AccessClass, CacheStats
 
+# enum members as module constants: the demand path classifies every
+# access, and a global load is cheaper than an attribute load on the class
+_HIT_PREFETCHED = AccessClass.HIT_PREFETCHED
+_HIT_OLDER_DEMAND = AccessClass.HIT_OLDER_DEMAND
+_SHORTER_WAIT = AccessClass.SHORTER_WAIT
+_NON_TIMELY = AccessClass.NON_TIMELY
+_MISS_NOT_PREFETCHED = AccessClass.MISS_NOT_PREFETCHED
 
-@dataclass
+
+@dataclass(slots=True)
 class HierarchyConfig:
     """Latency/geometry parameters (defaults reproduce Table 2)."""
 
@@ -80,9 +89,8 @@ class HierarchyConfig:
         return self.l1_latency + self.l2_latency + self.dram_latency
 
 
-@dataclass
-class AccessResult:
-    """Outcome of one demand access."""
+class AccessResult(NamedTuple):
+    """Outcome of one demand access (immutable, built once per access)."""
 
     latency: int
     l1_hit: bool
@@ -92,7 +100,7 @@ class AccessResult:
     line: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingFill:
     completes_at: int
     line: int
@@ -103,17 +111,66 @@ class _PendingFill:
         return self.completes_at < other.completes_at
 
 
-@dataclass
-class PrefetchOutcome:
-    """Result of attempting a prefetch issue."""
+class PrefetchOutcome(NamedTuple):
+    """Result of attempting a prefetch issue (immutable)."""
 
     issued: bool
     reason: str = "issued"
     completes_at: int = 0
 
 
+#: the generated NamedTuple __new__ is a Python frame per construction
+#: that does exactly ``tuple.__new__(cls, (args...))``; calling that
+#: directly builds an identical instance without the frame
+_tuple_new = tuple.__new__
+
+#: shared instances for the constant-field outcomes — the tuples are
+#: immutable, so reusing one is indistinguishable from a fresh one
+_OUT_RESIDENT = PrefetchOutcome(False, "resident")
+_OUT_RESIDENT_L2 = PrefetchOutcome(False, "resident-l2")
+_OUT_IN_FLIGHT = PrefetchOutcome(False, "in-flight")
+_OUT_QUEUED_ALREADY = PrefetchOutcome(False, "queued-already")
+_OUT_QUEUED = PrefetchOutcome(True, "queued")
+_OUT_MSHR_PRESSURE = PrefetchOutcome(False, "mshr-pressure")
+
+
 class Hierarchy:
     """L1D + shared L2 + DRAM with in-flight miss/prefetch tracking."""
+
+    __slots__ = (
+        "config",
+        "l1",
+        "l2",
+        "l1_mshrs",
+        "l2_mshrs",
+        "pf_buffers",
+        "l1_stats",
+        "l2_stats",
+        "_pending",
+        "_backlog",
+        "_dram_next_free",
+        "dram_fetches",
+        "_predicted_not_issued",
+        "_prediction_log",
+        "_prediction_window",
+        "_access_index",
+        "_line_bytes",
+        "_l1_latency",
+        "_l2_hit_latency",
+        "_dram_fill_latency",
+        "_service_interval",
+        "_pf_reserve",
+        "_backlog_depth",
+        "_l1_demand_lookup",
+        "_l1_contains",
+        "_l2_contains",
+        "_l2_lookup",
+        "_pf_lookup",
+        "_l1m_lookup",
+        "prefetches_issued",
+        "prefetches_rejected_mshr",
+        "prefetches_redundant",
+    )
 
     def __init__(self, config: HierarchyConfig | None = None):
         self.config = config or HierarchyConfig()
@@ -130,8 +187,31 @@ class Hierarchy:
         self.dram_fetches = 0
         #: lines predicted recently but not issued to memory (for NON_TIMELY)
         self._predicted_not_issued: dict[int, int] = {}
+        #: (access index, line) insertion log driving incremental aging of
+        #: ``_predicted_not_issued`` — entries older than the prediction
+        #: window are invisible to every read path, so evicting them as
+        #: the log ages out is result-identical to the old periodic
+        #: full-dict rebuild, without the O(n) sweep
+        self._prediction_log: deque[tuple[int, int]] = deque()
         self._prediction_window = 256
         self._access_index = 0
+        self._line_bytes = self.config.line_bytes
+        # latency/limit parameters are fixed per run; cache them as plain
+        # attributes so the per-access paths skip the config indirection
+        self._l1_latency = self.config.l1_latency
+        self._l2_hit_latency = self.config.l2_hit_latency
+        self._dram_fill_latency = self.config.dram_fill_latency
+        self._service_interval = self.config.dram_service_interval
+        self._pf_reserve = self.config.prefetch_mshr_reserve
+        self._backlog_depth = self.config.prefetch_backlog_depth
+        # bound methods of components that are never reassigned, hoisted
+        # for the per-access paths
+        self._l1_demand_lookup = self.l1.demand_lookup
+        self._l1_contains = self.l1.contains
+        self._l2_contains = self.l2.contains
+        self._l2_lookup = self.l2.lookup
+        self._pf_lookup = self.pf_buffers.lookup
+        self._l1m_lookup = self.l1_mshrs.lookup
         self.prefetches_issued = 0
         self.prefetches_rejected_mshr = 0
         self.prefetches_redundant = 0
@@ -140,13 +220,19 @@ class Hierarchy:
     # fills
 
     def _apply_fills(self, now: int) -> None:
-        while self._pending and self._pending[0].completes_at <= now:
-            fill = heapq.heappop(self._pending)
-            if fill.fill_l2:
-                self.l2.fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
-            if not fill.prefetched or self.config.prefetch_fill_l1:
-                self.l1.fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
-        self._drain_backlog(now)
+        pending = self._pending
+        if pending and pending[0].completes_at <= now:
+            fill_l1_prefetches = self.config.prefetch_fill_l1
+            l1_fill = self.l1.fill
+            l2_fill = self.l2.fill
+            while pending and pending[0].completes_at <= now:
+                fill = heapq.heappop(pending)
+                if fill.fill_l2:
+                    l2_fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
+                if not fill.prefetched or fill_l1_prefetches:
+                    l1_fill(fill.line, prefetched=fill.prefetched, now=fill.completes_at)
+        if self._backlog:
+            self._drain_backlog(now)
 
     def _drain_backlog(self, now: int) -> None:
         """Issue queued prefetches as buffers free up."""
@@ -165,27 +251,26 @@ class Hierarchy:
 
     def _try_issue_prefetch(self, line: int, now: int) -> PrefetchOutcome | None:
         """Issue a prefetch if buffer/MSHR resources allow; else None."""
-        cfg = self.config
         if self.pf_buffers.available(now) <= 0:
             return None
-        if self.l2.contains(line):
-            if not cfg.prefetch_fill_l1:
+        if self._l2_contains(line):
+            if not self.config.prefetch_fill_l1:
                 # L2-only mode: an L2-resident line needs no prefetch
                 self.prefetches_redundant += 1
-                return PrefetchOutcome(issued=False, reason="resident-l2")
-            self.l2.lookup(line)
-            completes_at = now + cfg.l2_hit_latency
+                return _OUT_RESIDENT_L2
+            self._l2_lookup(line)
+            completes_at = now + self._l2_hit_latency
             fill_l2 = False
         else:
             if self.l2_mshrs.available(now) <= 0:
                 return None
-            completes_at = self._dram_completion(now, cfg.dram_fill_latency)
+            completes_at = self._dram_completion(now, self._dram_fill_latency)
             fill_l2 = True
             self.l2_mshrs.allocate(line, now, completes_at, is_prefetch=True)
         self.pf_buffers.allocate(line, now, completes_at, is_prefetch=True)
         self._schedule_fill(line, completes_at, prefetched=True, fill_l2=fill_l2)
         self.prefetches_issued += 1
-        return PrefetchOutcome(issued=True, completes_at=completes_at)
+        return _tuple_new(PrefetchOutcome, (True, "issued", completes_at))
 
     def _schedule_fill(
         self, line: int, completes_at: int, *, prefetched: bool, fill_l2: bool
@@ -209,21 +294,28 @@ class Hierarchy:
         DRAM serves one line per ``dram_service_interval`` cycles; a fetch
         arriving while the channel is busy queues behind earlier ones.
         """
-        start = max(now, self._dram_next_free)
-        self._dram_next_free = start + self.config.dram_service_interval
+        start = self._dram_next_free
+        if now > start:
+            start = now
+        self._dram_next_free = start + self._service_interval
         self.dram_fetches += 1
         return start + base_latency
 
     def note_unissued_prediction(self, line: int) -> None:
         """Record that a prefetcher predicted ``line`` without a memory request."""
-        self._predicted_not_issued[line] = self._access_index
-        if len(self._predicted_not_issued) > 4 * self._prediction_window:
-            cutoff = self._access_index - self._prediction_window
-            self._predicted_not_issued = {
-                ln: idx
-                for ln, idx in self._predicted_not_issued.items()
-                if idx >= cutoff
-            }
+        index = self._access_index
+        predicted = self._predicted_not_issued
+        predicted[line] = index
+        log = self._prediction_log
+        log.append((index, line))
+        # age out entries that have fallen outside the window; a logged
+        # pair whose index no longer matches the dict was re-predicted
+        # later and its newer log entry will retire it in due course
+        cutoff = index - self._prediction_window
+        while log and log[0][0] < cutoff:
+            idx, ln = log.popleft()
+            if predicted.get(ln) == idx:
+                del predicted[ln]
 
     def _was_predicted_recently(self, line: int) -> bool:
         idx = self._predicted_not_issued.get(line)
@@ -234,77 +326,82 @@ class Hierarchy:
 
     def demand_access(self, addr: int, now: int) -> AccessResult:
         """Serve a demand load/store of ``addr`` issued at cycle ``now``."""
-        self._apply_fills(now)
+        # guard inlined: _apply_fills is a no-op unless a fill is due or
+        # the backlog is non-empty, and most accesses trigger neither
+        pending = self._pending
+        if (pending and pending[0].completes_at <= now) or self._backlog:
+            self._apply_fills(now)
         self._access_index += 1
-        line = addr // self.config.line_bytes
-        cfg = self.config
+        line = addr // self._line_bytes
+        l1_latency = self._l1_latency
+        l1_stats = self.l1_stats
 
-        l1_entry = self.l1.peek(line)
+        l1_entry, was_prefetched = self._l1_demand_lookup(line)
         if l1_entry is not None:
-            was_prefetched = l1_entry.prefetched and not l1_entry.referenced
-            self.l1.lookup(line)
-            self.l1_stats.record(hit=True)
-            access_class = (
-                AccessClass.HIT_PREFETCHED
-                if was_prefetched
-                else AccessClass.HIT_OLDER_DEMAND
-            )
-            return AccessResult(
-                latency=cfg.l1_latency,
-                l1_hit=True,
-                l2_hit=False,
-                served_by="l1",
-                access_class=access_class,
-                line=line,
+            l1_stats.accesses += 1
+            l1_stats.hits += 1
+            access_class = _HIT_PREFETCHED if was_prefetched else _HIT_OLDER_DEMAND
+            return _tuple_new(
+                AccessResult, (l1_latency, True, False, "l1", access_class, line)
             )
 
-        self.l1_stats.record(hit=False)
+        l1_stats.accesses += 1
+        l1_stats.misses += 1
 
         # In-flight prefetch: the demand merges and waits only for the
         # remainder of the fetch — the paper's "shorter wait time" class.
-        pf_inflight = self.pf_buffers.lookup(line, now)
+        pf_inflight = self._pf_lookup(line, now)
         if pf_inflight is not None:
-            latency = max(cfg.l1_latency, pf_inflight - now)
+            latency = pf_inflight - now
+            if latency < l1_latency:
+                latency = l1_latency
             # an MSHR hit, not a new L2 demand miss: no L2 stats event
-            return AccessResult(
-                latency=latency,
-                l1_hit=False,
-                l2_hit=self.l2.contains(line),
-                served_by="mshr",
-                access_class=AccessClass.SHORTER_WAIT,
-                line=line,
+            return _tuple_new(
+                AccessResult,
+                (latency, False, self._l2_contains(line), "mshr", _SHORTER_WAIT, line),
             )
 
         # In-flight demand miss: merge. The data was already on its way
         # for program reasons, not prefetching.
-        inflight = self.l1_mshrs.lookup(line, now)
+        l1_mshrs = self.l1_mshrs
+        inflight = l1_mshrs.lookup(line, now)
         if inflight is not None:
-            self.l1_mshrs.allocate(line, now, inflight, is_prefetch=False)
-            latency = max(cfg.l1_latency, inflight - now)
+            l1_mshrs.allocate(line, now, inflight, is_prefetch=False)
+            latency = inflight - now
+            if latency < l1_latency:
+                latency = l1_latency
             # secondary miss: the primary already counted the L2 event
-            return AccessResult(
-                latency=latency,
-                l1_hit=False,
-                l2_hit=self.l2.contains(line),
-                served_by="mshr",
-                access_class=AccessClass.HIT_OLDER_DEMAND,
-                line=line,
+            return _tuple_new(
+                AccessResult,
+                (
+                    latency,
+                    False,
+                    self._l2_contains(line),
+                    "mshr",
+                    _HIT_OLDER_DEMAND,
+                    line,
+                ),
             )
 
-        l2_entry = self.l2.lookup(line)
+        l2_entry = self._l2_lookup(line)
         l2_hit = l2_entry is not None
-        self.l2_stats.record(hit=l2_hit)
+        l2_stats = self.l2_stats
+        l2_stats.accesses += 1
+        if l2_hit:
+            l2_stats.hits += 1
+        else:
+            l2_stats.misses += 1
 
         # Demand misses always make progress: if the MSHR file is full the
         # access waits for the earliest completion before starting.
         issue_at = now
-        if self.l1_mshrs.available(now) == 0:
-            lines = self.l1_mshrs.in_flight_lines(now)
-            earliest = min(self.l1_mshrs.lookup(ln, now) for ln in lines)
-            issue_at = max(now, earliest)
+        if l1_mshrs.available(now) == 0:
+            earliest = l1_mshrs.earliest_completion(now)
+            if earliest > issue_at:
+                issue_at = earliest
 
         if l2_hit:
-            completes_at = issue_at + cfg.l2_hit_latency
+            completes_at = issue_at + self._l2_hit_latency
             served_by = "l2"
         else:
             # Reserve the DRAM channel slot at the time the request is
@@ -312,29 +409,26 @@ class Hierarchy:
             # MSHR); the MSHR wait is applied as a separate floor.  Using
             # ``issue_at`` here would reserve a slot in the future and
             # spuriously serialise every later fetch behind it.
-            completes_at = max(
-                self._dram_completion(now, cfg.dram_fill_latency),
-                issue_at + cfg.dram_fill_latency,
-            )
+            dram_fill = self._dram_fill_latency
+            completes_at = self._dram_completion(now, dram_fill)
+            floor = issue_at + dram_fill
+            if floor > completes_at:
+                completes_at = floor
             served_by = "dram"
         latency = completes_at - now
 
-        self.l1_mshrs.allocate(line, issue_at, completes_at, is_prefetch=False)
+        l1_mshrs.allocate(line, issue_at, completes_at, is_prefetch=False)
         if not l2_hit:
             self.l2_mshrs.allocate(line, issue_at, completes_at, is_prefetch=False)
         self._schedule_fill(line, completes_at, prefetched=False, fill_l2=not l2_hit)
 
-        if self._was_predicted_recently(line):
-            access_class = AccessClass.NON_TIMELY
+        idx = self._predicted_not_issued.get(line)
+        if idx is not None and self._access_index - idx <= self._prediction_window:
+            access_class = _NON_TIMELY
         else:
-            access_class = AccessClass.MISS_NOT_PREFETCHED
-        return AccessResult(
-            latency=latency,
-            l1_hit=False,
-            l2_hit=l2_hit,
-            served_by=served_by,
-            access_class=access_class,
-            line=line,
+            access_class = _MISS_NOT_PREFETCHED
+        return _tuple_new(
+            AccessResult, (latency, False, l2_hit, served_by, access_class, line)
         )
 
     # ------------------------------------------------------------------
@@ -351,37 +445,39 @@ class Hierarchy:
         backlog itself is full is the request rejected, at which point the
         context prefetcher converts it to a shadow operation (Section 4.2).
         """
-        self._apply_fills(now)
-        line = addr // self.config.line_bytes
-        reserve = (
-            self.config.prefetch_mshr_reserve if mshr_reserve is None else mshr_reserve
-        )
+        pending = self._pending
+        if (pending and pending[0].completes_at <= now) or self._backlog:
+            self._apply_fills(now)
+        line = addr // self._line_bytes
+        reserve = self._pf_reserve if mshr_reserve is None else mshr_reserve
+        pf_buffers = self.pf_buffers
+        backlog = self._backlog
 
-        if self.l1.contains(line):
+        if self._l1_contains(line):
             self.prefetches_redundant += 1
-            return PrefetchOutcome(issued=False, reason="resident")
+            return _OUT_RESIDENT
         if (
-            self.pf_buffers.lookup(line, now) is not None
-            or self.l1_mshrs.lookup(line, now) is not None
+            self._pf_lookup(line, now) is not None
+            or self._l1m_lookup(line, now) is not None
         ):
             self.prefetches_redundant += 1
-            return PrefetchOutcome(issued=False, reason="in-flight")
-        if line in self._backlog:
+            return _OUT_IN_FLIGHT
+        if line in backlog:
             self.prefetches_redundant += 1
-            return PrefetchOutcome(issued=False, reason="queued-already")
+            return _OUT_QUEUED_ALREADY
 
-        if self.pf_buffers.available(now) > reserve:
+        if pf_buffers.available(now) > reserve:
             outcome = self._try_issue_prefetch(line, now)
             if outcome is not None:
                 return outcome
-        if len(self._backlog) < self.config.prefetch_backlog_depth:
-            self._backlog.append(line)
+        if len(backlog) < self._backlog_depth:
+            backlog.append(line)
             # A queued prefetch may still lose the race with the demand
             # access; record it for the NON_TIMELY classification.
             self.note_unissued_prediction(line)
-            return PrefetchOutcome(issued=True, reason="queued")
+            return _OUT_QUEUED
         self.prefetches_rejected_mshr += 1
-        return PrefetchOutcome(issued=False, reason="mshr-pressure")
+        return _OUT_MSHR_PRESSURE
 
     # ------------------------------------------------------------------
     # accounting

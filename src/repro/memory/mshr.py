@@ -8,10 +8,14 @@ operations may be skipped if the memory system is stressed").
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 
-@dataclass
+_NEVER = float("inf")
+
+
+@dataclass(slots=True)
 class _Entry:
     line: int
     completes_at: int
@@ -25,40 +29,82 @@ class MSHRFile:
     completion time has passed are retired lazily.
     """
 
+    __slots__ = (
+        "num_entries",
+        "_entries",
+        "_expiry_heap",
+        "_next_expiry",
+        "allocations",
+        "merges",
+        "rejections",
+    )
+
     def __init__(self, num_entries: int):
         if num_entries <= 0:
             raise ValueError("MSHR file needs at least one entry")
         self.num_entries = num_entries
         self._entries: dict[int, _Entry] = {}
+        #: (completes_at, line) heap mirroring ``_entries`` one-to-one —
+        #: an entry is pushed on allocation and popped on retirement, and
+        #: merges never change a completion time, so the heap top is
+        #: always the earliest in-flight completion
+        self._expiry_heap: list[tuple[int, int]] = []
+        #: earliest completion among in-flight entries — lets _expire
+        #: short-circuit without touching the heap
+        self._next_expiry = _NEVER
         self.allocations = 0
         self.merges = 0
         self.rejections = 0
 
     def _expire(self, now: int) -> None:
-        done = [line for line, e in self._entries.items() if e.completes_at <= now]
-        for line in done:
-            del self._entries[line]
+        if now < self._next_expiry:
+            return
+        heap = self._expiry_heap
+        entries = self._entries
+        while heap and heap[0][0] <= now:
+            _, line = heapq.heappop(heap)
+            del entries[line]
+        self._next_expiry = heap[0][0] if heap else _NEVER
 
     def outstanding(self, now: int) -> int:
         """Number of misses still in flight at ``now``."""
-        self._expire(now)
+        if now >= self._next_expiry:
+            self._expire(now)
         return len(self._entries)
 
     def available(self, now: int) -> int:
         """Number of free MSHR entries at ``now``."""
-        return self.num_entries - self.outstanding(now)
+        if now >= self._next_expiry:
+            self._expire(now)
+        return self.num_entries - len(self._entries)
 
     def lookup(self, line: int, now: int) -> int | None:
         """Completion time of an in-flight miss for ``line``, or None."""
-        self._expire(now)
+        if now >= self._next_expiry:
+            self._expire(now)
         entry = self._entries.get(line)
         return entry.completes_at if entry is not None else None
 
     def is_prefetch(self, line: int, now: int) -> bool:
         """True when the in-flight miss for ``line`` was a prefetch."""
-        self._expire(now)
+        if now >= self._next_expiry:
+            self._expire(now)
         entry = self._entries.get(line)
         return entry is not None and entry.is_prefetch
+
+    def earliest_completion(self, now: int) -> int | None:
+        """Earliest in-flight completion time at ``now``, or None when empty.
+
+        ``_next_expiry`` is an exact invariant (the minimum completion time
+        over in-flight entries): allocations fold new times in, retirement
+        recomputes it, and merges never change a completion time — so no
+        scan is needed.
+        """
+        if now >= self._next_expiry:
+            self._expire(now)
+        if not self._entries:
+            return None
+        return int(self._next_expiry)
 
     def allocate(
         self, line: int, now: int, completes_at: int, *, is_prefetch: bool = False
@@ -69,7 +115,8 @@ class MSHRFile:
         entry (secondary miss) and always succeeds.  A demand merge clears
         the entry's prefetch flag so the completion is attributed to demand.
         """
-        self._expire(now)
+        if now >= self._next_expiry:
+            self._expire(now)
         existing = self._entries.get(line)
         if existing is not None:
             self.merges += 1
@@ -80,6 +127,9 @@ class MSHRFile:
             self.rejections += 1
             return False
         self._entries[line] = _Entry(line, completes_at, is_prefetch)
+        heapq.heappush(self._expiry_heap, (completes_at, line))
+        if completes_at < self._next_expiry:
+            self._next_expiry = completes_at
         self.allocations += 1
         return True
 

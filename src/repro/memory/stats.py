@@ -35,7 +35,7 @@ ACCESS_CLASS_ORDER = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss counters for one cache level."""
 
@@ -68,7 +68,7 @@ class CacheStats:
             self.misses += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessClassifier:
     """Accumulates the Figure 9 per-access benefit breakdown.
 

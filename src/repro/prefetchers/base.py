@@ -11,18 +11,22 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.hints import NO_HINTS, SemanticHints
 
 
-@dataclass(frozen=True)
-class AccessInfo:
+class AccessInfo(NamedTuple):
     """Everything a prefetcher may observe about one demand access.
 
     The hardware attributes of Table 1 (PC, address history via the
     prefetcher's own tracking, branch history, register value, previously
     loaded data) and the compiler hints are all carried here; each
     prefetcher consumes the subset it understands.
+
+    A named tuple rather than a frozen dataclass: one is built per demand
+    access on the simulator's hot path, and tuple construction runs at
+    C speed while staying immutable and slot-free.
     """
 
     index: int  # position in the demand-access stream
@@ -41,13 +45,16 @@ class AccessInfo:
     hints: SemanticHints = NO_HINTS
 
 
-@dataclass
-class PrefetchRequest:
+class PrefetchRequest(NamedTuple):
     """One prefetch the prefetcher wants to perform.
 
     ``shadow`` requests are tracked for learning but never dispatched to
     memory (Section 4.1).  ``meta`` is opaque prefetcher-private state used
     to route feedback (e.g. the CST key that produced the prediction).
+
+    A named tuple (C-speed construction): requests are built per predicted
+    line on the hot path and never mutated — issue rejections mutate the
+    queue entry carried in ``meta``, not the request.
     """
 
     addr: int
@@ -57,6 +64,8 @@ class PrefetchRequest:
 
 class Prefetcher(abc.ABC):
     """Abstract prefetcher driven by the demand-access stream."""
+
+    __slots__ = ()
 
     #: short name used in reports and figures
     name: str = "base"
@@ -74,6 +83,15 @@ class Prefetcher(abc.ABC):
         """Hardware storage the configuration would require, in bits."""
         return 0
 
+    def accuracy(self) -> float:
+        """Lifetime prediction accuracy in [0, 1].
+
+        Part of the base contract so results and figures can report it
+        uniformly; prefetchers without self-assessed feedback (the
+        baselines) report 0.0.
+        """
+        return 0.0
+
     def storage_kib(self) -> float:
         """Storage in KiB (Table 2 reports prefetcher sizes this way)."""
         return self.storage_bits() / 8 / 1024
@@ -82,7 +100,7 @@ class Prefetcher(abc.ABC):
         """Clear learned state (between simulation phases)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class DegreeCounter:
     """Small helper shared by baselines that issue ``degree`` prefetches."""
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class GHBConfig:
     ghb_entries: int = 2048
     index_entries: int = 256
@@ -40,7 +40,7 @@ class GHBConfig:
             raise ValueError("match_length must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class _GHBEntry:
     addr: int
     link: int  # absolute sequence number of the previous same-key entry, or -1
@@ -48,6 +48,8 @@ class _GHBEntry:
 
 class GHBPrefetcher(Prefetcher):
     """GHB with delta-correlation detection (G/DC or PC/DC)."""
+
+    __slots__ = ("config", "name", "_buffer", "_next_seq", "_index")
 
     def __init__(self, config: GHBConfig | None = None):
         self.config = config or GHBConfig()

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class MarkovConfig:
     table_entries: int = 2048
     successors_per_entry: int = 4
@@ -31,7 +31,7 @@ class MarkovConfig:
     train_on_miss_only: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class _State:
     #: successor line -> observation count
     successors: dict[int, int] = field(default_factory=dict)
@@ -54,6 +54,8 @@ class MarkovPrefetcher(Prefetcher):
     """First-order Markov predictor over the miss-address stream."""
 
     name = "markov"
+
+    __slots__ = ("config", "_table", "_last_line")
 
     def __init__(self, config: MarkovConfig | None = None):
         self.config = config or MarkovConfig()

@@ -10,6 +10,8 @@ class NoPrefetcher(Prefetcher):
 
     name = "none"
 
+    __slots__ = ()
+
     def on_access(self, access: AccessInfo) -> list[PrefetchRequest]:
         return []
 

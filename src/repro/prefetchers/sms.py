@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class SMSConfig:
     region_bytes: int = 2048
     line_bytes: int = 64
@@ -34,7 +34,7 @@ class SMSConfig:
         return self.region_bytes // self.line_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class _Generation:
     region: int
     trigger_pc: int
@@ -47,6 +47,8 @@ class SMSPrefetcher(Prefetcher):
     """Spatial memory streaming with trigger-(PC, offset) pattern indexing."""
 
     name = "sms"
+
+    __slots__ = ("config", "_filter", "_agt", "_pht", "generations_trained")
 
     def __init__(self, config: SMSConfig | None = None):
         self.config = config or SMSConfig()

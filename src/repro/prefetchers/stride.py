@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.prefetchers.base import AccessInfo, Prefetcher, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideConfig:
     table_entries: int = 512
     degree: int = 3
@@ -25,7 +25,7 @@ class StrideConfig:
     train_on_miss_only: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class _RPTEntry:
     tag: int
     last_addr: int
@@ -37,6 +37,8 @@ class StridePrefetcher(Prefetcher):
     """Classic reference-prediction-table stride prefetcher."""
 
     name = "stride"
+
+    __slots__ = ("config", "_table")
 
     def __init__(self, config: StrideConfig | None = None):
         self.config = config or StrideConfig()

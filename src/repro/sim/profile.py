@@ -1,0 +1,181 @@
+"""Deterministic profiling harness for the per-access kernel.
+
+``python -m repro profile <workload> <prefetcher>`` answers two
+questions about one simulated run:
+
+1. **Where does the work go, in events?**  The functional units of the
+   context prefetcher (feedback, collection, reduction, prediction —
+   Section 5 of the paper) are inlined into ``on_access`` on the hot
+   path, so a function-level profiler cannot attribute time to them.
+   Instead the harness reads each unit's *event counters* off the
+   component state after the run.  These counts are bit-exact run to
+   run — the deterministic layer of the report — and they are the
+   numbers a hot-path rewrite must hold invariant.
+
+2. **Where does the time go, in functions?**  An optional
+   :mod:`cProfile` pass over the same run, reported via
+   :mod:`pstats`.  Call counts in that table are deterministic;
+   the timings are wall-clock and vary with the machine, which is why
+   they live in a clearly separated section instead of the counters.
+
+The harness itself never reads the wall clock (rule ``DET003``):
+cProfile's timer is internal to the optional profiling section and no
+simulated behaviour depends on it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulator
+
+
+@dataclass(slots=True)
+class ProfileReport:
+    """One profiled run: deterministic counters + optional timing table."""
+
+    workload: str
+    prefetcher: str
+    accesses: int
+    #: unit name -> {counter -> value}; insertion order is report order
+    units: dict[str, dict[str, int]]
+    result: SimulationResult
+    #: pstats text (top functions by cumulative time), or "" when skipped
+    timing_table: str = ""
+    top: int = field(default=12)
+
+
+def _unit_counters(sim: Simulator, result: SimulationResult) -> dict[str, dict[str, int]]:
+    """Per-unit event counters, read off the components after a run.
+
+    Units absent from a prefetcher (the baselines have no reducer or
+    CST) are simply omitted, so the report works for every family.
+    """
+    pf = sim.prefetcher
+    units: dict[str, dict[str, int]] = {}
+
+    queue = getattr(pf, "queue", None)
+    if queue is not None:
+        units["feedback"] = {
+            "queue_hits": queue.hits,
+            "queue_expirations": queue.expirations,
+            "rewards_applied": getattr(pf, "rewards_applied", 0),
+        }
+
+    cst = getattr(pf, "cst", None)
+    if cst is not None:
+        history = getattr(pf, "history", None)
+        units["collection"] = {
+            "associations_added": cst.associations_added,
+            "associations_rejected_full": cst.associations_rejected_full,
+            "associations_rejected_range": cst.associations_rejected_range,
+            "cst_conflict_evictions": cst.conflict_evictions,
+            "history_records": history._count if history is not None else 0,
+        }
+
+    reducer = getattr(pf, "reducer", None)
+    if reducer is not None:
+        units["reduction"] = {
+            "allocations": reducer.allocations,
+            "conflict_evictions": reducer.conflict_evictions,
+            "activations": reducer.activations,
+            "deactivations": reducer.deactivations,
+        }
+
+    policy = getattr(pf, "policy", None)
+    prediction: dict[str, int] = {
+        "prefetches_issued": result.prefetches_issued,
+        "prefetches_shadow": result.prefetches_shadow,
+        "prefetches_rejected_mshr": result.prefetches_rejected,
+        "prefetches_redundant": result.prefetches_redundant,
+    }
+    if policy is not None:
+        prediction["explorations"] = policy.explorations
+        prediction["exploitations"] = policy.exploitations
+    units["prediction"] = prediction
+
+    hier = sim.hierarchy
+    units["memory"] = {
+        "l1_hits": hier.l1_stats.hits,
+        "l1_misses": hier.l1_stats.misses,
+        "l2_hits": hier.l2_stats.hits,
+        "l2_misses": hier.l2_stats.misses,
+        "mshr_merges": hier.l2_mshrs.merges,
+        "mshr_rejections": hier.l2_mshrs.rejections,
+    }
+    return units
+
+
+def profile_run(
+    workload_name: str,
+    prefetcher_name: str,
+    *,
+    limit: int | None = None,
+    with_cprofile: bool = True,
+    top: int = 12,
+) -> ProfileReport:
+    """Simulate one (workload, prefetcher) pair and profile the run."""
+    # imported here so ``repro.sim`` stays import-light for the workers
+    from repro.sim.config import PREFETCHER_FACTORIES
+    from repro.workloads.suites import get_workload
+
+    trace = get_workload(workload_name).build().trace()
+    if limit is not None:
+        trace = trace[:limit]
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher_name]())
+
+    timing_table = ""
+    if with_cprofile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = sim.run(trace, workload_name=workload_name)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(top)
+        timing_table = buf.getvalue()
+    else:
+        result = sim.run(trace, workload_name=workload_name)
+
+    return ProfileReport(
+        workload=workload_name,
+        prefetcher=prefetcher_name,
+        accesses=len(trace),
+        units=_unit_counters(sim, result),
+        result=result,
+        timing_table=timing_table,
+        top=top,
+    )
+
+
+def render(report: ProfileReport) -> str:
+    """Human-readable report; the counter section is bit-reproducible."""
+    lines = [
+        f"profile: {report.workload} / {report.prefetcher} "
+        f"({report.accesses} accesses)",
+        "",
+        "per-unit event counters (deterministic):",
+    ]
+    for unit, counters in report.units.items():
+        lines.append(f"  [{unit}]")
+        for name, value in counters.items():
+            per_access = value / report.accesses if report.accesses else 0.0
+            lines.append(f"    {name:28s} {value:>10d}  ({per_access:.3f}/access)")
+    result = report.result
+    lines += [
+        "",
+        f"result: cycles={result.cycles}  ipc={result.ipc:.3f}  "
+        f"accuracy={result.prefetcher_accuracy:.3f}",
+    ]
+    if report.timing_table:
+        lines += [
+            "",
+            f"cProfile, top {report.top} by cumulative time "
+            "(call counts deterministic; timings machine-dependent):",
+            report.timing_table.rstrip(),
+        ]
+    return "\n".join(lines)

@@ -8,12 +8,14 @@ prefetcher and dispatching the prefetches it returns.  Produces the
 
 from __future__ import annotations
 
+import gc
 import itertools
+from collections import deque
 from typing import Iterable
 
 from repro.cpu.branch import BranchHistoryRegister
 from repro.cpu.core_model import CoreStats
-from repro.memory.stats import AccessClassifier, CacheStats
+from repro.memory.stats import AccessClass, AccessClassifier, CacheStats
 from repro.cpu.core_model import CoreConfig, CoreModel
 from repro.memory.hierarchy import Hierarchy, HierarchyConfig
 from repro.prefetchers.base import AccessInfo, Prefetcher
@@ -84,8 +86,13 @@ class Simulator:
         pre-characterised steady-state phases, Section 6).
         """
         if warmup:
-            trace = list(trace)
-            accesses = trace[:limit] if limit is not None else trace
+            # materialise while applying the limit — a truncated long
+            # trace must not be built in full just to slice a prefix
+            accesses = (
+                list(itertools.islice(trace, limit))
+                if limit is not None
+                else list(trace)
+            )
             if warmup >= len(accesses):
                 raise ValueError("warmup consumes the whole trace")
             self.run(
@@ -102,74 +109,211 @@ class Simulator:
         hier = self.hierarchy
         core = self.core
         pf = self.prefetcher
+        bhr = self.bhr
         hit_depths = HitDepthCDF()
         classifier = AccessClassifier()
         #: line -> access index of the most recent (real or shadow)
         #: prediction; mirrors the paper's 128-entry prefetch queue, so
         #: hits deeper than the queue capacity count as expirations
         predicted_at: dict[int, int] = {}
+        #: (index, line) insertion log: entries older than the depth cap
+        #: are invisible to both read paths (a demand hit beyond the cap
+        #: is not counted, and a stale timestamp is overwritten exactly
+        #: like an absent one), so aging them out incrementally via the
+        #: log is result-identical to the old periodic full-dict rebuild
+        prediction_log: deque[tuple[int, int]] = deque()
         depth_cap = 128
         last_value = 0
         issued_real = 0
         issued_shadow = 0
+        line_bytes = self._line_bytes
+
+        # bound-method/local hoists for the per-access loop
+        update_many = bhr.update_many
+        demand_access = hier.demand_access
+        # CoreModel.issue_time/complete inlined below — the simulator owns
+        # its core (constructed in __init__, never replaced), so the model
+        # state lives in locals for the loop and is written back after;
+        # the arithmetic is copied verbatim from core_model.py
+        cursor = core._cursor
+        last_completion = core._last_completion
+        max_completion = core._max_completion
+        inst_pos = core._inst_pos
+        rob_floor = core._rob_floor
+        issue_width = core._issue_width
+        rob_size = core._rob_size
+        lq_ring = core._lq_ring
+        lq_maxlen = lq_ring.maxlen
+        rob_window = core._rob_window
+        core_stats = core.stats
+        stall_cycles = 0
+        instructions = 0
+        memory_accesses = 0
+        # classifier.record_demand inlined: demand classes can never be
+        # PREFETCH_NEVER_HIT (its guard is unreachable from this path) and
+        # the per-access total is folded in once after the loop.  Counting
+        # happens in plain-int locals matched by identity (Enum equality
+        # IS identity) so the loop never pays the Python-level enum hash;
+        # the counts dict is pre-seeded in ACCESS_CLASS_ORDER, so folding
+        # the totals in afterwards cannot change its iteration order.
+        ac_hit_older = AccessClass.HIT_OLDER_DEMAND
+        ac_miss = AccessClass.MISS_NOT_PREFETCHED
+        ac_hit_pref = AccessClass.HIT_PREFETCHED
+        ac_shorter = AccessClass.SHORTER_WAIT
+        c_hit_older = c_miss = c_hit_pref = c_shorter = c_non_timely = 0
+        n_accesses = 0
+        add_depth = hit_depths.add
+        on_access = pf.on_access
+        on_prefetch_issue = pf.on_prefetch_issue
+        note_unissued = hier.note_unissued_prediction
+        hier_prefetch = hier.prefetch
+        log_append = prediction_log.append
+        log_popleft = prediction_log.popleft
+        predicted_pop = predicted_at.pop
+        predicted_get = predicted_at.get
+        # the generated NamedTuple __new__ is a Python frame per access
+        # that does exactly tuple.__new__(cls, (args...)); call it direct
+        tuple_new = tuple.__new__
 
         accesses = itertools.islice(trace, limit) if limit is not None else trace
-        for index, access in enumerate(accesses, start=start_index):
-            self.bhr.update_many(access.branches)
-            # inst_gap already includes branch instructions (TraceBuilder
-            # contract); branches are carried separately only for the BHR
-            gap = access.inst_gap
-            issue = core.issue_time(gap, depends_on_prev=access.depends_on_prev)
+        # The loop allocates only acyclic transients (records, events,
+        # result tuples) that reference counting frees immediately, so the
+        # cyclic collector can never reclaim anything here — but its
+        # periodic scans walk the resident traces and tables and cost a
+        # double-digit percentage of the run.  Pause it for the loop and
+        # restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            for index, access in enumerate(accesses, start=start_index):
+                branches = access.branches
+                if branches:  # update_many no-ops on an empty tuple
+                    update_many(branches)
+                # inst_gap already includes branch instructions (TraceBuilder
+                # contract); branches are carried separately only for the BHR
+                gap = access.inst_gap
+                addr = access.addr
 
-            result = hier.demand_access(access.addr, issue)
-            classifier.record_demand(result.access_class)
-            core.complete(issue, result.latency, gap)
+                # --- CoreModel.issue_time inlined -----------------------
+                issue_f = cursor + (gap + 1) / issue_width
+                if access.depends_on_prev and last_completion > issue_f:
+                    issue_f = last_completion
+                if len(lq_ring) == lq_maxlen and lq_ring[0] > issue_f:
+                    issue_f = lq_ring[0]
+                if rob_window:
+                    rob_horizon = inst_pos + gap + 1 - rob_size
+                    while rob_window and rob_window[0][1] <= rob_horizon:
+                        completion, _ = rob_window.popleft()
+                        if completion > rob_floor:
+                            rob_floor = completion
+                if rob_floor > issue_f:
+                    issue_f = rob_floor
+                issue = int(issue_f)
 
-            line = access.addr // self._line_bytes
-            if line in predicted_at:
-                depth = index - predicted_at.pop(line)
-                if depth <= depth_cap:
-                    hit_depths.add(depth)
-
-            info = AccessInfo(
-                index=index,
-                cycle=issue,
-                addr=access.addr,
-                pc=access.pc,
-                is_load=access.is_load,
-                l1_hit=result.l1_hit,
-                primary_miss=not result.l1_hit and result.served_by != "mshr",
-                branch_history=self.bhr.value,
-                reg_value=access.reg_value,
-                last_value=last_value,
-                hints=access.hints,
-            )
-            for request in pf.on_access(info):
-                pf_line = request.addr // self._line_bytes
-                if request.shadow:
-                    hier.note_unissued_prediction(pf_line)
-                    issued_shadow += 1
+                result = demand_access(addr, issue)
+                ac = result.access_class
+                if ac is ac_hit_older:
+                    c_hit_older += 1
+                elif ac is ac_miss:
+                    c_miss += 1
+                elif ac is ac_hit_pref:
+                    c_hit_pref += 1
+                elif ac is ac_shorter:
+                    c_shorter += 1
                 else:
-                    outcome = hier.prefetch(request.addr, issue)
-                    pf.on_prefetch_issue(request, outcome.issued, outcome.reason)
-                    if outcome.issued:
-                        issued_real += 1
-                    else:
-                        hier.note_unissued_prediction(pf_line)
-                        issued_shadow += 1
-                # oldest-unexpired semantics: a line keeps its first
-                # prediction's timestamp until that entry would have
-                # expired from a 128-deep prefetch queue
-                prev = predicted_at.get(pf_line)
-                if prev is None or index - prev > depth_cap:
-                    predicted_at[pf_line] = index
-            if len(predicted_at) > 8 * depth_cap:
-                cutoff = index - depth_cap
-                predicted_at = {
-                    ln: i for ln, i in predicted_at.items() if i >= cutoff
-                }
+                    c_non_timely += 1
+                n_accesses += 1
 
-            last_value = access.value if access.is_load else last_value
+                # --- CoreModel.complete inlined -------------------------
+                completion = float(issue + result.latency)
+                insts = gap + 1
+                stall = issue - (cursor + insts / issue_width)
+                if stall > 0:
+                    stall_cycles += int(stall)
+                cursor = float(issue)
+                inst_pos += insts
+                last_completion = completion
+                if completion > max_completion:
+                    max_completion = completion
+                lq_ring.append(completion)
+                rob_window.append((completion, inst_pos))
+                instructions += insts
+                memory_accesses += 1
+
+                line = addr // line_bytes
+                prev = predicted_pop(line, None)
+                if prev is not None:
+                    depth = index - prev
+                    if depth <= depth_cap:
+                        add_depth(depth)
+
+                l1_hit = result.l1_hit
+                info = tuple_new(
+                    AccessInfo,
+                    (
+                        index,
+                        issue,
+                        addr,
+                        access.pc,
+                        access.is_load,
+                        l1_hit,
+                        not l1_hit and result.served_by != "mshr",
+                        bhr._value,  # .value is a property over this attribute
+                        access.reg_value,
+                        last_value,
+                        access.hints,
+                    ),
+                )
+                for request in on_access(info):
+                    pf_line = request.addr // line_bytes
+                    if request.shadow:
+                        note_unissued(pf_line)
+                        issued_shadow += 1
+                    else:
+                        outcome = hier_prefetch(request.addr, issue)
+                        on_prefetch_issue(request, outcome.issued, outcome.reason)
+                        if outcome.issued:
+                            issued_real += 1
+                        else:
+                            note_unissued(pf_line)
+                            issued_shadow += 1
+                    # oldest-unexpired semantics: a line keeps its first
+                    # prediction's timestamp until that entry would have
+                    # expired from a 128-deep prefetch queue
+                    prev = predicted_get(pf_line)
+                    if prev is None or index - prev > depth_cap:
+                        predicted_at[pf_line] = index
+                        log_append((index, pf_line))
+                cutoff = index - depth_cap
+                while prediction_log and prediction_log[0][0] < cutoff:
+                    i, ln = log_popleft()
+                    if predicted_get(ln) == i:
+                        del predicted_at[ln]
+
+                if access.is_load:
+                    last_value = access.value
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            # write the inlined core-model state back (the deques were
+            # mutated in place); kept in the finally so the core stays
+            # consistent even if a prefetcher raises mid-loop
+            core._cursor = cursor
+            core._last_completion = last_completion
+            core._max_completion = max_completion
+            core._inst_pos = inst_pos
+            core._rob_floor = rob_floor
+            core_stats.stall_cycles += stall_cycles
+            core_stats.instructions += instructions
+            core_stats.memory_accesses += memory_accesses
+        class_counts = classifier.counts
+        class_counts[ac_hit_older] += c_hit_older
+        class_counts[ac_miss] += c_miss
+        class_counts[ac_hit_pref] += c_hit_pref
+        class_counts[ac_shorter] += c_shorter
+        class_counts[AccessClass.NON_TIMELY] += c_non_timely
+        classifier.demand_accesses += n_accesses
 
         # The context prefetcher tracks per-queue-entry hit depths itself
         # (real and shadow predictions, exactly the paper's Figure 8
@@ -199,6 +343,6 @@ class Simulator:
             prefetches_shadow=issued_shadow,
             prefetches_rejected=hier.prefetches_rejected_mshr,
             prefetches_redundant=hier.prefetches_redundant,
-            prefetcher_accuracy=getattr(pf, "accuracy", lambda: 0.0)(),
+            prefetcher_accuracy=pf.accuracy(),
             storage_bits=pf.storage_bits(),
         )

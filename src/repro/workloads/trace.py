@@ -24,7 +24,7 @@ from typing import Iterable
 from repro.hints import NO_HINTS, RefForm, SemanticHints, TypeRegistry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """One demand memory access as the core's memory unit sees it."""
 

@@ -347,6 +347,9 @@ class Prefetcher(abc.ABC):
 
     def on_prefetch_issue(self, request, issued, reason):
         ...
+
+    def accuracy(self):
+        return 0.0
 """
 
 GOOD_IMPL = """
@@ -440,6 +443,23 @@ class TestPrefetcherContractRule:
         )
         root = self.build(tmp_path, impl=impl)
         assert run_rules(root, [PrefetcherContractRule()]) == []
+
+    def test_base_without_accuracy_is_flagged(self, tmp_path):
+        root = self.build(tmp_path)
+        base = (tmp_path / "prefetchers/base.py").read_text()
+        (tmp_path / "prefetchers/base.py").write_text(
+            base.replace("    def accuracy(self):\n        return 0.0\n", "")
+        )
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert "CON005" in rule_ids(findings)
+
+    def test_accuracy_signature_drift_is_flagged(self, tmp_path):
+        impl = GOOD_IMPL.rstrip() + (
+            "\n\n    def accuracy(self, window):\n        return 0.0\n"
+        )
+        root = self.build(tmp_path, impl=impl)
+        findings = run_rules(root, [PrefetcherContractRule()])
+        assert "CON002" in rule_ids(findings)
 
 
 # ----------------------------------------------------------------------
@@ -539,3 +559,100 @@ class TestFramework:
             ("core/a.py", 3),
             ("core/b.py", 2),
         ]
+
+
+# ----------------------------------------------------------------------
+# hot-path performance (PERF*)
+
+
+class TestSlotsRule:
+    def _run(self, tmp_path, files):
+        from repro.analysis.rules.perf import SlotsRule
+
+        write_tree(tmp_path, files)
+        return run_rules(tmp_path, [SlotsRule()])
+
+    def test_plain_class_is_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            {
+                "core/x.py": """
+                class HotRecord:
+                    def __init__(self):
+                        self.a = 1
+                """
+            },
+        )
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_slotted_layouts_pass(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            {
+                "memory/x.py": """
+                from dataclasses import dataclass
+                from enum import Enum
+                from typing import NamedTuple
+
+                class Slotted:
+                    __slots__ = ("a",)
+
+                @dataclass(slots=True)
+                class SlottedData:
+                    a: int = 0
+
+                class Record(NamedTuple):
+                    a: int
+
+                class Kind(Enum):
+                    A = "a"
+
+                class BadConfigError(ValueError):
+                    pass
+                """
+            },
+        )
+        assert findings == []
+
+    def test_dataclass_without_slots_is_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            {
+                "prefetchers/x.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class HotEntry:
+                    a: int = 0
+                """
+            },
+        )
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_outside_hot_dirs_is_ignored(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            {
+                "workloads/x.py": """
+                class Builder:
+                    def __init__(self):
+                        self.a = 1
+                """
+            },
+        )
+        assert findings == []
+
+    def test_allowlist_suppresses(self, tmp_path):
+        from repro.analysis.rules.perf import SlotsRule
+
+        write_tree(
+            tmp_path,
+            {
+                "core/reward.py": """
+                class RewardFunction:
+                    def __init__(self):
+                        self.peak = 8
+                """
+            },
+        )
+        assert run_rules(tmp_path, [SlotsRule()]) == []

@@ -1,0 +1,101 @@
+"""Kernel-parity suite: the optimized hot path is bit-exact.
+
+``tests/golden/kernel_parity.json`` pins the complete
+:class:`~repro.sim.metrics.SimulationResult` — every field, via the
+lossless codec — for every registered prefetcher across three workloads,
+including the warmup and multi-phase simulator paths.  The fixture was
+generated from the tree *before* the PR-4 hot-path rewrite
+(``scripts/regen_kernel_golden.py``), so these tests prove the rewritten
+per-access kernel produces results identical to the unoptimized one.
+
+Any mismatch here means an "optimization" changed simulation semantics.
+Regenerate the golden only for a change that is *supposed* to move
+results, and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.codec import decode_result, encode_result
+from repro.sim.config import PREFETCHER_FACTORIES
+from repro.sim.phases import run_phased
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import get_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "kernel_parity.json"
+
+_PAYLOAD = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+SPEC = _PAYLOAD["spec"]
+GOLDEN = _PAYLOAD["results"]
+
+_TRACES: dict[str, list] = {}
+
+
+def _trace(name: str) -> list:
+    if name not in _TRACES:
+        _TRACES[name] = get_workload(name).build().trace()[: SPEC["limit"]]
+    return _TRACES[name]
+
+
+def _assert_matches(key: str, result) -> None:
+    assert key in GOLDEN, f"golden fixture has no entry for {key}"
+    golden = decode_result(GOLDEN[key])
+    # dataclass equality covers every field (stats, classifier, CDF, …);
+    # on failure the encoded dicts give a readable diff
+    assert result == golden, (
+        f"{key}: optimized kernel drifted from the pre-optimization golden\n"
+        f"got:    {encode_result(result)}\n"
+        f"golden: {GOLDEN[key]}"
+    )
+
+
+def test_spec_matches_registry() -> None:
+    """The fixture covers exactly the registered prefetchers."""
+    assert SPEC["prefetchers"] == sorted(PREFETCHER_FACTORIES)
+
+
+def test_golden_is_complete() -> None:
+    expected = (
+        len(SPEC["workloads"]) * len(SPEC["prefetchers"])
+        + len(SPEC["warmup"]["workloads"]) * len(SPEC["prefetchers"])
+        + len(SPEC["phased"]["prefetchers"]) * SPEC["phased"]["num_phases"]
+    )
+    assert len(GOLDEN) == expected
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_plain_run_parity(workload: str, prefetcher: str) -> None:
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher]())
+    result = sim.run(_trace(workload), workload_name=workload)
+    _assert_matches(f"plain/{workload}/{prefetcher}", result)
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["warmup"]["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_warmup_run_parity(workload: str, prefetcher: str) -> None:
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher]())
+    result = sim.run(
+        _trace(workload), workload_name=workload, warmup=SPEC["warmup"]["warmup"]
+    )
+    _assert_matches(f"warmup/{workload}/{prefetcher}", result)
+
+
+@pytest.mark.parametrize("prefetcher", sorted(set(SPEC["phased"]["prefetchers"])))
+def test_phased_run_parity(prefetcher: str) -> None:
+    phased = SPEC["phased"]
+    workload = phased["workload"]
+    run = run_phased(
+        _trace(workload),
+        prefetcher,
+        workload_name=workload,
+        num_phases=phased["num_phases"],
+        cold_start=phased["cold_start"],
+    )
+    assert len(run.phases) == phased["num_phases"]
+    for i, phase_result in enumerate(run.phases):
+        _assert_matches(f"phased/{workload}/{prefetcher}/p{i}", phase_result)
