@@ -20,6 +20,13 @@ the repo carries a measured trajectory instead of asserted speedups:
   not touch repo code.  ``--check`` normalises the committed kernel
   number by the calibration ratio before comparing, so a slower CI
   machine does not read as a regression.
+* **trace_pipeline** (PR 5) — the compiled trace store versus the PR 4
+  dispatch path.  Per workload: build (TraceBuilder) vs encode
+  (``write_trace``) vs decode (``read_trace``) vs warm ``ensure`` time.
+  Per sweep: wall time of the same multi-cell grid dispatched with
+  ``jobs=2`` the PR 4 way (parent builds, pickled tuples ship) and the
+  store way (cold compile, then warm mmap), with the two results
+  asserted field-for-field identical before any number is written.
 
 ``--check FILE`` re-measures the context kernel and fails (exit 1) if it
 regresses more than ``--tolerance`` (default 30%) against the committed,
@@ -42,7 +49,8 @@ from repro.sim.config import PREFETCHER_FACTORIES, PREFETCHER_ORDER  # noqa: E40
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.workloads.suites import get_workload  # noqa: E402
 
-SCHEMA = 1
+#: schema 2 adds the ``trace_pipeline`` section (PR 5)
+SCHEMA = 2
 
 #: the kernel measurement grid: one streaming, one pointer-chasing and
 #: one graph workload, truncated so a full report stays minutes-scale
@@ -150,6 +158,134 @@ def measure_figures(quick: bool) -> dict:
     return timings
 
 
+#: the trace-pipeline sweep: enough workloads that trace supply (not the
+#: worker pool) dominates the dispatch-path difference, cheap prefetchers
+#: so simulation time doesn't drown it
+TRACE_PIPELINE_WORKLOADS = (
+    "mcf", "lbm", "h264ref", "graph500-csr", "suffixarray", "list",
+)
+TRACE_PIPELINE_WORKLOADS_QUICK = ("mcf", "graph500-csr", "list")
+TRACE_PIPELINE_PREFETCHERS = ("none", "stride", "ghb-pcdc")
+TRACE_PIPELINE_LIMIT = 2500
+TRACE_PIPELINE_JOBS = 2
+TRACE_PIPELINE_REPEATS = 2
+
+
+def _assert_sweeps_identical(a, b, context: str) -> None:
+    """Field-for-field parity gate: no number is reported for a dispatch
+    path whose results drift from the baseline path by even one field."""
+    assert list(a.results) == list(b.results), context
+    for wl in a.workloads():
+        assert list(a.results[wl]) == list(b.results[wl]), context
+        for pf in a.prefetchers():
+            if a.get(wl, pf) != b.get(wl, pf):
+                raise SystemExit(
+                    f"PARITY FAILURE ({context}): {wl}/{pf} differs between "
+                    "dispatch paths; refusing to write a benchmark report"
+                )
+
+
+def measure_trace_pipeline(quick: bool) -> dict:
+    """Build/encode/decode/ensure per workload + dispatch-path wall times."""
+    import shutil
+    import tempfile
+
+    from repro.sim.runner import compare
+    from repro.workloads.store import TraceStore, read_trace, write_trace
+
+    workloads = (
+        TRACE_PIPELINE_WORKLOADS_QUICK if quick else TRACE_PIPELINE_WORKLOADS
+    )
+    prefetchers = TRACE_PIPELINE_PREFETCHERS
+    limit = TRACE_PIPELINE_LIMIT
+    jobs = TRACE_PIPELINE_JOBS
+    repeats = 1 if quick else TRACE_PIPELINE_REPEATS
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-trace-store-"))
+    try:
+        codec_store = TraceStore(tmp / "codec")
+        per_workload: dict[str, dict] = {}
+        for name in workloads:
+            t0 = time.perf_counter()
+            trace = get_workload(name).build().trace()
+            build_s = time.perf_counter() - t0
+
+            path = codec_store.path_for(name)
+            t0 = time.perf_counter()
+            write_trace(path, trace, workload=name)
+            encode_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            decoded = read_trace(path)
+            decode_s = time.perf_counter() - t0
+            assert len(decoded) == len(trace)
+
+            t0 = time.perf_counter()
+            codec_store.ensure(name)  # warm: header validation only
+            ensure_s = time.perf_counter() - t0
+
+            per_workload[name] = {
+                "records": len(trace),
+                "build_seconds": round(build_s, 4),
+                "encode_seconds": round(encode_s, 4),
+                "decode_seconds": round(decode_s, 4),
+                "warm_ensure_seconds": round(ensure_s, 4),
+            }
+
+        def timed_compare(store):
+            t0 = time.perf_counter()
+            result = compare(
+                workloads,
+                prefetchers,
+                limit=limit,
+                jobs=jobs,
+                cache=False,
+                store=store,
+            )
+            return time.perf_counter() - t0, result
+
+        # the PR 4 dispatch path: parent builds every workload, cells
+        # ship pickled truncated tuples (store explicitly off)
+        legacy_s = float("inf")
+        for _ in range(repeats):
+            elapsed, legacy_result = timed_compare(False)
+            legacy_s = min(legacy_s, elapsed)
+
+        # the store path: cold run compiles the files, warm runs map them
+        sweep_store = TraceStore(tmp / "sweep")
+        store_cold_s, cold_result = timed_compare(sweep_store)
+        store_warm_s = float("inf")
+        for _ in range(repeats):
+            elapsed, warm_result = timed_compare(sweep_store)
+            store_warm_s = min(store_warm_s, elapsed)
+
+        _assert_sweeps_identical(legacy_result, cold_result, "legacy vs cold")
+        _assert_sweeps_identical(legacy_result, warm_result, "legacy vs warm")
+
+        cells = len(workloads) * len(prefetchers)
+        return {
+            "workloads": list(workloads),
+            "prefetchers": list(prefetchers),
+            "limit": limit,
+            "jobs": jobs,
+            "repeats": repeats,
+            "cells": cells,
+            "per_workload": per_workload,
+            "dispatch": {
+                "legacy_seconds": round(legacy_s, 3),
+                "store_cold_seconds": round(store_cold_s, 3),
+                "store_warm_seconds": round(store_warm_s, 3),
+                "legacy_per_cell_seconds": round(legacy_s / cells, 4),
+                "store_warm_per_cell_seconds": round(store_warm_s / cells, 4),
+                "speedup_cold_vs_legacy": round(legacy_s / store_cold_s, 3),
+                "speedup_warm_vs_legacy": round(legacy_s / store_warm_s, 3),
+                "parity": "bit-identical",
+            },
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def build_report(quick: bool) -> dict:
     limit = KERNEL_LIMIT_QUICK if quick else KERNEL_LIMIT
     repeats = KERNEL_REPEATS_QUICK if quick else KERNEL_REPEATS
@@ -163,7 +299,7 @@ def build_report(quick: bool) -> dict:
     }
     return {
         "schema": SCHEMA,
-        "pr": 4,
+        "pr": 5,
         "quick": quick,
         "python": platform.python_version(),
         "calibration_score": round(calibration, 1),
@@ -175,6 +311,7 @@ def build_report(quick: bool) -> dict:
             "speedup_vs_baseline": speedups,
         },
         "figures_seconds": measure_figures(quick),
+        "trace_pipeline": measure_trace_pipeline(quick),
     }
 
 
@@ -211,7 +348,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
     parser.add_argument(
-        "--out", type=Path, default=REPO / "BENCH_4.json", help="output path"
+        "--out", type=Path, default=REPO / "BENCH_5.json", help="output path"
     )
     parser.add_argument(
         "--check",
@@ -252,6 +389,14 @@ def main(argv=None) -> int:
         if speedup is not None:
             line += f" ({speedup:.2f}x vs pre-PR-4 baseline)"
         print(line)
+    dispatch = report["trace_pipeline"]["dispatch"]
+    print(
+        f"trace pipeline: warm-store dispatch "
+        f"{dispatch['store_warm_seconds']}s vs legacy "
+        f"{dispatch['legacy_seconds']}s "
+        f"({dispatch['speedup_warm_vs_legacy']:.2f}x, parity "
+        f"{dispatch['parity']})"
+    )
     return 0
 
 

@@ -2,15 +2,18 @@
 
 Usage:  python scripts/run_full_experiments.py [small|medium|full] [outdir]
             [--jobs N] [--no-cache] [--cache-dir DIR]
+            [--no-store] [--store-dir DIR]
 
 This is the script behind EXPERIMENTS.md: it executes the shared sweep
 once, regenerates every figure from it, and writes the rendered text
 reports (plus a machine-readable summary JSON) into the output directory.
 
 ``--jobs N`` fans the sweep grid over N worker processes; sweep cells
-are memoized under ``results/.cache/`` unless ``--no-cache`` is given.
-Both are bit-neutral (see docs/parallel_runner.md) — only wall-clock
-time changes, which this script reports per job.
+are memoized under ``results/.cache/`` unless ``--no-cache`` is given,
+and workload traces are compiled once into binary store files under
+``results/.cache/traces/`` unless ``--no-store`` is given.  All three
+are bit-neutral (see docs/parallel_runner.md and docs/trace_store.md) —
+only wall-clock time changes, which this script reports per job.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from pathlib import Path
 import repro.experiments as ex
 from repro.sim.cache import DEFAULT_CACHE_DIR, SweepCache
 from repro.sim.parallel import set_default_execution
+from repro.workloads.store import DEFAULT_TRACE_DIR, TraceStore
 
 
 def parse_args() -> argparse.Namespace:
@@ -36,6 +40,11 @@ def parse_args() -> argparse.Namespace:
                         help="recompute every sweep cell (skip results/.cache)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: results/.cache)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="rebuild traces in-process (skip the trace store)")
+    parser.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="trace-store directory "
+                             "(default: results/.cache/traces)")
     return parser.parse_args()
 
 
@@ -46,14 +55,18 @@ def main() -> int:
     outdir.mkdir(parents=True, exist_ok=True)
 
     cache = None if args.no_cache else SweepCache(args.cache_dir or DEFAULT_CACHE_DIR)
-    set_default_execution(jobs=args.jobs, cache=cache)
+    store = None if args.no_store else TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
+    set_default_execution(jobs=args.jobs, cache=cache, store=store)
+    print(f"result cache: {'off' if cache is None else cache.root}")
+    print(f"trace store:  {'off' if store is None else store.root}")
 
     t0 = time.time()
     # the engine itself is wall-clock-free (lint rule DET003); per-job
     # timing is injected here, from outside the simulator package
     print(
         f"[{time.time()-t0:7.1f}s] running standard sweep at scale={scale} "
-        f"(jobs={args.jobs}, cache={'off' if cache is None else 'on'}) ..."
+        f"(jobs={args.jobs}, cache={'off' if cache is None else 'on'}, "
+        f"store={'off' if store is None else 'on'}) ..."
     )
     sweep = ex.standard_sweep(
         scale, progress=lambda s: print(f"    [{time.time()-t0:7.1f}s] {s}")

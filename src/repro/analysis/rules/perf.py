@@ -13,16 +13,26 @@ into slotted layout:
   exceptions).  Legitimately dict-backed classes are listed in
   :data:`DICT_BACKED_ALLOWLIST` (budget-style: the allowlist *is* the
   inventory, so growing it is a reviewed decision).
+* ``PERF002`` — the binary trace-store record layout
+  (``workloads/store.py``) is an on-disk contract: files compiled by
+  one build are read by later ones.  The rule extracts
+  ``STORE_VERSION`` and ``RECORD_FIELDS`` from the AST and compares
+  the layout hash against :data:`PINNED_RECORD_LAYOUTS`; changing the
+  field list, order or formats without bumping ``STORE_VERSION`` (and
+  pinning the new hash) fails ``repro lint``, so a stale file can
+  never be misread as a current one.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+import hashlib
+import json
+from typing import Iterable, Iterator
 
 from repro.analysis.findings import Finding
-from repro.analysis.registry import register_rule
-from repro.analysis.visitor import NodeRule, SourceFile
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.visitor import NodeRule, Project, SourceFile
 
 #: modules whose classes live on the per-access path
 HOT_DIRS = ("core/", "prefetchers/", "memory/", "cpu/")
@@ -117,3 +127,112 @@ class SlotsRule(NodeRule):
             "(declare __slots__, use @dataclass(slots=True), or add a "
             "reviewed entry to DICT_BACKED_ALLOWLIST)",
         )
+
+
+# ----------------------------------------------------------------------
+# PERF002: the trace-store record layout is pinned per STORE_VERSION
+
+STORE_MODULE = "workloads/store.py"
+
+#: STORE_VERSION -> sha256 of the canonical RECORD_FIELDS JSON (the same
+#: hash ``repro.workloads.store.record_layout_hash`` computes).  Bumping
+#: the version means adding a row here — the table doubles as the
+#: format's change history.
+PINNED_RECORD_LAYOUTS = {
+    1: "e7832b3697cc9849029949bdfc5eca03c21159a0b768041dc658d1488dc120d2",
+}
+
+
+def _literal_assign(tree: ast.Module, name: str) -> tuple[object, int] | None:
+    """``(value, lineno)`` of a top-level literal assignment, else None."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == name for t in targets
+        ):
+            continue
+        try:
+            return ast.literal_eval(value), stmt.lineno
+        except ValueError:
+            return None
+    return None
+
+
+def layout_hash(fields: Iterable[Iterable[str]]) -> str:
+    """The pinned-layout hash: canonical JSON of the field list.
+
+    Mirrors ``repro.workloads.store.record_layout_hash`` byte-for-byte;
+    duplicated here so the analysis pass stays purely static (it reads
+    the AST, never imports the module under analysis).
+    """
+    canonical = json.dumps([list(f) for f in fields], separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@register_rule
+class RecordLayoutRule(Rule):
+    """PERF002: trace-store record layout must match its pinned hash."""
+
+    rule_id = "PERF002"
+    title = "trace-store record layout drifted without a version bump"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        source = project.get(STORE_MODULE)
+        if source is None:
+            yield Finding(
+                STORE_MODULE,
+                0,
+                self.rule_id,
+                "workloads/store.py is missing: the trace-store codec "
+                "(and its pinned record layout) must exist",
+            )
+            return
+        version = _literal_assign(source.tree, "STORE_VERSION")
+        fields = _literal_assign(source.tree, "RECORD_FIELDS")
+        if version is None or not isinstance(version[0], int):
+            yield Finding(
+                source.rel,
+                version[1] if version else 0,
+                self.rule_id,
+                "STORE_VERSION must be a top-level integer literal so the "
+                "on-disk format version is statically auditable",
+            )
+            return
+        raw, fields_line = fields if fields is not None else (None, 0)
+        if not isinstance(raw, (tuple, list)):
+            yield Finding(
+                source.rel,
+                fields_line,
+                self.rule_id,
+                "RECORD_FIELDS must be a top-level literal tuple of "
+                "(name, format) pairs so the record layout is statically "
+                "auditable",
+            )
+            return
+        pinned = PINNED_RECORD_LAYOUTS.get(version[0])
+        if pinned is None:
+            yield Finding(
+                source.rel,
+                version[1],
+                self.rule_id,
+                f"STORE_VERSION {version[0]} has no pinned record layout: "
+                "add its layout hash to PINNED_RECORD_LAYOUTS in "
+                "analysis/rules/perf.py",
+            )
+            return
+        actual = layout_hash(raw)
+        if actual != pinned:
+            yield Finding(
+                source.rel,
+                fields_line,
+                self.rule_id,
+                f"RECORD_FIELDS changed but STORE_VERSION is still "
+                f"{version[0]} (layout hash {actual[:12]}… != pinned "
+                f"{pinned[:12]}…): bump STORE_VERSION and pin the new "
+                "layout, or revert the layout change",
+            )

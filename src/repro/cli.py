@@ -8,6 +8,9 @@ Commands:
 * ``figure``   — regenerate one paper figure or table set
 * ``profile``  — per-unit kernel counters + cProfile for one run
   (see docs/performance.md)
+* ``trace``    — the compiled trace store: ``compile``/``info``/``ls``/
+  ``gc`` manage binary ``*.rpt`` files under ``results/.cache/traces/``,
+  ``export`` writes a JSONL copy for ``replay`` (see docs/trace_store.md)
 * ``lint``     — static-analysis pass (determinism, hardware budget,
   prefetcher contracts, experiment hygiene; see docs/static_analysis.md)
 
@@ -87,23 +90,47 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="result-cache directory (default: results/.cache)",
     )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="rebuild traces in-process instead of using the compiled "
+        "trace store",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-store directory (default: results/.cache/traces)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
-    """Install the --jobs/--no-cache choices as process-wide defaults.
+    """Install the --jobs/--no-cache/--no-store choices process-wide.
 
     Figure modules call :func:`standard_sweep` themselves, so the flags
     are threaded through the execution defaults rather than every
     ``run()`` signature.  Results are bit-identical either way — the
-    cache and the worker pool only change wall-clock time.
+    cache, the trace store and the worker pool only change wall-clock
+    time.  The chosen paths go to stderr so scripts can see exactly
+    which cache/store directories a run touched.
     """
     from repro.sim.cache import DEFAULT_CACHE_DIR, SweepCache
     from repro.sim.parallel import set_default_execution
+    from repro.workloads.store import DEFAULT_TRACE_DIR, TraceStore
 
     cache = None
     if not args.no_cache:
         cache = SweepCache(args.cache_dir or DEFAULT_CACHE_DIR)
-    set_default_execution(jobs=args.jobs, cache=cache)
+    store = None
+    if not args.no_store:
+        store = TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
+    set_default_execution(jobs=args.jobs, cache=cache, store=store)
+    print(
+        f"execution: jobs={args.jobs}, "
+        f"result cache {cache.root if cache else 'off'}, "
+        f"trace store {store.root if store else 'off'}",
+        file=sys.stderr,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -157,11 +184,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     trace_p = sub.add_parser(
-        "trace", help="save a workload's access trace as JSONL"
+        "trace",
+        help="manage the compiled trace store (compile/info/ls/gc/export)",
     )
-    trace_p.add_argument("workload")
-    trace_p.add_argument("output", help="destination .jsonl path")
-    trace_p.add_argument("--limit", type=int, default=None)
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    def _store_dir_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store-dir",
+            default=None,
+            metavar="DIR",
+            help="trace-store directory (default: results/.cache/traces)",
+        )
+
+    compile_p = trace_sub.add_parser(
+        "compile", help="compile registry workloads into store files"
+    )
+    compile_p.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="workload names (default: every registry workload)",
+    )
+    compile_p.add_argument(
+        "--force", action="store_true", help="recompile even when current"
+    )
+    _store_dir_flag(compile_p)
+
+    info_p = trace_sub.add_parser(
+        "info", help="show one store file's header (workload name or path)"
+    )
+    info_p.add_argument("target", help="workload name or *.rpt path")
+    _store_dir_flag(info_p)
+
+    ls_p = trace_sub.add_parser(
+        "ls", help="list store files; nonzero exit if any are corrupt"
+    )
+    _store_dir_flag(ls_p)
+
+    gc_p = trace_sub.add_parser(
+        "gc", help="drop stale, corrupt and temp store files"
+    )
+    gc_p.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    _store_dir_flag(gc_p)
+
+    export_p = trace_sub.add_parser(
+        "export", help="save a workload's access trace as JSONL (for replay)"
+    )
+    export_p.add_argument("workload")
+    export_p.add_argument("output", help="destination .jsonl path")
+    export_p.add_argument("--limit", type=int, default=None)
 
     replay_p = sub.add_parser(
         "replay", help="simulate a saved JSONL trace under a prefetcher"
@@ -243,14 +317,86 @@ def _cmd_profile(args: argparse.Namespace) -> str:
     return render(report)
 
 
-def _cmd_trace(args: argparse.Namespace) -> str:
-    from repro.workloads.serialize import save_trace
+def _cmd_trace(args: argparse.Namespace) -> str | tuple[str, int]:
+    """The ``trace`` command group over the compiled trace store.
 
-    trace = get_workload(args.workload).build().trace()
-    if args.limit is not None:
-        trace = trace[: args.limit]
-    count = save_trace(trace, args.output)
-    return f"wrote {count} accesses to {args.output}"
+    Corrupt, truncated or version-skewed store files surface here as a
+    nonzero exit (``info`` raises, ``ls`` reports and returns 1) — the
+    sweep engine itself degrades to rebuilding instead; only the CLI
+    makes corruption loud.
+    """
+    from pathlib import Path
+
+    from repro.workloads.store import DEFAULT_TRACE_DIR, TraceStore, read_meta
+
+    store = TraceStore(getattr(args, "store_dir", None) or DEFAULT_TRACE_DIR)
+
+    if args.trace_command == "export":
+        from repro.workloads.serialize import save_trace
+
+        trace = get_workload(args.workload).build().trace()
+        if args.limit is not None:
+            trace = trace[: args.limit]
+        count = save_trace(trace, args.output)
+        return f"wrote {count} accesses to {args.output}"
+
+    if args.trace_command == "compile":
+        from repro.workloads.suites import all_workloads
+
+        names = args.workloads or [spec.name for spec in all_workloads()]
+        lines = []
+        for name in names:
+            meta, built = store.compile(name, force=args.force)
+            verb = "compiled" if built else "current "
+            lines.append(
+                f"{verb} {name}: {meta.records} records, "
+                f"{meta.size_bytes} bytes -> {meta.path}"
+            )
+        lines.append(f"store: {store.root}")
+        return "\n".join(lines)
+
+    if args.trace_command == "info":
+        path = Path(args.target)
+        if not (path.suffix == ".rpt" or path.exists()):
+            path = store.path_for(args.target)
+        meta = read_meta(path)  # corrupt/version-skew raises -> exit 1
+        return "\n".join(
+            [
+                f"path:        {meta.path}",
+                f"workload:    {meta.workload}",
+                f"version:     {meta.version}",
+                f"records:     {meta.records}",
+                f"size:        {meta.size_bytes} bytes",
+                f"fingerprint: {meta.fingerprint}",
+                f"source:      {meta.source}",
+            ]
+        )
+
+    if args.trace_command == "ls":
+        entries = store.entries()
+        if not entries:
+            return f"store {store.root}: empty"
+        lines = [f"store {store.root}:"]
+        corrupt = 0
+        for path, meta, status in entries:
+            if meta is None:
+                corrupt += 1
+                lines.append(f"  CORRUPT {path.name}: {status}")
+            else:
+                lines.append(
+                    f"  {status:7s} {path.name}: {meta.workload}, "
+                    f"{meta.records} records, {meta.size_bytes} bytes"
+                )
+        if corrupt:
+            lines.append(f"{corrupt} corrupt file(s); run `repro trace gc`")
+        return "\n".join(lines), (1 if corrupt else 0)
+
+    # gc
+    kept, removed = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    lines = [f"store {store.root}: kept {kept}, {verb} {len(removed)}"]
+    lines += [f"  {path.name}" for path in removed]
+    return "\n".join(lines)
 
 
 def _cmd_replay(args: argparse.Namespace) -> str:
@@ -302,6 +448,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # actionable message, so report the failure and exit nonzero
         print(f"error: {args.command}: {exc}", file=sys.stderr)
         return 1
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     try:
         print(output)
     except BrokenPipeError:
@@ -310,7 +459,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -75,20 +75,29 @@ def standard_sweep(
     progress=None,
     jobs=None,
     cache=None,
+    store=None,
 ) -> ComparisonResult:
     """Run the workloads × prefetchers sweep behind Figures 9–12.
 
-    ``jobs``/``cache`` thread straight through to
+    ``jobs``/``cache``/``store`` thread straight through to
     :func:`repro.sim.runner.compare`: > 1 job fans the grid over worker
     processes, ``cache=True`` (or a path / ``SweepCache``) memoizes
-    cells under ``results/.cache/``.  Left at ``None`` they follow the
-    process-wide defaults the CLI's ``--jobs``/``--no-cache`` flags set;
-    the results are bit-identical either way (see
-    tests/sim/test_parallel_parity.py).
+    cells under ``results/.cache/``, ``store=True`` (or a path /
+    ``TraceStore``) supplies registry traces from compiled binary files
+    under ``results/.cache/traces/``.  Left at ``None`` they follow the
+    process-wide defaults the CLI's ``--jobs``/``--no-cache``/
+    ``--no-store`` flags set; the results are bit-identical either way
+    (see tests/sim/test_parallel_parity.py).
     """
     if workloads is None:
         workloads = sweep_workloads(scale)
     limit = SCALES[scale]["limit"] if scale in SCALES else None
     return compare(
-        workloads, prefetchers, limit=limit, progress=progress, jobs=jobs, cache=cache
+        workloads,
+        prefetchers,
+        limit=limit,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+        store=store,
     )

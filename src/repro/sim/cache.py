@@ -36,15 +36,23 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
 
 from repro.core.config import ContextPrefetcherConfig
 from repro.cpu.core_model import CoreConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.sim.codec import CODEC_VERSION, CodecError, decode_result, encode_result
 from repro.sim.metrics import SimulationResult
-from repro.workloads.serialize import access_to_dict
-from repro.workloads.trace import MemoryAccess
+from repro.workloads.serialize import trace_fingerprint
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheCounters",
+    "SweepCache",
+    "cell_key",
+    "code_fingerprint",
+    "resolve_cache",
+    "trace_fingerprint",  # canonical impl lives in workloads.serialize
+]
 
 #: default cache location, relative to the invoking directory
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
@@ -93,15 +101,6 @@ def code_fingerprint() -> str:
                 digest.update(b"\0")
         _code_fingerprint_cache = digest.hexdigest()
     return _code_fingerprint_cache
-
-
-def trace_fingerprint(trace: Iterable[MemoryAccess]) -> str:
-    """Stable hash of an access stream (canonical serialized form)."""
-    digest = hashlib.sha256()
-    for access in trace:
-        digest.update(_canonical(access_to_dict(access)).encode("utf-8"))
-        digest.update(b"\n")
-    return digest.hexdigest()
 
 
 def cell_key(

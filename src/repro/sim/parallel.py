@@ -17,6 +17,20 @@ order**, so the output is field-for-field identical to the serial path
   persists, so both paths are exercised by the same parity tests;
 * the merge iterates the original grid, never completion order.
 
+Trace supply (PR 5): with a :class:`~repro.workloads.store.TraceStore`
+configured, registry workloads stop travelling as pickled
+``tuple[MemoryAccess, ...]`` or being rebuilt per cell.  The parent
+resolves each workload to a compiled binary store file (compiling it at
+most once, then reusing it for every later sweep), jobs ship the store
+path plus content fingerprint, and pending cells are grouped into
+**workload-affinity batches** so a worker materialises a given trace at
+most once and runs all of its assigned cells against it.  A store file
+that is corrupt, truncated, or from an older codec version degrades to
+an in-process rebuild — never a crash (``TraceStoreError`` is caught at
+every boundary).  With ``store=None`` the engine behaves exactly as it
+did before the trace store existed; ``scripts/bench_report.py`` measures
+the two dispatch paths against each other.
+
 Observability: ``progress`` receives one line per finished cell
 (``[done/total] workload/prefetcher: …``), flagged ``cached`` for cache
 hits.  Wall-clock timing is deliberately absent here — the simulator
@@ -39,11 +53,18 @@ from repro.core.config import ContextPrefetcherConfig
 from repro.core.prefetcher import ContextPrefetcher
 from repro.cpu.core_model import CoreConfig
 from repro.memory.hierarchy import HierarchyConfig
-from repro.sim.cache import SweepCache, cell_key, trace_fingerprint
+from repro.sim.cache import SweepCache, cell_key
 from repro.sim.codec import decode_result, encode_result
 from repro.sim.config import PREFETCHER_FACTORIES
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import Simulator
+from repro.workloads.serialize import trace_fingerprint
+from repro.workloads.store import (
+    StoredTrace,
+    TraceStore,
+    TraceStoreError,
+    read_trace,
+)
 from repro.workloads.suites import WorkloadSpec, get_workload
 from repro.workloads.trace import MemoryAccess, TraceProgram
 
@@ -54,11 +75,16 @@ ProgressFn = Callable[[str], None]
 class SweepJob:
     """One executable sweep cell, fully described by value.
 
-    ``trace`` is only populated for workloads that cannot be rebuilt
-    from the registry by name (ad-hoc :class:`TraceProgram` instances);
-    registry workloads ship as their name and are rebuilt inside the
-    worker, re-seeded from their own config — workers never receive
-    parent RNG state.
+    Trace supply, in order of preference:
+
+    * ``store_path``/``store_fingerprint`` — a compiled binary trace in
+      the store; the worker maps and decodes it (memoized per worker),
+      falling back to a registry rebuild if the file went bad;
+    * ``trace`` — the access stream shipped by value (ad-hoc
+      :class:`TraceProgram` instances that workers cannot rebuild);
+    * neither — a registry workload rebuilt by name inside the worker,
+      re-seeded from its own config; workers never receive parent RNG
+      state.
     """
 
     index: int
@@ -69,6 +95,8 @@ class SweepJob:
     core_config: CoreConfig | None = None
     context_config: ContextPrefetcherConfig | None = None
     trace: tuple[MemoryAccess, ...] | None = None
+    store_path: str | None = None
+    store_fingerprint: str = ""
 
 
 @dataclass
@@ -77,6 +105,7 @@ class ExecutionDefaults:
 
     jobs: int = 1
     cache: SweepCache | None = None
+    store: TraceStore | None = None
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -88,18 +117,22 @@ def default_execution() -> ExecutionDefaults:
 
 
 def set_default_execution(
-    *, jobs: int | None = None, cache: SweepCache | None | bool = False
+    *,
+    jobs: int | None = None,
+    cache: SweepCache | None | bool = False,
+    store: TraceStore | None | bool = False,
 ) -> ExecutionDefaults:
     """Set process-wide defaults; returns the previous values.
 
-    ``cache=False`` (the sentinel) leaves the cache default untouched;
-    pass an explicit ``SweepCache`` or ``None`` to change it.
+    ``cache=False`` / ``store=False`` (the sentinels) leave that default
+    untouched; pass an explicit instance or ``None`` to change it.
     """
     global _DEFAULTS
     previous = _DEFAULTS
     _DEFAULTS = ExecutionDefaults(
         jobs=previous.jobs if jobs is None else max(1, jobs),
         cache=previous.cache if cache is False else cache,
+        store=previous.store if store is False else store,
     )
     return previous
 
@@ -119,13 +152,34 @@ def _run_cell(job: SweepJob, trace: Sequence[MemoryAccess]) -> SimulationResult:
     return sim.run(trace, workload_name=job.workload, limit=job.limit)
 
 
+def _rebuild_trace(job: SweepJob) -> Sequence[MemoryAccess]:
+    trace: Sequence[MemoryAccess] = get_workload(job.workload).build().trace()
+    if job.limit is not None:
+        trace = trace[: job.limit]
+    return trace
+
+
+def _job_trace(job: SweepJob) -> Sequence[MemoryAccess]:
+    """Resolve one job's trace (by value, from the store, or rebuilt)."""
+    if job.trace is not None:
+        return job.trace
+    if job.store_path is not None:
+        try:
+            return read_trace(
+                job.store_path,
+                limit=job.limit,
+                expect_fingerprint=job.store_fingerprint or None,
+            )
+        except (TraceStoreError, FileNotFoundError, OSError):
+            # the store file went bad between submit and execute;
+            # degrade to a rebuild, never fail the sweep
+            return _rebuild_trace(job)
+    return _rebuild_trace(job)
+
+
 def run_job(job: SweepJob) -> SimulationResult:
     """Execute one cell from scratch (also the in-worker entry point)."""
-    if job.trace is not None:
-        trace: Sequence[MemoryAccess] = job.trace
-    else:
-        trace = get_workload(job.workload).build().trace()
-    return _run_cell(job, trace)
+    return _run_cell(job, _job_trace(job))
 
 
 def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any]]:
@@ -135,6 +189,43 @@ def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any]]:
     process boundary through the same versioned codec the cache uses.
     """
     return job.index, encode_result(run_job(job))
+
+
+# -- worker-side trace memo ---------------------------------------------
+#
+# An affinity batch carries every cell of (a chunk of) one workload, so
+# the trace is materialised once per batch; the memo additionally lets a
+# worker that receives several batches of the same workload (or the same
+# workload at several limits) reuse the decoded records across batches.
+# Keyed by content fingerprint — never by path alone — so a swapped file
+# can't alias a stale trace.  Capped: traces are large and workers churn
+# through workloads in affinity order, so keeping the last few is enough.
+
+_WORKER_TRACE_MEMO: dict[tuple[str, str, str, int | None], Sequence[MemoryAccess]] = {}
+_WORKER_TRACE_MEMO_CAP = 4
+
+
+def _batch_trace(job: SweepJob) -> Sequence[MemoryAccess]:
+    if job.trace is not None:
+        return job.trace
+    if job.store_path is not None:
+        key = ("store", job.store_path, job.store_fingerprint, job.limit)
+    else:
+        key = ("name", job.workload, "", job.limit)
+    trace = _WORKER_TRACE_MEMO.get(key)
+    if trace is None:
+        trace = _job_trace(job)
+        while len(_WORKER_TRACE_MEMO) >= _WORKER_TRACE_MEMO_CAP:
+            _WORKER_TRACE_MEMO.pop(next(iter(_WORKER_TRACE_MEMO)))
+        _WORKER_TRACE_MEMO[key] = trace
+    return trace
+
+
+def _execute_batch(
+    jobs: tuple[SweepJob, ...],
+) -> list[tuple[int, dict[str, Any]]]:
+    """Worker body for one affinity batch: shared trace, ordered results."""
+    return [(job.index, encode_result(_run_cell(job, _batch_trace(job)))) for job in jobs]
 
 
 @dataclass
@@ -155,17 +246,66 @@ class _Cell:
     cached: bool = False
 
 
+@dataclass
+class _GridEntry:
+    """One workload of the sweep, resolved to its cheapest trace supply."""
+
+    name: str
+    #: compiled store file (registry workloads with a store configured)
+    stored: StoredTrace | None = None
+    #: in-memory trace: ad-hoc programs, custom specs, store fallbacks —
+    #: and the just-built trace when this resolve compiled the store file
+    trace: Sequence[MemoryAccess] | None = None
+    #: workers may rebuild this workload from the registry by name
+    by_name: bool = False
+    #: the originating program, for per-instance fingerprint memoization
+    program: TraceProgram | None = None
+
+
+#: full-trace fingerprints of *registry* workloads, memoized per process:
+#: the trace is a pure function of the workload source (hashed into the
+#: store address and the cache's code fingerprint), so within a process
+#: the same name can never map to two different streams
+_REGISTRY_FP_MEMO: dict[str, str] = {}
+
+
+def _entry_fingerprint(entry: _GridEntry) -> str:
+    """Content fingerprint of one workload's full trace, hashed at most
+    once per trace identity (store header > per-name memo > per-program
+    memo) instead of once per sweep call."""
+    if entry.stored is not None:
+        return entry.stored.fingerprint
+    assert entry.trace is not None
+    if entry.by_name:
+        fp = _REGISTRY_FP_MEMO.get(entry.name)
+        if fp is None:
+            fp = trace_fingerprint(entry.trace)
+            _REGISTRY_FP_MEMO[entry.name] = fp
+        return fp
+    if entry.program is not None:
+        fp = getattr(entry.program, "_fingerprint_cache", None)
+        if fp is None:
+            fp = trace_fingerprint(entry.trace)
+            entry.program._fingerprint_cache = fp  # type: ignore[attr-defined]
+        return fp
+    return trace_fingerprint(entry.trace)
+
+
 def _resolve_grid(
     workloads: Iterable[WorkloadSpec | TraceProgram | str],
-) -> list[tuple[str, list[MemoryAccess], bool]]:
-    """(name, trace, rebuildable-by-name) per workload, in input order.
+    store: TraceStore | None,
+) -> list[_GridEntry]:
+    """One :class:`_GridEntry` per workload, in input order.
 
-    A workload is rebuilt by name inside workers only when the name
-    resolves to the *same* registry entry the caller passed — a custom
-    spec or ad-hoc program that merely shares a name ships its trace
-    explicitly instead, so workers can never run the wrong workload.
+    A workload is rebuilt by name inside workers (or addressed in the
+    store) only when the name resolves to the *same* registry entry the
+    caller passed — a custom spec or ad-hoc program that merely shares a
+    name ships its trace explicitly instead, so workers can never run
+    the wrong workload.  With a store, registry workloads resolve to a
+    compiled file without the parent building (or hashing) anything on
+    a warm store; a failing store degrades to the in-memory path.
     """
-    out: list[tuple[str, list[MemoryAccess], bool]] = []
+    out: list[_GridEntry] = []
     for workload in workloads:
         spec: WorkloadSpec | None = None
         if isinstance(workload, str):
@@ -178,11 +318,59 @@ def _resolve_grid(
                 by_name = get_workload(spec.name) is spec
             except KeyError:
                 by_name = False
-            out.append((spec.name, spec.build().trace(), by_name))
+            if by_name and store is not None:
+                try:
+                    ref, built = store.ensure(spec.name, build=spec)
+                except TraceStoreError:
+                    pass  # unwritable/unreadable store: in-memory path
+                else:
+                    out.append(
+                        _GridEntry(
+                            name=spec.name,
+                            stored=ref,
+                            trace=built,
+                            by_name=True,
+                        )
+                    )
+                    continue
+            out.append(
+                _GridEntry(
+                    name=spec.name, trace=spec.build().trace(), by_name=by_name
+                )
+            )
         else:
             assert isinstance(workload, TraceProgram)
-            out.append((workload.name, workload.trace(), False))
+            out.append(
+                _GridEntry(
+                    name=workload.name,
+                    trace=workload.trace(),
+                    program=workload,
+                )
+            )
     return out
+
+
+def _affinity_batches(pending: list[_Cell], jobs: int) -> list[tuple[_Cell, ...]]:
+    """Group pending cells into workload-affinity batches, grid order.
+
+    All cells of a batch share one workload, so the worker materialises
+    the trace once per batch.  Each workload is split into at most
+    ``ceil(jobs / n_workloads)`` contiguous chunks — enough batches to
+    occupy every worker, few enough that a trace is decoded a bounded
+    number of times.  Batch order is grid order (workloads outer, chunk
+    offset inner), keeping submission deterministic.
+    """
+    groups: dict[str, list[_Cell]] = {}
+    for cell in pending:
+        groups.setdefault(cell.workload, []).append(cell)
+    chunks_per = max(1, -(-jobs // len(groups)))  # ceil division
+    batches: list[tuple[_Cell, ...]] = []
+    for cells in groups.values():
+        k = min(len(cells), chunks_per)
+        size = -(-len(cells) // k)
+        for start in range(0, len(cells), size):
+            batches.append(tuple(cells[start : start + size]))
+    return batches
 
 
 def parallel_compare(
@@ -195,32 +383,39 @@ def parallel_compare(
     limit: int | None = None,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    store: TraceStore | None = None,
     progress: ProgressFn | None = None,
 ) -> "ComparisonResult":
     """Run the sweep grid with ``jobs`` workers and an optional cache.
 
     Returns the same :class:`~repro.sim.runner.ComparisonResult` the
     serial path builds, with identical cell values and identical
-    workload/prefetcher ordering.
+    workload/prefetcher ordering.  ``store`` supplies registry-workload
+    traces from compiled binary files (see module docstring); cache
+    keys are identical with the store on or off, because the store
+    header carries the same content fingerprint the cache hashes.
     """
     from repro.sim.runner import ComparisonResult
 
     prefetcher_names = list(prefetchers)
-    grid = _resolve_grid(workloads)
+    grid = _resolve_grid(workloads, store)
 
     cells: list[_Cell] = []
-    for name, trace, by_name in grid:
-        trace_fp = trace_fingerprint(trace) if cache is not None else ""
-        # ship the (truncated) trace to workers whenever a limit applies —
-        # rebuilding a full trace per cell just to truncate it dwarfs the
-        # pickling cost; only full-trace registry workloads rebuild by
-        # name, where a rebuild costs the same as shipping would
-        if by_name and limit is None:
+    for entry in grid:
+        name = entry.name
+        trace_fp = _entry_fingerprint(entry) if cache is not None else ""
+        if entry.stored is not None:
+            # the worker maps the compiled file (or this process decodes
+            # it lazily on the inline path); nothing ships by value
+            shipped = None
+        elif entry.by_name and limit is None:
             shipped = None
         elif limit is not None:
-            shipped = tuple(trace[:limit])
+            assert entry.trace is not None
+            shipped = tuple(entry.trace[:limit])
         else:
-            shipped = tuple(trace)
+            assert entry.trace is not None
+            shipped = tuple(entry.trace)
         for pf_name in prefetcher_names:
             job = SweepJob(
                 index=len(cells),
@@ -231,9 +426,18 @@ def parallel_compare(
                 core_config=core_config,
                 context_config=context_config,
                 trace=shipped,
+                store_path=(
+                    entry.stored.path if entry.stored is not None else None
+                ),
+                store_fingerprint=(
+                    entry.stored.fingerprint if entry.stored is not None else ""
+                ),
             )
             cell = _Cell(
-                workload=name, prefetcher=pf_name, job=job, local_trace=trace
+                workload=name,
+                prefetcher=pf_name,
+                job=job,
+                local_trace=entry.trace,
             )
             if cache is not None:
                 cell.key = cell_key(
@@ -264,33 +468,61 @@ def parallel_compare(
             done += 1
             report(cell)
 
+    def finish(cell: _Cell, payload: dict[str, Any]) -> None:
+        nonlocal done
+        cell.result = decode_result(payload)
+        done += 1
+        if cache is not None and cell.key is not None:
+            cache.store(cell.key, cell.result)
+        report(cell)
+
     pending = [cell for cell in cells if cell.result is None]
     if pending and jobs > 1:
         # spawn (not fork): workers start from a clean interpreter and
         # can only re-seed from config, never inherit parent RNG state
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)),
-            mp_context=get_context("spawn"),
-        ) as pool:
-            futures: list[tuple[_Cell, Future]] = [
-                (cell, pool.submit(_execute_job, cell.job)) for cell in pending
-            ]
-            # iterate submission order, not completion order: progress
-            # lines and cache stores stay deterministic run to run
-            for cell, future in futures:
-                index, payload = future.result()
-                assert index == cell.job.index
-                cell.result = decode_result(payload)
-                done += 1
-                if cache is not None and cell.key is not None:
-                    cache.store(cell.key, cell.result)
-                report(cell)
+        if store is not None:
+            # workload-affinity batches: each worker materialises a
+            # given trace at most once and runs all its cells against it
+            batches = _affinity_batches(pending, jobs)
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(batches)),
+                mp_context=get_context("spawn"),
+            ) as pool:
+                futures: list[tuple[tuple[_Cell, ...], Future]] = [
+                    (batch, pool.submit(_execute_batch, tuple(c.job for c in batch)))
+                    for batch in batches
+                ]
+                # iterate submission order, not completion order:
+                # progress lines and cache stores stay deterministic
+                by_index = {cell.job.index: cell for cell in pending}
+                for batch, future in futures:
+                    for index, payload in future.result():
+                        finish(by_index[index], payload)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                mp_context=get_context("spawn"),
+            ) as pool:
+                job_futures: list[tuple[_Cell, Future]] = [
+                    (cell, pool.submit(_execute_job, cell.job)) for cell in pending
+                ]
+                for cell, future in job_futures:
+                    index, payload = future.result()
+                    assert index == cell.job.index
+                    finish(cell, payload)
     else:
+        # inline path: materialise each store-backed workload at most
+        # once in this process, so cached-but-cold runs never decode (or
+        # rebuild) a trace per cell
+        local_traces: dict[str, Sequence[MemoryAccess]] = {}
         for cell in pending:
-            assert cell.local_trace is not None
-            cell.result = decode_result(
-                encode_result(_run_cell(cell.job, cell.local_trace))
-            )
+            trace = cell.local_trace
+            if trace is None:
+                trace = local_traces.get(cell.workload)
+                if trace is None:
+                    trace = _job_trace(cell.job)
+                    local_traces[cell.workload] = trace
+            cell.result = decode_result(encode_result(_run_cell(cell.job, trace)))
             done += 1
             if cache is not None and cell.key is not None:
                 cache.store(cell.key, cell.result)
@@ -313,12 +545,15 @@ def parallel_storage_sweep(
     base_config: ContextPrefetcherConfig | None = None,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    store: TraceStore | None = None,
     progress: ProgressFn | None = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Figure 13's (CST size × workload) grid on the parallel engine.
 
     Each size is one ``context`` configuration (CST rescaled, reducer at
     8×), so the cache keys config sweeps exactly like prefetcher sweeps.
+    With a store, registry traces are compiled once and then mapped per
+    size instead of being rebuilt per (size × workload).
     """
     base = base_config or ContextPrefetcherConfig()
     workload_list = list(workloads)  # reused across sizes; don't exhaust
@@ -332,6 +567,7 @@ def parallel_storage_sweep(
             limit=limit,
             jobs=jobs,
             cache=cache,
+            store=store,
             progress=progress,
         )
         out[size] = {

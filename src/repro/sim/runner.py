@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 if TYPE_CHECKING:
     from repro.sim.cache import SweepCache
+    from repro.workloads.store import TraceStore
 
 from repro.core.config import ContextPrefetcherConfig
 from repro.core.prefetcher import ContextPrefetcher
@@ -109,27 +110,36 @@ def compare(
     progress: Callable[[str], None] | None = None,
     jobs: int | None = None,
     cache: "SweepCache | Path | str | bool | None" = None,
+    store: "TraceStore | Path | str | bool | None" = None,
 ) -> ComparisonResult:
     """The standard sweep every evaluation figure is built from.
 
     Traces are built once per workload and replayed for each prefetcher,
     so results across prefetchers are strictly comparable.
 
-    ``jobs`` > 1 fans the grid out over worker processes and ``cache``
-    memoizes cells on disk (``True`` → ``results/.cache/``); both are
-    bit-neutral — the parity suite proves the output identical to this
-    serial loop.  ``None`` defers to the process-wide defaults the CLI
-    and scripts configure via
-    :func:`repro.sim.parallel.set_default_execution`; ``cache=False``
-    forces caching off regardless of those defaults.
+    ``jobs`` > 1 fans the grid out over worker processes, ``cache``
+    memoizes cells on disk (``True`` → ``results/.cache/``), and
+    ``store`` supplies registry traces from compiled binary files
+    (``True`` → ``results/.cache/traces/``); all three are bit-neutral —
+    the parity suites prove the output identical to this serial loop.
+    ``None`` defers to the process-wide defaults the CLI and scripts
+    configure via :func:`repro.sim.parallel.set_default_execution`;
+    ``cache=False`` / ``store=False`` force that feature off regardless
+    of those defaults.
     """
     from repro.sim.cache import resolve_cache
     from repro.sim.parallel import default_execution, parallel_compare
+    from repro.workloads.store import resolve_store
 
     defaults = default_execution()
     effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
     effective_cache = resolve_cache(cache, default=defaults.cache)
-    if effective_jobs > 1 or effective_cache is not None:
+    effective_store = resolve_store(store, default=defaults.store)
+    if (
+        effective_jobs > 1
+        or effective_cache is not None
+        or effective_store is not None
+    ):
         return parallel_compare(
             workloads,
             prefetchers,
@@ -138,6 +148,7 @@ def compare(
             limit=limit,
             jobs=effective_jobs,
             cache=effective_cache,
+            store=effective_store,
             progress=progress,
         )
 
@@ -165,6 +176,7 @@ def storage_sweep(
     base_config: ContextPrefetcherConfig | None = None,
     jobs: int | None = None,
     cache: "SweepCache | Path | str | bool | None" = None,
+    store: "TraceStore | Path | str | bool | None" = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Figure 13: context-prefetcher results per CST size per workload.
 
@@ -177,12 +189,18 @@ def storage_sweep(
     """
     from repro.sim.cache import resolve_cache
     from repro.sim.parallel import default_execution, parallel_storage_sweep
+    from repro.workloads.store import resolve_store
 
     base = base_config or ContextPrefetcherConfig()
     defaults = default_execution()
     effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
     effective_cache = resolve_cache(cache, default=defaults.cache)
-    if effective_jobs > 1 or effective_cache is not None:
+    effective_store = resolve_store(store, default=defaults.store)
+    if (
+        effective_jobs > 1
+        or effective_cache is not None
+        or effective_store is not None
+    ):
         return parallel_storage_sweep(
             workloads,
             cst_sizes,
@@ -190,6 +208,7 @@ def storage_sweep(
             base_config=base,
             jobs=effective_jobs,
             cache=effective_cache,
+            store=effective_store,
         )
     resolved = [_resolve_trace(w) for w in workloads]
     out: dict[int, dict[str, SimulationResult]] = {}

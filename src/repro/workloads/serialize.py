@@ -8,6 +8,7 @@ default values are omitted to keep files compact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
@@ -63,6 +64,25 @@ def access_from_dict(data: dict) -> MemoryAccess:
         value=data.get("v", 0),
         hints=hints,
     )
+
+
+def trace_fingerprint(trace: Iterable[MemoryAccess]) -> str:
+    """Stable content hash of an access stream (canonical serialized form).
+
+    This is the fingerprint the result cache keys sweep cells on and the
+    binary trace store records in its header — both must agree byte for
+    byte, which is why the one implementation lives here, next to the
+    canonical dict form it hashes.
+    """
+    digest = hashlib.sha256()
+    for access in trace:
+        digest.update(
+            json.dumps(
+                access_to_dict(access), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def dump_trace(trace: Iterable[MemoryAccess], fp: TextIO) -> int:

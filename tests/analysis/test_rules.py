@@ -656,3 +656,90 @@ class TestSlotsRule:
             },
         )
         assert run_rules(tmp_path, [SlotsRule()]) == []
+
+class TestRecordLayoutRule:
+    """PERF002: the trace-store record layout is pinned per version."""
+
+    def _rule(self):
+        from repro.analysis.rules.perf import RecordLayoutRule
+
+        return RecordLayoutRule()
+
+    def _store_source(self, version: int, fields: str) -> str:
+        return f"STORE_VERSION = {version}\nRECORD_FIELDS = {fields}\n"
+
+    def test_live_layout_matches_pin(self):
+        # the real module must always satisfy its own pin — this is the
+        # test that fires when someone edits RECORD_FIELDS in place
+        from repro.analysis.rules.perf import PINNED_RECORD_LAYOUTS
+        from repro.workloads.store import STORE_VERSION, record_layout_hash
+
+        assert PINNED_RECORD_LAYOUTS[STORE_VERSION] == record_layout_hash()
+
+    def test_current_layout_passes(self, tmp_path):
+        from repro.workloads.store import RECORD_FIELDS, STORE_VERSION
+
+        write_tree(
+            tmp_path,
+            {
+                "workloads/store.py": self._store_source(
+                    STORE_VERSION, repr(RECORD_FIELDS)
+                )
+            },
+        )
+        assert run_rules(tmp_path, [self._rule()]) == []
+
+    def test_layout_drift_without_bump_is_flagged(self, tmp_path):
+        from repro.workloads.store import RECORD_FIELDS, STORE_VERSION
+
+        drifted = RECORD_FIELDS + (("extra", "B"),)
+        write_tree(
+            tmp_path,
+            {
+                "workloads/store.py": self._store_source(
+                    STORE_VERSION, repr(drifted)
+                )
+            },
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF002"]
+        assert "bump STORE_VERSION" in findings[0].message
+
+    def test_new_version_requires_a_pin(self, tmp_path):
+        from repro.workloads.store import RECORD_FIELDS
+
+        write_tree(
+            tmp_path,
+            {"workloads/store.py": self._store_source(999, repr(RECORD_FIELDS))},
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF002"]
+        assert "no pinned record layout" in findings[0].message
+
+    def test_missing_module_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {"core/x.py": "pass\n"})
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF002"]
+
+    def test_non_literal_layout_is_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "workloads/store.py": (
+                    "STORE_VERSION = 1\n"
+                    "RECORD_FIELDS = tuple(make_fields())\n"
+                )
+            },
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF002"]
+        assert "statically auditable" in findings[0].message
+
+    def test_non_int_version_is_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"workloads/store.py": 'STORE_VERSION = "one"\nRECORD_FIELDS = ()\n'},
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF002"]
+        assert "integer literal" in findings[0].message

@@ -1,0 +1,21 @@
+"""Shared test fixtures.
+
+The CLI installs process-wide execution defaults (jobs / result cache /
+trace store) via ``set_default_execution``; without a reset, a CLI test
+that ran first would leak its cache and store paths into every later
+``compare()`` call in the same pytest process.  Restore the defaults
+around every test so ordering can never matter.
+"""
+
+import pytest
+
+from repro.sim.parallel import default_execution, set_default_execution
+
+
+@pytest.fixture(autouse=True)
+def _restore_execution_defaults():
+    previous = default_execution()
+    yield
+    set_default_execution(
+        jobs=previous.jobs, cache=previous.cache, store=previous.store
+    )

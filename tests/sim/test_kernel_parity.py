@@ -85,6 +85,56 @@ def test_warmup_run_parity(workload: str, prefetcher: str) -> None:
     _assert_matches(f"warmup/{workload}/{prefetcher}", result)
 
 
+@pytest.fixture(scope="module")
+def store_traces(tmp_path_factory) -> dict[str, list]:
+    """The golden workloads again, round-tripped through the mmap store.
+
+    Decoded records must drive the kernel to the *same* goldens as the
+    built traces — a lossy trace codec would surface here as drift
+    against the pre-optimization fixture, not as a crash.
+    """
+    from repro.workloads.store import TraceStore, read_trace
+
+    store = TraceStore(tmp_path_factory.mktemp("traces"))
+    names = set(SPEC["workloads"]) | {SPEC["phased"]["workload"]}
+    traces = {}
+    for name in sorted(names):
+        stored, _ = store.ensure(name)
+        traces[name] = read_trace(
+            stored.path,
+            limit=SPEC["limit"],
+            expect_fingerprint=stored.fingerprint,
+        )
+    return traces
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_plain_run_parity_from_store(
+    workload: str, prefetcher: str, store_traces: dict[str, list]
+) -> None:
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher]())
+    result = sim.run(store_traces[workload], workload_name=workload)
+    _assert_matches(f"plain/{workload}/{prefetcher}", result)
+
+
+@pytest.mark.parametrize("prefetcher", sorted(set(SPEC["phased"]["prefetchers"])))
+def test_phased_run_parity_from_store(
+    prefetcher: str, store_traces: dict[str, list]
+) -> None:
+    phased = SPEC["phased"]
+    workload = phased["workload"]
+    run = run_phased(
+        store_traces[workload],
+        prefetcher,
+        workload_name=workload,
+        num_phases=phased["num_phases"],
+        cold_start=phased["cold_start"],
+    )
+    for i, phase_result in enumerate(run.phases):
+        _assert_matches(f"phased/{workload}/{prefetcher}/p{i}", phase_result)
+
+
 @pytest.mark.parametrize("prefetcher", sorted(set(SPEC["phased"]["prefetchers"])))
 def test_phased_run_parity(prefetcher: str) -> None:
     phased = SPEC["phased"]

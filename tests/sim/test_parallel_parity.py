@@ -16,6 +16,7 @@ from repro.sim.cache import SweepCache
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import compare, storage_sweep
 from repro.workloads.linked_list import ListTraversalProgram
+from repro.workloads.store import TraceStore
 
 #: a representative subset: regular (array), pointer-chasing (list),
 #: and the RL context prefetcher whose ε-greedy loop is the hardest
@@ -117,3 +118,83 @@ class TestCacheParity:
                 serial[size]["list"], parallel[size]["list"], f"cst={size}"
             )
             assert_identical(serial[size]["list"], warm[size]["list"], f"cst={size}")
+
+
+class TestTraceStoreParity:
+    """The mmap trace store must change wall-clock time, nothing else.
+
+    Cells fed from store files — compiled cold this run, or mapped warm
+    from a previous one — must be bit-identical to cells fed from
+    freshly built traces, inline and across worker processes.
+    """
+
+    def test_store_cold_then_warm_identical_to_serial(
+        self, serial_sweep, tmp_path
+    ):
+        store = TraceStore(tmp_path / "traces")
+        cold = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False, store=store
+        )
+        warm = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False, store=store
+        )
+        assert_sweeps_identical(serial_sweep, cold)
+        assert_sweeps_identical(serial_sweep, warm)
+
+    def test_jobs4_store_identical_to_serial(self, serial_sweep, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        dispatched = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=False, store=store
+        )
+        assert_sweeps_identical(serial_sweep, dispatched)
+        # and again with every trace served from the warm store files
+        warm = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=4, cache=False, store=store
+        )
+        assert_sweeps_identical(serial_sweep, warm)
+
+    def test_corrupt_store_degrades_to_rebuild(self, serial_sweep, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False, store=store)
+        for path in store.root.glob("*.rpt"):
+            path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        healed = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=2, cache=False, store=store
+        )
+        assert_sweeps_identical(serial_sweep, healed)
+
+    def test_adhoc_programs_bypass_the_store(self, tmp_path):
+        # ad-hoc programs aren't registry-addressable; with a store set
+        # they still ship by value and stay bit-identical
+        store = TraceStore(tmp_path / "traces")
+        make = lambda: ListTraversalProgram(num_nodes=256, iterations=4)
+        serial = compare([make()], ("none", "context"), jobs=1, cache=False)
+        stored = compare(
+            [make()], ("none", "context"), jobs=3, cache=False, store=store
+        )
+        assert_sweeps_identical(serial, stored)
+
+    def test_store_with_cache_matches_serial(self, serial_sweep, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        cache = SweepCache(tmp_path / "cache")
+        cold = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=2, cache=cache, store=store
+        )
+        warm = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=2, cache=cache, store=store
+        )
+        assert cache.counters.hits == len(WORKLOADS) * len(PREFETCHERS)
+        assert_sweeps_identical(serial_sweep, cold)
+        assert_sweeps_identical(serial_sweep, warm)
+
+    def test_storage_sweep_store_parity(self, tmp_path):
+        sizes = (512, 1024)
+        store = TraceStore(tmp_path / "traces")
+        serial = storage_sweep(["list"], sizes, limit=1500)
+        stored = storage_sweep(
+            ["list"], sizes, limit=1500, jobs=2, cache=False, store=store
+        )
+        for size in sizes:
+            assert_identical(
+                serial[size]["list"], stored[size]["list"], f"cst={size}"
+            )

@@ -101,9 +101,9 @@ class TestLint:
 
 
 class TestTraceAndReplay:
-    def test_trace_then_replay(self, tmp_path, capsys):
+    def test_trace_export_then_replay(self, tmp_path, capsys):
         path = str(tmp_path / "random.jsonl")
-        assert main(["trace", "random", path, "--limit", "400"]) == 0
+        assert main(["trace", "export", "random", path, "--limit", "400"]) == 0
         out = capsys.readouterr().out
         assert "wrote 400 accesses" in out
 
@@ -113,9 +113,111 @@ class TestTraceAndReplay:
 
     def test_replay_with_stats_dump(self, tmp_path, capsys):
         path = str(tmp_path / "t.jsonl")
-        main(["trace", "array", path, "--limit", "300"])
+        main(["trace", "export", "array", path, "--limit", "300"])
         capsys.readouterr()
         assert main(["replay", path, "context", "--stats"]) == 0
         out = capsys.readouterr().out
         assert "Begin Simulation Statistics" in out
         assert "pf.issued" in out
+
+
+class TestTraceStoreCommands:
+    def test_compile_info_ls_gc_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        assert main(["trace", "compile", "random", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "compiled random:" in out and "store:" in out
+
+        # recompiling without --force is a no-op on a current file
+        assert main(["trace", "compile", "random", "--store-dir", store]) == 0
+        assert "current  random:" in capsys.readouterr().out
+
+        assert main(["trace", "info", "random", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "workload:    random" in out and "fingerprint:" in out
+
+        assert main(["trace", "ls", "--store-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "random" in out and "ok" in out
+
+        assert main(["trace", "gc", "--store-dir", store]) == 0
+        assert "kept 1" in capsys.readouterr().out
+
+    def test_info_missing_workload_exits_nonzero(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        assert main(["trace", "info", "random", "--store-dir", store]) == 1
+        assert "error: trace:" in capsys.readouterr().err
+
+    def test_corrupt_store_file_fails_ls_and_info(self, tmp_path, capsys):
+        from pathlib import Path
+
+        store = str(tmp_path / "traces")
+        assert main(["trace", "compile", "random", "--store-dir", store]) == 0
+        capsys.readouterr()
+        rpt = next(Path(store).glob("*.rpt"))
+        rpt.write_bytes(rpt.read_bytes()[:-40])  # truncate mid-record
+
+        assert main(["trace", "ls", "--store-dir", store]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+
+        assert main(["trace", "info", str(rpt), "--store-dir", store]) == 1
+        assert "error: trace:" in capsys.readouterr().err
+
+        # gc clears the corruption, after which ls is clean again
+        assert main(["trace", "gc", "--store-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["trace", "ls", "--store-dir", store]) == 0
+
+    def test_version_mismatch_exits_nonzero(self, tmp_path, capsys):
+        import struct
+
+        from repro.workloads.store import MAGIC
+
+        store = tmp_path / "traces"
+        store.mkdir()
+        bogus = store / "bogus-0000000000000000.rpt"
+        bogus.write_bytes(struct.pack("<8sIIQ", MAGIC, 999, 2, 0) + b"{}")
+        assert main(["trace", "info", str(bogus)]) == 1
+        err = capsys.readouterr().err
+        assert "version 999" in err
+
+    def test_sweep_prints_store_and_cache_paths(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "random",
+                "--prefetchers",
+                "none,stride",
+                "--limit",
+                "600",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--store-dir",
+                str(tmp_path / "traces"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "execution: jobs=1" in captured.err
+        assert str(tmp_path / "traces") in captured.err
+        assert "GEOMEAN" in captured.out
+
+    def test_no_store_and_no_cache_report_off(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "random",
+                "--prefetchers",
+                "none",
+                "--limit",
+                "400",
+                "--no-cache",
+                "--no-store",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "result cache off" in err and "trace store off" in err
