@@ -1,0 +1,79 @@
+"""Regenerate the DRIFT fingerprint pins in src/repro/analysis/drift_pins.json.
+
+Usage:  PYTHONPATH=src python scripts/regen_drift_pins.py [--check]
+
+The pins tie each canonical component method (CoreModel.issue_time,
+Reducer.lookup, ...) to its inlined fast-path copy (the ``# drift:``
+marker regions in sim/simulator.py and core/prefetcher.py).  The DRIFT
+lint family fails when either side's fingerprint leaves its pin, so a
+one-sided edit can never land silently.
+
+Only run this after an *intentional, paired* edit — and only once the
+kernel-golden and parallel-parity suites have re-proven that the fast
+and slow paths still agree bit-for-bit.  The script recomputes both
+sides of every pair together (it has no way to update just one), which
+is the point: re-pinning is a deliberate, reviewable diff.
+
+``--check`` recomputes without writing and exits 1 on any difference —
+the same comparison the DRIFT rule performs, in script form for CI or
+pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.rules.drift import (  # noqa: E402
+    PINS_PATH,
+    compute_fingerprints,
+    load_pins,
+)
+from repro.analysis.runner import DEFAULT_ROOT  # noqa: E402
+from repro.analysis.visitor import load_project  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare current fingerprints against the pins; write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    project = load_project(DEFAULT_ROOT)
+    try:
+        current = compute_fingerprints(project)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    pinned = load_pins()
+    changed = sorted(
+        key for key in {*current, *pinned} if current.get(key) != pinned.get(key)
+    )
+    if args.check:
+        for key in changed:
+            print(f"drift pin out of date: {key}")
+        if changed:
+            print(f"{len(changed)} pin(s) differ; run this script to re-pin")
+        else:
+            print(f"all {len(current)} drift pins up to date")
+        return 1 if changed else 0
+
+    PINS_PATH.write_text(
+        json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    verb = "updated" if changed else "unchanged"
+    print(f"wrote {PINS_PATH} ({len(current)} pairs, {len(changed)} {verb})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

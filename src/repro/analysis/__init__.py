@@ -14,7 +14,21 @@ that they cannot drift silently:
   factory;
 * **experiment hygiene** (``EXP*``) — every ``experiments/fig*.py``
   exposes the ``run()``/``render()`` entry points the runner and the
-  CLI rely on.
+  CLI rely on;
+* **fork safety** (``RACE*``) — module-level mutable state, RNG streams
+  and OS handles must not cross the spawn boundary of the parallel
+  sweep engine;
+* **hot-path dataflow** (``FLW*``) — the per-access kernel loop stays
+  allocation-free with hoisted bound methods, and degrade-to-rebuild
+  paths always log;
+* **inline parity** (``DRIFT*``) — every inlined fast-path copy is
+  hash-pinned to its canonical method, so one-sided edits fail lint.
+
+The pass is project-wide: :meth:`Project.semantic` exposes an import
+graph, per-module symbol tables and an approximate call graph (built
+once, shared by every rule).  Inline ``# repro: noqa[<RULE>]``
+suppressions are honoured and audited for staleness; ``--format
+sarif|github`` emits CI-consumable output.
 
 Run it with ``python -m repro lint`` (or ``make lint``).  See
 ``docs/static_analysis.md`` for the rule catalogue and how to add a
@@ -24,8 +38,10 @@ rule.
 from __future__ import annotations
 
 from repro.analysis.findings import Finding, format_findings
+from repro.analysis.graph import SemanticModel
 from repro.analysis.registry import Rule, all_rules, register_rule
 from repro.analysis.runner import analyze, load_manifest, main
+from repro.analysis.sarif import format_github, format_sarif
 from repro.analysis.visitor import NodeRule, Project, SourceFile, load_project
 
 __all__ = [
@@ -33,10 +49,13 @@ __all__ = [
     "NodeRule",
     "Project",
     "Rule",
+    "SemanticModel",
     "SourceFile",
     "all_rules",
     "analyze",
     "format_findings",
+    "format_github",
+    "format_sarif",
     "load_manifest",
     "load_project",
     "main",

@@ -1,0 +1,257 @@
+"""Dataflow helpers shared by the FLW and RACE rule families.
+
+Small, purely syntactic analyses over single functions:
+
+* hot-loop extraction — the outermost ``for`` loops of a target
+  function, plus the set of names bound *inside* a loop (anything not in
+  that set is loop-invariant from the loop body's point of view);
+* simple local binding resolution — following straight-line
+  ``x = expr`` assignments so a rule can see through one level of
+  aliasing (``reader = TraceReader(...); pool.submit(f, reader)``);
+* except-handler classification — does a handler re-raise, does it log,
+  does it catch only the "expected miss" exception type.
+
+Everything here under-approximates on purpose: a helper that cannot
+prove a property stays silent, so rules built on it miss exotic code
+rather than inventing findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.graph import FunctionNode
+
+#: logger-ish receiver names for "this handler logs" detection
+LOGGER_NAMES = frozenset({"log", "logger", "logging"})
+
+#: logging methods that count as making a degrade path observable
+LOGGING_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical"}
+)
+
+#: dict/list/set methods that mutate the receiver in place
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "appendleft",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def outer_for_loops(node: FunctionNode) -> list[ast.For]:
+    """The outermost ``for`` loops of a function, in source order.
+
+    Nested loops are part of their enclosing loop's body and are not
+    returned separately — a hot-path rule treats the whole outer loop
+    body as the hot region.
+    """
+    loops: list[ast.For] = []
+
+    def scan(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.For):
+                loops.append(stmt)
+                continue  # its body belongs to this loop
+            for block in _stmt_blocks(stmt):
+                scan(block)
+
+    scan(node.body)
+    return loops
+
+
+def _stmt_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    """The statement blocks nested directly inside ``stmt`` (no functions)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field_name, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", ()):
+        yield handler.body
+
+
+def names_bound_in(node: ast.AST) -> set[str]:
+    """Every name assigned anywhere inside ``node`` (incl. loop targets)."""
+    bound: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(sub.name)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+    return bound
+
+
+def simple_local_bindings(node: FunctionNode) -> dict[str, ast.expr]:
+    """Locals assigned exactly once by a plain ``name = expr`` statement.
+
+    Names assigned more than once (or through tuple targets, loops,
+    ``with`` items …) are excluded — the single static value would be a
+    lie.  This lets a rule see through one level of aliasing without a
+    real dataflow lattice.
+    """
+    counts: dict[str, int] = {}
+    values: dict[str, ast.expr] = {}
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Assign)
+            and len(sub.targets) == 1
+            and isinstance(sub.targets[0], ast.Name)
+        ):
+            name = sub.targets[0].id
+            counts[name] = counts.get(name, 0) + 1
+            values[name] = sub.value
+        elif isinstance(sub, (ast.For, ast.AugAssign)):
+            # loop-carried / augmented names are never single-assignment
+            for name in names_bound_in(sub.target):
+                counts[name] = counts.get(name, 0) + 2
+        elif isinstance(sub, ast.With):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    for name in names_bound_in(item.optional_vars):
+                        counts[name] = counts.get(name, 0) + 2
+        elif isinstance(sub, (ast.Assign, ast.AnnAssign)):
+            # tuple/attribute targets: bound but not chaseable
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                for name in names_bound_in(target):
+                    counts[name] = counts.get(name, 0) + 2
+    return {
+        name: value for name, value in values.items() if counts.get(name) == 1
+    }
+
+
+def resolve_local(
+    expr: ast.expr, bindings: dict[str, ast.expr], depth: int = 4
+) -> ast.expr:
+    """Chase ``Name`` references through single-assignment locals."""
+    while depth and isinstance(expr, ast.Name) and expr.id in bindings:
+        expr = bindings[expr.id]
+        depth -= 1
+    return expr
+
+
+# ----------------------------------------------------------------------
+# except-handler classification (FLW004)
+
+
+def handler_exception_names(handler: ast.ExceptHandler) -> set[str]:
+    """The exception names a handler catches ('' for a bare except)."""
+    if handler.type is None:
+        return {""}
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: set[str] = set()
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.add(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.add(t.attr)
+        else:
+            names.add("")
+    return names
+
+
+def handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True if any path through the handler raises."""
+    return any(isinstance(sub, ast.Raise) for sub in ast.walk(handler))
+
+
+def handler_logs(handler: ast.ExceptHandler) -> bool:
+    """True if the handler calls a logging method on a logger-ish name."""
+    for sub in ast.walk(handler):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in LOGGING_METHODS
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id in LOGGER_NAMES
+        ):
+            return True
+    return False
+
+
+def handler_returns_value(handler: ast.ExceptHandler) -> bool:
+    """True if the handler returns/continues — i.e. swallows and moves on."""
+    return any(
+        isinstance(sub, (ast.Return, ast.Continue, ast.Pass))
+        for sub in ast.walk(handler)
+    )
+
+
+# ----------------------------------------------------------------------
+# global read/write scanning (RACE001)
+
+
+def global_accesses(
+    node: FunctionNode, globals_of_interest: set[str]
+) -> tuple[set[str], set[str]]:
+    """``(reads, writes)`` of the given module-level names inside ``node``.
+
+    A *write* is: a ``global`` declaration followed by any store, a
+    mutator-method call (``G.append(...)``), or a subscript/attribute
+    store (``G[k] = v`` / ``G.x = v``).  Everything else that mentions
+    the name is a read.  Names shadowed by a local binding are dropped
+    from both sets — the function is talking about its own variable.
+    """
+    declared_global: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            declared_global.update(
+                n for n in sub.names if n in globals_of_interest
+            )
+    shadowed = {
+        name
+        for name in names_bound_in(node)
+        if name in globals_of_interest and name not in declared_global
+    }
+    watched = globals_of_interest - shadowed
+
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            recv = sub.func.value
+            if (
+                isinstance(recv, ast.Name)
+                and recv.id in watched
+                and sub.func.attr in MUTATOR_METHODS
+            ):
+                writes.add(recv.id)
+        elif isinstance(sub, (ast.Subscript, ast.Attribute)):
+            base = sub.value
+            if isinstance(base, ast.Name) and base.id in watched:
+                if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                    writes.add(base.id)
+                else:
+                    reads.add(base.id)
+        elif isinstance(sub, ast.Name) and sub.id in watched:
+            if isinstance(sub.ctx, ast.Load):
+                reads.add(sub.id)
+            elif sub.id in declared_global:
+                writes.add(sub.id)
+    return reads, writes

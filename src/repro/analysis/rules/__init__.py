@@ -6,8 +6,20 @@ from repro.analysis.rules import (
     budget,
     contracts,
     determinism,
+    drift,
     experiments,
+    flow,
     perf,
+    race,
 )
 
-__all__ = ["budget", "contracts", "determinism", "experiments", "perf"]
+__all__ = [
+    "budget",
+    "contracts",
+    "determinism",
+    "drift",
+    "experiments",
+    "flow",
+    "perf",
+    "race",
+]

@@ -33,8 +33,16 @@ def analyze(
     rules: Iterable[Rule] | None = None,
     manifest: dict | None = None,
     project: Project | None = None,
+    suppress: bool = True,
 ) -> list[Finding]:
-    """Run the pass and return its findings, deterministically ordered."""
+    """Run the pass and return its findings, deterministically ordered.
+
+    Inline ``# repro: noqa[<RULE>]`` suppressions are applied by default
+    (and audited for staleness); pass ``suppress=False`` for the raw
+    finding stream.
+    """
+    from repro.analysis.suppress import apply_suppressions
+
     if project is None:
         if manifest is None:
             manifest = load_manifest()
@@ -47,19 +55,36 @@ def analyze(
     for rule in selected:
         if not isinstance(rule, NodeRule):
             findings.extend(rule.check(project))
+    if suppress:
+        findings = apply_suppressions(
+            findings, project, tuple(r.rule_id for r in selected)
+        )
     return sort_findings(findings)
 
 
 def _select_rules(selectors: str | None) -> list[Rule]:
+    """Resolve a comma-separated prefix list against the catalogue.
+
+    Every prefix must match at least one registered rule id — a typo'd
+    family silently matching nothing would disable the very checks the
+    caller asked for, so unknown prefixes are a usage error (exit 2).
+    """
     rules = all_rules()
     if not selectors:
         return rules
-    prefixes = tuple(s.strip() for s in selectors.split(",") if s.strip())
-    chosen = [r for r in rules if r.rule_id.startswith(prefixes)]
-    if not chosen:
-        known = ", ".join(r.rule_id for r in rules)
-        raise SystemExit(f"error: no rule matches {selectors!r}; known: {known}")
-    return chosen
+    prefixes = [s.strip() for s in selectors.split(",") if s.strip()]
+    known = ", ".join(r.rule_id for r in rules)
+    if not prefixes:
+        raise SystemExit(f"error: empty rule selector; known rules: {known}")
+    unknown = [
+        p for p in prefixes if not any(r.rule_id.startswith(p) for r in rules)
+    ]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule prefix(es) {', '.join(sorted(unknown))}; "
+            f"known rules: {known}"
+        )
+    return [r for r in rules if r.rule_id.startswith(tuple(prefixes))]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,22 +108,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="hardware-budget manifest (default: the checked-in one)",
     )
     parser.add_argument(
+        "--rules",
         "--select",
+        dest="rules",
         default=None,
         metavar="PREFIXES",
-        help="comma-separated rule-id prefixes to run (e.g. DET,BUD)",
+        help=(
+            "comma-separated rule-id prefixes to run (e.g. DET,RACE); "
+            "unknown prefixes are an error"
+        ),
     )
     parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue"
+        "--format",
+        dest="format",
+        choices=("text", "sarif", "github"),
+        default="text",
+        help="output format: human text, SARIF 2.1.0, or GitHub annotations",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue with per-code descriptions",
     )
     return parser
+
+
+def _print_catalogue() -> None:
+    for rule_id, cls in rule_catalogue().items():
+        print(f"{rule_id:8s} {cls.title}")
+        for code, desc in sorted(getattr(cls, "codes", {}).items()):
+            print(f"  {code:9s} {desc}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule_id, cls in rule_catalogue().items():
-            print(f"{rule_id:8s} {cls.title}")
+        _print_catalogue()
         return 0
     root = (args.root or DEFAULT_ROOT).resolve()
     if not root.is_dir():
@@ -110,12 +155,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: cannot load budget manifest: {exc}")
         return 2
     try:
-        rules = _select_rules(args.select)
+        rules = _select_rules(args.rules)
     except SystemExit as exc:
         print(exc)
         return 2
     findings = analyze(root=root, rules=rules, manifest=manifest)
-    print(format_findings(findings))
+    if args.format == "sarif":
+        from repro.analysis.sarif import format_sarif
+
+        print(format_sarif(findings, root))
+    elif args.format == "github":
+        from repro.analysis.sarif import format_github
+
+        out = format_github(findings, root)
+        if out:
+            print(out)
+        print(format_findings(findings))
+    else:
+        print(format_findings(findings))
     return 1 if findings else 0
 
 

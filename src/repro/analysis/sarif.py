@@ -1,0 +1,97 @@
+"""Output formats for CI: SARIF 2.1.0 and GitHub workflow annotations.
+
+``format_sarif`` emits a minimal static-analysis log that GitHub code
+scanning accepts (one run, one ``repro-lint`` driver, one result per
+finding); ``format_github`` emits ``::error`` workflow commands so
+findings annotate the diff even without code-scanning upload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule_catalogue
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: synthetic rule ids the runner can emit outside the registry
+SYNTHETIC_RULES = {
+    "PARSE": "file failed to parse",
+    "NOQA": "stale inline suppression",
+}
+
+
+def _uri_prefix(root: Path) -> str:
+    """``root`` relative to the working directory, for repo-rooted URIs."""
+    try:
+        rel = root.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return ""
+    prefix = rel.as_posix()
+    return "" if prefix == "." else prefix + "/"
+
+
+def format_sarif(findings: list[Finding], root: Path) -> str:
+    """A SARIF 2.1.0 log for ``findings``, file URIs relative to cwd."""
+    prefix = _uri_prefix(root)
+    catalogue = {
+        rule_id: cls.title for rule_id, cls in rule_catalogue().items()
+    }
+    catalogue.update(SYNTHETIC_RULES)
+    rules_meta = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": title},
+        }
+        for rule_id, title in sorted(catalogue.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": prefix + f.path},
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def format_github(findings: list[Finding], root: Path) -> str:
+    """``::error`` workflow commands, one line per finding."""
+    prefix = _uri_prefix(root)
+    lines = [
+        f"::error file={prefix + f.path},line={max(f.line, 1)},"
+        f"title={f.rule}::{f.message}"
+        for f in findings
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Inline suppressions: ``# repro: noqa[<RULE>]`` with a staleness check.
+
+A suppression silences findings on its own line whose rule id equals —
+or starts with — one of the bracketed codes, so ``noqa[RACE]`` covers
+``RACE001``..``RACE003`` while ``noqa[RACE002]`` covers only that code.
+
+Suppressions are audited, not free: one that matches no finding raises a
+``NOQA`` finding of its own (a *stale* suppression is a lie about the
+code next to it).  Staleness is only judged for codes belonging to the
+rule families actually selected for the run — ``--rules DET`` must not
+flag a ``noqa[RACE001]`` it never evaluated.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import Project
+
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+#: rule id for stale-suppression findings (synthetic, like PARSE)
+STALE_RULE = "NOQA"
+
+
+def collect_suppressions(project: Project) -> dict[tuple[str, int], set[str]]:
+    """``(rel, line) -> codes`` for every inline suppression comment."""
+    out: dict[tuple[str, int], set[str]] = {}
+    for rel in sorted(project.files):
+        text = project.files[rel].text
+        if "noqa" not in text:
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            if codes:
+                out[(rel, lineno)] = codes
+    return out
+
+
+def _matches(code: str, rule_id: str) -> bool:
+    return rule_id == code or rule_id.startswith(code)
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    project: Project,
+    selected_prefixes: tuple[str, ...],
+) -> list[Finding]:
+    """Drop suppressed findings; add ``NOQA`` findings for stale ones.
+
+    ``selected_prefixes`` are the rule ids that actually ran — a
+    suppression code is only judged stale when some selected rule id
+    matches it, otherwise the run had no way to know.
+    """
+    suppressions = collect_suppressions(project)
+    if not suppressions:
+        return findings
+
+    used: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        codes = suppressions.get((finding.path, finding.line), set())
+        hit = next((c for c in sorted(codes) if _matches(c, finding.rule)), None)
+        if hit is None:
+            kept.append(finding)
+        else:
+            used.add((finding.path, finding.line, hit))
+
+    for (rel, line), codes in sorted(suppressions.items()):
+        for code in sorted(codes):
+            if (rel, line, code) in used:
+                continue
+            # a code is judged only when a selected rule could emit it:
+            # noqa[RACE001] under family rule "RACE", noqa[DET] under
+            # individual rule "DET001" — either prefix direction counts
+            if not any(
+                code.startswith(rid) or rid.startswith(code)
+                for rid in selected_prefixes
+            ):
+                continue
+            kept.append(
+                Finding(
+                    rel,
+                    line,
+                    STALE_RULE,
+                    f"stale suppression: noqa[{code}] matches no finding "
+                    "on this line — remove it",
+                )
+            )
+    return kept

@@ -16,10 +16,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.graph import SemanticModel
 
 #: directories never scanned (build products, caches)
 EXCLUDED_DIRS = frozenset({"__pycache__", ".git", "egg-info"})
@@ -32,6 +35,9 @@ class SourceFile:
     rel: str  # posix path relative to the package root
     path: Path
     tree: ast.Module
+    #: raw source text (comments carry suppressions and drift markers,
+    #: which the AST alone cannot see)
+    text: str = ""
 
 
 @dataclass
@@ -43,6 +49,10 @@ class Project:
     manifest: dict = field(default_factory=dict)
     #: files that failed to parse, as findings (reported unconditionally)
     parse_errors: list[Finding] = field(default_factory=list)
+    #: lazily built semantic model (import graph, symbols, call graph)
+    _semantic: "SemanticModel | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def get(self, rel: str) -> SourceFile | None:
         return self.files.get(rel)
@@ -52,6 +62,19 @@ class Project:
         for rel in sorted(self.files):
             if any(rel.startswith(p) for p in prefixes):
                 yield self.files[rel]
+
+    def semantic(self) -> "SemanticModel":
+        """The project-wide semantic model, built once and cached.
+
+        Import graph, per-module symbol tables and the approximate call
+        graph (see :mod:`repro.analysis.graph`).  Every rule that calls
+        this shares one model per analysis run.
+        """
+        if self._semantic is None:
+            from repro.analysis.graph import SemanticModel
+
+            self._semantic = SemanticModel.build(self)
+        return self._semantic
 
 
 def _iter_py_files(root: Path) -> Iterator[Path]:
@@ -68,14 +91,15 @@ def load_project(root: Path, manifest: dict | None = None) -> Project:
     project = Project(root=root, manifest=manifest or {})
     for path in _iter_py_files(root):
         rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
         try:
-            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            tree = ast.parse(text, filename=str(path))
         except SyntaxError as exc:
             project.parse_errors.append(
                 Finding(rel, exc.lineno or 0, "PARSE", f"syntax error: {exc.msg}")
             )
             continue
-        project.files[rel] = SourceFile(rel=rel, path=path, tree=tree)
+        project.files[rel] = SourceFile(rel=rel, path=path, tree=tree, text=text)
     return project
 
 

@@ -248,13 +248,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the static-analysis pass over the package"
     )
     lint_p.add_argument(
+        "--rules",
         "--select",
+        dest="rules",
         default=None,
         metavar="PREFIXES",
-        help="comma-separated rule-id prefixes to run (e.g. DET,BUD)",
+        help="comma-separated rule-id prefixes to run (e.g. DET,RACE)",
     )
     lint_p.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue"
+        "--format",
+        dest="format",
+        choices=("text", "sarif", "github"),
+        default="text",
+        help="output format: human text, SARIF 2.1.0, or GitHub annotations",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue with per-code descriptions",
     )
     return parser
 
@@ -416,8 +427,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
 
     lint_argv: list[str] = []
-    if args.select:
-        lint_argv += ["--select", args.select]
+    if args.rules:
+        lint_argv += ["--rules", args.rules]
+    if args.format != "text":
+        lint_argv += ["--format", args.format]
     if args.list_rules:
         lint_argv.append("--list-rules")
     return lint_main(lint_argv)

@@ -351,6 +351,7 @@ class ContextPrefetcher(Prefetcher):
         # identical buffer writes in identical order; the capture object,
         # values vector and hash memo are the tracker's own, so a later
         # ``tracker.capture`` or ``capture.hash`` call sees the same state
+        # drift: begin tracker-capture
         recent = self._recent_blocks
         memo = self._addr_hist_memo
         rkey = tuple(recent)
@@ -386,6 +387,7 @@ class ContextPrefetcher(Prefetcher):
         keys.clear()
         capture = self._ctx_capture
         capture.block = block
+        # drift: end tracker-capture
 
         granularity = self._granularity
         line = addr // granularity
@@ -471,6 +473,7 @@ class ContextPrefetcher(Prefetcher):
         # always misses; the hash is computed and memoised exactly as the
         # method would, leaving the memo in the identical state for any
         # later ``capture.hash`` call (e.g. from Reducer.adapt).
+        # drift: begin reducer-lookup
         full_bits = self._r_full_bits
         key = hash((full_bits, *values))
         key = (key * 0x9E3779B97F4A7C15) & _MASK64
@@ -519,6 +522,7 @@ class ContextPrefetcher(Prefetcher):
             >= self._overload_period
         ):
             reduced = reducer.adapt(rentry, capture, cst, reduced)
+        # drift: end reducer-lookup
 
         # --- prediction unit ------------------------------------------
         # (cst.lookup inlined: direct-mapped probe with tag check; only a
@@ -531,6 +535,7 @@ class ContextPrefetcher(Prefetcher):
             cst_entry.lookups += 1
             # EpsilonGreedyPolicy.select inlined (identical RNG draw order
             # and counter updates); a subclass policy keeps the call
+            # drift: begin policy-select
             candidates = cst_entry.candidates
             real_sel: list[Candidate] = []
             shadow_sel: list[Candidate] = []
@@ -577,6 +582,7 @@ class ContextPrefetcher(Prefetcher):
                 selection = self._policy_select(cst_entry)
                 real_sel = selection.real
                 shadow_sel = selection.shadow
+            # drift: end policy-select
             by_block = self._by_block
             q = queue._queue
             q_capacity = queue.capacity

@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,6 +54,8 @@ __all__ = [
     "resolve_cache",
     "trace_fingerprint",  # canonical impl lives in workloads.serialize
 ]
+
+log = logging.getLogger(__name__)
 
 #: default cache location, relative to the invoking directory
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
@@ -171,7 +174,13 @@ class SweepCache:
         except FileNotFoundError:
             self.counters.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError, CodecError):
+        except (OSError, ValueError, KeyError, TypeError, CodecError) as exc:
+            log.warning(
+                "sweep cache: unreadable entry %s (%s: %s); treating as miss",
+                self._path(key),
+                type(exc).__name__,
+                exc,
+            )
             self.counters.errors += 1
             self.counters.misses += 1
             return None
@@ -192,7 +201,13 @@ class SweepCache:
             tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(_canonical(payload), encoding="utf-8")
             os.replace(tmp, self._path(key))
-        except OSError:
+        except OSError as exc:
+            log.warning(
+                "sweep cache: cannot store %s (%s: %s); result not memoized",
+                self._path(key),
+                type(exc).__name__,
+                exc,
+            )
             self.counters.errors += 1
             return
         self.counters.stores += 1

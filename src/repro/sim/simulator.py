@@ -145,6 +145,9 @@ class Simulator:
         lq_ring = core._lq_ring
         lq_maxlen = lq_ring.maxlen
         rob_window = core._rob_window
+        lq_append = lq_ring.append
+        rob_append = rob_window.append
+        rob_popleft = rob_window.popleft
         core_stats = core.stats
         stall_cycles = 0
         instructions = 0
@@ -196,6 +199,7 @@ class Simulator:
                 addr = access.addr
 
                 # --- CoreModel.issue_time inlined -----------------------
+                # drift: begin core-issue-time
                 issue_f = cursor + (gap + 1) / issue_width
                 if access.depends_on_prev and last_completion > issue_f:
                     issue_f = last_completion
@@ -204,15 +208,17 @@ class Simulator:
                 if rob_window:
                     rob_horizon = inst_pos + gap + 1 - rob_size
                     while rob_window and rob_window[0][1] <= rob_horizon:
-                        completion, _ = rob_window.popleft()
+                        completion, _ = rob_popleft()
                         if completion > rob_floor:
                             rob_floor = completion
                 if rob_floor > issue_f:
                     issue_f = rob_floor
                 issue = int(issue_f)
+                # drift: end core-issue-time
 
                 result = demand_access(addr, issue)
                 ac = result.access_class
+                # drift: begin classifier-record-demand
                 if ac is ac_hit_older:
                     c_hit_older += 1
                 elif ac is ac_miss:
@@ -224,8 +230,10 @@ class Simulator:
                 else:
                     c_non_timely += 1
                 n_accesses += 1
+                # drift: end classifier-record-demand
 
                 # --- CoreModel.complete inlined -------------------------
+                # drift: begin core-complete
                 completion = float(issue + result.latency)
                 insts = gap + 1
                 stall = issue - (cursor + insts / issue_width)
@@ -236,10 +244,11 @@ class Simulator:
                 last_completion = completion
                 if completion > max_completion:
                     max_completion = completion
-                lq_ring.append(completion)
-                rob_window.append((completion, inst_pos))
+                lq_append(completion)
+                rob_append((completion, inst_pos))
                 instructions += insts
                 memory_accesses += 1
+                # drift: end core-complete
 
                 line = addr // line_bytes
                 prev = predicted_pop(line, None)
@@ -249,6 +258,7 @@ class Simulator:
                         add_depth(depth)
 
                 l1_hit = result.l1_hit
+                # drift: begin access-info-fields
                 info = tuple_new(
                     AccessInfo,
                     (
@@ -265,6 +275,7 @@ class Simulator:
                         access.hints,
                     ),
                 )
+                # drift: end access-info-fields
                 for request in on_access(info):
                     pf_line = request.addr // line_bytes
                     if request.shadow:
@@ -307,6 +318,7 @@ class Simulator:
             core_stats.stall_cycles += stall_cycles
             core_stats.instructions += instructions
             core_stats.memory_accesses += memory_accesses
+        # drift: begin classifier-record-demand
         class_counts = classifier.counts
         class_counts[ac_hit_older] += c_hit_older
         class_counts[ac_miss] += c_miss
@@ -314,6 +326,7 @@ class Simulator:
         class_counts[ac_shorter] += c_shorter
         class_counts[AccessClass.NON_TIMELY] += c_non_timely
         classifier.demand_accesses += n_accesses
+        # drift: end classifier-record-demand
 
         # The context prefetcher tracks per-queue-entry hit depths itself
         # (real and shadow predictions, exactly the paper's Figure 8

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import mmap
 import os
 import struct
@@ -57,6 +58,8 @@ from repro.workloads.trace import MemoryAccess
 
 if TYPE_CHECKING:
     from repro.workloads.suites import WorkloadSpec
+
+log = logging.getLogger(__name__)
 
 #: bump on ANY change to the record layout or header semantics; the
 #: PERF002 analysis rule pins the layout hash per version
@@ -339,8 +342,8 @@ def write_trace(
     except OSError as exc:
         try:
             tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
+        except OSError as cleanup_exc:
+            log.debug("trace store: temp file %s not removed: %s", tmp, cleanup_exc)
         raise TraceStoreError(f"cannot write trace store {path}: {exc}") from exc
     return meta
 
@@ -550,8 +553,15 @@ class TraceStore:
         path = self.path_for(workload)
         try:
             meta = read_meta(path)
-        except (FileNotFoundError, TraceStoreError):
-            pass
+        except FileNotFoundError:
+            pass  # cold miss: expected, compiled below
+        except TraceStoreError as exc:
+            log.warning(
+                "trace store: %s is corrupt or stale (%s); recompiling %s",
+                path,
+                exc,
+                workload,
+            )
         else:
             return (
                 StoredTrace(
@@ -585,8 +595,15 @@ class TraceStore:
         if not force:
             try:
                 return read_meta(path), False
-            except (FileNotFoundError, TraceStoreError):
-                pass
+            except FileNotFoundError:
+                pass  # cold miss: expected, compiled below
+            except TraceStoreError as exc:
+                log.warning(
+                    "trace store: %s is corrupt or stale (%s); recompiling %s",
+                    path,
+                    exc,
+                    workload,
+                )
         trace = spec.build().trace()
         return write_trace(path, trace, workload=workload), True
 
@@ -608,6 +625,7 @@ class TraceStore:
             try:
                 meta = read_meta(path)
             except (TraceStoreError, FileNotFoundError, OSError) as exc:
+                log.warning("trace store: unreadable entry %s: %s", path, exc)
                 out.append((path, None, str(exc)))
                 continue
             status = "ok" if path in current else "stale"
@@ -631,15 +649,15 @@ class TraceStore:
             if not dry_run:
                 try:
                     path.unlink(missing_ok=True)
-                except OSError:
-                    pass
+                except OSError as exc:
+                    log.warning("trace store: gc cannot remove %s: %s", path, exc)
         for tmp in sorted(self.root.glob("*.tmp.*")):
             removed.append(tmp)
             if not dry_run:
                 try:
                     tmp.unlink(missing_ok=True)
-                except OSError:
-                    pass
+                except OSError as exc:
+                    log.warning("trace store: gc cannot remove %s: %s", tmp, exc)
         return kept, removed
 
 

@@ -1,0 +1,167 @@
+"""DRIFT family: inline-parity pins, marker parsing, and the mutation gate."""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze, load_project
+from repro.analysis.runner import DEFAULT_ROOT
+from repro.analysis.rules.drift import (
+    DRIFT_PAIRS,
+    InlineDriftRule,
+    compute_fingerprints,
+    load_pins,
+    marker_regions,
+)
+
+CANON = """
+class C:
+    def m(self, x):
+        "doc"
+        return x + 1
+"""
+
+FAST = """
+def run(x):
+    # drift: begin pair1
+    y = x + 1
+    # drift: end pair1
+    return y
+"""
+
+PAIRS = (("pair1", "canon.py", "C.m", "fast.py"),)
+
+
+def write_fixture(root: Path, canon: str = CANON, fast: str = FAST) -> Path:
+    (root / "canon.py").write_text(textwrap.dedent(canon), encoding="utf-8")
+    (root / "fast.py").write_text(textwrap.dedent(fast), encoding="utf-8")
+    return root
+
+
+def drift_findings(root: Path, pins=None) -> list:
+    project = load_project(root, manifest={})
+    if pins is None:
+        pins = compute_fingerprints(project, PAIRS)
+    rule = InlineDriftRule(pairs=PAIRS, pins=pins)
+    return analyze(project=project, rules=[rule])
+
+
+class TestMarkerParsing:
+    def test_regions_and_multi_region_concatenation(self):
+        text = textwrap.dedent(
+            """
+            a = 1
+            # drift: begin k
+            b = 2
+            # drift: end k
+            c = 3
+            # drift: begin k
+            d = 4
+            # drift: end k
+            """
+        )
+        assert marker_regions(text, "k") == [(3, 5), (7, 9)]
+        assert marker_regions(text, "other") == []
+
+
+class TestDriftRule:
+    def test_pinned_pair_is_clean(self, tmp_path):
+        write_fixture(tmp_path)
+        assert drift_findings(tmp_path) == []
+
+    def test_docstring_and_comment_edits_do_not_fire(self, tmp_path):
+        write_fixture(tmp_path)
+        pins = compute_fingerprints(load_project(tmp_path, manifest={}), PAIRS)
+        write_fixture(
+            tmp_path,
+            canon=CANON.replace('"doc"', '"newer doc"'),
+            fast=FAST.replace("# drift: begin pair1", "# a comment\n    # drift: begin pair1"),
+        )
+        assert drift_findings(tmp_path, pins=pins) == []
+
+    def test_one_sided_canonical_edit_fires(self, tmp_path):
+        write_fixture(tmp_path)
+        pins = compute_fingerprints(load_project(tmp_path, manifest={}), PAIRS)
+        write_fixture(tmp_path, canon=CANON.replace("x + 1", "x + 2"))
+        findings = drift_findings(tmp_path, pins=pins)
+        assert [f.rule for f in findings] == ["DRIFT001"]
+        assert findings[0].path == "canon.py"
+        assert "inlined copy" in findings[0].message
+        assert "regen_drift_pins.py" in findings[0].message
+
+    def test_one_sided_inlined_edit_fires(self, tmp_path):
+        write_fixture(tmp_path)
+        pins = compute_fingerprints(load_project(tmp_path, manifest={}), PAIRS)
+        write_fixture(tmp_path, fast=FAST.replace("y = x + 1", "y = x + 2"))
+        findings = drift_findings(tmp_path, pins=pins)
+        assert [f.rule for f in findings] == ["DRIFT001"]
+        assert findings[0].path == "fast.py"
+
+    def test_paired_edit_without_repin_fires_once(self, tmp_path):
+        write_fixture(tmp_path)
+        pins = compute_fingerprints(load_project(tmp_path, manifest={}), PAIRS)
+        write_fixture(
+            tmp_path,
+            canon=CANON.replace("x + 1", "x + 2"),
+            fast=FAST.replace("y = x + 1", "y = x + 2"),
+        )
+        findings = drift_findings(tmp_path, pins=pins)
+        assert [f.rule for f in findings] == ["DRIFT001"]
+        assert "both sides" in findings[0].message
+
+    def test_missing_marker_and_missing_pin_are_drift002(self, tmp_path):
+        write_fixture(tmp_path, fast="def run(x):\n    return x + 1\n")
+        findings = drift_findings(tmp_path, pins={})
+        assert [f.rule for f in findings] == ["DRIFT002"]
+        assert "marker" in findings[0].message
+
+        write_fixture(tmp_path)  # markers back, but no pin entry
+        findings = drift_findings(tmp_path, pins={})
+        assert [f.rule for f in findings] == ["DRIFT002"]
+        assert "no pinned fingerprints" in findings[0].message
+
+    def test_missing_canonical_symbol_is_drift002(self, tmp_path):
+        write_fixture(tmp_path, canon="class C:\n    pass\n")
+        findings = drift_findings(tmp_path, pins={})
+        assert [f.rule for f in findings] == ["DRIFT002"]
+        assert "C.m" in findings[0].message
+
+
+class TestLivePins:
+    def test_checked_in_pins_match_the_tree(self):
+        # the regen script's --check, as a test: stale pins fail CI here
+        project = load_project(DEFAULT_ROOT)
+        assert compute_fingerprints(project) == load_pins()
+
+    def test_every_pair_has_markers_and_pins(self):
+        project = load_project(DEFAULT_ROOT)
+        pins = load_pins()
+        for key, _canon_rel, _symbol, inline_rel in DRIFT_PAIRS:
+            assert key in pins, key
+            text = project.get(inline_rel).text
+            assert marker_regions(text, key), (key, inline_rel)
+
+
+class TestMutationGate:
+    def test_one_sided_kernel_edit_fails_lint(self, tmp_path):
+        """The acceptance-criteria mutation test: copy the live tree,
+        flip one comparison inside a ``# drift:`` region of the inlined
+        kernel, and the DRIFT family must fail the lint run."""
+        mutant = tmp_path / "repro"
+        shutil.copytree(
+            DEFAULT_ROOT, mutant, ignore=shutil.ignore_patterns("__pycache__")
+        )
+        sim = mutant / "sim" / "simulator.py"
+        text = sim.read_text(encoding="utf-8")
+        assert "if stall > 0:" in text
+        sim.write_text(
+            text.replace("if stall > 0:", "if stall >= 0:"), encoding="utf-8"
+        )
+        findings = analyze(
+            root=mutant, rules=[InlineDriftRule()], manifest={}
+        )
+        assert [f.rule for f in findings] == ["DRIFT001"]
+        assert "core-complete" in findings[0].message
+        assert findings[0].path == "sim/simulator.py"

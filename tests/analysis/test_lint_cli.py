@@ -1,0 +1,230 @@
+"""Runner CLI: selectors, catalogue listing, output formats, suppressions."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze, load_project
+from repro.analysis.findings import Finding
+from repro.analysis.runner import _select_rules, main
+from repro.analysis.rules.determinism import GlobalRandomRule
+from repro.analysis.sarif import format_github, format_sarif
+from repro.analysis.suppress import collect_suppressions
+
+
+def write_violation(root: Path) -> Path:
+    core = root / "core"
+    core.mkdir(parents=True, exist_ok=True)
+    (core / "evil.py").write_text(
+        "import random\n\ndef f():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestSelectors:
+    def test_unknown_prefix_exits_2_listing_known(self, capsys):
+        assert main(["--rules", "BOGUS"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown rule prefix(es) BOGUS" in out
+        assert "RACE" in out and "DET001" in out
+
+    def test_mixed_valid_and_unknown_still_errors(self, capsys):
+        # the old selector silently dropped the typo when another prefix
+        # matched; that disabled checks the caller asked for
+        assert main(["--rules", "DET,TYPO"]) == 2
+        assert "TYPO" in capsys.readouterr().out
+
+    def test_family_prefix_selects_numbered_rules(self):
+        ids = sorted(r.rule_id for r in _select_rules("DET"))
+        assert ids == ["DET001", "DET002", "DET003", "DET004", "DET005"]
+
+    def test_select_alias_still_works(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        code = main(["--root", str(tmp_path), "--select", "DET001"])
+        assert code == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_list_rules_includes_per_code_descriptions(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("RACE001", "FLW004", "DRIFT001", "hot per-access"):
+            assert needle in out
+
+
+class TestFormats:
+    def test_sarif_output_is_valid_and_locates_findings(
+        self, tmp_path, capsys
+    ):
+        write_violation(tmp_path)
+        code = main(["--root", str(tmp_path), "--rules", "DET", "--format", "sarif"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET001", "RACE", "FLW", "DRIFT", "PARSE", "NOQA"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "DET001"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("core/evil.py")
+        assert loc["region"]["startLine"] == 4
+
+    def test_github_format_emits_error_commands(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        code = main(["--root", str(tmp_path), "--rules", "DET", "--format", "github"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=DET001::" in out
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path, capsys):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        code = main(["--root", str(tmp_path), "--rules", "DET", "--format", "sarif"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["runs"][0]["results"] == []
+
+    def test_format_helpers_relativize_to_cwd(self):
+        findings = [Finding("core/x.py", 3, "DET001", "msg")]
+        root = Path("src/repro")
+        sarif = json.loads(format_sarif(findings, root))
+        uri = sarif["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert uri == "src/repro/core/x.py"
+        assert "file=src/repro/core/x.py" in format_github(findings, root)
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+class TestSuppressions:
+    def test_matching_noqa_silences_the_finding(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                import random
+
+                def f():
+                    return random.random()  # repro: noqa[DET001]
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        assert analyze(project=project, rules=[GlobalRandomRule()]) == []
+
+    def test_family_code_covers_numbered_rules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                import random
+
+                def f():
+                    return random.random()  # repro: noqa[DET]
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        assert analyze(project=project, rules=[GlobalRandomRule()]) == []
+
+    def test_stale_noqa_raises_noqa_finding(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                def f():
+                    return 1  # repro: noqa[DET001]
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        findings = analyze(project=project, rules=[GlobalRandomRule()])
+        assert [f.rule for f in findings] == ["NOQA"]
+        assert "stale suppression" in findings[0].message
+
+    def test_unselected_family_noqa_is_not_judged_stale(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                def f():
+                    return 1  # repro: noqa[RACE001]
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        # DET-only run has no way to know whether RACE001 would fire
+        assert analyze(project=project, rules=[GlobalRandomRule()]) == []
+
+    def test_suppress_false_returns_raw_findings(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                import random
+
+                def f():
+                    return random.random()  # repro: noqa[DET001]
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        findings = analyze(
+            project=project, rules=[GlobalRandomRule()], suppress=False
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_collect_parses_multiple_codes(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": "X = 1  # repro: noqa[DET001, FLW002]\n",
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        sup = collect_suppressions(project)
+        assert sup == {("core/x.py", 1): {"DET001", "FLW002"}}
+
+    def test_apply_is_line_precise(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "core/x.py": """
+                import random
+
+                def f():
+                    a = random.random()  # repro: noqa[DET001]
+                    return random.random()
+                """
+            },
+        )
+        project = load_project(tmp_path, manifest={})
+        findings = analyze(project=project, rules=[GlobalRandomRule()])
+        assert [f.rule for f in findings] == ["DET001"]
+        assert findings[0].line == 6
+
+
+class TestWallTime:
+    def test_full_pass_is_fast(self):
+        # CI budgets the lint pass at ~10s; catch an accidental
+        # quadratic blowup in graph construction long before that
+        import time
+
+        from repro.analysis import all_rules
+
+        start = time.monotonic()
+        findings = analyze(rules=all_rules())
+        elapsed = time.monotonic() - start
+        assert findings == []
+        assert elapsed < 8.0, f"lint pass took {elapsed:.1f}s"

@@ -7,13 +7,41 @@ the rule) — never silence the finding.
 
 from __future__ import annotations
 
-from repro.analysis import analyze, format_findings, load_manifest
+from repro.analysis import analyze, format_findings, load_manifest, load_project
 from repro.analysis.runner import DEFAULT_ROOT
 
 
 class TestLiveTree:
     def test_package_is_violation_free(self):
         findings = analyze()
+        assert findings == [], "\n" + format_findings(findings)
+
+    def test_new_families_are_clean_without_suppressions(self):
+        # RACE/FLW/DRIFT landed with a zero suppression budget: the tree
+        # itself satisfies them, and nothing is noqa'd away
+        from repro.analysis.rules.drift import InlineDriftRule
+        from repro.analysis.rules.flow import HotPathDataflowRule
+        from repro.analysis.rules.race import ForkSafetyRule
+        from repro.analysis.suppress import collect_suppressions
+
+        rules = [ForkSafetyRule(), HotPathDataflowRule(), InlineDriftRule()]
+        findings = analyze(rules=rules, suppress=False)
+        assert findings == [], "\n" + format_findings(findings)
+        assert collect_suppressions(load_project(DEFAULT_ROOT)) == {}
+
+    def test_legacy_families_unchanged_by_engine_swap(self):
+        # the semantic engine must not alter what the original per-file
+        # families report: the tree was clean before the swap and every
+        # legacy rule must still report exactly nothing
+        from repro.analysis import all_rules
+
+        legacy = [
+            r
+            for r in all_rules()
+            if r.rule_id.startswith(("DET", "BUD", "CON", "EXP", "PERF"))
+        ]
+        assert len(legacy) >= 9
+        findings = analyze(rules=legacy, suppress=False)
         assert findings == [], "\n" + format_findings(findings)
 
     def test_manifest_matches_runtime_config(self):

@@ -1,0 +1,287 @@
+"""RACE family: fixture packages with known fork-safety violations."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze, load_project
+from repro.analysis.rules.race import ForkSafetyRule
+
+
+def run_race(root: Path, files: dict[str, str]) -> list:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    project = load_project(root, manifest={})
+    return analyze(project=project, rules=[ForkSafetyRule()])
+
+
+# indented to match the fixture bodies so the concatenation dedents
+POOL_HEADER = """
+                from concurrent.futures import ProcessPoolExecutor
+"""
+
+
+class TestRace001SharedMutables:
+    def test_worker_write_parent_read_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                _RESULTS = {}
+
+                def _worker(job):
+                    _RESULTS[job] = job * 2
+                    return job
+
+                def run_all(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        for j in jobs:
+                            pool.submit(_worker, j)
+                    return {j: _RESULTS.get(j) for j in jobs}
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE001"]
+        assert "_RESULTS" in findings[0].message
+        assert "_worker" in findings[0].message
+
+    def test_parent_write_worker_read_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                _CONFIG = {}
+
+                def configure(k, v):
+                    _CONFIG[k] = v
+
+                def _worker(job):
+                    return _CONFIG.get(job)
+
+                def run_all(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_worker, j) for j in jobs]
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE001"]
+        assert "import-time value" in findings[0].message
+
+    def test_worker_only_memo_is_clean(self, tmp_path):
+        # the _WORKER_TRACE_MEMO pattern: written and read on the worker
+        # side only — per-process state is the supported idiom
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                _MEMO = {}
+
+                def _worker(job):
+                    cached = _MEMO.get(job)
+                    if cached is None:
+                        cached = job * 2
+                        _MEMO[job] = cached
+                    return cached
+
+                def run_all(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_worker, j) for j in jobs]
+                """
+            },
+        )
+        assert findings == []
+
+    def test_import_time_registration_is_clean(self, tmp_path):
+        # registry populated at module scope (spawn re-runs it in every
+        # process) then read by workers: the suites.py pattern
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                _REGISTRY = {}
+
+                def _register(name):
+                    _REGISTRY[name] = name.upper()
+
+                _register("a")
+                _register("b")
+
+                def _worker(job):
+                    return _REGISTRY[job]
+
+                def run_all(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_worker, j) for j in jobs]
+                """
+            },
+        )
+        assert findings == []
+
+
+class TestRace002Rng:
+    def test_global_random_call_in_worker_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                import random
+
+                def _job(seed):
+                    return random.random()
+
+                def run(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, j) for j in jobs]
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE002"]
+        assert "random.random()" in findings[0].message
+
+    def test_config_seeded_rng_is_clean(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                import random
+
+                def _job(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+
+                def run(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, j) for j in jobs]
+                """
+            },
+        )
+        assert findings == []
+
+    def test_unseeded_random_instance_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                import random
+
+                def _job(n):
+                    rng = random.Random()
+                    return rng.random()
+
+                def run(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, j) for j in jobs]
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE002"]
+        assert "no seed" in findings[0].message
+
+    def test_module_level_rng_read_from_worker_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                import random
+
+                _RNG = random.Random(1234)
+
+                def _job(n):
+                    return _RNG.random()
+
+                def run(jobs):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, j) for j in jobs]
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE002"]
+        assert "_RNG" in findings[0].message
+
+    def test_random_instance_in_submit_args_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                import random
+
+                def _job(rng):
+                    return rng.random()
+
+                def run(jobs):
+                    rng = random.Random(7)
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, rng) for j in jobs]
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE002"]
+        assert "pickled RNG state" in findings[0].message
+
+
+class TestRace003Handles:
+    def test_open_handle_in_submit_args_is_flagged(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                def _job(fh):
+                    return fh.read()
+
+                def run(paths):
+                    with ProcessPoolExecutor() as pool:
+                        futures = []
+                        for p in paths:
+                            fh = open(p, "rb")
+                            futures.append(pool.submit(_job, fh))
+                    return futures
+                """
+            },
+        )
+        assert [f.rule for f in findings] == ["RACE003"]
+        assert "open(" in findings[0].message
+
+    def test_path_arguments_are_clean(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "par.py": POOL_HEADER
+                + """
+                def _job(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+
+                def run(paths):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_job, p) for p in paths]
+                """
+            },
+        )
+        assert findings == []
+
+    def test_no_executor_means_no_findings(self, tmp_path):
+        findings = run_race(
+            tmp_path,
+            {
+                "serial.py": """
+                STATE = {}
+
+                def tick(k):
+                    STATE[k] = k
+                """
+            },
+        )
+        assert findings == []
