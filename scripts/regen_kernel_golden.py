@@ -32,10 +32,10 @@ SPEC = {
     "workloads": ["list", "mcf", "graph500-csr"],
     "prefetchers": sorted(PREFETCHER_FACTORIES),
     "limit": 3000,
-    "warmup": {"workloads": ["list", "mcf"], "warmup": 500},
+    "warmup": {"workloads": ["list", "mcf", "graph500-csr"], "warmup": 500},
     "phased": {
         "workload": "list",
-        "prefetchers": ["context", "stride"],
+        "prefetchers": sorted(PREFETCHER_FACTORIES),
         "num_phases": 3,
         "cold_start": False,
     },

@@ -45,6 +45,11 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--store-dir", default=None, metavar="DIR",
                         help="trace-store directory "
                              "(default: results/.cache/traces)")
+    parser.add_argument("--native", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run eligible cells through the compiled batch "
+                             "kernel (bit-exact; --no-native forces the "
+                             "interpreted reference loop)")
     return parser.parse_args()
 
 
@@ -56,9 +61,11 @@ def main() -> int:
 
     cache = None if args.no_cache else SweepCache(args.cache_dir or DEFAULT_CACHE_DIR)
     store = None if args.no_store else TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
-    set_default_execution(jobs=args.jobs, cache=cache, store=store)
+    set_default_execution(jobs=args.jobs, cache=cache, store=store,
+                          native=args.native)
     print(f"result cache: {'off' if cache is None else cache.root}")
     print(f"trace store:  {'off' if store is None else store.root}")
+    print(f"kernel:       {'native' if args.native else 'interpreted'}")
 
     t0 = time.time()
     # the engine itself is wall-clock-free (lint rule DET003); per-job

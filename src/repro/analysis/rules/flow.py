@@ -63,8 +63,16 @@ DEFAULT_HOT_TARGETS: tuple[tuple[str, str], ...] = (
     ("sim/simulator.py", "Simulator.run"),
 )
 
-#: default FLW004 scope: the degrade-to-rebuild modules
-DEFAULT_DEGRADE_SCOPE: tuple[str, ...] = ("sim/cache.py", "workloads/store.py")
+#: default FLW004 scope: the degrade-to-rebuild modules (the native
+#: kernel's build/decode/adapter layers all degrade to the interpreted
+#: path and must never swallow a failure silently)
+DEFAULT_DEGRADE_SCOPE: tuple[str, ...] = (
+    "sim/cache.py",
+    "workloads/store.py",
+    "sim/native/build.py",
+    "sim/native/adapter.py",
+    "sim/native/decode.py",
+)
 
 
 @register_rule

@@ -21,6 +21,13 @@ into slotted layout:
   field list, order or formats without bumping ``STORE_VERSION`` (and
   pinning the new hash) fails ``repro lint``, so a stale file can
   never be misread as a current one.
+* ``PERF003`` — the native batch kernel declares its phase contract in
+  ``repro.sim.native.VECTOR_PHASES``: every vectorized phase names the
+  scalar-fallback implementation that must keep existing (the kernel
+  falls back per run, so deleting or renaming either side strands the
+  other).  The rule resolves both sides of every row against the AST;
+  a one-sided edit — a vectorized phase whose fallback is gone, or a
+  fallback whose vectorized twin was renamed — fails ``repro lint``.
 """
 
 from __future__ import annotations
@@ -236,3 +243,126 @@ class RecordLayoutRule(Rule):
                 f"{pinned[:12]}…): bump STORE_VERSION and pin the new "
                 "layout, or revert the layout change",
             )
+
+
+# ----------------------------------------------------------------------
+# PERF003: vectorized phases keep their scalar-fallback counterparts
+
+NATIVE_MODULE = "sim/native/__init__.py"
+
+
+def _module_rel(module: str) -> str:
+    """``repro.sim.native.adapter`` -> ``sim/native/adapter.py``."""
+    parts = module.split(".")
+    if parts and parts[0] == "repro":
+        parts = parts[1:]
+    return "/".join(parts) + ".py"
+
+
+def _resolve_qualname(tree: ast.Module, qualname: str) -> bool:
+    """True when ``qualname`` names a function/method in ``tree``.
+
+    Handles top-level functions (``lines_of_array``) and one class level
+    (``Simulator.run``) — the only shapes the phase table uses.
+    """
+    parts = qualname.split(".")
+    body: list[ast.stmt] = tree.body
+    for i, part in enumerate(parts):
+        match = None
+        for stmt in body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == part
+                and i == len(parts) - 1
+            ):
+                match = stmt
+                break
+            if isinstance(stmt, ast.ClassDef) and stmt.name == part:
+                match = stmt
+                break
+        if match is None:
+            return False
+        if isinstance(match, ast.ClassDef):
+            body = match.body
+    return not isinstance(match, ast.ClassDef) or len(parts) == 1
+
+
+@register_rule
+class VectorPhaseContractRule(Rule):
+    """PERF003: every vectorized phase keeps its scalar fallback."""
+
+    rule_id = "PERF003"
+    title = "vectorized phase without its scalar-fallback counterpart"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        source = project.get(NATIVE_MODULE)
+        if source is None:
+            yield Finding(
+                NATIVE_MODULE,
+                0,
+                self.rule_id,
+                "sim/native/__init__.py is missing: the native kernel's "
+                "phase contract (VECTOR_PHASES) must exist",
+            )
+            return
+        phases = _literal_assign(source.tree, "VECTOR_PHASES")
+        if phases is None or not isinstance(phases[0], (tuple, list)):
+            yield Finding(
+                source.rel,
+                phases[1] if phases else 0,
+                self.rule_id,
+                "VECTOR_PHASES must be a top-level literal tuple of "
+                "(phase, native_impl, scalar_fallback) rows so the "
+                "vectorize/fallback pairing is statically auditable",
+            )
+            return
+        rows, line = phases
+        for row in rows:
+            if (
+                not isinstance(row, (tuple, list))
+                or len(row) != 3
+                or not all(isinstance(item, str) for item in row)
+            ):
+                yield Finding(
+                    source.rel,
+                    line,
+                    self.rule_id,
+                    f"malformed VECTOR_PHASES row {row!r}: expected "
+                    "(phase, 'module:qualname', 'module:qualname')",
+                )
+                continue
+            phase, native_impl, fallback = row
+            for side, ref in (("native", native_impl), ("fallback", fallback)):
+                if ref.count(":") != 1:
+                    yield Finding(
+                        source.rel,
+                        line,
+                        self.rule_id,
+                        f"phase {phase!r}: {side} reference {ref!r} is not "
+                        "'module:qualname'",
+                    )
+                    continue
+                module, qualname = ref.split(":")
+                target = project.get(_module_rel(module))
+                if target is None:
+                    yield Finding(
+                        source.rel,
+                        line,
+                        self.rule_id,
+                        f"phase {phase!r}: {side} module {module!r} "
+                        f"({_module_rel(module)}) does not exist — the "
+                        "vectorized phase and its scalar fallback must "
+                        "be edited together",
+                    )
+                    continue
+                if not _resolve_qualname(target.tree, qualname):
+                    yield Finding(
+                        source.rel,
+                        line,
+                        self.rule_id,
+                        f"phase {phase!r}: {side} implementation "
+                        f"{qualname!r} is gone from {_module_rel(module)} "
+                        "— a vectorized phase must keep its scalar "
+                        "fallback (and vice versa); update VECTOR_PHASES "
+                        "together with the code",
+                    )

@@ -102,6 +102,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="trace-store directory (default: results/.cache/traces)",
     )
+    parser.add_argument(
+        "--native",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run eligible cells through the compiled batch kernel "
+        "(bit-exact; --no-native forces the interpreted reference loop)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
@@ -124,11 +131,14 @@ def _configure_execution(args: argparse.Namespace) -> None:
     store = None
     if not args.no_store:
         store = TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
-    set_default_execution(jobs=args.jobs, cache=cache, store=store)
+    set_default_execution(
+        jobs=args.jobs, cache=cache, store=store, native=args.native
+    )
     print(
         f"execution: jobs={args.jobs}, "
         f"result cache {cache.root if cache else 'off'}, "
-        f"trace store {store.root if store else 'off'}",
+        f"trace store {store.root if store else 'off'}, "
+        f"kernel {'native' if args.native else 'interpreted'}",
         file=sys.stderr,
     )
 
@@ -149,6 +159,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("workload")
     run_p.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
     run_p.add_argument("--limit", type=int, default=None, help="truncate the trace")
+    run_p.add_argument(
+        "--native",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the compiled batch kernel when the prefetcher supports it",
+    )
 
     sweep_p = sub.add_parser("sweep", help="workloads x prefetchers speedup table")
     sweep_p.add_argument("--scale", choices=sorted(SCALES), default="small")
@@ -181,6 +197,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cprofile",
         action="store_true",
         help="skip the timing table; emit only the deterministic counters",
+    )
+    profile_p.add_argument(
+        "--native",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="profile the compiled batch kernel (reports per-phase "
+        "timings) instead of the interpreted per-access loop",
     )
 
     trace_p = sub.add_parser(
@@ -278,7 +301,9 @@ def _cmd_list() -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
-    result = run_workload(args.workload, args.prefetcher, limit=args.limit)
+    result = run_workload(
+        args.workload, args.prefetcher, limit=args.limit, native=args.native
+    )
     lines = [
         result.summary(),
         f"cycles={result.cycles}  instructions={result.instructions}",
@@ -324,6 +349,7 @@ def _cmd_profile(args: argparse.Namespace) -> str:
         limit=args.limit,
         with_cprofile=not args.no_cprofile,
         top=args.top,
+        native=args.native,
     )
     return render(report)
 

@@ -150,3 +150,12 @@ class CoreModel:
         """Account for draining the window at end of trace."""
         self.stats.cycles = int(max(self._cursor, self._max_completion))
         return self.stats
+
+    def is_pristine(self) -> bool:
+        """True when no access has been issued (freshly constructed)."""
+        return (
+            self._inst_pos == 0
+            and not self._lq_ring
+            and not self._rob_window
+            and self.stats.memory_accesses == 0
+        )

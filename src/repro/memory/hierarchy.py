@@ -486,6 +486,28 @@ class Hierarchy:
         """Prefetched lines evicted from the L1 without ever being referenced."""
         return self.l1.unused_prefetch_evictions
 
+    def is_pristine(self) -> bool:
+        """True when the hierarchy has never served an access or prefetch.
+
+        The native kernel may only adopt a hierarchy whose state it can
+        reproduce — the freshly constructed one.
+        """
+        return (
+            self._access_index == 0
+            and self.dram_fetches == 0
+            and self._dram_next_free == 0
+            and not self._pending
+            and not self._backlog
+            and self.l1_stats.accesses == 0
+            and self.l2_stats.accesses == 0
+            and self.prefetches_issued == 0
+            and self.l1_mshrs.allocations == 0
+            and self.l2_mshrs.allocations == 0
+            and self.pf_buffers.allocations == 0
+            and self.l1.occupancy() == 0
+            and self.l2.occupancy() == 0
+        )
+
     def drain(self, now: int) -> None:
         """Apply every outstanding fill up to ``now`` (end-of-run helper)."""
         self._apply_fills(now)

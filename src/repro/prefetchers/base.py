@@ -65,7 +65,9 @@ class PrefetchRequest(NamedTuple):
 class Prefetcher(abc.ABC):
     """Abstract prefetcher driven by the demand-access stream."""
 
-    __slots__ = ()
+    # weak-referenceable so the native kernel can key its state handles
+    # on the prefetcher instance without extending its lifetime
+    __slots__ = ("__weakref__",)
 
     #: short name used in reports and figures
     name: str = "base"
@@ -98,6 +100,15 @@ class Prefetcher(abc.ABC):
 
     def reset(self) -> None:
         """Clear learned state (between simulation phases)."""
+
+    def is_pristine(self) -> bool:
+        """True when no learned state exists yet (never observed an access).
+
+        The native kernel may only *adopt* a prefetcher whose state it can
+        reproduce — an empty one.  Families without a native port keep the
+        conservative default.
+        """
+        return False
 
 
 @dataclass(slots=True)

@@ -156,3 +156,6 @@ class GHBPrefetcher(Prefetcher):
         self._buffer = [None] * self.config.ghb_entries
         self._index.clear()
         self._next_seq = 0
+
+    def is_pristine(self) -> bool:
+        return self._next_seq == 0 and not self._index

@@ -99,3 +99,6 @@ class MarkovPrefetcher(Prefetcher):
     def reset(self) -> None:
         self._table.clear()
         self._last_line = None
+
+    def is_pristine(self) -> bool:
+        return not self._table and self._last_line is None

@@ -17,3 +17,6 @@ class NoPrefetcher(Prefetcher):
 
     def storage_bits(self) -> int:
         return 0
+
+    def is_pristine(self) -> bool:
+        return True  # stateless: always adoptable by the native kernel

@@ -156,3 +156,11 @@ class SMSPrefetcher(Prefetcher):
         self._agt.clear()
         self._pht.clear()
         self.generations_trained = 0
+
+    def is_pristine(self) -> bool:
+        return (
+            not self._filter
+            and not self._agt
+            and not self._pht
+            and self.generations_trained == 0
+        )

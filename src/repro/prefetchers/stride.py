@@ -87,3 +87,6 @@ class StridePrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self._table.clear()
+
+    def is_pristine(self) -> bool:
+        return not self._table

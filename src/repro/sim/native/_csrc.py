@@ -1,0 +1,1584 @@
+"""C source for the native batch kernel (compiled at runtime via cffi).
+
+The kernel is a line-for-line port of the interpreted hot path — the
+core timing model, the two-level hierarchy with MSHRs/prefetch buffers,
+and the five table-based prefetcher families — with every tie-breaking
+data structure (the CPython heapq layout for the pending-fill heap, the
+dict-insertion-order LRU of the caches and index tables) reproduced
+exactly so results are bit-identical.  ``docs/native_kernel.md`` carries
+the per-phase exactness arguments; the golden/parity/fuzz suites prove
+them.
+"""
+
+from __future__ import annotations
+
+#: number of int64 slots rp_run writes into its output block
+OUT_SLOTS = 19 + 129
+
+CDEF = """
+typedef struct RpSim RpSim;
+typedef struct RpPf RpPf;
+
+RpSim *rp_sim_new(const int64_t *hier_cfg, const int64_t *core_cfg);
+void rp_sim_free(RpSim *sim);
+void rp_reset_stats(RpSim *sim);
+RpPf *rp_pf_new(int kind, const int64_t *cfg);
+void rp_pf_free(RpPf *pf);
+int rp_run(RpSim *sim, RpPf *pf, int64_t n, int64_t start_index,
+           const uint64_t *addrs, const uint64_t *pcs,
+           const uint64_t *lines, const uint32_t *inst_gaps,
+           const uint8_t *flags, int64_t *out);
+"""
+
+SOURCE_RUNTIME = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* open-addressing hash map: int64 key -> int64 value.  Linear probing
+ * with backward-shift deletion (no tombstones); iteration order is
+ * never observed, matching the plain-dict uses it mirrors. */
+
+static uint64_t mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+typedef struct {
+    int64_t *keys;
+    int64_t *vals;
+    uint8_t *used;
+    size_t cap;   /* power of two */
+    size_t count;
+} Map;
+
+static int map_init(Map *m, size_t cap) {
+    m->cap = cap; m->count = 0;
+    m->keys = (int64_t *)malloc(cap * sizeof(int64_t));
+    m->vals = (int64_t *)malloc(cap * sizeof(int64_t));
+    m->used = (uint8_t *)calloc(cap, 1);
+    return m->keys && m->vals && m->used;
+}
+
+static void map_free(Map *m) {
+    free(m->keys); free(m->vals); free(m->used);
+    m->keys = 0; m->vals = 0; m->used = 0; m->cap = 0; m->count = 0;
+}
+
+static void map_clear(Map *m) {
+    memset(m->used, 0, m->cap);
+    m->count = 0;
+}
+
+static int map_grow(Map *m);
+
+/* returns slot of key, or (size_t)-1 */
+static size_t map_find(const Map *m, int64_t key) {
+    size_t mask = m->cap - 1;
+    size_t i = (size_t)mix64((uint64_t)key) & mask;
+    while (m->used[i]) {
+        if (m->keys[i] == key) return i;
+        i = (i + 1) & mask;
+    }
+    return (size_t)-1;
+}
+
+static int map_set(Map *m, int64_t key, int64_t val) {
+    if ((m->count + 1) * 4 >= m->cap * 3) {
+        if (!map_grow(m)) return 0;
+    }
+    size_t mask = m->cap - 1;
+    size_t i = (size_t)mix64((uint64_t)key) & mask;
+    while (m->used[i]) {
+        if (m->keys[i] == key) { m->vals[i] = val; return 1; }
+        i = (i + 1) & mask;
+    }
+    m->keys[i] = key; m->vals[i] = val; m->used[i] = 1; m->count++;
+    return 1;
+}
+
+static int map_grow(Map *m) {
+    Map bigger;
+    if (!map_init(&bigger, m->cap * 2)) return 0;
+    for (size_t i = 0; i < m->cap; i++) {
+        if (m->used[i]) map_set(&bigger, m->keys[i], m->vals[i]);
+    }
+    map_free(m);
+    *m = bigger;
+    return 1;
+}
+
+/* value of key, or `absent` when missing */
+static int64_t map_get(const Map *m, int64_t key, int64_t absent) {
+    size_t i = map_find(m, key);
+    return i == (size_t)-1 ? absent : m->vals[i];
+}
+
+static void map_del_slot(Map *m, size_t i) {
+    size_t mask = m->cap - 1;
+    size_t j = i;
+    for (;;) {
+        m->used[i] = 0;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (!m->used[j]) { m->count--; return; }
+            size_t k = (size_t)mix64((uint64_t)m->keys[j]) & mask;
+            /* keep entries whose home slot lies cyclically in (i, j] */
+            if (i <= j ? (k <= i || k > j) : (k <= i && k > j)) break;
+        }
+        m->keys[i] = m->keys[j];
+        m->vals[i] = m->vals[j];
+        m->used[i] = 1;
+        i = j;
+    }
+}
+
+static void map_del(Map *m, int64_t key) {
+    size_t i = map_find(m, key);
+    if (i != (size_t)-1) map_del_slot(m, i);
+}
+
+/* pop(key, default): removes and returns, like dict.pop */
+static int64_t map_pop(Map *m, int64_t key, int64_t absent) {
+    size_t i = map_find(m, key);
+    if (i == (size_t)-1) return absent;
+    int64_t v = m->vals[i];
+    map_del_slot(m, i);
+    return v;
+}
+
+/* ------------------------------------------------------------------ */
+/* growable FIFO ring of (idx, line) pairs: the prediction logs */
+
+typedef struct {
+    int64_t *idx;
+    int64_t *line;
+    size_t cap;   /* power of two */
+    size_t head;
+    size_t len;
+} Log;
+
+static int log_init(Log *g, size_t cap) {
+    g->cap = cap; g->head = 0; g->len = 0;
+    g->idx = (int64_t *)malloc(cap * sizeof(int64_t));
+    g->line = (int64_t *)malloc(cap * sizeof(int64_t));
+    return g->idx && g->line;
+}
+
+static void log_free(Log *g) {
+    free(g->idx); free(g->line);
+    g->idx = 0; g->line = 0; g->cap = 0; g->head = 0; g->len = 0;
+}
+
+static void log_clear(Log *g) { g->head = 0; g->len = 0; }
+
+static int log_push(Log *g, int64_t idx, int64_t line) {
+    if (g->len == g->cap) {
+        size_t ncap = g->cap * 2;
+        int64_t *ni = (int64_t *)malloc(ncap * sizeof(int64_t));
+        int64_t *nl = (int64_t *)malloc(ncap * sizeof(int64_t));
+        if (!ni || !nl) { free(ni); free(nl); return 0; }
+        for (size_t i = 0; i < g->len; i++) {
+            size_t s = (g->head + i) & (g->cap - 1);
+            ni[i] = g->idx[s]; nl[i] = g->line[s];
+        }
+        free(g->idx); free(g->line);
+        g->idx = ni; g->line = nl; g->cap = ncap; g->head = 0;
+    }
+    size_t s = (g->head + g->len) & (g->cap - 1);
+    g->idx[s] = idx; g->line[s] = line;
+    g->len++;
+    return 1;
+}
+
+static void log_pop(Log *g, int64_t *idx, int64_t *line) {
+    *idx = g->idx[g->head]; *line = g->line[g->head];
+    g->head = (g->head + 1) & (g->cap - 1);
+    g->len--;
+}
+
+/* ------------------------------------------------------------------ */
+/* pending-fill heap: a verbatim port of CPython's heapq siftdown/siftup
+ * over elements compared ONLY on completes_at with strict <, matching
+ * _PendingFill.__lt__ — equal-time fills therefore pop in the identical
+ * structure-dependent order as the interpreted path. */
+
+typedef struct {
+    int64_t t;       /* completes_at */
+    int64_t line;
+    uint8_t prefetched;
+    uint8_t fill_l2;
+} Fill;
+
+typedef struct { Fill *a; size_t len, cap; } FillHeap;
+
+static int fheap_init(FillHeap *h, size_t cap) {
+    h->len = 0; h->cap = cap;
+    h->a = (Fill *)malloc(cap * sizeof(Fill));
+    return h->a != 0;
+}
+
+static void fheap_free(FillHeap *h) { free(h->a); h->a = 0; h->len = 0; h->cap = 0; }
+
+static void fheap_siftdown(FillHeap *h, size_t startpos, size_t pos) {
+    Fill newitem = h->a[pos];
+    while (pos > startpos) {
+        size_t parentpos = (pos - 1) >> 1;
+        Fill parent = h->a[parentpos];
+        if (newitem.t < parent.t) { h->a[pos] = parent; pos = parentpos; continue; }
+        break;
+    }
+    h->a[pos] = newitem;
+}
+
+static void fheap_siftup(FillHeap *h, size_t pos) {
+    size_t startpos = pos, endpos = h->len;
+    Fill newitem = h->a[pos];
+    size_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        size_t rightpos = childpos + 1;
+        if (rightpos < endpos && !(h->a[childpos].t < h->a[rightpos].t))
+            childpos = rightpos;
+        h->a[pos] = h->a[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    h->a[pos] = newitem;
+    fheap_siftdown(h, startpos, pos);
+}
+
+static int fheap_push(FillHeap *h, Fill item) {
+    if (h->len == h->cap) {
+        size_t ncap = h->cap * 2;
+        Fill *na = (Fill *)realloc(h->a, ncap * sizeof(Fill));
+        if (!na) return 0;
+        h->a = na; h->cap = ncap;
+    }
+    h->a[h->len++] = item;
+    fheap_siftdown(h, 0, h->len - 1);
+    return 1;
+}
+
+static Fill fheap_pop(FillHeap *h) {
+    Fill lastelt = h->a[--h->len];
+    if (h->len) {
+        Fill returnitem = h->a[0];
+        h->a[0] = lastelt;
+        fheap_siftup(h, 0);
+        return returnitem;
+    }
+    return lastelt;
+}
+
+/* ------------------------------------------------------------------ */
+/* MSHR expiry heap: (completes_at, line) tuples, full lexicographic
+ * order — lines are unique so successive pops are totally sorted and
+ * any correct min-heap matches the interpreted retirement order. */
+
+typedef struct { int64_t t; int64_t line; } Pair;
+
+typedef struct { Pair *a; size_t len, cap; } PairHeap;
+
+static int pheap_lt(Pair x, Pair y) {
+    return x.t < y.t || (x.t == y.t && x.line < y.line);
+}
+
+static int pheap_init(PairHeap *h, size_t cap) {
+    h->len = 0; h->cap = cap;
+    h->a = (Pair *)malloc(cap * sizeof(Pair));
+    return h->a != 0;
+}
+
+static void pheap_free(PairHeap *h) { free(h->a); h->a = 0; h->len = 0; h->cap = 0; }
+
+static void pheap_siftdown(PairHeap *h, size_t startpos, size_t pos) {
+    Pair newitem = h->a[pos];
+    while (pos > startpos) {
+        size_t parentpos = (pos - 1) >> 1;
+        Pair parent = h->a[parentpos];
+        if (pheap_lt(newitem, parent)) { h->a[pos] = parent; pos = parentpos; continue; }
+        break;
+    }
+    h->a[pos] = newitem;
+}
+
+static void pheap_siftup(PairHeap *h, size_t pos) {
+    size_t startpos = pos, endpos = h->len;
+    Pair newitem = h->a[pos];
+    size_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        size_t rightpos = childpos + 1;
+        if (rightpos < endpos && !pheap_lt(h->a[childpos], h->a[rightpos]))
+            childpos = rightpos;
+        h->a[pos] = h->a[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    h->a[pos] = newitem;
+    pheap_siftdown(h, startpos, pos);
+}
+
+static int pheap_push(PairHeap *h, Pair item) {
+    if (h->len == h->cap) {
+        size_t ncap = h->cap * 2;
+        Pair *na = (Pair *)realloc(h->a, ncap * sizeof(Pair));
+        if (!na) return 0;
+        h->a = na; h->cap = ncap;
+    }
+    h->a[h->len++] = item;
+    pheap_siftdown(h, 0, h->len - 1);
+    return 1;
+}
+
+static Pair pheap_pop(PairHeap *h) {
+    Pair lastelt = h->a[--h->len];
+    if (h->len) {
+        Pair returnitem = h->a[0];
+        h->a[0] = lastelt;
+        pheap_siftup(h, 0);
+        return returnitem;
+    }
+    return lastelt;
+}
+"""
+
+SOURCE_MEMORY = r"""
+/* ------------------------------------------------------------------ */
+/* MSHR file: linear entry table (files are small) + expiry heap with
+ * the _next_expiry short-circuit invariant; lazy retirement exactly as
+ * the interpreted MSHRFile.  NEVER == INT64_MAX stands in for inf. */
+
+#define MSHR_NEVER INT64_MAX
+
+typedef struct {
+    int64_t line;
+    int64_t completes_at;
+    uint8_t used;
+} MEntry;
+
+typedef struct {
+    int num_entries;
+    MEntry *entries;
+    int count;
+    PairHeap heap;
+    int64_t next_expiry;
+} Mshr;
+
+static int mshr_init(Mshr *m, int num_entries) {
+    m->num_entries = num_entries;
+    m->count = 0;
+    m->next_expiry = MSHR_NEVER;
+    m->entries = (MEntry *)calloc((size_t)num_entries, sizeof(MEntry));
+    if (!m->entries) return 0;
+    return pheap_init(&m->heap, (size_t)num_entries + 1);
+}
+
+static void mshr_free(Mshr *m) {
+    free(m->entries); m->entries = 0;
+    pheap_free(&m->heap);
+}
+
+static MEntry *mshr_slot(Mshr *m, int64_t line) {
+    for (int i = 0; i < m->num_entries; i++) {
+        if (m->entries[i].used && m->entries[i].line == line) return &m->entries[i];
+    }
+    return 0;
+}
+
+static void mshr_expire(Mshr *m, int64_t now) {
+    if (now < m->next_expiry) return;
+    while (m->heap.len && m->heap.a[0].t <= now) {
+        Pair p = pheap_pop(&m->heap);
+        MEntry *e = mshr_slot(m, p.line);
+        e->used = 0;
+        m->count--;
+    }
+    m->next_expiry = m->heap.len ? m->heap.a[0].t : MSHR_NEVER;
+}
+
+static int mshr_available(Mshr *m, int64_t now) {
+    if (now >= m->next_expiry) mshr_expire(m, now);
+    return m->num_entries - m->count;
+}
+
+/* completion time of an in-flight line, or -1 */
+static int64_t mshr_lookup(Mshr *m, int64_t line, int64_t now) {
+    if (now >= m->next_expiry) mshr_expire(m, now);
+    MEntry *e = mshr_slot(m, line);
+    return e ? e->completes_at : -1;
+}
+
+static int64_t mshr_earliest(Mshr *m, int64_t now) {
+    if (now >= m->next_expiry) mshr_expire(m, now);
+    if (!m->count) return -1;
+    return m->next_expiry;
+}
+
+static int mshr_allocate(Mshr *m, int64_t line, int64_t now, int64_t completes_at) {
+    if (now >= m->next_expiry) mshr_expire(m, now);
+    MEntry *e = mshr_slot(m, line);
+    if (e) return 1;  /* merge: completion time unchanged */
+    if (m->count >= m->num_entries) return 0;
+    for (int i = 0; i < m->num_entries; i++) {
+        if (!m->entries[i].used) {
+            m->entries[i].line = line;
+            m->entries[i].completes_at = completes_at;
+            m->entries[i].used = 1;
+            break;
+        }
+    }
+    pheap_push(&m->heap, (Pair){completes_at, line});
+    if (completes_at < m->next_expiry) m->next_expiry = completes_at;
+    m->count++;
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* set-associative cache: each set is an array ordered LRU -> MRU, the
+ * exact mirror of the dict-as-LRU sets (array order == dict insertion
+ * order; move-to-end == delete+reinsert; victim == first entry). */
+
+typedef struct {
+    int64_t line;
+    uint8_t prefetched;
+    uint8_t referenced;
+} CLine;
+
+typedef struct {
+    int64_t num_sets;   /* power of two (validated by CacheConfig) */
+    int ways;
+    CLine *data;        /* num_sets * ways */
+    int *counts;
+    int64_t unused_prefetch_evictions;
+    int64_t used_prefetch_fills;
+} NCache;
+
+static int cache_init(NCache *c, int64_t num_sets, int ways) {
+    c->num_sets = num_sets;
+    c->ways = ways;
+    c->unused_prefetch_evictions = 0;
+    c->used_prefetch_fills = 0;
+    c->data = (CLine *)calloc((size_t)(num_sets * ways), sizeof(CLine));
+    c->counts = (int *)calloc((size_t)num_sets, sizeof(int));
+    return c->data && c->counts;
+}
+
+static void cache_free(NCache *c) {
+    free(c->data); free(c->counts);
+    c->data = 0; c->counts = 0;
+}
+
+static int cache_contains(NCache *c, int64_t line) {
+    CLine *set = c->data + (line & (c->num_sets - 1)) * c->ways;
+    int n = c->counts[line & (c->num_sets - 1)];
+    for (int i = 0; i < n; i++) {
+        if (set[i].line == line) return 1;
+    }
+    return 0;
+}
+
+/* demand_lookup: (found, fresh_prefetch) with lookup side effects */
+static int cache_demand_lookup(NCache *c, int64_t line, int *fresh_prefetch) {
+    int64_t s = line & (c->num_sets - 1);
+    CLine *set = c->data + s * c->ways;
+    int n = c->counts[s];
+    for (int i = 0; i < n; i++) {
+        if (set[i].line == line) {
+            CLine e = set[i];
+            memmove(set + i, set + i + 1, (size_t)(n - 1 - i) * sizeof(CLine));
+            int fresh = e.prefetched && !e.referenced;
+            if (fresh) c->used_prefetch_fills++;
+            e.referenced = 1;
+            set[n - 1] = e;
+            *fresh_prefetch = fresh;
+            return 1;
+        }
+    }
+    *fresh_prefetch = 0;
+    return 0;
+}
+
+/* Cache.lookup: hit? with LRU + reference side effects */
+static int cache_lookup(NCache *c, int64_t line) {
+    int fresh;
+    return cache_demand_lookup(c, line, &fresh);
+}
+
+static void cache_fill(NCache *c, int64_t line, int prefetched) {
+    int64_t s = line & (c->num_sets - 1);
+    CLine *set = c->data + s * c->ways;
+    int n = c->counts[s];
+    for (int i = 0; i < n; i++) {
+        if (set[i].line == line) {
+            /* refresh LRU position; never downgrade flags */
+            CLine e = set[i];
+            memmove(set + i, set + i + 1, (size_t)(n - 1 - i) * sizeof(CLine));
+            set[n - 1] = e;
+            return;
+        }
+    }
+    if (n >= c->ways) {
+        CLine victim = set[0];
+        if (victim.prefetched && !victim.referenced) c->unused_prefetch_evictions++;
+        memmove(set, set + 1, (size_t)(n - 1) * sizeof(CLine));
+        n--;
+    }
+    set[n].line = line;
+    set[n].prefetched = (uint8_t)prefetched;
+    set[n].referenced = 0;
+    c->counts[s] = n + 1;
+}
+
+static int64_t cache_resident_unused(NCache *c) {
+    int64_t total = 0;
+    for (int64_t s = 0; s < c->num_sets; s++) {
+        CLine *set = c->data + s * c->ways;
+        int n = c->counts[s];
+        for (int i = 0; i < n; i++) {
+            if (set[i].prefetched && !set[i].referenced) total++;
+        }
+    }
+    return total;
+}
+
+/* ------------------------------------------------------------------ */
+/* two-level hierarchy */
+
+/* access classes, in ACCESS_CLASS_ORDER */
+#define AC_HIT_PREFETCHED 0
+#define AC_SHORTER_WAIT 1
+#define AC_NON_TIMELY 2
+#define AC_MISS_NOT_PREFETCHED 3
+#define AC_HIT_OLDER_DEMAND 4
+#define AC_PREFETCH_NEVER_HIT 5
+
+/* served-by codes */
+#define SERVED_L1 0
+#define SERVED_MSHR 1
+#define SERVED_L2 2
+#define SERVED_DRAM 3
+
+typedef struct {
+    int64_t line_bytes;
+    int64_t l1_latency, l2_hit_latency, dram_fill_latency, service_interval;
+    int64_t pf_reserve, backlog_depth;
+    uint8_t prefetch_fill_l1;
+    NCache l1, l2;
+    Mshr l1m, l2m, pfb;
+    FillHeap pending;
+    int64_t *backlog;
+    int backlog_len;
+    int64_t dram_next_free;
+    int64_t dram_fetches;
+    Map predicted;          /* _predicted_not_issued */
+    Log pred_log;
+    int64_t prediction_window;
+    int64_t access_index;
+    int64_t l1_acc, l1_hit, l1_miss;
+    int64_t l2_acc, l2_hit, l2_miss;
+    int64_t prefetches_issued, prefetches_rejected_mshr, prefetches_redundant;
+} Hier;
+
+static int64_t hier_dram_completion(Hier *h, int64_t now, int64_t base_latency) {
+    int64_t start = h->dram_next_free;
+    if (now > start) start = now;
+    h->dram_next_free = start + h->service_interval;
+    h->dram_fetches++;
+    return start + base_latency;
+}
+
+static void hier_note_unissued(Hier *h, int64_t line) {
+    int64_t index = h->access_index;
+    map_set(&h->predicted, line, index);
+    log_push(&h->pred_log, index, line);
+    int64_t cutoff = index - h->prediction_window;
+    while (h->pred_log.len && h->pred_log.idx[h->pred_log.head] < cutoff) {
+        int64_t idx, ln;
+        log_pop(&h->pred_log, &idx, &ln);
+        if (map_get(&h->predicted, ln, -1) == idx) map_del(&h->predicted, ln);
+    }
+}
+
+/* try_issue_prefetch result codes */
+#define TRY_NONE 0
+#define TRY_ISSUED 1
+#define TRY_RESIDENT_L2 2
+
+static int hier_try_issue(Hier *h, int64_t line, int64_t now) {
+    if (mshr_available(&h->pfb, now) <= 0) return TRY_NONE;
+    int64_t completes_at;
+    uint8_t fill_l2;
+    if (cache_contains(&h->l2, line)) {
+        if (!h->prefetch_fill_l1) {
+            h->prefetches_redundant++;
+            return TRY_RESIDENT_L2;
+        }
+        cache_lookup(&h->l2, line);
+        completes_at = now + h->l2_hit_latency;
+        fill_l2 = 0;
+    } else {
+        if (mshr_available(&h->l2m, now) <= 0) return TRY_NONE;
+        completes_at = hier_dram_completion(h, now, h->dram_fill_latency);
+        fill_l2 = 1;
+        mshr_allocate(&h->l2m, line, now, completes_at);
+    }
+    mshr_allocate(&h->pfb, line, now, completes_at);
+    fheap_push(&h->pending, (Fill){completes_at, line, 1, fill_l2});
+    h->prefetches_issued++;
+    return TRY_ISSUED;
+}
+
+static void hier_drain_backlog(Hier *h, int64_t now) {
+    while (h->backlog_len && mshr_available(&h->pfb, now) > 0) {
+        int64_t line = h->backlog[0];
+        if (cache_contains(&h->l1, line)
+            || mshr_lookup(&h->pfb, line, now) >= 0
+            || mshr_lookup(&h->l1m, line, now) >= 0) {
+            memmove(h->backlog, h->backlog + 1, (size_t)(h->backlog_len - 1) * sizeof(int64_t));
+            h->backlog_len--;
+            continue;
+        }
+        if (hier_try_issue(h, line, now) == TRY_NONE) break;
+        memmove(h->backlog, h->backlog + 1, (size_t)(h->backlog_len - 1) * sizeof(int64_t));
+        h->backlog_len--;
+    }
+}
+
+static void hier_apply_fills(Hier *h, int64_t now) {
+    if (h->pending.len && h->pending.a[0].t <= now) {
+        while (h->pending.len && h->pending.a[0].t <= now) {
+            Fill f = fheap_pop(&h->pending);
+            if (f.fill_l2) cache_fill(&h->l2, f.line, f.prefetched);
+            if (!f.prefetched || h->prefetch_fill_l1) cache_fill(&h->l1, f.line, f.prefetched);
+        }
+    }
+    if (h->backlog_len) hier_drain_backlog(h, now);
+}
+
+/* demand access; fills the latency / l1_hit / served / ac out-params */
+static void hier_demand_access(Hier *h, int64_t line, int64_t now,
+                               int64_t *latency, int *l1_hit, int *served, int *ac) {
+    if ((h->pending.len && h->pending.a[0].t <= now) || h->backlog_len)
+        hier_apply_fills(h, now);
+    h->access_index++;
+    int64_t l1_latency = h->l1_latency;
+
+    int fresh;
+    if (cache_demand_lookup(&h->l1, line, &fresh)) {
+        h->l1_acc++; h->l1_hit++;
+        *latency = l1_latency;
+        *l1_hit = 1;
+        *served = SERVED_L1;
+        *ac = fresh ? AC_HIT_PREFETCHED : AC_HIT_OLDER_DEMAND;
+        return;
+    }
+    h->l1_acc++; h->l1_miss++;
+    *l1_hit = 0;
+
+    int64_t pf_inflight = mshr_lookup(&h->pfb, line, now);
+    if (pf_inflight >= 0) {
+        int64_t lat = pf_inflight - now;
+        if (lat < l1_latency) lat = l1_latency;
+        *latency = lat;
+        *served = SERVED_MSHR;
+        *ac = AC_SHORTER_WAIT;
+        return;
+    }
+
+    int64_t inflight = mshr_lookup(&h->l1m, line, now);
+    if (inflight >= 0) {
+        mshr_allocate(&h->l1m, line, now, inflight);  /* secondary-miss merge */
+        int64_t lat = inflight - now;
+        if (lat < l1_latency) lat = l1_latency;
+        *latency = lat;
+        *served = SERVED_MSHR;
+        *ac = AC_HIT_OLDER_DEMAND;
+        return;
+    }
+
+    int l2_hit = cache_lookup(&h->l2, line);
+    h->l2_acc++;
+    if (l2_hit) h->l2_hit++; else h->l2_miss++;
+
+    int64_t issue_at = now;
+    if (mshr_available(&h->l1m, now) == 0) {
+        int64_t earliest = mshr_earliest(&h->l1m, now);
+        if (earliest > issue_at) issue_at = earliest;
+    }
+
+    int64_t completes_at;
+    if (l2_hit) {
+        completes_at = issue_at + h->l2_hit_latency;
+        *served = SERVED_L2;
+    } else {
+        int64_t dram_fill = h->dram_fill_latency;
+        completes_at = hier_dram_completion(h, now, dram_fill);
+        int64_t floor = issue_at + dram_fill;
+        if (floor > completes_at) completes_at = floor;
+        *served = SERVED_DRAM;
+    }
+    *latency = completes_at - now;
+
+    mshr_allocate(&h->l1m, line, issue_at, completes_at);
+    if (!l2_hit) mshr_allocate(&h->l2m, line, issue_at, completes_at);
+    fheap_push(&h->pending, (Fill){completes_at, line, 0, (uint8_t)!l2_hit});
+
+    int64_t idx = map_get(&h->predicted, line, -1);
+    if (idx >= 0 && h->access_index - idx <= h->prediction_window)
+        *ac = AC_NON_TIMELY;
+    else
+        *ac = AC_MISS_NOT_PREFETCHED;
+}
+
+/* prefetch of addr at now; returns the outcome's issued flag */
+static int hier_prefetch(Hier *h, int64_t addr, int64_t now) {
+    if ((h->pending.len && h->pending.a[0].t <= now) || h->backlog_len)
+        hier_apply_fills(h, now);
+    int64_t line = addr / h->line_bytes;
+    int64_t reserve = h->pf_reserve;
+
+    if (cache_contains(&h->l1, line)) {
+        h->prefetches_redundant++;
+        return 0;  /* resident */
+    }
+    if (mshr_lookup(&h->pfb, line, now) >= 0 || mshr_lookup(&h->l1m, line, now) >= 0) {
+        h->prefetches_redundant++;
+        return 0;  /* in-flight */
+    }
+    for (int i = 0; i < h->backlog_len; i++) {
+        if (h->backlog[i] == line) {
+            h->prefetches_redundant++;
+            return 0;  /* queued-already */
+        }
+    }
+    if (mshr_available(&h->pfb, now) > reserve) {
+        int r = hier_try_issue(h, line, now);
+        if (r == TRY_ISSUED) return 1;
+        if (r == TRY_RESIDENT_L2) return 0;
+    }
+    if (h->backlog_len < h->backlog_depth) {
+        h->backlog[h->backlog_len++] = line;
+        hier_note_unissued(h, line);
+        return 1;  /* queued: PrefetchOutcome(True, "queued") */
+    }
+    h->prefetches_rejected_mshr++;
+    return 0;  /* mshr-pressure */
+}
+
+/* ------------------------------------------------------------------ */
+/* interval core model */
+
+typedef struct {
+    double cursor, last_completion, max_completion, rob_floor;
+    int64_t inst_pos;
+    int64_t issue_width, rob_size, lq_size;
+    double *lq;
+    int lq_head, lq_len;
+    double *rob_c;
+    int64_t *rob_i;
+    size_t rob_head, rob_len, rob_cap;  /* ring; cap power of two */
+    int64_t stall_cycles, instructions, memory_accesses, cycles;
+} Core;
+
+static int core_init(Core *c, int64_t issue_width, int64_t rob_size, int64_t lq_size) {
+    memset(c, 0, sizeof(*c));
+    c->issue_width = issue_width;
+    c->rob_size = rob_size;
+    c->lq_size = lq_size;
+    c->lq = (double *)malloc((size_t)lq_size * sizeof(double));
+    c->rob_cap = 256;
+    while (c->rob_cap < (size_t)rob_size + 2) c->rob_cap *= 2;
+    c->rob_c = (double *)malloc(c->rob_cap * sizeof(double));
+    c->rob_i = (int64_t *)malloc(c->rob_cap * sizeof(int64_t));
+    return c->lq && c->rob_c && c->rob_i;
+}
+
+static void core_free(Core *c) {
+    free(c->lq); free(c->rob_c); free(c->rob_i);
+    c->lq = 0; c->rob_c = 0; c->rob_i = 0;
+}
+
+static int core_rob_push(Core *c, double completion, int64_t inst_pos) {
+    if (c->rob_len == c->rob_cap) {
+        size_t ncap = c->rob_cap * 2;
+        double *nc = (double *)malloc(ncap * sizeof(double));
+        int64_t *ni = (int64_t *)malloc(ncap * sizeof(int64_t));
+        if (!nc || !ni) { free(nc); free(ni); return 0; }
+        for (size_t i = 0; i < c->rob_len; i++) {
+            size_t s = (c->rob_head + i) & (c->rob_cap - 1);
+            nc[i] = c->rob_c[s]; ni[i] = c->rob_i[s];
+        }
+        free(c->rob_c); free(c->rob_i);
+        c->rob_c = nc; c->rob_i = ni; c->rob_cap = ncap; c->rob_head = 0;
+    }
+    size_t s = (c->rob_head + c->rob_len) & (c->rob_cap - 1);
+    c->rob_c[s] = completion; c->rob_i[s] = inst_pos;
+    c->rob_len++;
+    return 1;
+}
+"""
+
+SOURCE_PF = r"""
+/* ------------------------------------------------------------------ */
+/* prefetchers.  Request buffer: every family emits at most 64 requests
+ * per access (degree <= 64, SMS lines_per_region <= 64 — enforced on
+ * the Python side before a config is handed to the kernel). */
+
+#define MAX_REQS 64
+
+#define PF_NONE 0
+#define PF_STRIDE 1
+#define PF_GHB 2
+#define PF_SMS 3
+#define PF_MARKOV 4
+
+/* ---- stride: direct-mapped RPT with 2-bit confidence ---- */
+
+typedef struct {
+    uint64_t tag;
+    int64_t last_addr;
+    int64_t stride;
+    int state;
+    uint8_t used;
+} SEntry;
+
+typedef struct {
+    int64_t table_entries, degree, line_bytes;
+    uint8_t train_on_miss_only;
+    SEntry *table;
+} Stride;
+
+/* ---- GHB with delta correlation; ordered index table (insertion
+ * order, assignment keeps position, FIFO eviction of the oldest key
+ * when the table overflows — exactly dict semantics) ---- */
+
+typedef struct {
+    int64_t key;
+    int64_t val;
+    int prev, next;
+    uint8_t used;
+} OmNode;
+
+typedef struct {
+    OmNode *nodes;
+    int cap;         /* number of node slots */
+    int head, tail;  /* insertion-order list, -1 when empty */
+    int free_head;   /* free list via .next */
+    int count;
+    Map slots;       /* key -> node index */
+} OrderedMap;
+
+static int om_init(OrderedMap *o, int cap) {
+    o->cap = cap;
+    o->head = o->tail = -1;
+    o->count = 0;
+    o->nodes = (OmNode *)calloc((size_t)cap, sizeof(OmNode));
+    if (!o->nodes) return 0;
+    for (int i = 0; i < cap; i++) o->nodes[i].next = i + 1 < cap ? i + 1 : -1;
+    o->free_head = 0;
+    size_t mcap = 16;
+    while (mcap < (size_t)cap * 2) mcap *= 2;
+    return map_init(&o->slots, mcap);
+}
+
+static void om_free(OrderedMap *o) {
+    free(o->nodes); o->nodes = 0;
+    map_free(&o->slots);
+}
+
+static int om_node_of(OrderedMap *o, int64_t key) {
+    return (int)map_get(&o->slots, key, -1);
+}
+
+/* dict assignment: update in place when present, else append */
+static void om_set(OrderedMap *o, int64_t key, int64_t val) {
+    int n = om_node_of(o, key);
+    if (n >= 0) { o->nodes[n].val = val; return; }
+    n = o->free_head;
+    o->free_head = o->nodes[n].next;
+    OmNode *node = &o->nodes[n];
+    node->key = key; node->val = val; node->used = 1;
+    node->prev = o->tail; node->next = -1;
+    if (o->tail >= 0) o->nodes[o->tail].next = n; else o->head = n;
+    o->tail = n;
+    o->count++;
+    map_set(&o->slots, key, n);
+}
+
+static void om_unlink(OrderedMap *o, int n) {
+    OmNode *node = &o->nodes[n];
+    if (node->prev >= 0) o->nodes[node->prev].next = node->next; else o->head = node->next;
+    if (node->next >= 0) o->nodes[node->next].prev = node->prev; else o->tail = node->prev;
+    node->used = 0;
+    node->next = o->free_head;
+    o->free_head = n;
+    o->count--;
+    map_del(&o->slots, node->key);
+}
+
+static void om_evict_oldest(OrderedMap *o) {
+    if (o->head >= 0) om_unlink(o, o->head);
+}
+
+typedef struct {
+    int64_t ghb_entries, index_entries, match_length, degree, max_walk, line_bytes;
+    uint8_t localization_pc;
+    uint8_t train_on_miss_only;
+    int64_t *buf_addr;
+    int64_t *buf_link;
+    uint8_t *buf_used;
+    int64_t next_seq;
+    OrderedMap index;
+    int64_t *stream;   /* scratch, max_walk */
+    int64_t *deltas;   /* scratch, max_walk */
+} Ghb;
+
+/* ---- SMS: insertion-ordered filter/AGT arrays + PHT ---- */
+
+typedef struct {
+    int64_t region;
+    uint64_t trigger_pc;
+    int64_t trigger_offset;
+    uint64_t pattern;
+    int64_t last_touch;
+} Gen;
+
+typedef struct {
+    int64_t region_bytes, line_bytes, filter_entries, agt_entries, pht_entries;
+    int64_t timeout, lines_per_region;
+    Gen *filt;
+    int filt_len;
+    Gen *agt;
+    int agt_len;
+    uint64_t *pht;     /* 0 == absent: committed patterns have >= 2 bits */
+    int64_t *stale;    /* scratch */
+} Sms;
+
+static int64_t sms_pht_index(Sms *s, uint64_t pc, int64_t offset) {
+    unsigned __int128 x =
+        (unsigned __int128)pc * 0x9E3779B1ULL + (unsigned __int128)(uint64_t)offset;
+    return (int64_t)(uint64_t)(x % (unsigned __int128)(uint64_t)s->pht_entries);
+}
+
+static void sms_end_generation(Sms *s, Gen *g) {
+    if (__builtin_popcountll(g->pattern) >= 2)
+        s->pht[sms_pht_index(s, g->trigger_pc, g->trigger_offset)] = g->pattern;
+}
+
+static int sms_find(Gen *arr, int len, int64_t region) {
+    for (int i = 0; i < len; i++) {
+        if (arr[i].region == region) return i;
+    }
+    return -1;
+}
+
+static Gen sms_remove(Gen *arr, int *len, int i) {
+    Gen g = arr[i];
+    memmove(arr + i, arr + i + 1, (size_t)(*len - 1 - i) * sizeof(Gen));
+    (*len)--;
+    return g;
+}
+
+static void sms_expire_stale(Sms *s, int64_t now_index) {
+    int nstale = 0;
+    for (int i = 0; i < s->agt_len; i++) {
+        if (now_index - s->agt[i].last_touch > s->timeout) s->stale[nstale++] = s->agt[i].region;
+    }
+    for (int k = 0; k < nstale; k++) {
+        int i = sms_find(s->agt, s->agt_len, s->stale[k]);
+        Gen g = sms_remove(s->agt, &s->agt_len, i);
+        sms_end_generation(s, &g);
+    }
+    nstale = 0;
+    for (int i = 0; i < s->filt_len; i++) {
+        if (now_index - s->filt[i].last_touch > s->timeout) s->stale[nstale++] = s->filt[i].region;
+    }
+    for (int k = 0; k < nstale; k++) {
+        int i = sms_find(s->filt, s->filt_len, s->stale[k]);
+        sms_remove(s->filt, &s->filt_len, i);
+    }
+}
+
+/* ---- Markov: LRU-ordered state table with per-state successor lists ---- */
+
+typedef struct {
+    int64_t table_entries, max_succ, degree, line_bytes;
+    uint8_t train_on_miss_only;
+    OrderedMap table;    /* line -> slot in succ arrays (node index) */
+    int64_t *succ_line;  /* cap * max_succ */
+    int64_t *succ_count;
+    int *nsucc;          /* per node */
+    int64_t last_line;
+    uint8_t has_last;
+} Markov;
+
+static void markov_move_to_end(OrderedMap *o, int n) {
+    if (o->tail == n) return;
+    OmNode *node = &o->nodes[n];
+    if (node->prev >= 0) o->nodes[node->prev].next = node->next; else o->head = node->next;
+    if (node->next >= 0) o->nodes[node->next].prev = node->prev;
+    node->prev = o->tail;
+    node->next = -1;
+    o->nodes[o->tail].next = n;
+    o->tail = n;
+}
+
+/* ---- dispatch ---- */
+
+typedef struct RpPf {
+    int kind;
+    Stride stride;
+    Ghb ghb;
+    Sms sms;
+    Markov markov;
+} RpPf;
+
+static int pf_on_access(RpPf *pf, int64_t index, uint64_t uaddr, uint64_t pc,
+                        int primary_miss, int64_t *reqs) {
+    int n = 0;
+    switch (pf->kind) {
+    case PF_NONE:
+        break;
+    case PF_STRIDE: {
+        Stride *st = &pf->stride;
+        if (st->train_on_miss_only && !primary_miss) break;
+        int64_t addr = (int64_t)(uaddr / (uint64_t)st->line_bytes) * st->line_bytes;
+        int64_t idx = (int64_t)(pc % (uint64_t)st->table_entries);
+        uint64_t tag = pc / (uint64_t)st->table_entries;
+        SEntry *e = &st->table[idx];
+        if (!e->used || e->tag != tag) {
+            e->tag = tag; e->last_addr = addr; e->stride = 0; e->state = 0; e->used = 1;
+            break;
+        }
+        int64_t stride = addr - e->last_addr;
+        if (stride == e->stride && stride != 0) {
+            e->state = e->state + 1 < 2 ? e->state + 1 : 2;
+        } else if (stride != 0) {
+            e->stride = stride;
+            e->state = 1;
+        } else {
+            e->state = 0;
+        }
+        e->last_addr = addr;
+        if (e->state < 2 || e->stride == 0) break;
+        for (int64_t k = 1; k <= st->degree; k++) {
+            int64_t target = addr + e->stride * k;
+            if (target > 0) reqs[n++] = target;
+        }
+        break;
+    }
+    case PF_GHB: {
+        Ghb *g = &pf->ghb;
+        if (g->train_on_miss_only && !primary_miss) break;
+        int64_t addr = (int64_t)(uaddr / (uint64_t)g->line_bytes) * g->line_bytes;
+        int64_t key = g->localization_pc ? (int64_t)pc : 0;
+        int node = om_node_of(&g->index, key);
+        int64_t prev_seq = node >= 0 ? g->index.nodes[node].val : -1;
+        if (prev_seq < 0 || prev_seq < g->next_seq - g->ghb_entries
+            || !g->buf_used[prev_seq % g->ghb_entries])
+            prev_seq = -1;
+        int64_t seq = g->next_seq;
+        int64_t slot = seq % g->ghb_entries;
+        g->buf_addr[slot] = addr;
+        g->buf_link[slot] = prev_seq;
+        g->buf_used[slot] = 1;
+        om_set(&g->index, key, seq);
+        if (g->index.count > g->index_entries) om_evict_oldest(&g->index);
+        g->next_seq++;
+
+        int slen = 0;
+        int64_t s = seq;
+        int64_t oldest_valid = g->next_seq - g->ghb_entries;
+        if (oldest_valid < 0) oldest_valid = 0;
+        while (s >= oldest_valid && slen < g->max_walk) {
+            int64_t bs = s % g->ghb_entries;
+            if (!g->buf_used[bs]) break;
+            g->stream[slen++] = g->buf_addr[bs];
+            s = g->buf_link[bs];
+        }
+        int64_t m = g->match_length;
+        if (slen < m + 2) break;
+        int nd = slen - 1;
+        for (int i = 0; i < nd; i++) g->deltas[i] = g->stream[i] - g->stream[i + 1];
+        int64_t match_at = -1;
+        for (int start = 1; start <= nd - (int)m; start++) {
+            int ok = 1;
+            for (int j = 0; j < (int)m; j++) {
+                if (g->deltas[start + j] != g->deltas[j]) { ok = 0; break; }
+            }
+            if (ok) { match_at = start; break; }
+        }
+        if (match_at <= 0) break;
+        int64_t target = addr;
+        for (int64_t step = 1; step <= g->degree; step++) {
+            int64_t idx = match_at - step;
+            int64_t delta;
+            if (idx >= 0) delta = g->deltas[idx];
+            else delta = g->deltas[((idx % m) + m) % m];  /* pattern[idx % m], Python modulo */
+            target += delta;
+            if (target > 0) reqs[n++] = target;
+        }
+        break;
+    }
+    case PF_SMS: {
+        Sms *s = &pf->sms;
+        int64_t region = (int64_t)(uaddr / (uint64_t)s->region_bytes);
+        int64_t offset = (int64_t)((uaddr % (uint64_t)s->region_bytes) / (uint64_t)s->line_bytes);
+        sms_expire_stale(s, index);
+
+        int i = sms_find(s->agt, s->agt_len, region);
+        if (i >= 0) {
+            Gen g = s->agt[i];
+            g.pattern |= 1ULL << offset;
+            g.last_touch = index;
+            sms_remove(s->agt, &s->agt_len, i);  /* move_to_end */
+            s->agt[s->agt_len++] = g;
+            break;
+        }
+        i = sms_find(s->filt, s->filt_len, region);
+        if (i >= 0) {
+            s->filt[i].last_touch = index;
+            if (!(s->filt[i].pattern & (1ULL << offset))) {
+                Gen g = sms_remove(s->filt, &s->filt_len, i);
+                g.pattern |= 1ULL << offset;
+                s->agt[s->agt_len++] = g;
+                if (s->agt_len > s->agt_entries) {
+                    Gen ev = sms_remove(s->agt, &s->agt_len, 0);
+                    sms_end_generation(s, &ev);
+                }
+            }
+            break;
+        }
+        Gen ng;
+        ng.region = region;
+        ng.trigger_pc = pc;
+        ng.trigger_offset = offset;
+        ng.pattern = 1ULL << offset;
+        ng.last_touch = index;
+        s->filt[s->filt_len++] = ng;
+        if (s->filt_len > s->filter_entries) sms_remove(s->filt, &s->filt_len, 0);
+
+        uint64_t pattern = s->pht[sms_pht_index(s, pc, offset)];
+        if (pattern == 0) break;
+        int64_t base = region * s->region_bytes;
+        for (int64_t line = 0; line < s->lines_per_region; line++) {
+            if ((pattern & (1ULL << line)) && line != offset)
+                reqs[n++] = base + line * s->line_bytes;
+        }
+        break;
+    }
+    case PF_MARKOV: {
+        Markov *mk = &pf->markov;
+        if (mk->train_on_miss_only && !primary_miss) break;
+        int64_t line = (int64_t)(uaddr / (uint64_t)mk->line_bytes);
+        if (mk->has_last && mk->last_line != line) {
+            int node = om_node_of(&mk->table, mk->last_line);
+            if (node < 0) {
+                om_set(&mk->table, mk->last_line, 0);
+                node = om_node_of(&mk->table, mk->last_line);
+                mk->nsucc[node] = 0;
+                if (mk->table.count > mk->table_entries) om_evict_oldest(&mk->table);
+            } else {
+                markov_move_to_end(&mk->table, node);
+            }
+            /* observe(line): count bump, or evict the first-minimal successor */
+            int64_t *sl = mk->succ_line + (int64_t)node * mk->max_succ;
+            int64_t *sc = mk->succ_count + (int64_t)node * mk->max_succ;
+            int ns = mk->nsucc[node];
+            int found = -1;
+            for (int j = 0; j < ns; j++) {
+                if (sl[j] == line) { found = j; break; }
+            }
+            if (found >= 0) {
+                sc[found]++;
+            } else {
+                if (ns >= mk->max_succ) {
+                    int victim = 0;
+                    for (int j = 1; j < ns; j++) {
+                        if (sc[j] < sc[victim]) victim = j;
+                    }
+                    memmove(sl + victim, sl + victim + 1, (size_t)(ns - 1 - victim) * sizeof(int64_t));
+                    memmove(sc + victim, sc + victim + 1, (size_t)(ns - 1 - victim) * sizeof(int64_t));
+                    ns--;
+                }
+                sl[ns] = line;
+                sc[ns] = 1;
+                ns++;
+                mk->nsucc[node] = ns;
+            }
+        }
+        mk->last_line = line;
+        mk->has_last = 1;
+
+        int node = om_node_of(&mk->table, line);
+        if (node < 0) break;
+        markov_move_to_end(&mk->table, node);
+        int64_t *sl = mk->succ_line + (int64_t)node * mk->max_succ;
+        int64_t *sc = mk->succ_count + (int64_t)node * mk->max_succ;
+        int ns = mk->nsucc[node];
+        /* stable sort desc by count == repeatedly take the earliest
+         * not-yet-taken successor with the strictly largest count */
+        uint8_t taken[MAX_REQS];
+        memset(taken, 0, sizeof(taken));
+        for (int64_t d = 0; d < mk->degree && d < ns; d++) {
+            int best = -1;
+            for (int j = 0; j < ns; j++) {
+                if (!taken[j] && (best < 0 || sc[j] > sc[best])) best = j;
+            }
+            taken[best] = 1;
+            reqs[n++] = sl[best] * mk->line_bytes;
+        }
+        break;
+    }
+    }
+    return n;
+}
+"""
+
+SOURCE_RUN = r"""
+/* ------------------------------------------------------------------ */
+/* simulator API: one RpSim = one Simulator (hierarchy + core + the
+ * per-run prediction-depth bookkeeping), one RpPf = one prefetcher.
+ * rp_run is Simulator.run without warmup; the adapter composes warmup
+ * as run(prefix) + rp_reset_stats + run(remainder), like the Python. */
+
+typedef struct RpSim {
+    Hier hier;
+    Core core;
+    int64_t cycle_base;
+    Map predicted_at;   /* per-run: cleared at every rp_run entry */
+    Log pred_log;
+} RpSim;
+
+void rp_sim_free(RpSim *s);
+void rp_pf_free(RpPf *p);
+
+RpSim *rp_sim_new(const int64_t *hc, const int64_t *cc) {
+    RpSim *s = (RpSim *)calloc(1, sizeof(RpSim));
+    if (!s) return 0;
+    Hier *h = &s->hier;
+    int64_t line_bytes = hc[10];
+    h->line_bytes = line_bytes;
+    h->l1_latency = hc[2];
+    h->l2_hit_latency = hc[2] + hc[6];
+    h->dram_fill_latency = hc[2] + hc[6] + hc[8];
+    h->service_interval = hc[9];
+    h->pf_reserve = hc[12];
+    h->backlog_depth = hc[13];
+    h->prefetch_fill_l1 = (uint8_t)hc[14];
+    int ok = 1;
+    ok &= cache_init(&h->l1, hc[0] / (hc[1] * line_bytes), (int)hc[1]);
+    ok &= cache_init(&h->l2, hc[4] / (hc[5] * line_bytes), (int)hc[5]);
+    ok &= mshr_init(&h->l1m, (int)hc[3]);
+    ok &= mshr_init(&h->l2m, (int)hc[7]);
+    ok &= mshr_init(&h->pfb, (int)hc[11]);
+    ok &= fheap_init(&h->pending, 64);
+    h->backlog = (int64_t *)malloc((size_t)(hc[13] > 0 ? hc[13] : 1) * sizeof(int64_t));
+    ok &= h->backlog != 0;
+    ok &= map_init(&h->predicted, 1024);
+    ok &= log_init(&h->pred_log, 512);
+    h->prediction_window = 256;
+    ok &= core_init(&s->core, cc[0], cc[1], cc[2]);
+    ok &= map_init(&s->predicted_at, 1024);
+    ok &= log_init(&s->pred_log, 512);
+    if (!ok) { rp_sim_free(s); return 0; }
+    return s;
+}
+
+void rp_sim_free(RpSim *s) {
+    if (!s) return;
+    Hier *h = &s->hier;
+    cache_free(&h->l1); cache_free(&h->l2);
+    mshr_free(&h->l1m); mshr_free(&h->l2m); mshr_free(&h->pfb);
+    fheap_free(&h->pending);
+    free(h->backlog); h->backlog = 0;
+    map_free(&h->predicted);
+    log_free(&h->pred_log);
+    core_free(&s->core);
+    map_free(&s->predicted_at);
+    log_free(&s->pred_log);
+    free(s);
+}
+
+/* Simulator._reset_stats: zero the counters, keep the warm state */
+void rp_reset_stats(RpSim *s) {
+    Core *c = &s->core;
+    double m = c->cursor > c->max_completion ? c->cursor : c->max_completion;
+    s->cycle_base = (int64_t)m;   /* finalize().cycles */
+    Hier *h = &s->hier;
+    h->l1_acc = h->l1_hit = h->l1_miss = 0;
+    h->l2_acc = h->l2_hit = h->l2_miss = 0;
+    h->prefetches_issued = 0;
+    h->prefetches_rejected_mshr = 0;
+    h->prefetches_redundant = 0;
+    h->l1.unused_prefetch_evictions = 0;
+    h->l1.used_prefetch_fills = 0;
+    c->stall_cycles = c->instructions = c->memory_accesses = c->cycles = 0;
+}
+
+RpPf *rp_pf_new(int kind, const int64_t *cfg) {
+    RpPf *p = (RpPf *)calloc(1, sizeof(RpPf));
+    if (!p) return 0;
+    p->kind = kind;
+    int ok = 1;
+    switch (kind) {
+    case PF_NONE:
+        break;
+    case PF_STRIDE: {
+        Stride *st = &p->stride;
+        st->table_entries = cfg[0];
+        st->degree = cfg[1];
+        st->line_bytes = cfg[2];
+        st->train_on_miss_only = (uint8_t)cfg[3];
+        st->table = (SEntry *)calloc((size_t)st->table_entries, sizeof(SEntry));
+        ok &= st->table != 0;
+        break;
+    }
+    case PF_GHB: {
+        Ghb *g = &p->ghb;
+        g->ghb_entries = cfg[0];
+        g->index_entries = cfg[1];
+        g->match_length = cfg[2];
+        g->degree = cfg[3];
+        g->max_walk = cfg[4];
+        g->localization_pc = (uint8_t)cfg[5];
+        g->line_bytes = cfg[6];
+        g->train_on_miss_only = (uint8_t)cfg[7];
+        g->buf_addr = (int64_t *)calloc((size_t)g->ghb_entries, sizeof(int64_t));
+        g->buf_link = (int64_t *)calloc((size_t)g->ghb_entries, sizeof(int64_t));
+        g->buf_used = (uint8_t *)calloc((size_t)g->ghb_entries, 1);
+        g->stream = (int64_t *)malloc((size_t)g->max_walk * sizeof(int64_t));
+        g->deltas = (int64_t *)malloc((size_t)g->max_walk * sizeof(int64_t));
+        ok &= g->buf_addr && g->buf_link && g->buf_used && g->stream && g->deltas;
+        ok &= om_init(&g->index, (int)g->index_entries + 1);
+        break;
+    }
+    case PF_SMS: {
+        Sms *m = &p->sms;
+        m->region_bytes = cfg[0];
+        m->line_bytes = cfg[1];
+        m->filter_entries = cfg[2];
+        m->agt_entries = cfg[3];
+        m->pht_entries = cfg[4];
+        m->timeout = cfg[5];
+        m->lines_per_region = m->region_bytes / m->line_bytes;
+        m->filt = (Gen *)calloc((size_t)m->filter_entries + 1, sizeof(Gen));
+        m->agt = (Gen *)calloc((size_t)m->agt_entries + 1, sizeof(Gen));
+        m->pht = (uint64_t *)calloc((size_t)m->pht_entries, sizeof(uint64_t));
+        int64_t scratch = (m->filter_entries > m->agt_entries
+                           ? m->filter_entries : m->agt_entries) + 1;
+        m->stale = (int64_t *)malloc((size_t)scratch * sizeof(int64_t));
+        ok &= m->filt && m->agt && m->pht && m->stale;
+        break;
+    }
+    case PF_MARKOV: {
+        Markov *mk = &p->markov;
+        mk->table_entries = cfg[0];
+        mk->max_succ = cfg[1];
+        mk->degree = cfg[2];
+        mk->line_bytes = cfg[3];
+        mk->train_on_miss_only = (uint8_t)cfg[4];
+        ok &= om_init(&mk->table, (int)mk->table_entries + 1);
+        size_t slots = (size_t)(mk->table_entries + 1) * (size_t)mk->max_succ;
+        mk->succ_line = (int64_t *)calloc(slots, sizeof(int64_t));
+        mk->succ_count = (int64_t *)calloc(slots, sizeof(int64_t));
+        mk->nsucc = (int *)calloc((size_t)mk->table_entries + 1, sizeof(int));
+        ok &= mk->succ_line && mk->succ_count && mk->nsucc;
+        break;
+    }
+    default:
+        ok = 0;
+    }
+    if (!ok) { rp_pf_free(p); return 0; }
+    return p;
+}
+
+void rp_pf_free(RpPf *p) {
+    if (!p) return;
+    switch (p->kind) {
+    case PF_STRIDE:
+        free(p->stride.table);
+        break;
+    case PF_GHB:
+        free(p->ghb.buf_addr); free(p->ghb.buf_link); free(p->ghb.buf_used);
+        free(p->ghb.stream); free(p->ghb.deltas);
+        om_free(&p->ghb.index);
+        break;
+    case PF_SMS:
+        free(p->sms.filt); free(p->sms.agt); free(p->sms.pht); free(p->sms.stale);
+        break;
+    case PF_MARKOV:
+        om_free(&p->markov.table);
+        free(p->markov.succ_line); free(p->markov.succ_count); free(p->markov.nsucc);
+        break;
+    }
+    free(p);
+}
+
+/* out-block layout (OUT_SLOTS int64s):
+ *  0 instructions (cumulative core stat, as finalize() reports)
+ *  1 cycles, already max(1, cycles - cycle_base)
+ *  2..4  l1 accesses/hits/misses    5..7  l2 accesses/hits/misses
+ *  8..13 class counts in ACCESS_CLASS_ORDER (wasted prefetches in 13)
+ *  14 demand accesses   15 issued real   16 issued shadow
+ *  17 rejected (mshr-pressure)   18 redundant
+ *  19..147 hit-depth histogram, depth 0..128 */
+
+#define DEPTH_CAP 128
+
+int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
+           const uint64_t *addrs, const uint64_t *pcs,
+           const uint64_t *lines, const uint32_t *inst_gaps,
+           const uint8_t *flags, int64_t *out) {
+    Hier *h = &s->hier;
+    Core *c = &s->core;
+    Map *predicted_at = &s->predicted_at;
+    Log *plog = &s->pred_log;
+    map_clear(predicted_at);
+    log_clear(plog);
+
+    int64_t depth_counts[DEPTH_CAP + 1];
+    memset(depth_counts, 0, sizeof(depth_counts));
+    int64_t class_counts[6];
+    memset(class_counts, 0, sizeof(class_counts));
+    int64_t issued_real = 0, issued_shadow = 0;
+    int64_t line_bytes = h->line_bytes;
+    int64_t reqs[MAX_REQS];
+
+    /* core-model state in locals for the loop, written back after —
+     * the same arithmetic, in the same order, as the interpreted loop */
+    double cursor = c->cursor;
+    double last_completion = c->last_completion;
+    double max_completion = c->max_completion;
+    double rob_floor = c->rob_floor;
+    int64_t inst_pos = c->inst_pos;
+    int64_t issue_width = c->issue_width;
+    int64_t rob_size = c->rob_size;
+    int64_t stall_cycles = 0, instructions = 0;
+
+    for (int64_t k = 0; k < n; k++) {
+        int64_t index = start_index + k;
+        int64_t gap = (int64_t)inst_gaps[k];
+        uint64_t uaddr = addrs[k];
+        int depends = (flags[k] >> 1) & 1;
+
+        /* --- CoreModel.issue_time --- */
+        double issue_f = cursor + (double)(gap + 1) / (double)issue_width;
+        if (depends && last_completion > issue_f) issue_f = last_completion;
+        if (c->lq_len == (int)c->lq_size && c->lq[c->lq_head] > issue_f)
+            issue_f = c->lq[c->lq_head];
+        if (c->rob_len) {
+            int64_t rob_horizon = inst_pos + gap + 1 - rob_size;
+            while (c->rob_len && c->rob_i[c->rob_head] <= rob_horizon) {
+                double completion = c->rob_c[c->rob_head];
+                c->rob_head = (c->rob_head + 1) & (c->rob_cap - 1);
+                c->rob_len--;
+                if (completion > rob_floor) rob_floor = completion;
+            }
+        }
+        if (rob_floor > issue_f) issue_f = rob_floor;
+        int64_t issue = (int64_t)issue_f;
+
+        /* --- Hierarchy.demand_access --- */
+        int64_t latency;
+        int l1_hit, served, ac;
+        hier_demand_access(h, (int64_t)lines[k], issue, &latency, &l1_hit, &served, &ac);
+        class_counts[ac]++;
+
+        /* --- CoreModel.complete --- */
+        double completion = (double)(issue + latency);
+        int64_t insts = gap + 1;
+        double stall = (double)issue - (cursor + (double)insts / (double)issue_width);
+        if (stall > 0) stall_cycles += (int64_t)stall;
+        cursor = (double)issue;
+        inst_pos += insts;
+        last_completion = completion;
+        if (completion > max_completion) max_completion = completion;
+        /* lq_ring.append (deque(maxlen=lq_size): drop oldest when full) */
+        if (c->lq_len == (int)c->lq_size) {
+            c->lq[c->lq_head] = completion;
+            c->lq_head = (c->lq_head + 1) % (int)c->lq_size;
+        } else {
+            c->lq[(c->lq_head + c->lq_len) % (int)c->lq_size] = completion;
+            c->lq_len++;
+        }
+        if (!core_rob_push(c, completion, inst_pos)) return -1;
+        instructions += insts;
+
+        /* hit-depth bookkeeping */
+        int64_t line = (int64_t)lines[k];
+        int64_t prev = map_pop(predicted_at, line, -1);
+        if (prev >= 0) {
+            int64_t depth = index - prev;
+            if (depth <= DEPTH_CAP) depth_counts[depth]++;
+        }
+
+        /* --- prefetcher --- */
+        int primary_miss = !l1_hit && served != SERVED_MSHR;
+        int nreq = pf_on_access(pf, index, uaddr, pcs[k], primary_miss, reqs);
+        for (int r = 0; r < nreq; r++) {
+            int64_t req_addr = reqs[r];
+            int64_t pf_line = req_addr / line_bytes;
+            if (hier_prefetch(h, req_addr, issue)) {
+                issued_real++;
+            } else {
+                hier_note_unissued(h, pf_line);
+                issued_shadow++;
+            }
+            prev = map_get(predicted_at, pf_line, -1);
+            if (prev < 0 || index - prev > DEPTH_CAP) {
+                if (!map_set(predicted_at, pf_line, index)) return -1;
+                if (!log_push(plog, index, pf_line)) return -1;
+            }
+        }
+        int64_t cutoff = index - DEPTH_CAP;
+        while (plog->len && plog->idx[plog->head] < cutoff) {
+            int64_t i, ln;
+            log_pop(plog, &i, &ln);
+            if (map_get(predicted_at, ln, -1) == i) map_del(predicted_at, ln);
+        }
+    }
+
+    /* write the core state back (Simulator.run's finally block) */
+    c->cursor = cursor;
+    c->last_completion = last_completion;
+    c->max_completion = max_completion;
+    c->inst_pos = inst_pos;
+    c->rob_floor = rob_floor;
+    c->stall_cycles += stall_cycles;
+    c->instructions += instructions;
+    c->memory_accesses += n;
+
+    /* finalize + drain */
+    double m = cursor > max_completion ? cursor : max_completion;
+    int64_t cycles = (int64_t)m;
+    c->cycles = cycles;
+    hier_apply_fills(h, cycles + 10000);
+    int64_t wasted = h->l1.unused_prefetch_evictions + cache_resident_unused(&h->l1);
+
+    out[0] = c->instructions;
+    int64_t net = cycles - s->cycle_base;
+    out[1] = net > 1 ? net : 1;
+    out[2] = h->l1_acc; out[3] = h->l1_hit; out[4] = h->l1_miss;
+    out[5] = h->l2_acc; out[6] = h->l2_hit; out[7] = h->l2_miss;
+    out[8] = class_counts[AC_HIT_PREFETCHED];
+    out[9] = class_counts[AC_SHORTER_WAIT];
+    out[10] = class_counts[AC_NON_TIMELY];
+    out[11] = class_counts[AC_MISS_NOT_PREFETCHED];
+    out[12] = class_counts[AC_HIT_OLDER_DEMAND];
+    out[13] = wasted;
+    out[14] = n;
+    out[15] = issued_real;
+    out[16] = issued_shadow;
+    out[17] = h->prefetches_rejected_mshr;
+    out[18] = h->prefetches_redundant;
+    for (int d = 0; d <= DEPTH_CAP; d++) out[19 + d] = depth_counts[d];
+    return 0;
+}
+"""
+
+#: full translation unit handed to cffi's ``set_source``
+SOURCE = SOURCE_RUNTIME + SOURCE_MEMORY + SOURCE_PF + SOURCE_RUN

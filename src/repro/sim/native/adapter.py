@@ -1,0 +1,372 @@
+"""Bridge between :class:`~repro.sim.simulator.Simulator` and the C kernel.
+
+One native run is the phase pipeline the package docstring describes:
+:func:`phase_decode` extracts the columns, :func:`phase_kernel` drives the
+compiled state machine (including warmup orchestration), and
+:func:`phase_finalize` folds the kernel's output block into the exact
+:class:`~repro.sim.metrics.SimulationResult` the interpreted path builds.
+The phases are module-level functions on purpose: ``repro profile``
+attributes time to them by name.
+
+State ownership: once a simulator or prefetcher has run natively, its
+native handle — not the untouched Python object — is the authoritative
+state.  The registries below remember that.  A run that cannot stay
+native (unsupported config, a decode failure) *before* any handle exists
+falls back to the interpreted path; the same failure on an object that
+already carries native state raises, because silently resuming from the
+stale Python state would diverge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from weakref import WeakKeyDictionary
+
+from repro.memory.stats import AccessClass, AccessClassifier, CacheStats
+from repro.prefetchers.ghb import GHBPrefetcher
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.metrics import HitDepthCDF, SimulationResult
+from repro.sim.native import decode
+from repro.sim.native._csrc import OUT_SLOTS
+from repro.sim.native.build import kernel_or_none
+
+log = logging.getLogger(__name__)
+
+#: the kernel's fixed per-access request buffer (MAX_REQS in the C source)
+MAX_REQUESTS = 64
+
+#: kernel prefetcher kinds (PF_* in the C source), keyed by *exact* type —
+#: a subclass may override behaviour the port does not model
+_PF_NONE, _PF_STRIDE, _PF_GHB, _PF_SMS, _PF_MARKOV = range(5)
+_PF_KINDS = {
+    NoPrefetcher: _PF_NONE,
+    StridePrefetcher: _PF_STRIDE,
+    GHBPrefetcher: _PF_GHB,
+    SMSPrefetcher: _PF_SMS,
+    MarkovPrefetcher: _PF_MARKOV,
+}
+
+#: Simulator -> RpSim handle and Prefetcher -> RpPf handle.  Weak keys:
+#: a handle frees (``ffi.gc``) when its owner is collected — exactly the
+#: lifetime of the Python-side state it replaces.  Only this module's
+#: functions touch these, and every process builds its own handles, so
+#: the registries never cross the spawn boundary.
+_SIM_STATES: "WeakKeyDictionary" = WeakKeyDictionary()
+_PF_STATES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def reset_state_registries() -> None:
+    """Drop every native handle (test isolation helper)."""
+    _SIM_STATES.clear()
+    _PF_STATES.clear()
+
+
+# ----------------------------------------------------------------------
+# eligibility
+
+
+def _pf_kind(pf) -> int | None:
+    return _PF_KINDS.get(type(pf))
+
+
+def _pf_config_values(pf, kind: int) -> list[int] | None:
+    """The kernel's config array for ``pf``, or None when it cannot fit."""
+    if kind == _PF_NONE:
+        return [0]
+    c = pf.config
+    if kind == _PF_STRIDE:
+        if c.degree > MAX_REQUESTS:
+            return None
+        return [
+            c.table_entries,
+            c.degree,
+            c.line_bytes,
+            1 if c.train_on_miss_only else 0,
+        ]
+    if kind == _PF_GHB:
+        if c.degree > MAX_REQUESTS:
+            return None
+        return [
+            c.ghb_entries,
+            c.index_entries,
+            c.match_length,
+            c.degree,
+            c.max_walk,
+            1 if c.localization == "pc" else 0,
+            c.line_bytes,
+            1 if c.train_on_miss_only else 0,
+        ]
+    if kind == _PF_SMS:
+        # the pattern bitmap is one u64 and a replay fans out at most
+        # lines_per_region - 1 requests; both bound by MAX_REQUESTS
+        if c.lines_per_region > MAX_REQUESTS:
+            return None
+        return [
+            c.region_bytes,
+            c.line_bytes,
+            c.filter_entries,
+            c.agt_entries,
+            c.pht_entries,
+            c.generation_timeout,
+        ]
+    if c.degree > MAX_REQUESTS:  # markov
+        return None
+    return [
+        c.table_entries,
+        c.successors_per_entry,
+        c.degree,
+        c.line_bytes,
+        1 if c.train_on_miss_only else 0,
+    ]
+
+
+def _hier_config_values(hier) -> list[int]:
+    c = hier.config
+    return [
+        c.l1_size,
+        c.l1_ways,
+        c.l1_latency,
+        c.l1_mshrs,
+        c.l2_size,
+        c.l2_ways,
+        c.l2_latency,
+        c.l2_mshrs,
+        c.dram_latency,
+        c.dram_service_interval,
+        c.line_bytes,
+        c.prefetch_buffers,
+        c.prefetch_mshr_reserve,
+        c.prefetch_backlog_depth,
+        1 if c.prefetch_fill_l1 else 0,
+    ]
+
+
+def _sim_pristine(sim) -> bool:
+    return (
+        sim._cycle_base == 0
+        and sim.hierarchy.is_pristine()
+        and sim.core.is_pristine()
+    )
+
+
+def _handles(sim, pf, kind: int, kernel):
+    """The (RpSim, RpPf) handle pair for this run, creating as needed.
+
+    Returns ``(None, None)`` when the pair cannot be assembled without
+    mixing native and interpreted state *and* no native state exists yet
+    (clean fallback); raises when one side already carries native state.
+    """
+    ffi, lib = kernel.ffi, kernel.lib
+    sim_h = _SIM_STATES.get(sim)
+    pf_h = _PF_STATES.get(pf)
+    if sim_h is None and not _sim_pristine(sim):
+        if pf_h is not None:
+            raise RuntimeError(
+                "prefetcher carries native state but the simulator already "
+                "ran interpreted; mixed native/interpreted runs are "
+                "unsupported"
+            )
+        return None, None
+    if pf_h is None and not pf.is_pristine():
+        if sim_h is not None:
+            raise RuntimeError(
+                "simulator carries native state but the prefetcher already "
+                "ran interpreted; mixed native/interpreted runs are "
+                "unsupported"
+            )
+        return None, None
+    if sim_h is None:
+        hier_cfg = ffi.new("int64_t[]", _hier_config_values(sim.hierarchy))
+        core_cfg = ffi.new(
+            "int64_t[]",
+            [
+                sim.core.config.issue_width,
+                sim.core.config.rob_size,
+                sim.core.config.lq_size,
+            ],
+        )
+        ptr = lib.rp_sim_new(hier_cfg, core_cfg)
+        if ptr == ffi.NULL:
+            raise MemoryError("native simulator state allocation failed")
+        sim_h = ffi.gc(ptr, lib.rp_sim_free)
+        _SIM_STATES[sim] = sim_h
+    if pf_h is None:
+        pf_cfg = ffi.new("int64_t[]", _pf_config_values(pf, kind))
+        ptr = lib.rp_pf_new(kind, pf_cfg)
+        if ptr == ffi.NULL:
+            raise MemoryError("native prefetcher state allocation failed")
+        pf_h = ffi.gc(ptr, lib.rp_pf_free)
+        _PF_STATES[pf] = pf_h
+    return sim_h, pf_h
+
+
+# ----------------------------------------------------------------------
+# phases
+
+
+def phase_decode(trace, limit, line_bytes):
+    """Columns for ``trace``, plus the (trace, limit) a fallback should use.
+
+    A one-shot iterator is materialised (with the limit applied) so a
+    decode failure hands the interpreted path a re-iterable list instead
+    of a half-consumed generator.
+    """
+    from repro.workloads.store import TraceReader
+
+    if isinstance(trace, TraceReader):
+        return decode.columns_from_reader(trace, limit, line_bytes), trace, limit
+    if isinstance(trace, (list, tuple)):
+        accesses = trace if limit is None else trace[:limit]
+        return decode.columns_from_accesses(accesses, line_bytes), trace, limit
+    accesses = (
+        list(itertools.islice(trace, limit)) if limit is not None else list(trace)
+    )
+    return decode.columns_from_accesses(accesses, line_bytes), accesses, None
+
+
+def _checked_run(lib, rc: int) -> None:
+    if rc != 0:
+        raise MemoryError("native kernel ran out of memory mid-run")
+
+
+def phase_kernel(kernel, sim_h, pf_h, cols, start_index: int, warmup: int):
+    """Drive the compiled per-access loop; returns the raw output block.
+
+    Warmup replays the leading ``warmup`` accesses (their output block is
+    discarded), resets the statistics counters without disturbing warm
+    state, and replays the remainder — the native mirror of the
+    interpreted :meth:`Simulator.run` warmup recursion, including its
+    ``ValueError`` on a warmup that consumes the whole trace.
+    """
+    ffi, lib = kernel.ffi, kernel.lib
+    n = cols.n
+    if warmup and warmup >= n:
+        raise ValueError("warmup consumes the whole trace")
+    out = ffi.new("int64_t[]", OUT_SLOTS)
+    p_addr = ffi.from_buffer("uint64_t[]", cols.addrs)
+    p_pc = ffi.from_buffer("uint64_t[]", cols.pcs)
+    p_line = ffi.from_buffer("uint64_t[]", cols.lines)
+    p_gap = ffi.from_buffer("uint32_t[]", cols.inst_gaps)
+    p_flag = ffi.from_buffer("uint8_t[]", cols.flags)
+    if warmup:
+        _checked_run(
+            lib,
+            lib.rp_run(
+                sim_h, pf_h, warmup, start_index, p_addr, p_pc, p_line, p_gap,
+                p_flag, out,
+            ),
+        )
+        lib.rp_reset_stats(sim_h)
+        _checked_run(
+            lib,
+            lib.rp_run(
+                sim_h, pf_h, n - warmup, start_index + warmup, p_addr + warmup,
+                p_pc + warmup, p_line + warmup, p_gap + warmup, p_flag + warmup,
+                out,
+            ),
+        )
+    else:
+        _checked_run(
+            lib,
+            lib.rp_run(
+                sim_h, pf_h, n, start_index, p_addr, p_pc, p_line, p_gap,
+                p_flag, out,
+            ),
+        )
+    return out
+
+
+def phase_finalize(out, *, workload_name: str, pf) -> SimulationResult:
+    """Fold the kernel's output block into a :class:`SimulationResult`.
+
+    Mirrors the interpreted construction exactly: class counts fold into
+    a pre-seeded :class:`AccessClassifier` (plot order preserved), the
+    wasted-prefetch count lands in ``PREFETCH_NEVER_HIT``, and the depth
+    histogram replays through :meth:`HitDepthCDF.add`.
+    """
+    classifier = AccessClassifier()
+    counts = classifier.counts
+    counts[AccessClass.HIT_PREFETCHED] += out[8]
+    counts[AccessClass.SHORTER_WAIT] += out[9]
+    counts[AccessClass.NON_TIMELY] += out[10]
+    counts[AccessClass.MISS_NOT_PREFETCHED] += out[11]
+    counts[AccessClass.HIT_OLDER_DEMAND] += out[12]
+    classifier.demand_accesses += out[14]
+    classifier.record_wasted_prefetch(out[13])
+    hit_depths = HitDepthCDF()
+    for depth in range(129):
+        count = out[19 + depth]
+        if count:
+            hit_depths.add(depth, count)
+    return SimulationResult(
+        workload=workload_name,
+        prefetcher=pf.name,
+        instructions=out[0],
+        cycles=out[1],
+        l1=CacheStats(name="L1D", accesses=out[2], hits=out[3], misses=out[4]),
+        l2=CacheStats(name="L2", accesses=out[5], hits=out[6], misses=out[7]),
+        classifier=classifier,
+        hit_depths=hit_depths,
+        prefetches_issued=out[15],
+        prefetches_shadow=out[16],
+        prefetches_rejected=out[17],
+        prefetches_redundant=out[18],
+        prefetcher_accuracy=pf.accuracy(),
+        storage_bits=pf.storage_bits(),
+    )
+
+
+# ----------------------------------------------------------------------
+# entry point
+
+
+def _fall_back(committed: bool, trace, limit, reason: str):
+    if committed:
+        raise RuntimeError(
+            f"native simulation state is already active but this run cannot "
+            f"stay native ({reason}); mixed native/interpreted runs on one "
+            f"simulator are unsupported"
+        )
+    log.debug("native path unavailable (%s); using the interpreted kernel", reason)
+    return False, None, trace, limit
+
+
+def try_native_run(sim, trace, *, workload_name, limit, start_index, warmup):
+    """Attempt to run ``sim`` over ``trace`` natively.
+
+    Returns ``(handled, result, trace, limit)``.  When ``handled`` is
+    False the caller must continue on the interpreted path using the
+    *returned* trace and limit — a one-shot input iterator has been
+    materialised (limit already applied, so it comes back ``None``).
+    """
+    pf = sim.prefetcher
+    committed = sim in _SIM_STATES or pf in _PF_STATES
+    kind = _pf_kind(pf)
+    if kind is None:
+        return _fall_back(
+            committed, trace, limit, f"the {pf.name} prefetcher has no native port"
+        )
+    if _pf_config_values(pf, kind) is None:
+        return _fall_back(
+            committed,
+            trace,
+            limit,
+            f"the {pf.name} config exceeds the kernel's fixed buffers",
+        )
+    kernel = kernel_or_none()
+    if kernel is None:
+        return _fall_back(committed, trace, limit, "compiled kernel unavailable")
+    cols, trace, limit = phase_decode(trace, limit, sim.hierarchy.config.line_bytes)
+    if cols is None:
+        return _fall_back(committed, trace, limit, "column decode fell back")
+    sim_h, pf_h = _handles(sim, pf, kind, kernel)
+    if sim_h is None:
+        return _fall_back(
+            False, trace, limit, "simulator or prefetcher carries interpreted state"
+        )
+    out = phase_kernel(kernel, sim_h, pf_h, cols, start_index, warmup)
+    return True, phase_finalize(out, workload_name=workload_name, pf=pf), trace, limit

@@ -1,0 +1,118 @@
+"""Compile-and-cache machinery for the native kernel.
+
+The kernel compiles at first use via cffi's API mode (a real C extension,
+not dlopen-ffi), cached under ``results/.cache/native/`` keyed by a hash
+of the C source — editing :mod:`repro.sim.native._csrc` invalidates the
+artifact automatically.  Parallel sweep workers race benignly: each
+compiles into a private scratch directory and installs the extension with
+an atomic rename, so the winner's artifact is complete and every loser's
+is byte-identical.
+
+Every failure mode (no cffi, no numpy, no C toolchain, a compile error)
+logs once and degrades to ``None``; callers fall back to the interpreted
+path, which is the reference oracle anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import logging
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.sim.native import _csrc
+
+log = logging.getLogger(__name__)
+
+#: compiled-extension cache, next to the trace store's cache tree
+DEFAULT_BUILD_DIR = Path("results") / ".cache" / "native"
+
+#: memoized (module with .ffi/.lib) — per process; workers re-import and
+#: re-load the cached artifact rather than sharing this handle
+_kernel = None
+_failed = False
+
+
+def source_digest() -> str:
+    """Content hash of the kernel's C source + cdef (cache key)."""
+    text = _csrc.CDEF + _csrc.SOURCE
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def module_name() -> str:
+    return f"_repro_native_{source_digest()}"
+
+
+def _load_extension(path: Path, name: str):
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load native kernel from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _existing_artifact(build_dir: Path, name: str) -> Path | None:
+    candidates = sorted(build_dir.glob(f"{name}*.so"))
+    return candidates[0] if candidates else None
+
+
+def _compile_extension(build_dir: Path, name: str) -> Path:
+    from cffi import FFI
+
+    ffi = FFI()
+    ffi.cdef(_csrc.CDEF)
+    ffi.set_source(name, _csrc.SOURCE, extra_compile_args=["-O2"])
+    scratch = tempfile.mkdtemp(prefix="build-", dir=build_dir)
+    try:
+        built = Path(ffi.compile(tmpdir=scratch))
+        target = build_dir / built.name
+        os.replace(built, target)  # atomic; racing builders agree on bytes
+        return target
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def kernel_or_none(build_dir: Path | None = None):
+    """The compiled kernel module (``.ffi``/``.lib``), or None.
+
+    Memoizes both success and failure: a process that cannot build the
+    kernel logs the reason once and answers None from then on.
+    """
+    global _kernel, _failed
+    if _kernel is not None:
+        return _kernel
+    if _failed:
+        return None
+    try:
+        import cffi  # noqa: F401  (compile-time dependency)
+        import numpy  # noqa: F401  (decode-phase dependency; gate together)
+    except ImportError as exc:
+        _failed = True
+        log.warning("native kernel unavailable (%s); using the interpreted path", exc)
+        return None
+    directory = Path(build_dir) if build_dir is not None else DEFAULT_BUILD_DIR
+    name = module_name()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        artifact = _existing_artifact(directory, name)
+        if artifact is None:
+            artifact = _compile_extension(directory, name)
+        _kernel = _load_extension(artifact, name)
+    except Exception as exc:
+        _failed = True
+        log.warning(
+            "native kernel build failed (%s); using the interpreted path", exc
+        )
+        return None
+    return _kernel
+
+
+def reset_for_tests() -> None:
+    """Clear the per-process memo (tests exercising failure paths)."""
+    global _kernel, _failed
+    _kernel = None
+    _failed = False

@@ -1,0 +1,138 @@
+"""Decode phase: access streams to contiguous numpy columns.
+
+The native kernel consumes four per-access columns — byte address,
+program counter, instruction gap and the flags byte — plus the derived
+cache-line column.  Two sources feed it:
+
+* a :class:`~repro.workloads.store.TraceReader`, whose record block
+  reinterprets as a numpy struct array with **zero copies** from the
+  mmap (:meth:`TraceReader.as_array`); the columns below are contiguous
+  copies of single fields, one vectorized pass each;
+* an in-memory access list (a built workload), converted column-at-a-time
+  with ``numpy.fromiter`` — still one C-level pass per column, no
+  per-record Python tuples.
+
+Both paths return ``None`` (after logging) instead of raising when the
+stream cannot be represented: addresses outside the modelled 48-bit
+space, gaps beyond ``u32``, PCs beyond ``u64``.  Callers fall back to
+the interpreted scalar path.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.memory.address import ADDRESS_MASK, lines_of_array, max_address
+
+log = logging.getLogger(__name__)
+
+_U32_MAX = (1 << 32) - 1
+
+#: flags-byte bit the kernel consumes (store layout bit1 = depends_on_prev)
+FLAG_DEPENDS = 2
+
+
+@dataclass
+class Columns:
+    """The decoded per-access columns one native run consumes."""
+
+    n: int
+    addrs: object  # u64[n], C-contiguous
+    pcs: object  # u64[n], C-contiguous
+    lines: object  # u64[n], C-contiguous
+    inst_gaps: object  # u32[n], C-contiguous
+    flags: object  # u8[n], C-contiguous
+
+
+def _check_addresses(addrs) -> bool:
+    """True when every address fits the modelled 48-bit space.
+
+    The kernel's delta arithmetic (stride/GHB/Markov) runs in signed
+    64-bit integers; :data:`ADDRESS_MASK` keeps every difference exact.
+    """
+    top = max_address(addrs)
+    if top > ADDRESS_MASK:
+        log.warning(
+            "native decode: address %#x exceeds the modelled %d-bit space; "
+            "falling back to the interpreted path",
+            top,
+            ADDRESS_MASK.bit_length(),
+        )
+        return False
+    return True
+
+
+def columns_from_reader(reader, limit: int | None, line_bytes: int) -> Columns | None:
+    """Columns for a store-backed trace (zero-copy struct-array source).
+
+    Returns ``None`` (logged) when numpy is unavailable or the stream
+    falls outside the kernel's value ranges.
+    """
+    from repro.workloads.store import TraceStoreError
+
+    try:
+        import numpy as np
+    except ImportError as exc:
+        log.warning("native decode: numpy unavailable (%s)", exc)
+        return None
+    try:
+        records = reader.as_array(limit)
+    except TraceStoreError as exc:
+        log.warning("native decode: array view failed (%s)", exc)
+        return None
+    addrs = np.ascontiguousarray(records["addr"], dtype="=u8")
+    if not _check_addresses(addrs):
+        return None
+    return Columns(
+        n=len(addrs),
+        addrs=addrs,
+        pcs=np.ascontiguousarray(records["pc"], dtype="=u8"),
+        lines=np.ascontiguousarray(lines_of_array(addrs, line_bytes), dtype="=u8"),
+        inst_gaps=np.ascontiguousarray(records["inst_gap"], dtype="=u4"),
+        flags=np.ascontiguousarray(records["flags"], dtype="=u1"),
+    )
+
+
+def columns_from_accesses(accesses, line_bytes: int) -> Columns | None:
+    """Columns for an in-memory access list (built workloads).
+
+    Only the ``depends_on_prev`` flag bit is populated — the kernel reads
+    nothing else from the flags byte.  Returns ``None`` (logged) when
+    numpy is unavailable or a field falls outside the column dtypes.
+    """
+    try:
+        import numpy as np
+    except ImportError as exc:
+        log.warning("native decode: numpy unavailable (%s)", exc)
+        return None
+    n = len(accesses)
+    try:
+        addrs = np.fromiter((a.addr for a in accesses), dtype="=u8", count=n)
+        pcs = np.fromiter((a.pc for a in accesses), dtype="=u8", count=n)
+        inst_gaps = np.fromiter((a.inst_gap for a in accesses), dtype="=u4", count=n)
+        flags = np.fromiter(
+            (FLAG_DEPENDS if a.depends_on_prev else 0 for a in accesses),
+            dtype="=u1",
+            count=n,
+        )
+    except (OverflowError, ValueError) as exc:
+        log.warning(
+            "native decode: access stream outside the kernel's value ranges "
+            "(%s); falling back to the interpreted path",
+            exc,
+        )
+        return None
+    if not _check_addresses(addrs):
+        return None
+    if n and int(inst_gaps.max()) > _U32_MAX:  # unreachable with =u4; belt
+        log.warning("native decode: instruction gap exceeds u32")
+        return None
+    return Columns(
+        n=n,
+        addrs=addrs,
+        pcs=pcs,
+        lines=np.ascontiguousarray(lines_of_array(addrs, line_bytes), dtype="=u8"),
+        inst_gaps=inst_gaps,
+        flags=flags,
+    )

@@ -61,6 +61,7 @@ from repro.sim.simulator import Simulator
 from repro.workloads.serialize import trace_fingerprint
 from repro.workloads.store import (
     StoredTrace,
+    TraceReader,
     TraceStore,
     TraceStoreError,
     read_trace,
@@ -97,6 +98,10 @@ class SweepJob:
     trace: tuple[MemoryAccess, ...] | None = None
     store_path: str | None = None
     store_fingerprint: str = ""
+    #: run the cell through the native batch kernel (bit-neutral: cells
+    #: the kernel cannot take fall back to the interpreted loop, and the
+    #: cache key deliberately excludes this flag)
+    native: bool = False
 
 
 @dataclass
@@ -106,6 +111,7 @@ class ExecutionDefaults:
     jobs: int = 1
     cache: SweepCache | None = None
     store: TraceStore | None = None
+    native: bool = False
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -121,11 +127,13 @@ def set_default_execution(
     jobs: int | None = None,
     cache: SweepCache | None | bool = False,
     store: TraceStore | None | bool = False,
+    native: bool | None = None,
 ) -> ExecutionDefaults:
     """Set process-wide defaults; returns the previous values.
 
     ``cache=False`` / ``store=False`` (the sentinels) leave that default
     untouched; pass an explicit instance or ``None`` to change it.
+    ``native=None`` similarly leaves the kernel selection untouched.
     """
     global _DEFAULTS
     previous = _DEFAULTS
@@ -133,6 +141,7 @@ def set_default_execution(
         jobs=previous.jobs if jobs is None else max(1, jobs),
         cache=previous.cache if cache is False else cache,
         store=previous.store if store is False else store,
+        native=previous.native if native is None else bool(native),
     )
     return previous
 
@@ -148,6 +157,7 @@ def _run_cell(job: SweepJob, trace: Sequence[MemoryAccess]) -> SimulationResult:
         _make_prefetcher(job),
         hierarchy_config=job.hierarchy_config,
         core_config=job.core_config,
+        native=job.native,
     )
     return sim.run(trace, workload_name=job.workload, limit=job.limit)
 
@@ -165,6 +175,18 @@ def _job_trace(job: SweepJob) -> Sequence[MemoryAccess]:
         return job.trace
     if job.store_path is not None:
         try:
+            if job.native:
+                # hand the mmap-backed reader straight to the simulator:
+                # the native kernel decodes it zero-copy via as_array,
+                # and any interpreted fallback iterates it lazily.  A
+                # fingerprint mismatch falls through to read_trace, which
+                # raises the descriptive store error
+                reader = TraceReader(job.store_path)
+                if (
+                    not job.store_fingerprint
+                    or reader.meta.fingerprint == job.store_fingerprint
+                ):
+                    return reader
             return read_trace(
                 job.store_path,
                 limit=job.limit,
@@ -384,6 +406,7 @@ def parallel_compare(
     jobs: int = 1,
     cache: SweepCache | None = None,
     store: TraceStore | None = None,
+    native: bool = False,
     progress: ProgressFn | None = None,
 ) -> "ComparisonResult":
     """Run the sweep grid with ``jobs`` workers and an optional cache.
@@ -432,6 +455,7 @@ def parallel_compare(
                 store_fingerprint=(
                     entry.stored.fingerprint if entry.stored is not None else ""
                 ),
+                native=native,
             )
             cell = _Cell(
                 workload=name,
@@ -546,6 +570,7 @@ def parallel_storage_sweep(
     jobs: int = 1,
     cache: SweepCache | None = None,
     store: TraceStore | None = None,
+    native: bool = False,
     progress: ProgressFn | None = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Figure 13's (CST size × workload) grid on the parallel engine.
@@ -568,6 +593,7 @@ def parallel_storage_sweep(
             jobs=jobs,
             cache=cache,
             store=store,
+            native=native,
             progress=progress,
         )
         out[size] = {

@@ -86,8 +86,12 @@ def run_phased(
     workload_name: str = "trace",
     num_phases: int = 4,
     cold_start: bool = True,
+    native: bool | None = None,
 ) -> PhasedResult:
     """Simulate ``trace`` as ``num_phases`` distinct phases."""
+    from repro.sim.parallel import default_execution
+
+    effective_native = default_execution().native if native is None else native
     result = PhasedResult(workload=workload_name, prefetcher=prefetcher_name)
     prefetcher: Prefetcher | None = None
     start_index = 0
@@ -97,8 +101,10 @@ def run_phased(
             start_index = 0
         # each phase gets a fresh memory system (checkpoint semantics); in
         # warm mode the prefetcher keeps its learned state and the access
-        # indices continue where the previous phase stopped
-        sim = Simulator(prefetcher)
+        # indices continue where the previous phase stopped; the native
+        # kernel keys its prefetcher handle to the object, so warm state
+        # carries across phases there too
+        sim = Simulator(prefetcher, native=effective_native)
         result.phases.append(
             sim.run(phase, workload_name=f"{workload_name}#p{i}", start_index=start_index)
         )

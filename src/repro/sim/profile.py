@@ -47,13 +47,27 @@ class ProfileReport:
     #: pstats text (top functions by cumulative time), or "" when skipped
     timing_table: str = ""
     top: int = field(default=12)
+    #: did the run go through the compiled kernel?
+    native: bool = False
+    #: native phase name -> cumulative seconds (from cProfile), only
+    #: populated for native runs profiled with cProfile; call structure
+    #: is deterministic, the timings are machine-dependent
+    native_phases: dict[str, float] = field(default_factory=dict)
 
 
-def _unit_counters(sim: Simulator, result: SimulationResult) -> dict[str, dict[str, int]]:
+def _unit_counters(
+    sim: Simulator, result: SimulationResult, *, native_ran: bool = False
+) -> dict[str, dict[str, int]]:
     """Per-unit event counters, read off the components after a run.
 
     Units absent from a prefetcher (the baselines have no reducer or
     CST) are simply omitted, so the report works for every family.
+
+    After a native run the Python-side components were never touched —
+    their state lives in the compiled kernel — so the memory counters
+    come from the result block instead (the parity suites prove the two
+    sources identical); the MSHR merge counters are not exported by the
+    kernel and are omitted from native reports.
     """
     pf = sim.prefetcher
     units: dict[str, dict[str, int]] = {}
@@ -98,16 +112,44 @@ def _unit_counters(sim: Simulator, result: SimulationResult) -> dict[str, dict[s
         prediction["exploitations"] = policy.exploitations
     units["prediction"] = prediction
 
-    hier = sim.hierarchy
-    units["memory"] = {
-        "l1_hits": hier.l1_stats.hits,
-        "l1_misses": hier.l1_stats.misses,
-        "l2_hits": hier.l2_stats.hits,
-        "l2_misses": hier.l2_stats.misses,
-        "mshr_merges": hier.l2_mshrs.merges,
-        "mshr_rejections": hier.l2_mshrs.rejections,
-    }
+    if native_ran:
+        units["memory"] = {
+            "l1_hits": result.l1.hits,
+            "l1_misses": result.l1.misses,
+            "l2_hits": result.l2.hits,
+            "l2_misses": result.l2.misses,
+        }
+    else:
+        hier = sim.hierarchy
+        units["memory"] = {
+            "l1_hits": hier.l1_stats.hits,
+            "l1_misses": hier.l1_stats.misses,
+            "l2_hits": hier.l2_stats.hits,
+            "l2_misses": hier.l2_stats.misses,
+            "mshr_merges": hier.l2_mshrs.merges,
+            "mshr_rejections": hier.l2_mshrs.rejections,
+        }
     return units
+
+
+#: the named native phases, in execution order; PERF003 pins each one to
+#: a scalar-fallback counterpart in ``repro.sim.native.VECTOR_PHASES``
+_NATIVE_PHASE_FUNCS = ("phase_decode", "phase_kernel", "phase_finalize")
+
+
+def _native_phase_times(profiler: cProfile.Profile) -> dict[str, float]:
+    """Cumulative seconds per native phase, extracted from a cProfile run.
+
+    The adapter routes every native run through named top-level phase
+    functions precisely so a function-level profiler can attribute the
+    batch work; this pulls those rows out of the stats table.
+    """
+    out: dict[str, float] = {}
+    stats = pstats.Stats(profiler)
+    for (filename, _line, funcname), row in stats.stats.items():  # type: ignore[attr-defined]
+        if funcname in _NATIVE_PHASE_FUNCS and "adapter" in filename:
+            out[funcname] = row[3]  # cumulative time
+    return {name: out[name] for name in _NATIVE_PHASE_FUNCS if name in out}
 
 
 def profile_run(
@@ -117,8 +159,14 @@ def profile_run(
     limit: int | None = None,
     with_cprofile: bool = True,
     top: int = 12,
+    native: bool = False,
 ) -> ProfileReport:
-    """Simulate one (workload, prefetcher) pair and profile the run."""
+    """Simulate one (workload, prefetcher) pair and profile the run.
+
+    With ``native=True`` the run goes through the compiled batch kernel
+    (falling back per the usual rules) and the report attributes time to
+    the decode/kernel/finalize phases instead of per-access functions.
+    """
     # imported here so ``repro.sim`` stays import-light for the workers
     from repro.sim.config import PREFETCHER_FACTORIES
     from repro.workloads.suites import get_workload
@@ -126,9 +174,10 @@ def profile_run(
     trace = get_workload(workload_name).build().trace()
     if limit is not None:
         trace = trace[:limit]
-    sim = Simulator(PREFETCHER_FACTORIES[prefetcher_name]())
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher_name](), native=native)
 
     timing_table = ""
+    native_phases: dict[str, float] = {}
     if with_cprofile:
         profiler = cProfile.Profile()
         profiler.enable()
@@ -138,6 +187,8 @@ def profile_run(
         stats = pstats.Stats(profiler, stream=buf)
         stats.sort_stats("cumulative").print_stats(top)
         timing_table = buf.getvalue()
+        if sim.last_run_native:
+            native_phases = _native_phase_times(profiler)
     else:
         result = sim.run(trace, workload_name=workload_name)
 
@@ -145,18 +196,21 @@ def profile_run(
         workload=workload_name,
         prefetcher=prefetcher_name,
         accesses=len(trace),
-        units=_unit_counters(sim, result),
+        units=_unit_counters(sim, result, native_ran=sim.last_run_native),
         result=result,
         timing_table=timing_table,
         top=top,
+        native=sim.last_run_native,
+        native_phases=native_phases,
     )
 
 
 def render(report: ProfileReport) -> str:
     """Human-readable report; the counter section is bit-reproducible."""
+    mode = "native kernel" if report.native else "interpreted"
     lines = [
         f"profile: {report.workload} / {report.prefetcher} "
-        f"({report.accesses} accesses)",
+        f"({report.accesses} accesses, {mode})",
         "",
         "per-unit event counters (deterministic):",
     ]
@@ -171,6 +225,12 @@ def render(report: ProfileReport) -> str:
         f"result: cycles={result.cycles}  ipc={result.ipc:.3f}  "
         f"accuracy={result.prefetcher_accuracy:.3f}",
     ]
+    if report.native_phases:
+        total = sum(report.native_phases.values())
+        lines += ["", "native phase timings (machine-dependent):"]
+        for name, seconds in report.native_phases.items():
+            share = seconds / total if total else 0.0
+            lines.append(f"    {name:28s} {seconds:>10.4f}s  ({share:5.1%})")
     if report.timing_table:
         lines += [
             "",

@@ -45,13 +45,24 @@ def run_workload(
     hierarchy_config: HierarchyConfig | None = None,
     core_config: CoreConfig | None = None,
     limit: int | None = None,
+    native: bool | None = None,
 ) -> SimulationResult:
-    """Run one (workload, prefetcher) pair and return its result."""
+    """Run one (workload, prefetcher) pair and return its result.
+
+    ``native=None`` defers to the process-wide execution defaults; the
+    kernel selection is bit-neutral either way.
+    """
+    from repro.sim.parallel import default_execution
+
     name, trace = _resolve_trace(workload)
     if isinstance(prefetcher, str):
         prefetcher = PREFETCHER_FACTORIES[prefetcher]()
+    effective_native = default_execution().native if native is None else native
     sim = Simulator(
-        prefetcher, hierarchy_config=hierarchy_config, core_config=core_config
+        prefetcher,
+        hierarchy_config=hierarchy_config,
+        core_config=core_config,
+        native=effective_native,
     )
     return sim.run(trace, workload_name=name, limit=limit)
 
@@ -111,6 +122,7 @@ def compare(
     jobs: int | None = None,
     cache: "SweepCache | Path | str | bool | None" = None,
     store: "TraceStore | Path | str | bool | None" = None,
+    native: bool | None = None,
 ) -> ComparisonResult:
     """The standard sweep every evaluation figure is built from.
 
@@ -135,6 +147,7 @@ def compare(
     effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
     effective_cache = resolve_cache(cache, default=defaults.cache)
     effective_store = resolve_store(store, default=defaults.store)
+    effective_native = defaults.native if native is None else native
     if (
         effective_jobs > 1
         or effective_cache is not None
@@ -149,6 +162,7 @@ def compare(
             jobs=effective_jobs,
             cache=effective_cache,
             store=effective_store,
+            native=effective_native,
             progress=progress,
         )
 
@@ -159,7 +173,10 @@ def compare(
         for pf_name in prefetchers:
             pf = PREFETCHER_FACTORIES[pf_name]()
             sim = Simulator(
-                pf, hierarchy_config=hierarchy_config, core_config=core_config
+                pf,
+                hierarchy_config=hierarchy_config,
+                core_config=core_config,
+                native=effective_native,
             )
             result = sim.run(trace, workload_name=name, limit=limit)
             comparison.results[name][pf_name] = result
@@ -177,6 +194,7 @@ def storage_sweep(
     jobs: int | None = None,
     cache: "SweepCache | Path | str | bool | None" = None,
     store: "TraceStore | Path | str | bool | None" = None,
+    native: bool | None = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Figure 13: context-prefetcher results per CST size per workload.
 
@@ -196,6 +214,7 @@ def storage_sweep(
     effective_jobs = defaults.jobs if jobs is None else max(1, jobs)
     effective_cache = resolve_cache(cache, default=defaults.cache)
     effective_store = resolve_store(store, default=defaults.store)
+    effective_native = defaults.native if native is None else native
     if (
         effective_jobs > 1
         or effective_cache is not None
@@ -209,6 +228,7 @@ def storage_sweep(
             jobs=effective_jobs,
             cache=effective_cache,
             store=effective_store,
+            native=effective_native,
         )
     resolved = [_resolve_trace(w) for w in workloads]
     out: dict[int, dict[str, SimulationResult]] = {}
@@ -216,6 +236,8 @@ def storage_sweep(
         config = base.scaled(size)
         out[size] = {}
         for name, trace in resolved:
-            sim = Simulator(ContextPrefetcher(config))
+            # the context prefetcher has no native port; the flag simply
+            # exercises the documented per-run fallback
+            sim = Simulator(ContextPrefetcher(config), native=effective_native)
             out[size][name] = sim.run(trace, workload_name=name, limit=limit)
     return out

@@ -33,6 +33,7 @@ class Simulator:
         hierarchy_config: HierarchyConfig | None = None,
         core_config: CoreConfig | None = None,
         bhr_bits: int = 8,
+        native: bool = False,
     ):
         self.prefetcher = prefetcher
         self.hierarchy = Hierarchy(hierarchy_config)
@@ -40,6 +41,13 @@ class Simulator:
         self.bhr = BranchHistoryRegister(bits=bhr_bits)
         self._line_bytes = self.hierarchy.config.line_bytes
         self._cycle_base = 0
+        #: run through the compiled batch kernel where possible; runs the
+        #: kernel cannot represent exactly (the RL context prefetcher,
+        #: out-of-range traces) drop back to the interpreted loop below
+        self.native = bool(native)
+        #: did the most recent :meth:`run` go through the compiled kernel?
+        #: (profiling reads this to know where the counters live)
+        self.last_run_native = False
 
     def _reset_stats(self) -> None:
         """Zero the statistics counters without disturbing warm state.
@@ -85,6 +93,25 @@ class Simulator:
         simulator practice for measuring steady state (the paper simulates
         pre-characterised steady-state phases, Section 6).
         """
+        if self.native:
+            # the native adapter handles warmup itself; when it cannot
+            # take the run it returns the (possibly materialised) trace
+            # for the interpreted path below
+            from repro.sim import native as native_kernel
+
+            handled, result, trace, limit = native_kernel.try_native_run(
+                self,
+                trace,
+                workload_name=workload_name,
+                limit=limit,
+                start_index=start_index,
+                warmup=warmup,
+            )
+            self.last_run_native = handled
+            if handled:
+                return result
+        else:
+            self.last_run_native = False
         if warmup:
             # materialise while applying the limit — a truncated long
             # trace must not be built in full just to slice a prefix

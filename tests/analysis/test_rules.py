@@ -743,3 +743,122 @@ class TestRecordLayoutRule:
         findings = run_rules(tmp_path, [self._rule()])
         assert rule_ids(findings) == ["PERF002"]
         assert "integer literal" in findings[0].message
+
+
+class TestVectorPhaseContractRule:
+    """PERF003: vectorized phases keep their scalar-fallback twins."""
+
+    def _rule(self):
+        from repro.analysis.rules.perf import VectorPhaseContractRule
+
+        return VectorPhaseContractRule()
+
+    def _good_tree(self) -> dict[str, str]:
+        # miniature native package: one phase whose native side is a
+        # top-level function and whose fallback is a one-level method
+        return {
+            "sim/native/__init__.py": """
+            VECTOR_PHASES = (
+                (
+                    "kernel",
+                    "repro.sim.native.adapter:phase_kernel",
+                    "repro.sim.simulator:Simulator.run",
+                ),
+            )
+            """,
+            "sim/native/adapter.py": """
+            def phase_kernel(sim, cols):
+                return cols
+            """,
+            "sim/simulator.py": """
+            class Simulator:
+                def run(self, trace):
+                    return trace
+            """,
+        }
+
+    def test_live_contract_resolves(self):
+        # the real tree must satisfy its own phase table — this is the
+        # test that fires when someone renames a phase function in place
+        from repro.analysis.rules.perf import _module_rel
+        from repro.sim.native import VECTOR_PHASES
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        for _phase, native_impl, fallback in VECTOR_PHASES:
+            for ref in (native_impl, fallback):
+                module, _, qualname = ref.partition(":")
+                assert (src / _module_rel(module)).exists(), ref
+
+    def test_paired_phases_pass(self, tmp_path):
+        write_tree(tmp_path, self._good_tree())
+        assert run_rules(tmp_path, [self._rule()]) == []
+
+    def test_deleted_fallback_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/simulator.py"] = """
+        class Simulator:
+            def run_batches(self, trace):
+                return trace
+        """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "scalar" in findings[0].message
+
+    def test_deleted_native_impl_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/native/adapter.py"] = "def other():\n    pass\n"
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "phase_kernel" in findings[0].message
+
+    def test_missing_module_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        del files["sim/native/adapter.py"]
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "does not exist" in findings[0].message
+
+    def test_missing_contract_module_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {"core/x.py": "pass\n"})
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "VECTOR_PHASES" in findings[0].message
+
+    def test_non_literal_table_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/native/__init__.py"] = (
+            "VECTOR_PHASES = tuple(build_phases())\n"
+        )
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "statically auditable" in findings[0].message
+
+    def test_malformed_row_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/native/__init__.py"] = (
+            'VECTOR_PHASES = (("kernel", "only-one-side"),)\n'
+        )
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "malformed" in findings[0].message
+
+    def test_bad_reference_shape_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/native/__init__.py"] = """
+        VECTOR_PHASES = (
+            (
+                "kernel",
+                "no-colon-here",
+                "repro.sim.simulator:Simulator.run",
+            ),
+        )
+        """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF003"]
+        assert "module:qualname" in findings[0].message

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.sim import native as native_pkg
 from repro.sim.codec import decode_result, encode_result
 from repro.sim.config import PREFETCHER_FACTORIES
 from repro.sim.phases import run_phased
@@ -149,3 +150,85 @@ def test_phased_run_parity(prefetcher: str) -> None:
     assert len(run.phases) == phased["num_phases"]
     for i, phase_result in enumerate(run.phases):
         _assert_matches(f"phased/{workload}/{prefetcher}/p{i}", phase_result)
+
+
+# -- native-kernel legs -------------------------------------------------
+#
+# The same goldens again, through the compiled batch kernel.  Families
+# the kernel cannot represent (the RL context prefetcher) silently take
+# the interpreted fallback inside ``run`` — keeping them parametrized
+# here proves the fallback is bit-exact too.  Skipped, not passed, when
+# the toolchain cannot build the kernel, so a green run really means the
+# native path was exercised.
+
+
+def _require_native() -> None:
+    if not native_pkg.is_available():
+        pytest.skip("compiled kernel unavailable (numpy/cffi/toolchain)")
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_plain_run_parity_native(workload: str, prefetcher: str) -> None:
+    _require_native()
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher](), native=True)
+    result = sim.run(_trace(workload), workload_name=workload)
+    _assert_matches(f"plain/{workload}/{prefetcher}", result)
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["warmup"]["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_warmup_run_parity_native(workload: str, prefetcher: str) -> None:
+    _require_native()
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher](), native=True)
+    result = sim.run(
+        _trace(workload), workload_name=workload, warmup=SPEC["warmup"]["warmup"]
+    )
+    _assert_matches(f"warmup/{workload}/{prefetcher}", result)
+
+
+@pytest.mark.parametrize("prefetcher", sorted(set(SPEC["phased"]["prefetchers"])))
+def test_phased_run_parity_native(prefetcher: str) -> None:
+    """Multi-phase native runs: warm prefetcher state crosses the kernel
+    boundary via the per-object handle registry."""
+    _require_native()
+    phased = SPEC["phased"]
+    workload = phased["workload"]
+    run = run_phased(
+        _trace(workload),
+        prefetcher,
+        workload_name=workload,
+        num_phases=phased["num_phases"],
+        cold_start=phased["cold_start"],
+        native=True,
+    )
+    for i, phase_result in enumerate(run.phases):
+        _assert_matches(f"phased/{workload}/{prefetcher}/p{i}", phase_result)
+
+
+@pytest.fixture(scope="module")
+def store_readers(tmp_path_factory):
+    """mmap-backed readers over the golden workloads (not decoded lists)."""
+    from repro.workloads.store import TraceReader, TraceStore
+
+    store = TraceStore(tmp_path_factory.mktemp("reader-traces"))
+    readers = {}
+    for name in sorted(set(SPEC["workloads"])):
+        stored, _ = store.ensure(name)
+        readers[name] = TraceReader(stored.path)
+    return readers
+
+
+@pytest.mark.parametrize("workload", sorted(set(SPEC["workloads"])))
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_plain_run_parity_native_zero_copy(
+    workload: str, prefetcher: str, store_readers: dict
+) -> None:
+    """The zero-copy decode phase: a TraceReader handed straight to the
+    simulator must hit the same goldens as the decoded list."""
+    _require_native()
+    sim = Simulator(PREFETCHER_FACTORIES[prefetcher](), native=True)
+    result = sim.run(
+        store_readers[workload], workload_name=workload, limit=SPEC["limit"]
+    )
+    _assert_matches(f"plain/{workload}/{prefetcher}", result)

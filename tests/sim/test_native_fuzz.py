@@ -1,0 +1,219 @@
+"""Differential fuzz: the native kernel against the interpreted oracle.
+
+Each case derives a deterministic seed from its own case label (never
+from the wall clock or global RNG state — rule ``DET``), generates a
+synthetic trace plus a random hierarchy/core/prefetcher configuration,
+runs the same inputs through the interpreted reference loop and the
+compiled batch kernel, and requires field-for-field equality of the
+resulting :class:`~repro.sim.metrics.SimulationResult`.
+
+The tier-1 run covers ``NUM_FAST_CASES`` small cases (seconds); the
+``--runslow`` tier re-runs the generator over many more, longer traces.
+Cases are *not* minimized to kernel-eligible configs: some deliberately
+exceed the native request caps or pick the RL context prefetcher, so the
+documented fallback path is fuzzed alongside the kernel itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.markov import MarkovConfig, MarkovPrefetcher
+from repro.prefetchers.nopf import NoPrefetcher
+from repro.prefetchers.sms import SMSConfig, SMSPrefetcher
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+from repro.sim import native as native_pkg
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import MemoryAccess
+
+NUM_FAST_CASES = 200
+NUM_SLOW_CASES = 600
+
+pytestmark = pytest.mark.skipif(
+    not native_pkg.is_available(),
+    reason="compiled kernel unavailable (numpy/cffi/toolchain)",
+)
+
+
+def _seed_for(label: str) -> int:
+    """Config-derived seed: stable across runs, machines and processes."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _fuzz_trace(rng: random.Random, length: int, line: int) -> list[MemoryAccess]:
+    """A synthetic access stream mixing the locality shapes the families
+    key on: unit/strided streams, region-local scatter, repeated miss
+    sequences (Markov food) and dependent pointer chases."""
+    pcs = [0x400000 + 4 * rng.randrange(64) for _ in range(rng.randrange(4, 16))]
+    regions = [rng.randrange(1 << 34) * line for _ in range(rng.randrange(2, 8))]
+    trace: list[MemoryAccess] = []
+    addr = rng.choice(regions)
+    while len(trace) < length:
+        shape = rng.randrange(5)
+        seg = rng.randrange(4, 24)
+        if shape == 0:  # unit-stride stream
+            stride = line
+        elif shape == 1:  # fixed non-unit stride, sometimes negative
+            stride = rng.choice((-3, -1, 2, 3, 5)) * line + rng.choice((0, 8))
+        else:
+            stride = 0
+        if shape == 3:  # replay: revisit a region start (Markov training)
+            addr = rng.choice(regions)
+        for _ in range(seg):
+            if len(trace) >= length:
+                break
+            if shape == 2:  # region-local scatter (SMS patterns)
+                addr = rng.choice(regions) + rng.randrange(32) * line
+            elif shape == 4:  # pointer chase: wild jump, dependent
+                addr = rng.randrange(1 << 40)
+            else:
+                addr = (addr + stride) % (1 << 42)
+            trace.append(
+                MemoryAccess(
+                    addr=addr,
+                    pc=rng.choice(pcs),
+                    is_load=rng.random() < 0.9,
+                    inst_gap=rng.randrange(13),
+                    depends_on_prev=(shape == 4 and rng.random() < 0.8),
+                )
+            )
+    return trace
+
+
+def _fuzz_hierarchy(rng: random.Random, line: int) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1_size=rng.choice((4, 16, 64)) * 1024,
+        l1_ways=rng.choice((1, 2, 4, 8)),
+        l1_latency=rng.choice((1, 2, 4)),
+        l1_mshrs=rng.choice((1, 2, 4, 8)),
+        l2_size=rng.choice((16, 64, 256)) * 1024,
+        l2_ways=rng.choice((4, 8, 16)),
+        l2_latency=rng.choice((10, 20)),
+        l2_mshrs=rng.choice((2, 8, 20)),
+        dram_latency=rng.choice((80, 150, 300)),
+        dram_service_interval=rng.choice((1, 4, 9)),
+        line_bytes=line,
+        prefetch_buffers=rng.choice((1, 2, 8, 16)),
+        prefetch_mshr_reserve=rng.choice((0, 1, 2)),
+        prefetch_backlog_depth=rng.choice((1, 4, 32)),
+        prefetch_fill_l1=rng.random() < 0.8,
+    )
+
+
+def _fuzz_core(rng: random.Random) -> CoreConfig:
+    return CoreConfig(
+        issue_width=rng.choice((1, 2, 4, 8)),
+        rob_size=rng.choice((16, 64, 192)),
+        lq_size=rng.choice((4, 16, 32)),
+    )
+
+
+def _fuzz_prefetcher(rng: random.Random, line: int):
+    family = rng.randrange(7)
+    # an over-cap degree (> 64 requests) must fall back, not diverge
+    degree = 100 if rng.random() < 0.05 else rng.randrange(1, 9)
+    if family == 0:
+        return NoPrefetcher()
+    if family == 1:
+        return StridePrefetcher(
+            StrideConfig(
+                table_entries=rng.choice((16, 64, 512)),
+                degree=degree,
+                line_bytes=line,
+                train_on_miss_only=rng.random() < 0.8,
+            )
+        )
+    if family in (2, 3):
+        return GHBPrefetcher(
+            GHBConfig(
+                ghb_entries=rng.choice((64, 256, 2048)),
+                index_entries=rng.choice((16, 256)),
+                match_length=rng.choice((2, 3, 4)),
+                degree=degree,
+                max_walk=rng.choice((8, 64)),
+                localization="global" if family == 2 else "pc",
+                line_bytes=line,
+                train_on_miss_only=rng.random() < 0.8,
+            )
+        )
+    if family == 4:
+        return SMSPrefetcher(
+            SMSConfig(
+                region_bytes=rng.choice((4, 16, 32)) * line,
+                line_bytes=line,
+                filter_entries=rng.choice((4, 32)),
+                agt_entries=rng.choice((4, 32)),
+                pht_entries=rng.choice((64, 2048)),
+                generation_timeout=rng.choice((32, 512)),
+            )
+        )
+    if family == 5:
+        return MarkovPrefetcher(
+            MarkovConfig(
+                table_entries=rng.choice((64, 2048)),
+                successors_per_entry=rng.choice((1, 2, 4)),
+                degree=degree,
+                line_bytes=line,
+                train_on_miss_only=rng.random() < 0.8,
+            )
+        )
+    # the RL context prefetcher: always the interpreted fallback, fuzzed
+    # here so a registry change can't silently break that path
+    from repro.sim.config import PREFETCHER_FACTORIES
+
+    return PREFETCHER_FACTORIES["context"]()
+
+
+def _run_case(label: str, length_range: tuple[int, int]) -> None:
+    rng = random.Random(_seed_for(label))
+    line = rng.choice((32, 64, 64, 64, 128))
+    trace = _fuzz_trace(rng, rng.randrange(*length_range), line)
+    hier = _fuzz_hierarchy(rng, line)
+    core = _fuzz_core(rng)
+
+    limit = rng.randrange(50, len(trace) + 100) if rng.random() < 0.3 else None
+    n_effective = len(trace) if limit is None else min(limit, len(trace))
+    warmup = rng.randrange(1, n_effective) if rng.random() < 0.25 else 0
+    start_index = rng.choice((0, 1, 1000)) if rng.random() < 0.2 else 0
+
+    results = []
+    for native in (False, True):
+        # fresh prefetcher per mode from the same sub-seed, so learned
+        # state never crosses the differential boundary
+        pf = _fuzz_prefetcher(random.Random(_seed_for(label + "/pf")), line)
+        sim = Simulator(
+            pf, hierarchy_config=hier, core_config=core, native=native
+        )
+        results.append(
+            sim.run(
+                trace,
+                workload_name=label,
+                limit=limit,
+                start_index=start_index,
+                warmup=warmup,
+            )
+        )
+    interpreted, native_result = results
+    assert native_result == interpreted, (
+        f"{label}: native kernel diverged from the interpreted oracle\n"
+        f"config: hier={hier} core={core} limit={limit} "
+        f"warmup={warmup} start_index={start_index}"
+    )
+
+
+@pytest.mark.parametrize("case", range(NUM_FAST_CASES))
+def test_native_differential_fuzz(case: int) -> None:
+    _run_case(f"native-fuzz/fast/{case}", (120, 500))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case", range(NUM_SLOW_CASES))
+def test_native_differential_fuzz_extended(case: int) -> None:
+    _run_case(f"native-fuzz/slow/{case}", (800, 4000))

@@ -1,0 +1,78 @@
+"""The profiling harness, in both kernel modes.
+
+The deterministic layer (per-unit event counters and the result) must be
+identical between the interpreted and native runs — the harness reads
+native counters from the result block rather than the untouched Python
+components, and any divergence would mean the two kernels disagree.  The
+timing layer differs by construction: the native report attributes time
+to the decode/kernel/finalize phases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import native as native_pkg
+from repro.sim.profile import ProfileReport, profile_run, render
+
+
+def _require_native() -> None:
+    if not native_pkg.is_available():
+        pytest.skip("compiled kernel unavailable (numpy/cffi/toolchain)")
+
+
+class TestInterpretedMode:
+    def test_report_structure(self):
+        report = profile_run("mcf", "stride", limit=800, top=5)
+        assert isinstance(report, ProfileReport)
+        assert not report.native and not report.native_phases
+        assert "memory" in report.units and "prediction" in report.units
+        # interpreted reports include the MSHR counters
+        assert "mshr_merges" in report.units["memory"]
+        text = render(report)
+        assert "interpreted" in text
+        assert "cProfile" in text
+
+    def test_no_cprofile_skips_timing(self):
+        report = profile_run("mcf", "stride", limit=500, with_cprofile=False)
+        assert report.timing_table == ""
+        assert "cProfile" not in render(report)
+
+
+class TestNativeMode:
+    def test_native_counters_match_interpreted(self):
+        _require_native()
+        base = profile_run("mcf", "stride", limit=800, with_cprofile=False)
+        nat = profile_run(
+            "mcf", "stride", limit=800, with_cprofile=False, native=True
+        )
+        assert nat.native and not base.native
+        assert nat.result == base.result
+        # the shared counters agree; only the interpreted-side extras
+        # (MSHR merge counts, not exported by the kernel) may differ
+        for unit, counters in nat.units.items():
+            for name, value in counters.items():
+                assert base.units[unit][name] == value, f"{unit}/{name}"
+
+    def test_native_phase_timings_reported(self):
+        _require_native()
+        report = profile_run("mcf", "stride", limit=800, top=5, native=True)
+        assert report.native
+        assert set(report.native_phases) == {
+            "phase_decode", "phase_kernel", "phase_finalize"
+        }
+        assert all(t >= 0.0 for t in report.native_phases.values())
+        text = render(report)
+        assert "native kernel" in text
+        assert "native phase timings" in text
+        assert "phase_kernel" in text
+
+    def test_native_fallback_family_profiles_interpreted(self):
+        _require_native()
+        # the RL context prefetcher cannot run natively: the report must
+        # say so and carry the full interpreted counter set
+        report = profile_run("mcf", "context", limit=500, native=True)
+        assert not report.native
+        assert not report.native_phases
+        assert "collection" in report.units
+        assert "mshr_merges" in report.units["memory"]
