@@ -27,22 +27,25 @@ the repo carries a measured trajectory instead of asserted speedups:
   ``jobs=2`` the PR 4 way (parent builds, pickled tuples ship) and the
   store way (cold compile, then warm mmap), with the two results
   asserted field-for-field identical before any number is written.
-* **native_vs_reference** (PR 7, schema 3) — the compiled batch kernel
-  (``repro.sim.native``) against the interpreted reference loop, per
-  prefetcher family, over mmap-backed ``.rpt`` readers (the deployment
-  path: decode inside the timed run).  Every cell's ``SimulationResult``
-  is asserted field-for-field identical to the interpreted run before
-  any number is written.  The context family documents the RL fallback:
-  ``native_handled`` is false and its ratio is the (small) dispatch
-  overhead, not a speedup claim.
+* **native_vs_reference** (PR 7, schema 3; schema 4 from PR 8) — the
+  compiled batch kernel (``repro.sim.native``) against the interpreted
+  reference loop, per prefetcher family, over mmap-backed ``.rpt``
+  readers (the deployment path: decode inside the timed run).  Every
+  cell's ``SimulationResult`` is asserted field-for-field identical to
+  the interpreted run before any number is written.  Since PR 8 the RL
+  ``context`` family is a measured native row like the rest — its
+  CST/bandit/reward loop (and a bit-exact CPython MT19937) runs in C —
+  so ``native_handled`` is true across the board.
 
 ``--check FILE`` re-measures the context kernel and fails (exit 1) if it
 regresses more than ``--tolerance`` (default 30%) against the committed,
 calibration-normalised value.  When the committed report carries a
 ``native_vs_reference`` section, the check also re-measures the native
-kernel (parity-gated) and fails if any native family's speedup falls
-below ``max(5x, committed * (1 - 2*tolerance))`` — doubled because the
-quick grid's smaller limit systematically understates the ratio.
+kernel (parity-gated) and fails if any native family's speedup —
+``context`` included — falls below
+``max(5x, committed * (1 - 2*tolerance))``: doubled because the quick
+grid's smaller limit systematically understates the ratio, floored at
+the 5x the ISSUE 8 acceptance criterion claims for the context family.
 """
 
 from __future__ import annotations
@@ -62,8 +65,9 @@ from repro.sim.simulator import Simulator  # noqa: E402
 from repro.workloads.suites import get_workload  # noqa: E402
 
 #: schema 2 adds the ``trace_pipeline`` section (PR 5); schema 3 adds
-#: ``native_vs_reference`` (PR 7)
-SCHEMA = 3
+#: ``native_vs_reference`` (PR 7); schema 4 (PR 8) makes ``context`` a
+#: measured native family inside it (``native_handled`` true everywhere)
+SCHEMA = 4
 
 #: the kernel measurement grid: one streaming, one pointer-chasing and
 #: one graph workload, truncated so a full report stays minutes-scale
@@ -403,7 +407,7 @@ def build_report(quick: bool) -> dict:
     }
     return {
         "schema": SCHEMA,
-        "pr": 7,
+        "pr": 8,
         "quick": quick,
         "python": platform.python_version(),
         "calibration_score": round(calibration, 1),
@@ -464,7 +468,7 @@ def check_report(path: Path, tolerance: float) -> int:
         remeasured = measure_native_vs_reference(quick=True)
         for pf, row in section["families"].items():
             if not row.get("native_handled"):
-                continue  # the context fallback pins no speedup
+                continue  # a pinned fallback row carries no speedup claim
             got = remeasured["families"][pf]["speedup"]
             # the quick grid amortises fixed per-run overhead over fewer
             # accesses, so its ratio reads systematically below the
@@ -487,7 +491,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
     parser.add_argument(
-        "--out", type=Path, default=REPO / "BENCH_7.json", help="output path"
+        "--out", type=Path, default=REPO / "BENCH_8.json", help="output path"
     )
     parser.add_argument(
         "--check",
@@ -549,6 +553,12 @@ def main(argv=None) -> int:
                 f"{min(handled.values()):.1f}x-{max(handled.values()):.1f}x "
                 f"vs interpreted across {len(handled)} native families "
                 "(parity bit-identical)"
+            )
+        ctx_row = native["families"].get("context")
+        if ctx_row is not None and ctx_row["native_handled"]:
+            print(
+                f"context native: {ctx_row['speedup']:.1f}x vs the "
+                "interpreted RL loop (parity bit-identical)"
             )
     else:
         print("native kernel: unavailable (numpy/cffi/toolchain)")

@@ -60,7 +60,17 @@ MARKER_RE = re.compile(r"#\s*drift:\s*(begin|end)\s+([A-Za-z0-9_.-]+)")
 
 #: (key, canonical rel, canonical symbol, inlined rel) — the symbol is a
 #: function qualname ("Class.meth") or a class name; the inlined side is
-#: the file whose ``# drift:`` regions carry the copy
+#: the file whose ``# drift:`` regions carry the copy.
+#:
+#: The ``native-context-*`` pairs tie the C port of the RL context loop
+#: (the ``SOURCE_CTX_*`` string assignments in ``sim/native/_csrc.py``,
+#: each wrapped in a marker region) to its interpreted oracle: editing a
+#: canonical method re-fingerprints the Python side, editing the C string
+#: re-fingerprints the inlined side (the string literal is part of the
+#: unparsed assignment), and DRIFT001 fires unless both move together
+#: and are re-pinned after the parity suites pass.  The kernel's MT19937
+#: region carries no pair — its canonical is CPython's own ``_random``,
+#: and ``tests/sim/test_native_rng.py`` compares against that directly.
 DRIFT_PAIRS: tuple[tuple[str, str, str, str], ...] = (
     ("core-issue-time", "cpu/core_model.py", "CoreModel.issue_time", "sim/simulator.py"),
     ("core-complete", "cpu/core_model.py", "CoreModel.complete", "sim/simulator.py"),
@@ -69,6 +79,15 @@ DRIFT_PAIRS: tuple[tuple[str, str, str, str], ...] = (
     ("tracker-capture", "core/context.py", "ContextTracker.capture", "core/prefetcher.py"),
     ("reducer-lookup", "core/reducer.py", "Reducer.lookup", "core/prefetcher.py"),
     ("policy-select", "core/bandit.py", "EpsilonGreedyPolicy.select", "core/prefetcher.py"),
+    ("native-context-hash", "core/context.py", "context_hash", "sim/native/_csrc.py"),
+    ("native-context-state", "core/prefetcher.py", "ContextPrefetcher.__init__", "sim/native/_csrc.py"),
+    ("native-context-reward", "core/reward.py", "RewardFunction.__call__", "sim/native/_csrc.py"),
+    ("native-context-cst", "core/cst.py", "ContextStatesTable.add_association", "sim/native/_csrc.py"),
+    ("native-context-feedback", "core/prefetcher.py", "ContextPrefetcher._apply_feedback", "sim/native/_csrc.py"),
+    ("native-context-reducer", "core/reducer.py", "Reducer.adapt", "sim/native/_csrc.py"),
+    ("native-context-select", "core/bandit.py", "EpsilonGreedyPolicy.select", "sim/native/_csrc.py"),
+    ("native-context-softmax", "core/bandit.py", "SoftmaxPolicy.select", "sim/native/_csrc.py"),
+    ("native-context-kernel", "core/prefetcher.py", "ContextPrefetcher.on_access", "sim/native/_csrc.py"),
 )
 
 

@@ -328,7 +328,13 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     else:
         comparison = standard_sweep(args.scale, prefetchers=prefetchers)
     result = fig12_speedup.run(comparison=comparison)
-    return fig12_speedup.render(result)
+    rendered = fig12_speedup.render(result)
+    # kernel coverage of the executed grid: how many cells the compiled
+    # path took, and the top reasons the rest fell back to interpreted
+    native_line = comparison.native_summary()
+    if native_line is not None:
+        rendered = f"{rendered}\n\n{native_line}"
+    return rendered
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:

@@ -695,6 +695,20 @@ class ContextPrefetcher(Prefetcher):
     def accuracy(self) -> float:
         return self.policy.accuracy
 
+    def is_pristine(self) -> bool:
+        # every on_access ends by pushing a history record, and the RNG,
+        # CST, reducer, queue and tracker only mutate inside on_access —
+        # an empty history implies the whole prefetcher is untouched (the
+        # counters are a belt against hand-mutated state)
+        return (
+            self.history._count == 0
+            and not self._by_block
+            and self.predictions_real == 0
+            and self.predictions_shadow == 0
+            and self.rewards_applied == 0
+            and not self.hit_depth_histogram
+        )
+
     def reset(self) -> None:
         cfg = self.config
         self.tracker.reset()

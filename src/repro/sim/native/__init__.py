@@ -18,10 +18,15 @@ restructured into phases:
   :class:`~repro.sim.metrics.SimulationResult` the interpreted path
   builds.
 
-Whenever any phase cannot represent a run exactly — the RL context
-prefetcher's CST/reward feedback, unsupported configs, addresses outside
-the modelled 48-bit space, or a missing numpy/cffi/toolchain — the run
-drops to the interpreted scalar path, and the fallback is logged.  The
+The context RL prefetcher — the paper's own contribution — runs in the
+same kernel: CPython's ``random.Random`` is reproduced bit-for-bit
+(MT19937 + ``genrand_res53`` + the exact ``choice``/``choices``
+semantics), so the CST/bandit/reward feedback loop is compiled too.
+Whenever any phase cannot represent a run exactly — unsupported configs
+(degenerate reward bells, subclassed policies), addresses outside the
+modelled 48-bit space, branch tuples beyond the u64 bitmap, or a missing
+numpy/cffi/toolchain — the run drops to the interpreted scalar path, and
+the fallback is logged with a reason the sweep summary aggregates.  The
 PERF003 analysis rule pins :data:`VECTOR_PHASES` below: every vectorized
 phase must keep its scalar-fallback counterpart, so a one-sided edit
 fails ``repro lint``.
@@ -37,6 +42,7 @@ VECTOR_PHASES = (
     ("classify", "repro.memory.address:lines_of_array", "repro.memory.address:line_of"),
     ("kernel", "repro.sim.native.adapter:phase_kernel", "repro.sim.simulator:Simulator.run"),
     ("finalize", "repro.sim.native.adapter:phase_finalize", "repro.sim.simulator:Simulator.run"),
+    ("context", "repro.sim.native.adapter:_ctx_config_values", "repro.core.prefetcher:ContextPrefetcher.on_access"),
 )
 
 

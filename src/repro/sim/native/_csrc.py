@@ -2,12 +2,17 @@
 
 The kernel is a line-for-line port of the interpreted hot path — the
 core timing model, the two-level hierarchy with MSHRs/prefetch buffers,
-and the five table-based prefetcher families — with every tie-breaking
-data structure (the CPython heapq layout for the pending-fill heap, the
-dict-insertion-order LRU of the caches and index tables) reproduced
-exactly so results are bit-identical.  ``docs/native_kernel.md`` carries
-the per-phase exactness arguments; the golden/parity/fuzz suites prove
-them.
+the five table-based prefetcher families, and the RL context prefetcher
+(CST + reducer + reward + ε-greedy/softmax bandit) — with every
+tie-breaking data structure (the CPython heapq layout for the
+pending-fill heap, the dict-insertion-order LRU of the caches and index
+tables, the prefetch-queue bucket lists) reproduced exactly so results
+are bit-identical.  The context port additionally reproduces CPython's
+``random.Random`` (MT19937 seeded via ``init_by_array``), the int/tuple
+hash pipeline behind the context keys, and float ``round`` half-to-even,
+so every RNG draw and hash matches the interpreted oracle bit-for-bit.
+``docs/native_kernel.md`` carries the per-phase exactness arguments; the
+golden/parity/fuzz suites prove them.
 """
 
 from __future__ import annotations
@@ -15,19 +20,45 @@ from __future__ import annotations
 #: number of int64 slots rp_run writes into its output block
 OUT_SLOTS = 19 + 129
 
+#: number of int64 slots rp_pf_ctx_counters fills (satellite counters the
+#: profile CLI reports for native context runs)
+CTX_COUNTER_SLOTS = 20
+
 CDEF = """
 typedef struct RpSim RpSim;
 typedef struct RpPf RpPf;
+typedef struct RpRng RpRng;
 
 RpSim *rp_sim_new(const int64_t *hier_cfg, const int64_t *core_cfg);
 void rp_sim_free(RpSim *sim);
 void rp_reset_stats(RpSim *sim);
 RpPf *rp_pf_new(int kind, const int64_t *cfg);
+RpPf *rp_pf_ctx_new(const int64_t *icfg, const double *dcfg,
+                    const uint32_t *seed_key, int seed_len);
 void rp_pf_free(RpPf *pf);
+double rp_pf_ctx_accuracy(const RpPf *pf);
+void rp_pf_ctx_counters(const RpPf *pf, int64_t *out);
+int64_t rp_pf_ctx_hist_len(const RpPf *pf);
+void rp_pf_ctx_hist(const RpPf *pf, int64_t *depths, int64_t *counts);
 int rp_run(RpSim *sim, RpPf *pf, int64_t n, int64_t start_index,
            const uint64_t *addrs, const uint64_t *pcs,
            const uint64_t *lines, const uint32_t *inst_gaps,
-           const uint8_t *flags, int64_t *out);
+           const uint8_t *flags,
+           const int64_t *values, const int64_t *reg_values,
+           const uint64_t *branch_bits, const uint16_t *branch_counts,
+           const uint32_t *type_ids, const uint32_t *link_offsets,
+           const uint8_t *ref_forms, int64_t *out);
+
+RpRng *rp_rng_new(const uint32_t *key, int key_len);
+void rp_rng_free(RpRng *rng);
+double rp_rng_random(RpRng *rng);
+uint32_t rp_rng_getrandbits(RpRng *rng, int k);
+int64_t rp_rng_choice_index(RpRng *rng, int64_t n);
+int64_t rp_rng_choices_index(RpRng *rng, const double *weights, int64_t n);
+int64_t rp_hash_uint(uint64_t v);
+int64_t rp_hash_int(int64_t v);
+int64_t rp_hash_tuple(const int64_t *item_hashes, int64_t n);
+int64_t rp_ctx_key(const int64_t *values, int active_bits);
 """
 
 SOURCE_RUNTIME = r"""
@@ -821,6 +852,1111 @@ static int core_rob_push(Core *c, double completion, int64_t inst_pos) {
 }
 """
 
+# --- context prefetcher: CPython-exact RNG -----------------------------
+# drift: begin native-context-rng
+SOURCE_CTX_RNG = r"""
+/* ------------------------------------------------------------------ */
+/* CPython random.Random, bit for bit: the MT19937 generator seeded via
+ * init_by_array (the key is the little-endian uint32 decomposition of
+ * abs(seed), computed on the Python side), genrand_res53 for random(),
+ * getrandbits-based _randbelow for choice(), and the cumulative-weights
+ * bisect of choices(k=1).  Every helper consumes exactly the draws the
+ * CPython method would, including rejection-loop retries. */
+
+#include <math.h>
+
+typedef struct RpRng {
+    uint32_t mt[624];
+    int mti;
+} RpRng;
+
+static void mt_init_genrand(RpRng *r, uint32_t s) {
+    r->mt[0] = s;
+    for (int i = 1; i < 624; i++)
+        r->mt[i] = (uint32_t)(1812433253u * (r->mt[i - 1] ^ (r->mt[i - 1] >> 30))
+                              + (uint32_t)i);
+    r->mti = 624;
+}
+
+static void mt_init_by_array(RpRng *r, const uint32_t *key, int key_len) {
+    mt_init_genrand(r, 19650218u);
+    int i = 1, j = 0;
+    int k = 624 > key_len ? 624 : key_len;
+    for (; k; k--) {
+        r->mt[i] = (r->mt[i] ^ ((r->mt[i - 1] ^ (r->mt[i - 1] >> 30)) * 1664525u))
+                   + key[j] + (uint32_t)j;
+        i++; j++;
+        if (i >= 624) { r->mt[0] = r->mt[623]; i = 1; }
+        if (j >= key_len) j = 0;
+    }
+    for (k = 623; k; k--) {
+        r->mt[i] = (r->mt[i] ^ ((r->mt[i - 1] ^ (r->mt[i - 1] >> 30)) * 1566083941u))
+                   - (uint32_t)i;
+        i++;
+        if (i >= 624) { r->mt[0] = r->mt[623]; i = 1; }
+    }
+    r->mt[0] = 0x80000000u;
+    r->mti = 624;
+}
+
+static uint32_t mt_genrand(RpRng *r) {
+    static const uint32_t mag01[2] = {0u, 0x9908b0dfu};
+    uint32_t y;
+    if (r->mti >= 624) {
+        int kk;
+        for (kk = 0; kk < 624 - 397; kk++) {
+            y = (r->mt[kk] & 0x80000000u) | (r->mt[kk + 1] & 0x7fffffffu);
+            r->mt[kk] = r->mt[kk + 397] ^ (y >> 1) ^ mag01[y & 1u];
+        }
+        for (; kk < 623; kk++) {
+            y = (r->mt[kk] & 0x80000000u) | (r->mt[kk + 1] & 0x7fffffffu);
+            r->mt[kk] = r->mt[kk + (397 - 624)] ^ (y >> 1) ^ mag01[y & 1u];
+        }
+        y = (r->mt[623] & 0x80000000u) | (r->mt[0] & 0x7fffffffu);
+        r->mt[623] = r->mt[396] ^ (y >> 1) ^ mag01[y & 1u];
+        r->mti = 0;
+    }
+    y = r->mt[r->mti++];
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= y >> 18;
+    return y;
+}
+
+/* Random.random() == genrand_res53 */
+static double mt_random(RpRng *r) {
+    uint32_t a = mt_genrand(r) >> 5, b = mt_genrand(r) >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+/* Random.getrandbits(k), k in 1..32 (one word; the only sizes used) */
+static uint32_t mt_getrandbits(RpRng *r, int k) {
+    return mt_genrand(r) >> (32 - k);
+}
+
+/* Random._randbelow_with_getrandbits(n), n >= 1: rejection-sample
+ * k = n.bit_length() bits until the draw is < n (n == 1 still draws). */
+static int64_t mt_randbelow(RpRng *r, int64_t n) {
+    int k = 0;
+    int64_t v = n;
+    while (v) { k++; v >>= 1; }
+    uint32_t draw = mt_getrandbits(r, k);
+    while ((int64_t)draw >= n) draw = mt_getrandbits(r, k);
+    return (int64_t)draw;
+}
+
+/* Random.choices(pop, weights)[0] index: cum = accumulate(weights),
+ * total = cum[-1] + 0.0, one random() draw, bisect_right(cum, x, 0, n-1). */
+static int64_t mt_choices_index_cum(RpRng *r, const double *cum, int64_t n) {
+    double total = cum[n - 1] + 0.0;
+    double x = mt_random(r) * total;
+    int64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (x < cum[mid]) hi = mid; else lo = mid + 1;
+    }
+    return lo;
+}
+
+/* ---- exported reference-vector hooks (test suite only) ---- */
+
+RpRng *rp_rng_new(const uint32_t *key, int key_len) {
+    RpRng *r = (RpRng *)malloc(sizeof(RpRng));
+    if (!r) return 0;
+    mt_init_by_array(r, key, key_len);
+    return r;
+}
+
+void rp_rng_free(RpRng *r) { free(r); }
+
+double rp_rng_random(RpRng *r) { return mt_random(r); }
+
+uint32_t rp_rng_getrandbits(RpRng *r, int k) { return mt_getrandbits(r, k); }
+
+int64_t rp_rng_choice_index(RpRng *r, int64_t n) { return mt_randbelow(r, n); }
+
+int64_t rp_rng_choices_index(RpRng *r, const double *weights, int64_t n) {
+    double *cum = (double *)malloc((size_t)n * sizeof(double));
+    if (!cum) return -1;
+    cum[0] = weights[0];
+    for (int64_t i = 1; i < n; i++) cum[i] = cum[i - 1] + weights[i];
+    int64_t idx = mt_choices_index_cum(r, cum, n);
+    free(cum);
+    return idx;
+}
+"""
+# drift: end native-context-rng
+
+# --- context prefetcher: CPython-exact hashing + rounding --------------
+# drift: begin native-context-hash
+SOURCE_CTX_HASH = r"""
+/* ------------------------------------------------------------------ */
+/* CPython hash pipeline for the context keys: long_hash (modulo 2**61-1
+ * with the negative-branch -1 -> -2 rule), the xxHash-based tuple hash
+ * of 64-bit CPython, and the golden-ratio finalizer from context.py.
+ * Plus float.__round__'s half-to-even for the bell reward. */
+
+#define PYHASH_MOD 0x1FFFFFFFFFFFFFFFULL  /* 2**61 - 1 */
+
+/* hash(v) for v >= 0 interpreted as an unsigned 64-bit int */
+static int64_t pyhash_u64(uint64_t v) {
+    return (int64_t)(v % PYHASH_MOD);
+}
+
+/* hash(v) for signed v: hash(|v|) negated for v < 0; -1 becomes -2 */
+static int64_t pyhash_i64(int64_t v) {
+    if (v >= 0) return (int64_t)(((uint64_t)v) % PYHASH_MOD);
+    uint64_t uv = (uint64_t)(-(v + 1)) + 1u;   /* |v|, INT64_MIN-safe */
+    int64_t h = -(int64_t)(uv % PYHASH_MOD);
+    if (h == -1) h = -2;
+    return h;
+}
+
+/* CPython tuplehash (xxHash variant), item hashes precomputed */
+static int64_t pyhash_tuple(const int64_t *item_hashes, int64_t n) {
+    uint64_t acc = 2870177450012600261ULL;              /* XXPRIME_5 */
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t lane = (uint64_t)item_hashes[i];
+        acc += lane * 14029467366897019727ULL;          /* XXPRIME_2 */
+        acc = (acc << 31) | (acc >> 33);
+        acc *= 11400714785074694791ULL;                 /* XXPRIME_1 */
+    }
+    acc += ((uint64_t)n) ^ (2870177450012600261ULL ^ 3527539ULL);
+    if (acc == (uint64_t)-1) acc = 1546275796ULL;
+    return (int64_t)acc;
+}
+
+/* context.py finalizer: key = (h * golden) & MASK64; key ^= key >> 29.
+ * The signed-to-unsigned cast reproduces Python's masked big-int product. */
+static uint64_t ctx_finalize(int64_t h) {
+    uint64_t key = (uint64_t)h * 0x9E3779B97F4A7C15ULL;
+    key ^= key >> 29;
+    return key;
+}
+
+/* round(x) -> int, CPython float.__round__: nearest, ties to even */
+static int64_t py_round_i64(double x) {
+    double rounded = round(x);
+    if (fabs(x - rounded) == 0.5)
+        rounded = 2.0 * round(x / 2.0);
+    return (int64_t)rounded;
+}
+
+/* Attribute-value signedness: LAST_VALUE (4) and REG_VALUE (6) are the
+ * two signed attributes; everything else hashes as an unsigned pattern. */
+static const uint8_t CTX_SIGNED_ATTR[8] = {0, 0, 0, 0, 1, 0, 1, 0};
+
+/* hash((bits, *values[gathered ascending])) + finalize, unmasked */
+static uint64_t ctx_hash_bits(const int64_t *vals, int bits) {
+    int64_t lanes[9];
+    int n = 0;
+    lanes[n++] = (int64_t)bits;   /* hash(small nonneg int) == itself */
+    for (int i = 0; i < 8; i++) {
+        if (!((bits >> i) & 1)) continue;
+        lanes[n++] = CTX_SIGNED_ATTR[i] ? pyhash_i64(vals[i])
+                                        : pyhash_u64((uint64_t)vals[i]);
+    }
+    return ctx_finalize(pyhash_tuple(lanes, n));
+}
+
+/* ---- exported reference-vector hooks (test suite only) ---- */
+
+int64_t rp_hash_uint(uint64_t v) { return pyhash_u64(v); }
+
+int64_t rp_hash_int(int64_t v) { return pyhash_i64(v); }
+
+int64_t rp_hash_tuple(const int64_t *item_hashes, int64_t n) {
+    return pyhash_tuple(item_hashes, n);
+}
+
+/* full unmasked context key for an 8-value vector + active bitmap */
+int64_t rp_ctx_key(const int64_t *values, int active_bits) {
+    return (int64_t)ctx_hash_bits(values, active_bits);
+}
+"""
+# drift: end native-context-hash
+
+# --- context prefetcher: state + capture -------------------------------
+# drift: begin native-context-state
+SOURCE_CTX_STATE = r"""
+/* ------------------------------------------------------------------ */
+/* Context RL prefetcher state: a flat-array port of ContextPrefetcher
+ * and its CST / reducer / history / prefetch-queue components.  Every
+ * sequential state machine mirrors the interpreted oracle statement for
+ * statement; candidate identity is the CST slot index (the interpreted
+ * path compares Candidate objects with `is`, and slots are objects). */
+
+#define PF_CONTEXT 5
+#define CTX_ICFG_FIXED 42
+#define CTX_DCFG_FIXED 6
+
+typedef struct {
+    uint64_t reduced;
+    int64_t delta;
+    int64_t depth;
+    int expired;
+} FbEvent;
+
+typedef struct Ctx {
+    /* geometry */
+    int cst_entries, cst_links, cst_index_bits;
+    uint64_t cst_index_mask, cst_tag_mask;
+    int r_entries, r_index_bits;
+    uint64_t r_index_mask, r_tag_mask;
+    uint64_t full_mask, reduced_mask;
+    int hist_cap;
+    int64_t q_cap;
+    int64_t block_bytes, granularity;
+    int64_t delta_min, delta_max;
+    /* reward config geometry + live window */
+    int64_t cfg_lo, cfg_hi, cfg_center;
+    int64_t peak, late_pen, early_pen;
+    int reward_flat;
+    int64_t rw_lo, rw_hi, rw_center;
+    double rw_denom;
+    /* scores / bandit policy */
+    int64_t score_min, score_max, initial_score, replace_threshold, score_threshold;
+    int max_degree;
+    int policy_softmax, adaptive_eps, shadow_on;
+    double eps_min, eps_range, fixed_eps, alpha, shadow_p, softmax_temp;
+    int n_thresholds;
+    double *thresholds;
+    /* reducer adaptation */
+    int alloc_active_bits, initial_popcount;
+    int adaptive_reduction;
+    int64_t overload_refs, overload_period, underload_lookups;
+    /* adaptive reward window */
+    int adaptive_window;
+    int64_t window_update_period, center_lo_bound, center_hi_bound;
+    /* collection + capture */
+    int n_sample_depths;
+    int64_t *sample_depths;
+    int addr_depth;
+    int64_t *recent;
+    int n_recent;
+    int64_t vals[8];
+    uint64_t memo_key[256];
+    uint8_t memo_has[256];
+    int memo_list[16];
+    int memo_n;
+    /* RNG + EMAs */
+    RpRng rng;
+    double accuracy_ema, depth_ema;
+    /* CST flat arrays (per entry; candidates entry-major) */
+    uint8_t *cst_used;
+    int64_t *cst_tag;
+    int64_t *cst_ptr;
+    int32_t *cst_ncand;
+    int64_t *cst_delta;
+    int64_t *cst_score;
+    /* reducer flat arrays */
+    uint8_t *r_used, *r_haskey;
+    int32_t *r_active;
+    int64_t *r_tag, *r_lookups, *r_lookadapt;
+    uint64_t *r_cstkey;
+    /* history ring (count monotonic, ring wraps) */
+    int64_t *h_reduced, *h_block, *h_line, *h_index;
+    int64_t h_count;
+    int h_pos;
+    /* prefetch queue: slot pool + FIFO ring + per-target chain buckets */
+    int64_t *q_red, *q_delta, *q_target, *q_issue;
+    uint8_t *q_hit;
+    int32_t *q_bnext;
+    int32_t *q_fifo;
+    size_t q_fifo_cap;  /* power of two */
+    size_t q_head;
+    int64_t q_len;
+    int32_t *q_freelist;
+    int q_nfree;
+    Map by_block;       /* target_line -> head slot of bucket chain */
+    FbEvent *events;    /* match/expiry scratch */
+    /* selection scratch */
+    int *ranked, *sel_real, *sel_shadow, *pool;
+    double *weights, *cum;
+    /* hit-depth histogram, Counter-insertion-ordered for the goldens */
+    Map hist_map;       /* depth -> slot in hg arrays */
+    int64_t *hg_depth, *hg_count;
+    int64_t hg_len, hg_cap;
+    int oom;
+    /* counters mirrored from the interpreted components */
+    int64_t explorations, exploitations;
+    int64_t predictions_real, predictions_shadow;
+    int64_t rewards_applied, window_updates, feedback_events;
+    int64_t cst_assoc_added, cst_assoc_rej_full, cst_conflicts, cst_occ;
+    int64_t r_allocs, r_conflicts, r_activations, r_deactivations, r_occ;
+    int64_t q_hits, q_expirations;
+} Ctx;
+
+static int popcount8(int v) {
+    int c = 0;
+    while (v) { c += v & 1; v >>= 1; }
+    return c;
+}
+
+/* ContextTracker.capture: splitmix fold over the OLD recent blocks,
+ * fill the 8-value vector, then append the block (bounded deque), and
+ * invalidate the per-access hash memo. */
+static void ctx_capture(Ctx *cx, uint64_t pc, int64_t type_id, int64_t link_offset,
+                        int64_t ref_form, int64_t last_value, uint64_t branch_hist,
+                        int64_t reg_value, int64_t block) {
+    uint64_t hfold = 0;
+    for (int i = 0; i < cx->n_recent; i++) {
+        uint64_t state = hfold + (uint64_t)cx->recent[i] + 0x9E3779B97F4A7C15ULL;
+        state ^= state >> 30;
+        state *= 0xBF58476D1CE4E5B9ULL;
+        state ^= state >> 27;
+        state *= 0x94D049BB133111EBULL;
+        hfold = state ^ (state >> 31);
+    }
+    cx->vals[0] = (int64_t)pc;        /* IP */
+    cx->vals[1] = type_id;            /* TYPE_ID */
+    cx->vals[2] = link_offset;        /* LINK_OFFSET */
+    cx->vals[3] = ref_form;           /* REF_FORM */
+    cx->vals[4] = last_value;         /* LAST_VALUE (signed) */
+    cx->vals[5] = (int64_t)branch_hist;  /* BRANCH_HISTORY */
+    cx->vals[6] = reg_value;          /* REG_VALUE (signed) */
+    cx->vals[7] = (int64_t)hfold;     /* ADDR_HISTORY */
+    if (cx->addr_depth > 0) {
+        if (cx->n_recent == cx->addr_depth) {
+            for (int i = 1; i < cx->n_recent; i++) cx->recent[i - 1] = cx->recent[i];
+            cx->recent[cx->n_recent - 1] = block;
+        } else {
+            cx->recent[cx->n_recent++] = block;
+        }
+    }
+    for (int i = 0; i < cx->memo_n; i++) cx->memo_has[cx->memo_list[i]] = 0;
+    cx->memo_n = 0;
+}
+
+/* ContextCapture.hash memo: unmasked finalized key per active bitmap,
+ * cleared every capture; callers apply their own bit masks. */
+static uint64_t ctx_capture_key(Ctx *cx, int bits) {
+    if (cx->memo_has[bits]) return cx->memo_key[bits];
+    uint64_t key = ctx_hash_bits(cx->vals, bits);
+    if (cx->memo_n < 16) {
+        cx->memo_key[bits] = key;
+        cx->memo_has[bits] = 1;
+        cx->memo_list[cx->memo_n++] = bits;
+    }
+    return key;
+}
+"""
+# drift: end native-context-state
+
+# --- context prefetcher: reward window ---------------------------------
+# drift: begin native-context-reward
+SOURCE_CTX_REWARD = r"""
+/* ------------------------------------------------------------------ */
+/* RewardFunction / FlatRewardFunction.  The bell shape recomputes
+ * sigma/denom from the live window geometry exactly as __post_init__
+ * (float divide by sqrt(2*log(peak)), denom = 2*pow(sigma, 2)); the
+ * adapter gates bell configs with peak == 1 (interpreted path raises
+ * ZeroDivisionError at evaluation time, so the kernel never sees it). */
+
+static void ctx_set_reward(Ctx *cx, int64_t lo, int64_t hi, int64_t center) {
+    cx->rw_lo = lo; cx->rw_hi = hi; cx->rw_center = center;
+    if (!cx->reward_flat && cx->peak > 1) {
+        int64_t half_lo = center - lo, half_hi = hi - center;
+        int64_t half = half_lo > half_hi ? half_lo : half_hi;
+        double sigma = (double)half / sqrt(2.0 * log((double)cx->peak));
+        cx->rw_denom = 2.0 * pow(sigma, 2.0);
+    }
+}
+
+/* reward for a non-expired feedback depth */
+static int64_t ctx_reward(const Ctx *cx, int64_t depth) {
+    if (depth < cx->rw_lo) return cx->late_pen;
+    if (depth > cx->rw_hi) return cx->early_pen;
+    if (cx->reward_flat) {
+        int64_t r = cx->peak / 2;   /* peak >= 1, so // matches / */
+        return r < 1 ? 1 : r;
+    }
+    double d = (double)(depth - cx->rw_center);
+    int64_t rwd = py_round_i64((double)cx->peak * exp(-(d * d) / cx->rw_denom));
+    return rwd < 1 ? 1 : rwd;
+}
+
+/* ContextPrefetcher._recenter_window: clamp the depth EMA into the
+ * configured center bounds with Python's min/max tie semantics, keep
+ * the ORIGINAL config's half-widths, cap hi at the queue capacity. */
+static void ctx_recenter(Ctx *cx) {
+    int64_t lo_b = cx->center_lo_bound, hi_b = cx->center_hi_bound;
+    double ema = cx->depth_ema;
+    int64_t center;
+    if (ema > (double)lo_b) {
+        if (ema < (double)hi_b) center = py_round_i64(ema);
+        else center = hi_b;
+    } else {
+        center = lo_b < hi_b ? lo_b : hi_b;
+    }
+    if (center == cx->rw_center) return;
+    int64_t half_lo = cx->cfg_center - cx->cfg_lo;
+    int64_t half_hi = cx->cfg_hi - cx->cfg_center;
+    int64_t hi = center + half_hi;
+    if (hi > cx->q_cap) hi = cx->q_cap;
+    int64_t lo = center - half_lo;
+    if (lo < 1) lo = 1;
+    ctx_set_reward(cx, lo, hi, center < hi ? center : hi);
+    cx->window_updates++;
+}
+"""
+# drift: end native-context-reward
+
+# --- context prefetcher: CST -------------------------------------------
+# drift: begin native-context-cst
+SOURCE_CTX_CST = r"""
+/* ------------------------------------------------------------------ */
+/* ContextStatesTable on flat arrays.  A slot "for update" reproduces
+ * _entry_for_update / the inlined collection insert: tag mismatch or
+ * empty slot allocates a fresh entry (counting the conflict eviction),
+ * wiping candidates and the pointer count. */
+
+static int64_t cst_slot_for_update(Ctx *cx, uint64_t rh) {
+    int64_t idx = (int64_t)(rh & cx->cst_index_mask);
+    int64_t tag = (int64_t)((rh >> cx->cst_index_bits) & cx->cst_tag_mask);
+    if (cx->cst_used[idx]) {
+        if (cx->cst_tag[idx] == tag) return idx;
+        cx->cst_conflicts++;
+    } else {
+        cx->cst_occ++;
+        cx->cst_used[idx] = 1;
+    }
+    cx->cst_tag[idx] = tag;
+    cx->cst_ptr[idx] = 0;
+    cx->cst_ncand[idx] = 0;
+    return idx;
+}
+
+/* lookup without mutation: slot index, or -1 on miss/tag mismatch */
+static int64_t cst_find_slot(const Ctx *cx, uint64_t rh) {
+    int64_t idx = (int64_t)(rh & cx->cst_index_mask);
+    if (!cx->cst_used[idx]) return -1;
+    int64_t tag = (int64_t)((rh >> cx->cst_index_bits) & cx->cst_tag_mask);
+    return cx->cst_tag[idx] == tag ? idx : -1;
+}
+
+/* add_association: dedup on delta, append when room, else replace the
+ * FIRST minimum-score victim iff its score <= replace_threshold. */
+static void cst_add_assoc(Ctx *cx, uint64_t rh, int64_t delta) {
+    int64_t e = cst_slot_for_update(cx, rh);
+    int64_t base = e * cx->cst_links;
+    int n = cx->cst_ncand[e];
+    for (int i = 0; i < n; i++)
+        if (cx->cst_delta[base + i] == delta) return;
+    if (n < cx->cst_links) {
+        cx->cst_delta[base + n] = delta;
+        cx->cst_score[base + n] = cx->initial_score;
+        cx->cst_ncand[e] = n + 1;
+        cx->cst_assoc_added++;
+        return;
+    }
+    int vi = 0;
+    int64_t vscore = cx->cst_score[base];
+    for (int i = 1; i < n; i++)
+        if (cx->cst_score[base + i] < vscore) { vscore = cx->cst_score[base + i]; vi = i; }
+    if (vscore <= cx->replace_threshold) {
+        cx->cst_delta[base + vi] = delta;
+        cx->cst_score[base + vi] = cx->initial_score;
+        cx->cst_assoc_added++;
+    } else {
+        cx->cst_assoc_rej_full++;
+    }
+}
+
+static void cst_add_pointer(Ctx *cx, uint64_t rh) {
+    cx->cst_ptr[cst_slot_for_update(cx, rh)]++;
+}
+
+static void cst_remove_pointer(Ctx *cx, uint64_t rh) {
+    int64_t idx = (int64_t)(rh & cx->cst_index_mask);
+    if (!cx->cst_used[idx]) return;
+    int64_t tag = (int64_t)((rh >> cx->cst_index_bits) & cx->cst_tag_mask);
+    if (cx->cst_tag[idx] == tag && cx->cst_ptr[idx] > 0) cx->cst_ptr[idx]--;
+}
+"""
+# drift: end native-context-cst
+
+# --- context prefetcher: feedback --------------------------------------
+# drift: begin native-context-feedback
+SOURCE_CTX_FEEDBACK = r"""
+/* ------------------------------------------------------------------ */
+/* ContextPrefetcher._apply_feedback + the hit-depth histogram.  The
+ * histogram preserves Counter first-insertion order (the interpreted
+ * result iterates .items() and the goldens byte-compare that order),
+ * so it lives in parallel depth/count arrays keyed by a map. */
+
+static void hist_add(Ctx *cx, int64_t depth) {
+    int64_t slot = map_get(&cx->hist_map, depth, -1);
+    if (slot >= 0) { cx->hg_count[slot]++; return; }
+    if (cx->hg_len == cx->hg_cap) {
+        int64_t ncap = cx->hg_cap * 2;
+        int64_t *nd = (int64_t *)realloc(cx->hg_depth, (size_t)ncap * sizeof(int64_t));
+        int64_t *nc = (int64_t *)realloc(cx->hg_count, (size_t)ncap * sizeof(int64_t));
+        if (nd) cx->hg_depth = nd;
+        if (nc) cx->hg_count = nc;
+        if (!nd || !nc) { cx->oom = 1; return; }
+        cx->hg_cap = ncap;
+    }
+    cx->hg_depth[cx->hg_len] = depth;
+    cx->hg_count[cx->hg_len] = 1;
+    if (!map_set(&cx->hist_map, depth, cx->hg_len)) { cx->oom = 1; return; }
+    cx->hg_len++;
+}
+
+static void ctx_apply_feedback(Ctx *cx, const FbEvent *ev, int n) {
+    for (int i = 0; i < n; i++) {
+        int64_t depth = ev[i].depth;
+        int64_t reward;
+        int hit;
+        if (ev[i].expired || depth < 0) {
+            reward = cx->early_pen;   /* expiry penalty == early, both shapes */
+            hit = 0;
+        } else {
+            reward = ctx_reward(cx, depth);
+            hist_add(cx, depth);
+            hit = reward > 0;
+            cx->depth_ema += 0.005 * ((double)depth - cx->depth_ema);
+        }
+        cx->accuracy_ema += cx->alpha * ((double)hit - cx->accuracy_ema);
+        int64_t e = cst_find_slot(cx, ev[i].reduced);
+        if (e >= 0) {
+            int64_t base = e * cx->cst_links;
+            int nc = cx->cst_ncand[e];
+            for (int c = 0; c < nc; c++) {
+                if (cx->cst_delta[base + c] != ev[i].delta) continue;
+                int64_t score = cx->cst_score[base + c] + reward;
+                if (score > cx->score_max) score = cx->score_max;
+                else if (score < cx->score_min) score = cx->score_min;
+                cx->cst_score[base + c] = score;
+                cx->rewards_applied++;
+                break;
+            }
+        }
+    }
+    cx->feedback_events += n;
+    if (cx->adaptive_window && cx->feedback_events >= cx->window_update_period) {
+        cx->feedback_events = 0;
+        ctx_recenter(cx);
+    }
+}
+"""
+# drift: end native-context-feedback
+
+# --- context prefetcher: reducer ---------------------------------------
+# drift: begin native-context-reducer
+SOURCE_CTX_REDUCER = r"""
+/* ------------------------------------------------------------------ */
+/* Reducer.adapt: overload activates the lowest clear attribute bit,
+ * underload deactivates the highest set non-IP bit; any change rehashes
+ * the reduced key and migrates the CST pointer. */
+
+static uint64_t ctx_adapt(Ctx *cx, int64_t ri, uint64_t reduced) {
+    cx->r_lookadapt[ri] = cx->r_lookups[ri];
+    int64_t ce = cst_find_slot(cx, reduced);
+    int active = cx->r_active[ri];
+    int new_active = active;
+    if (ce >= 0 && cx->cst_ptr[ce] >= cx->overload_refs) {
+        for (int b = 0; b < 8; b++)
+            if (!((active >> b) & 1)) { new_active = active | (1 << b); break; }
+        if (new_active != active) { cx->r_active[ri] = (int32_t)new_active; cx->r_activations++; }
+    } else if (ce >= 0 && cx->cst_ptr[ce] <= 1
+               && cx->r_lookups[ri] >= cx->underload_lookups) {
+        int any_pos = 0;
+        int64_t base = ce * cx->cst_links;
+        int nc = cx->cst_ncand[ce];
+        for (int c = 0; c < nc; c++)
+            if (cx->cst_score[base + c] > 0) { any_pos = 1; break; }
+        if (!any_pos && popcount8(active) > cx->initial_popcount) {
+            for (int b = 7; b >= 1; b--)   /* never drop IP (bit 0) */
+                if ((active >> b) & 1) { new_active = active & ~(1 << b); break; }
+            if (new_active != active) { cx->r_active[ri] = (int32_t)new_active; cx->r_deactivations++; }
+        }
+    }
+    if (new_active == active) return reduced;
+    uint64_t nk = ctx_capture_key(cx, new_active) & cx->reduced_mask;
+    if (cx->r_haskey[ri]) cst_remove_pointer(cx, cx->r_cstkey[ri]);
+    cst_add_pointer(cx, nk);
+    cx->r_cstkey[ri] = nk;
+    cx->r_haskey[ri] = 1;
+    return nk;
+}
+"""
+# drift: end native-context-reducer
+
+# --- context prefetcher: epsilon-greedy selection ----------------------
+# drift: begin native-context-select
+SOURCE_CTX_SELECT = r"""
+/* ------------------------------------------------------------------ */
+/* EpsilonGreedyPolicy.select (the inlined on_access fast path).  Draw
+ * order is load-bearing: the epsilon random() ALWAYS fires when the
+ * candidate list is non-empty, an exploration adds one choice() draw,
+ * then the shadow random() fires iff shadow prefetching is on.  The
+ * single-candidate special case skips the sort and degree math. */
+
+static void ctx_select_egreedy(Ctx *cx, int64_t ce, int *n_real, int *n_shadow) {
+    int64_t base = ce * cx->cst_links;
+    int nc = cx->cst_ncand[ce];
+    int *ranked = cx->ranked;
+    int nr, nsel = 0, nsh = 0;
+    double ema = cx->accuracy_ema;
+    if (nc == 1) {
+        ranked[0] = 0;
+        nr = 1;
+        if (cx->cst_score[base] >= cx->score_threshold) cx->sel_real[nsel++] = 0;
+    } else {
+        /* stable descending sort on score (insertion sort, strict <) */
+        for (int i = 0; i < nc; i++) {
+            int64_t sc = cx->cst_score[base + i];
+            int j = i;
+            while (j > 0 && cx->cst_score[base + ranked[j - 1]] < sc) {
+                ranked[j] = ranked[j - 1];
+                j--;
+            }
+            ranked[j] = i;
+        }
+        nr = nc;
+        int level = 1;
+        for (int t = 0; t < cx->n_thresholds; t++)
+            if (ema >= cx->thresholds[t]) level++;
+        if (level > cx->max_degree) level = cx->max_degree;
+        for (int i = 0; i < level && i < nr; i++)
+            if (cx->cst_score[base + ranked[i]] >= cx->score_threshold)
+                cx->sel_real[nsel++] = ranked[i];
+    }
+    double eps = cx->adaptive_eps ? cx->eps_min + cx->eps_range * (1.0 - ema)
+                                  : cx->fixed_eps;
+    if (mt_random(&cx->rng) < eps) {
+        int choice = ranked[mt_randbelow(&cx->rng, nr)];
+        cx->explorations++;
+        int present = 0;
+        for (int i = 0; i < nsel; i++)
+            if (cx->sel_real[i] == choice) { present = 1; break; }
+        if (!present) cx->sel_real[nsel++] = choice;
+    } else {
+        cx->exploitations++;
+    }
+    if (cx->shadow_on && mt_random(&cx->rng) < cx->shadow_p) {
+        int choice = ranked[mt_randbelow(&cx->rng, nr)];
+        int present = 0;
+        for (int i = 0; i < nsel; i++)
+            if (cx->sel_real[i] == choice) { present = 1; break; }
+        if (!present) cx->sel_shadow[nsh++] = choice;
+    }
+    *n_real = nsel;
+    *n_shadow = nsh;
+}
+"""
+# drift: end native-context-select
+
+# --- context prefetcher: softmax selection -----------------------------
+# drift: begin native-context-softmax
+SOURCE_CTX_SOFTMAX = r"""
+/* ------------------------------------------------------------------ */
+/* SoftmaxPolicy.select: degree computed once, then per pick a fresh
+ * pool of not-yet-chosen candidates in rank order, temperature scaled
+ * by the accuracy EMA, weights exp((score-top)/tau) accumulated the
+ * way random.choices builds cum_weights, ONE random() per pick. */
+
+static void ctx_select_softmax(Ctx *cx, int64_t ce, int *n_real, int *n_shadow) {
+    int64_t base = ce * cx->cst_links;
+    int nc = cx->cst_ncand[ce];
+    int *ranked = cx->ranked;
+    for (int i = 0; i < nc; i++) {
+        int64_t sc = cx->cst_score[base + i];
+        int j = i;
+        while (j > 0 && cx->cst_score[base + ranked[j - 1]] < sc) {
+            ranked[j] = ranked[j - 1];
+            j--;
+        }
+        ranked[j] = i;
+    }
+    int nr = nc;   /* on_access gates the empty case before any draw */
+    double ema = cx->accuracy_ema;
+    int level = 1;
+    for (int t = 0; t < cx->n_thresholds; t++)
+        if (ema >= cx->thresholds[t]) level++;
+    if (level > cx->max_degree) level = cx->max_degree;
+    int nsel = 0, nsh = 0;
+    for (int d = 0; d < level; d++) {
+        int np = 0;
+        for (int i = 0; i < nr; i++) {
+            int c = ranked[i];
+            int chosen = 0;
+            for (int s = 0; s < nsel; s++)
+                if (cx->sel_real[s] == c) { chosen = 1; break; }
+            if (!chosen) cx->pool[np++] = c;
+        }
+        if (!np) break;
+        double tau = cx->softmax_temp * (1.0 - 0.75 * cx->accuracy_ema);
+        int64_t top = cx->cst_score[base + cx->pool[0]];
+        for (int i = 1; i < np; i++) {
+            int64_t sc = cx->cst_score[base + cx->pool[i]];
+            if (sc > top) top = sc;
+        }
+        for (int i = 0; i < np; i++)
+            cx->weights[i] = exp((double)(cx->cst_score[base + cx->pool[i]] - top) / tau);
+        cx->cum[0] = cx->weights[0];
+        for (int i = 1; i < np; i++) cx->cum[i] = cx->cum[i - 1] + cx->weights[i];
+        int choice = cx->pool[mt_choices_index_cum(&cx->rng, cx->cum, np)];
+        if (choice == ranked[0]) cx->exploitations++; else cx->explorations++;
+        cx->sel_real[nsel++] = choice;
+    }
+    if (cx->shadow_on && mt_random(&cx->rng) < cx->shadow_p) {
+        int choice = ranked[mt_randbelow(&cx->rng, nr)];
+        int present = 0;
+        for (int i = 0; i < nsel; i++)
+            if (cx->sel_real[i] == choice) { present = 1; break; }
+        if (!present) cx->sel_shadow[nsh++] = choice;
+    }
+    *n_real = nsel;
+    *n_shadow = nsh;
+}
+"""
+# drift: end native-context-softmax
+
+# --- context prefetcher: queue + access loop ---------------------------
+# drift: begin native-context-kernel
+SOURCE_CTX_ACCESS = r"""
+/* ------------------------------------------------------------------ */
+/* PrefetchQueue + ContextPrefetcher.on_access.  Buckets are singly
+ * linked slot chains headed in the by_block map; the interpreted
+ * invariant (a present bucket is non-empty and all-unhit) makes the
+ * map-presence probe and identity-based removal exact. */
+
+static void q_bucket_remove(Ctx *cx, int slot) {
+    size_t ms = map_find(&cx->by_block, cx->q_target[slot]);
+    if (ms == (size_t)-1) return;   /* bucket already popped by match */
+    int head = (int)cx->by_block.vals[ms];
+    if (head == slot) {
+        if (cx->q_bnext[slot] >= 0) cx->by_block.vals[ms] = cx->q_bnext[slot];
+        else map_del_slot(&cx->by_block, ms);
+        return;
+    }
+    int prev = head, cur = cx->q_bnext[head];
+    while (cur >= 0) {
+        if (cur == slot) { cx->q_bnext[prev] = cx->q_bnext[cur]; return; }
+        prev = cur;
+        cur = cx->q_bnext[cur];
+    }
+}
+
+/* push + FIFO overflow: the evicted entry leaves its bucket, and an
+ * unhit eviction applies a single expiry feedback event MID push loop,
+ * exactly as the interpreted queue.push. */
+static void q_push_entry(Ctx *cx, uint64_t reduced, int64_t delta,
+                         int64_t target, int64_t issue_index) {
+    int slot = cx->q_freelist[--cx->q_nfree];
+    cx->q_red[slot] = (int64_t)reduced;
+    cx->q_delta[slot] = delta;
+    cx->q_target[slot] = target;
+    cx->q_issue[slot] = issue_index;
+    cx->q_hit[slot] = 0;
+    cx->q_bnext[slot] = -1;
+    cx->q_fifo[(cx->q_head + (size_t)cx->q_len) & (cx->q_fifo_cap - 1)] = slot;
+    cx->q_len++;
+    size_t ms = map_find(&cx->by_block, target);
+    if (ms == (size_t)-1) {
+        if (!map_set(&cx->by_block, target, slot)) { cx->oom = 1; return; }
+    } else {
+        int cur = (int)cx->by_block.vals[ms];
+        while (cx->q_bnext[cur] >= 0) cur = cx->q_bnext[cur];
+        cx->q_bnext[cur] = slot;
+    }
+    if (cx->q_len > cx->q_cap) {
+        int ev = cx->q_fifo[cx->q_head & (cx->q_fifo_cap - 1)];
+        cx->q_head++;
+        cx->q_len--;
+        q_bucket_remove(cx, ev);
+        int was_hit = cx->q_hit[ev];
+        FbEvent e;
+        e.reduced = (uint64_t)cx->q_red[ev];
+        e.delta = cx->q_delta[ev];
+        e.depth = cx->q_cap;
+        e.expired = 1;
+        cx->q_freelist[cx->q_nfree++] = ev;
+        if (!was_hit) {
+            cx->q_expirations++;
+            ctx_apply_feedback(cx, &e, 1);
+        }
+    }
+}
+
+/* PrefetchQueue.match: pop the whole bucket, mark hits, emit feedback
+ * events in bucket (issue) order. */
+static int ctx_q_match(Ctx *cx, int64_t block, int64_t index) {
+    int cur = (int)map_pop(&cx->by_block, block, -1);
+    if (cur < 0) return 0;
+    int n = 0;
+    int64_t hits = 0;
+    while (cur >= 0) {
+        if (!cx->q_hit[cur]) {
+            cx->q_hit[cur] = 1;
+            hits++;
+            cx->events[n].reduced = (uint64_t)cx->q_red[cur];
+            cx->events[n].delta = cx->q_delta[cur];
+            cx->events[n].depth = index - cx->q_issue[cur];
+            cx->events[n].expired = 0;
+            n++;
+        }
+        cur = cx->q_bnext[cur];
+    }
+    cx->q_hits += hits;
+    return n;
+}
+
+/* ContextPrefetcher.on_access: capture -> feedback -> collection ->
+ * reduction -> prediction -> history push, statement for statement.
+ * Emits request line addresses + shadow flags; returns the count. */
+static int ctx_on_access(Ctx *cx, int64_t index, uint64_t uaddr, uint64_t pc,
+                         int64_t type_id, int64_t link_offset, int64_t ref_form,
+                         int64_t last_value, uint64_t branch_hist, int64_t reg_value,
+                         int64_t *req_addr, uint8_t *req_shadow) {
+    int64_t block = (int64_t)(uaddr / (uint64_t)cx->block_bytes);
+    int64_t line = (int64_t)(uaddr / (uint64_t)cx->granularity);
+    ctx_capture(cx, pc, type_id, link_offset, ref_form, last_value,
+                branch_hist, reg_value, block);
+    if (map_find(&cx->by_block, line) != (size_t)-1) {
+        int nev = ctx_q_match(cx, line, index);
+        ctx_apply_feedback(cx, cx->events, nev);
+    }
+    int64_t count = cx->h_count;
+    int pos = cx->h_pos;
+    if (count) {
+        for (int i = 0; i < cx->n_sample_depths; i++) {
+            int64_t depth = cx->sample_depths[i];
+            if (depth > count) break;
+            int ridx = pos - (int)depth;
+            if (ridx < 0) ridx += cx->hist_cap;
+            int64_t delta = line - cx->h_line[ridx];
+            if (delta && cx->delta_min <= delta && delta <= cx->delta_max)
+                cst_add_assoc(cx, (uint64_t)cx->h_reduced[ridx], delta);
+        }
+    }
+    uint64_t key = ctx_capture_key(cx, 255);
+    uint64_t full_hash = key & cx->full_mask;
+    int64_t ri = (int64_t)(full_hash & cx->r_index_mask);
+    int64_t rtag = (int64_t)((full_hash >> cx->r_index_bits) & cx->r_tag_mask);
+    if (!cx->r_used[ri] || cx->r_tag[ri] != rtag) {
+        if (cx->r_used[ri]) {
+            cx->r_conflicts++;
+            if (cx->r_haskey[ri]) cst_remove_pointer(cx, cx->r_cstkey[ri]);
+        } else {
+            cx->r_occ++;
+            cx->r_used[ri] = 1;
+        }
+        cx->r_tag[ri] = rtag;
+        cx->r_active[ri] = (int32_t)cx->alloc_active_bits;
+        cx->r_haskey[ri] = 0;
+        cx->r_lookups[ri] = 0;
+        cx->r_lookadapt[ri] = 0;
+        cx->r_allocs++;
+    }
+    cx->r_lookups[ri]++;
+    int active_bits = cx->r_active[ri];
+    uint64_t reduced_key = active_bits == 255 ? key : ctx_capture_key(cx, active_bits);
+    uint64_t reduced = reduced_key & cx->reduced_mask;
+    if (!cx->r_haskey[ri] || cx->r_cstkey[ri] != reduced) {
+        if (cx->r_haskey[ri]) cst_remove_pointer(cx, cx->r_cstkey[ri]);
+        cst_add_pointer(cx, reduced);
+        cx->r_cstkey[ri] = reduced;
+        cx->r_haskey[ri] = 1;
+    }
+    if (cx->adaptive_reduction
+        && cx->r_lookups[ri] - cx->r_lookadapt[ri] >= cx->overload_period)
+        reduced = ctx_adapt(cx, ri, reduced);
+    int nreq = 0;
+    int64_t ce = cst_find_slot(cx, reduced);
+    if (ce >= 0 && cx->cst_ncand[ce] > 0) {
+        int n_real, n_shadow;
+        if (cx->policy_softmax) ctx_select_softmax(cx, ce, &n_real, &n_shadow);
+        else ctx_select_egreedy(cx, ce, &n_real, &n_shadow);
+        int64_t base = ce * cx->cst_links;
+        for (int i = 0; i < n_real; i++) {
+            int64_t delta = cx->cst_delta[base + cx->sel_real[i]];
+            int64_t target = line + delta;
+            if (target < 0) continue;
+            int shadow = map_find(&cx->by_block, target) != (size_t)-1;
+            q_push_entry(cx, reduced, delta, target, index);
+            if (shadow) cx->predictions_shadow++; else cx->predictions_real++;
+            req_addr[nreq] = target * cx->granularity;
+            req_shadow[nreq] = (uint8_t)shadow;
+            nreq++;
+        }
+        for (int i = 0; i < n_shadow; i++) {
+            int64_t delta = cx->cst_delta[base + cx->sel_shadow[i]];
+            int64_t target = line + delta;
+            if (target < 0) continue;
+            q_push_entry(cx, reduced, delta, target, index);
+            cx->predictions_shadow++;
+            req_addr[nreq] = target * cx->granularity;
+            req_shadow[nreq] = 1;
+            nreq++;
+        }
+    }
+    cx->h_reduced[pos] = (int64_t)reduced;
+    cx->h_block[pos] = block;
+    cx->h_line[pos] = line;
+    cx->h_index[pos] = index;
+    cx->h_count = count + 1;
+    cx->h_pos = pos + 1 == cx->hist_cap ? 0 : pos + 1;
+    return nreq;
+}
+
+static uint64_t ctx_mask_of(int bits) {
+    return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+static int ctx_bits_of(int64_t v) {
+    int b = 0;
+    while (v) { b++; v >>= 1; }
+    return b;
+}
+
+static void ctx_free(Ctx *cx) {
+    free(cx->thresholds); free(cx->sample_depths); free(cx->recent);
+    free(cx->cst_used); free(cx->cst_tag); free(cx->cst_ptr);
+    free(cx->cst_ncand); free(cx->cst_delta); free(cx->cst_score);
+    free(cx->r_used); free(cx->r_haskey); free(cx->r_active);
+    free(cx->r_tag); free(cx->r_lookups); free(cx->r_lookadapt); free(cx->r_cstkey);
+    free(cx->h_reduced); free(cx->h_block); free(cx->h_line); free(cx->h_index);
+    free(cx->q_red); free(cx->q_delta); free(cx->q_target); free(cx->q_issue);
+    free(cx->q_hit); free(cx->q_bnext); free(cx->q_fifo); free(cx->q_freelist);
+    map_free(&cx->by_block);
+    free(cx->events);
+    free(cx->ranked); free(cx->sel_real); free(cx->sel_shadow); free(cx->pool);
+    free(cx->weights); free(cx->cum);
+    map_free(&cx->hist_map);
+    free(cx->hg_depth); free(cx->hg_count);
+}
+
+static int ctx_init(Ctx *cx, const int64_t *ic, const double *dc,
+                    const uint32_t *seed_key, int seed_len) {
+    memset(cx, 0, sizeof(Ctx));
+    cx->cst_entries = (int)ic[0];
+    cx->cst_links = (int)ic[1];
+    cx->cst_index_bits = ctx_bits_of(ic[0] - 1);
+    cx->cst_index_mask = ctx_mask_of(cx->cst_index_bits);
+    cx->cst_tag_mask = ctx_mask_of((int)ic[2]);
+    cx->r_entries = (int)ic[3];
+    cx->r_index_bits = ctx_bits_of(ic[3] - 1);
+    cx->r_index_mask = ctx_mask_of(cx->r_index_bits);
+    cx->r_tag_mask = ctx_mask_of((int)ic[4]);
+    cx->full_mask = ctx_mask_of((int)ic[5]);
+    cx->reduced_mask = ctx_mask_of((int)ic[6]);
+    cx->hist_cap = (int)ic[7];
+    cx->q_cap = ic[8];
+    cx->block_bytes = ic[9];
+    cx->granularity = ic[10];
+    cx->delta_min = ic[11];
+    cx->delta_max = ic[12];
+    cx->cfg_lo = ic[13];
+    cx->cfg_hi = ic[14];
+    cx->cfg_center = ic[15];
+    cx->peak = ic[16];
+    cx->late_pen = ic[17];
+    cx->early_pen = ic[18];
+    cx->score_min = ic[19];
+    cx->score_max = ic[20];
+    cx->initial_score = ic[21];
+    cx->replace_threshold = ic[22];
+    cx->score_threshold = ic[23];
+    cx->max_degree = (int)ic[24];
+    cx->alloc_active_bits = (int)ic[25];
+    cx->initial_popcount = (int)ic[26];
+    cx->overload_refs = ic[27];
+    cx->overload_period = ic[28];
+    cx->underload_lookups = ic[29];
+    cx->adaptive_reduction = (int)ic[30];
+    cx->shadow_on = (int)ic[31];
+    cx->adaptive_eps = (int)ic[32];
+    cx->reward_flat = (int)ic[33];
+    cx->policy_softmax = (int)ic[34];
+    cx->adaptive_window = (int)ic[35];
+    cx->window_update_period = ic[36];
+    cx->center_lo_bound = ic[37];
+    cx->center_hi_bound = ic[38];
+    cx->addr_depth = (int)ic[39];
+    cx->n_sample_depths = (int)ic[40];
+    cx->n_thresholds = (int)ic[41];
+    cx->eps_min = dc[0];
+    cx->eps_range = dc[1];
+    cx->fixed_eps = dc[2];
+    cx->alpha = dc[3];
+    cx->shadow_p = dc[4];
+    cx->softmax_temp = dc[5];
+    mt_init_by_array(&cx->rng, seed_key, seed_len);
+    cx->accuracy_ema = 0.0;
+    cx->depth_ema = (double)cx->cfg_center;
+    ctx_set_reward(cx, cx->cfg_lo, cx->cfg_hi, cx->cfg_center);
+    int ne = cx->cst_entries, nl = cx->cst_links, nre = cx->r_entries;
+    int nh = cx->hist_cap;
+    int npool = (int)cx->q_cap + 2;
+    size_t fc = 8;
+    while (fc < (size_t)(cx->q_cap + 2)) fc <<= 1;
+    cx->q_fifo_cap = fc;
+    cx->thresholds = (double *)malloc((size_t)(cx->n_thresholds > 0 ? cx->n_thresholds : 1) * sizeof(double));
+    cx->sample_depths = (int64_t *)malloc((size_t)(cx->n_sample_depths > 0 ? cx->n_sample_depths : 1) * sizeof(int64_t));
+    cx->recent = (int64_t *)malloc((size_t)(cx->addr_depth > 0 ? cx->addr_depth : 1) * sizeof(int64_t));
+    cx->cst_used = (uint8_t *)calloc((size_t)ne, 1);
+    cx->cst_tag = (int64_t *)malloc((size_t)ne * sizeof(int64_t));
+    cx->cst_ptr = (int64_t *)malloc((size_t)ne * sizeof(int64_t));
+    cx->cst_ncand = (int32_t *)malloc((size_t)ne * sizeof(int32_t));
+    cx->cst_delta = (int64_t *)malloc((size_t)ne * (size_t)nl * sizeof(int64_t));
+    cx->cst_score = (int64_t *)malloc((size_t)ne * (size_t)nl * sizeof(int64_t));
+    cx->r_used = (uint8_t *)calloc((size_t)nre, 1);
+    cx->r_haskey = (uint8_t *)calloc((size_t)nre, 1);
+    cx->r_active = (int32_t *)malloc((size_t)nre * sizeof(int32_t));
+    cx->r_tag = (int64_t *)malloc((size_t)nre * sizeof(int64_t));
+    cx->r_lookups = (int64_t *)malloc((size_t)nre * sizeof(int64_t));
+    cx->r_lookadapt = (int64_t *)malloc((size_t)nre * sizeof(int64_t));
+    cx->r_cstkey = (uint64_t *)malloc((size_t)nre * sizeof(uint64_t));
+    cx->h_reduced = (int64_t *)malloc((size_t)nh * sizeof(int64_t));
+    cx->h_block = (int64_t *)malloc((size_t)nh * sizeof(int64_t));
+    cx->h_line = (int64_t *)malloc((size_t)nh * sizeof(int64_t));
+    cx->h_index = (int64_t *)malloc((size_t)nh * sizeof(int64_t));
+    cx->q_red = (int64_t *)malloc((size_t)npool * sizeof(int64_t));
+    cx->q_delta = (int64_t *)malloc((size_t)npool * sizeof(int64_t));
+    cx->q_target = (int64_t *)malloc((size_t)npool * sizeof(int64_t));
+    cx->q_issue = (int64_t *)malloc((size_t)npool * sizeof(int64_t));
+    cx->q_hit = (uint8_t *)calloc((size_t)npool, 1);
+    cx->q_bnext = (int32_t *)malloc((size_t)npool * sizeof(int32_t));
+    cx->q_fifo = (int32_t *)malloc(fc * sizeof(int32_t));
+    cx->q_freelist = (int32_t *)malloc((size_t)npool * sizeof(int32_t));
+    cx->events = (FbEvent *)malloc((size_t)npool * sizeof(FbEvent));
+    cx->ranked = (int *)malloc((size_t)(nl + 2) * sizeof(int));
+    cx->sel_real = (int *)malloc((size_t)(nl + 2) * sizeof(int));
+    cx->sel_shadow = (int *)malloc((size_t)(nl + 2) * sizeof(int));
+    cx->pool = (int *)malloc((size_t)(nl + 2) * sizeof(int));
+    cx->weights = (double *)malloc((size_t)(nl + 2) * sizeof(double));
+    cx->cum = (double *)malloc((size_t)(nl + 2) * sizeof(double));
+    cx->hg_cap = 128;
+    cx->hg_depth = (int64_t *)malloc((size_t)cx->hg_cap * sizeof(int64_t));
+    cx->hg_count = (int64_t *)malloc((size_t)cx->hg_cap * sizeof(int64_t));
+    int maps_ok = map_init(&cx->by_block, 256) && map_init(&cx->hist_map, 256);
+    if (!maps_ok || !cx->thresholds || !cx->sample_depths || !cx->recent
+        || !cx->cst_used || !cx->cst_tag || !cx->cst_ptr || !cx->cst_ncand
+        || !cx->cst_delta || !cx->cst_score
+        || !cx->r_used || !cx->r_haskey || !cx->r_active || !cx->r_tag
+        || !cx->r_lookups || !cx->r_lookadapt || !cx->r_cstkey
+        || !cx->h_reduced || !cx->h_block || !cx->h_line || !cx->h_index
+        || !cx->q_red || !cx->q_delta || !cx->q_target || !cx->q_issue
+        || !cx->q_hit || !cx->q_bnext || !cx->q_fifo || !cx->q_freelist
+        || !cx->events || !cx->ranked || !cx->sel_real || !cx->sel_shadow
+        || !cx->pool || !cx->weights || !cx->cum
+        || !cx->hg_depth || !cx->hg_count) {
+        ctx_free(cx);
+        return 0;
+    }
+    for (int i = 0; i < cx->n_thresholds; i++) cx->thresholds[i] = dc[CTX_DCFG_FIXED + i];
+    for (int i = 0; i < cx->n_sample_depths; i++) cx->sample_depths[i] = ic[CTX_ICFG_FIXED + i];
+    for (int i = 0; i < npool; i++) cx->q_freelist[i] = npool - 1 - i;
+    cx->q_nfree = npool;
+    return 1;
+}
+"""
+# drift: end native-context-kernel
+
 SOURCE_PF = r"""
 /* ------------------------------------------------------------------ */
 /* prefetchers.  Request buffer: every family emits at most 64 requests
@@ -1034,6 +2170,7 @@ typedef struct RpPf {
     Ghb ghb;
     Sms sms;
     Markov markov;
+    Ctx ctx;
 } RpPf;
 
 static int pf_on_access(RpPf *pf, int64_t index, uint64_t uaddr, uint64_t pc,
@@ -1251,6 +2388,8 @@ typedef struct RpSim {
     int64_t cycle_base;
     Map predicted_at;   /* per-run: cleared at every rp_run entry */
     Log pred_log;
+    uint64_t bhr_value;   /* BranchHistoryRegister, warm across runs */
+    uint64_t bhr_mask;
 } RpSim;
 
 void rp_sim_free(RpSim *s);
@@ -1282,6 +2421,8 @@ RpSim *rp_sim_new(const int64_t *hc, const int64_t *cc) {
     ok &= log_init(&h->pred_log, 512);
     h->prediction_window = 256;
     ok &= core_init(&s->core, cc[0], cc[1], cc[2]);
+    s->bhr_value = 0;
+    s->bhr_mask = (uint64_t)cc[3];
     ok &= map_init(&s->predicted_at, 1024);
     ok &= log_init(&s->pred_log, 512);
     if (!ok) { rp_sim_free(s); return 0; }
@@ -1414,8 +2555,58 @@ void rp_pf_free(RpPf *p) {
         om_free(&p->markov.table);
         free(p->markov.succ_line); free(p->markov.succ_count); free(p->markov.nsucc);
         break;
+    case PF_CONTEXT:
+        ctx_free(&p->ctx);
+        break;
     }
     free(p);
+}
+
+RpPf *rp_pf_ctx_new(const int64_t *icfg, const double *dcfg,
+                    const uint32_t *seed_key, int seed_len) {
+    RpPf *p = (RpPf *)calloc(1, sizeof(RpPf));
+    if (!p) return 0;
+    p->kind = PF_CONTEXT;
+    if (!ctx_init(&p->ctx, icfg, dcfg, seed_key, seed_len)) { free(p); return 0; }
+    return p;
+}
+
+/* Prefetcher.accuracy() == policy._accuracy_ema */
+double rp_pf_ctx_accuracy(const RpPf *p) { return p->ctx.accuracy_ema; }
+
+void rp_pf_ctx_counters(const RpPf *p, int64_t *o) {
+    const Ctx *cx = &p->ctx;
+    o[0] = cx->predictions_real;
+    o[1] = cx->predictions_shadow;
+    o[2] = cx->rewards_applied;
+    o[3] = cx->window_updates;
+    o[4] = cx->explorations;
+    o[5] = cx->exploitations;
+    o[6] = cx->q_hits;
+    o[7] = cx->q_expirations;
+    o[8] = cx->feedback_events;
+    o[9] = cx->cst_assoc_added;
+    o[10] = cx->cst_assoc_rej_full;
+    o[11] = 0;   /* associations_rejected_range: the inline range gate precedes */
+    o[12] = cx->cst_conflicts;
+    o[13] = cx->cst_occ;
+    o[14] = cx->r_allocs;
+    o[15] = cx->r_conflicts;
+    o[16] = cx->r_activations;
+    o[17] = cx->r_deactivations;
+    o[18] = cx->r_occ;
+    o[19] = cx->h_count;
+}
+
+int64_t rp_pf_ctx_hist_len(const RpPf *p) { return p->ctx.hg_len; }
+
+/* hit-depth histogram in Counter first-insertion order */
+void rp_pf_ctx_hist(const RpPf *p, int64_t *depths, int64_t *counts) {
+    const Ctx *cx = &p->ctx;
+    for (int64_t i = 0; i < cx->hg_len; i++) {
+        depths[i] = cx->hg_depth[i];
+        counts[i] = cx->hg_count[i];
+    }
 }
 
 /* out-block layout (OUT_SLOTS int64s):
@@ -1432,7 +2623,11 @@ void rp_pf_free(RpPf *p) {
 int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
            const uint64_t *addrs, const uint64_t *pcs,
            const uint64_t *lines, const uint32_t *inst_gaps,
-           const uint8_t *flags, int64_t *out) {
+           const uint8_t *flags,
+           const int64_t *values, const int64_t *reg_values,
+           const uint64_t *branch_bits, const uint16_t *branch_counts,
+           const uint32_t *type_ids, const uint32_t *link_offsets,
+           const uint8_t *ref_forms, int64_t *out) {
     Hier *h = &s->hier;
     Core *c = &s->core;
     Map *predicted_at = &s->predicted_at;
@@ -1447,6 +2642,9 @@ int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
     int64_t issued_real = 0, issued_shadow = 0;
     int64_t line_bytes = h->line_bytes;
     int64_t reqs[MAX_REQS];
+    uint8_t req_shadow[MAX_REQS];
+    int is_ctx = pf->kind == PF_CONTEXT;
+    int64_t last_value = 0;   /* Simulator.run local, fresh per call */
 
     /* core-model state in locals for the loop, written back after —
      * the same arithmetic, in the same order, as the interpreted loop */
@@ -1464,6 +2662,14 @@ int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
         int64_t gap = (int64_t)inst_gaps[k];
         uint64_t uaddr = addrs[k];
         int depends = (flags[k] >> 1) & 1;
+
+        /* BranchHistoryRegister.update_many, oldest outcome first */
+        if (is_ctx && branch_counts[k]) {
+            uint64_t bb = branch_bits[k];
+            int cnt = (int)branch_counts[k];
+            for (int b = 0; b < cnt; b++)
+                s->bhr_value = ((s->bhr_value << 1) | ((bb >> b) & 1)) & s->bhr_mask;
+        }
 
         /* --- CoreModel.issue_time --- */
         double issue_f = cursor + (double)(gap + 1) / (double)issue_width;
@@ -1518,13 +2724,27 @@ int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
 
         /* --- prefetcher --- */
         int primary_miss = !l1_hit && served != SERVED_MSHR;
-        int nreq = pf_on_access(pf, index, uaddr, pcs[k], primary_miss, reqs);
+        int nreq;
+        if (is_ctx) {
+            nreq = ctx_on_access(&pf->ctx, index, uaddr, pcs[k],
+                                 (int64_t)type_ids[k], (int64_t)link_offsets[k],
+                                 (int64_t)ref_forms[k], last_value,
+                                 s->bhr_value, reg_values[k],
+                                 reqs, req_shadow);
+        } else {
+            nreq = pf_on_access(pf, index, uaddr, pcs[k], primary_miss, reqs);
+        }
         for (int r = 0; r < nreq; r++) {
             int64_t req_addr = reqs[r];
             int64_t pf_line = req_addr / line_bytes;
-            if (hier_prefetch(h, req_addr, issue)) {
+            if (is_ctx && req_shadow[r]) {
+                hier_note_unissued(h, pf_line);
+                issued_shadow++;
+            } else if (hier_prefetch(h, req_addr, issue)) {
                 issued_real++;
             } else {
+                /* on_prefetch_issue: a rejected real prediction demotes */
+                if (is_ctx) { pf->ctx.predictions_real--; pf->ctx.predictions_shadow++; }
                 hier_note_unissued(h, pf_line);
                 issued_shadow++;
             }
@@ -1540,7 +2760,9 @@ int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
             log_pop(plog, &i, &ln);
             if (map_get(predicted_at, ln, -1) == i) map_del(predicted_at, ln);
         }
+        if (is_ctx && (flags[k] & 1)) last_value = values[k];
     }
+    if (is_ctx && pf->ctx.oom) return -1;
 
     /* write the core state back (Simulator.run's finally block) */
     c->cursor = cursor;
@@ -1580,5 +2802,18 @@ int rp_run(RpSim *s, RpPf *pf, int64_t n, int64_t start_index,
 }
 """
 
+SOURCE_CTX = (
+    SOURCE_CTX_RNG
+    + SOURCE_CTX_HASH
+    + SOURCE_CTX_STATE
+    + SOURCE_CTX_REWARD
+    + SOURCE_CTX_CST
+    + SOURCE_CTX_FEEDBACK
+    + SOURCE_CTX_REDUCER
+    + SOURCE_CTX_SELECT
+    + SOURCE_CTX_SOFTMAX
+    + SOURCE_CTX_ACCESS
+)
+
 #: full translation unit handed to cffi's ``set_source``
-SOURCE = SOURCE_RUNTIME + SOURCE_MEMORY + SOURCE_PF + SOURCE_RUN
+SOURCE = SOURCE_RUNTIME + SOURCE_MEMORY + SOURCE_CTX + SOURCE_PF + SOURCE_RUN

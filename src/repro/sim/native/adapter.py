@@ -23,6 +23,9 @@ import itertools
 import logging
 from weakref import WeakKeyDictionary
 
+from repro.core.bandit import EpsilonGreedyPolicy, SoftmaxPolicy
+from repro.core.prefetcher import ContextPrefetcher
+from repro.core.reward import FlatRewardFunction, RewardFunction
 from repro.memory.stats import AccessClass, AccessClassifier, CacheStats
 from repro.prefetchers.ghb import GHBPrefetcher
 from repro.prefetchers.markov import MarkovPrefetcher
@@ -31,7 +34,7 @@ from repro.prefetchers.sms import SMSPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
 from repro.sim.metrics import HitDepthCDF, SimulationResult
 from repro.sim.native import decode
-from repro.sim.native._csrc import OUT_SLOTS
+from repro.sim.native._csrc import CTX_COUNTER_SLOTS, OUT_SLOTS
 from repro.sim.native.build import kernel_or_none
 
 log = logging.getLogger(__name__)
@@ -41,13 +44,14 @@ MAX_REQUESTS = 64
 
 #: kernel prefetcher kinds (PF_* in the C source), keyed by *exact* type —
 #: a subclass may override behaviour the port does not model
-_PF_NONE, _PF_STRIDE, _PF_GHB, _PF_SMS, _PF_MARKOV = range(5)
+_PF_NONE, _PF_STRIDE, _PF_GHB, _PF_SMS, _PF_MARKOV, _PF_CONTEXT = range(6)
 _PF_KINDS = {
     NoPrefetcher: _PF_NONE,
     StridePrefetcher: _PF_STRIDE,
     GHBPrefetcher: _PF_GHB,
     SMSPrefetcher: _PF_SMS,
     MarkovPrefetcher: _PF_MARKOV,
+    ContextPrefetcher: _PF_CONTEXT,
 }
 
 #: Simulator -> RpSim handle and Prefetcher -> RpPf handle.  Weak keys:
@@ -58,11 +62,18 @@ _PF_KINDS = {
 _SIM_STATES: "WeakKeyDictionary" = WeakKeyDictionary()
 _PF_STATES: "WeakKeyDictionary" = WeakKeyDictionary()
 
+#: simulators whose native runs skipped the branch-history fold: the
+#: kernel only replays branch outcomes for the context family (the one
+#: consumer), so a simulator that ran native with any other family has a
+#: stale BHR a later context run must not silently adopt
+_SIM_BRANCH_BLIND: "WeakKeyDictionary" = WeakKeyDictionary()
+
 
 def reset_state_registries() -> None:
     """Drop every native handle (test isolation helper)."""
     _SIM_STATES.clear()
     _PF_STATES.clear()
+    _SIM_BRANCH_BLIND.clear()
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +135,125 @@ def _pf_config_values(pf, kind: int) -> list[int] | None:
     ]
 
 
+def _seed_key(seed: int) -> list[int]:
+    """CPython ``random.Random(seed)`` key: |seed| as little-endian u32
+    words (``random_seed`` feeds exactly this array to ``init_by_array``;
+    zero seeds as the one-word key ``[0]``)."""
+    v = abs(int(seed))
+    words = []
+    while v:
+        words.append(v & 0xFFFFFFFF)
+        v >>= 32
+    return words or [0]
+
+
+def _recenter_geometry_ok(cfg) -> bool:
+    """True when every reachable recentered reward window is valid.
+
+    The adaptive-window extension rebuilds the reward function around any
+    integer center inside ``window_center_bounds``; the interpreted
+    oracle raises from ``RewardFunction.__post_init__`` the moment a
+    slide produces an empty window, and the kernel cannot reproduce an
+    exception mid-run, so such configs stay interpreted.
+    """
+    half_lo = cfg.window_center - cfg.window_lo
+    half_hi = cfg.window_hi - cfg.window_center
+    lo_b, hi_b = cfg.window_center_bounds
+    for center in range(min(lo_b, hi_b), max(lo_b, hi_b) + 1):
+        hi = min(center + half_hi, cfg.prefetch_queue_entries)
+        lo = max(1, center - half_lo)
+        cen = min(center, hi)
+        if lo >= hi or not lo <= cen <= hi:
+            return False
+    return True
+
+
+def _ctx_config_values(pf):
+    """``((icfg, dcfg, seed_key), None)`` for the context kernel, or
+    ``(None, reason)`` when the config cannot be represented exactly.
+
+    The knobs are marshalled from the *live* component objects (policy,
+    reducer, tracker) — the same flattened attributes the interpreted
+    hot path reads — so a hand-mutated component disagrees loudly in the
+    parity suites instead of silently reading stale config fields.
+    """
+    cfg = pf.config
+    policy = pf.policy
+    reward = pf.reward
+    if type(policy) not in (EpsilonGreedyPolicy, SoftmaxPolicy):
+        return None, "the policy subclass has no native port"
+    if type(reward) not in (RewardFunction, FlatRewardFunction):
+        return None, "the reward subclass has no native port"
+    flat = type(reward) is FlatRewardFunction
+    if not flat and cfg.reward_peak == 1:
+        return None, "degenerate bell reward (peak == 1) raises at call time"
+    if policy._max_degree + 2 > MAX_REQUESTS:
+        return None, "max_degree exceeds the kernel's request buffer"
+    if cfg.cst_links > (1 << 31):
+        return None, "cst_links exceeds the single-word getrandbits range"
+    if cfg.adaptive_window and not _recenter_geometry_ok(cfg):
+        return None, "a reachable recentered reward window is invalid"
+    softmax = type(policy) is SoftmaxPolicy
+    sample_depths = [int(d) for d in pf._sample_depths]
+    thresholds = [float(t) for t in policy._degree_thresholds]
+    lo_bound, hi_bound = cfg.window_center_bounds
+    icfg = [
+        cfg.cst_entries,
+        cfg.cst_links,
+        cfg.cst_tag_bits,
+        cfg.reducer_entries,
+        cfg.reducer_tag_bits,
+        cfg.full_hash_bits,
+        cfg.reduced_hash_bits,
+        cfg.history_entries,
+        cfg.prefetch_queue_entries,
+        cfg.block_bytes,
+        cfg.delta_granularity,
+        cfg.delta_min,
+        cfg.delta_max,
+        cfg.window_lo,
+        cfg.window_hi,
+        cfg.window_center,
+        cfg.reward_peak,
+        cfg.late_penalty,
+        cfg.early_penalty,
+        cfg.score_min,
+        cfg.score_max,
+        cfg.initial_score,
+        cfg.replace_threshold,
+        policy._score_threshold,
+        policy._max_degree,
+        pf._r_alloc_active.bits,
+        len(pf.reducer._initial),
+        cfg.overload_refs,
+        cfg.overload_check_period,
+        cfg.underload_lookups,
+        1 if pf._adapt_enabled else 0,
+        1 if policy._shadow_on else 0,
+        1 if policy._adaptive_eps else 0,
+        1 if flat else 0,
+        1 if softmax else 0,
+        1 if pf._adaptive_window else 0,
+        pf._window_update_period,
+        lo_bound,
+        hi_bound,
+        pf._addr_history_depth,
+        len(sample_depths),
+        len(thresholds),
+        *sample_depths,
+    ]
+    dcfg = [
+        policy._eps_min,
+        float(policy._eps_range),
+        policy._fixed_eps,
+        policy._alpha,
+        policy._shadow_p,
+        cfg.softmax_temperature,
+        *thresholds,
+    ]
+    return (icfg, dcfg, _seed_key(cfg.seed)), None
+
+
 def _hier_config_values(hier) -> list[int]:
     c = hier.config
     return [
@@ -150,10 +280,11 @@ def _sim_pristine(sim) -> bool:
         sim._cycle_base == 0
         and sim.hierarchy.is_pristine()
         and sim.core.is_pristine()
+        and sim.bhr._value == 0
     )
 
 
-def _handles(sim, pf, kind: int, kernel):
+def _handles(sim, pf, kind: int, kernel, ctx_cfg=None):
     """The (RpSim, RpPf) handle pair for this run, creating as needed.
 
     Returns ``(None, None)`` when the pair cannot be assembled without
@@ -187,6 +318,7 @@ def _handles(sim, pf, kind: int, kernel):
                 sim.core.config.issue_width,
                 sim.core.config.rob_size,
                 sim.core.config.lq_size,
+                sim.bhr._mask,
             ],
         )
         ptr = lib.rp_sim_new(hier_cfg, core_cfg)
@@ -195,8 +327,15 @@ def _handles(sim, pf, kind: int, kernel):
         sim_h = ffi.gc(ptr, lib.rp_sim_free)
         _SIM_STATES[sim] = sim_h
     if pf_h is None:
-        pf_cfg = ffi.new("int64_t[]", _pf_config_values(pf, kind))
-        ptr = lib.rp_pf_new(kind, pf_cfg)
+        if kind == _PF_CONTEXT:
+            icfg, dcfg, key = ctx_cfg
+            p_icfg = ffi.new("int64_t[]", icfg)
+            p_dcfg = ffi.new("double[]", dcfg)
+            p_key = ffi.new("uint32_t[]", key)
+            ptr = lib.rp_pf_ctx_new(p_icfg, p_dcfg, p_key, len(key))
+        else:
+            pf_cfg = ffi.new("int64_t[]", _pf_config_values(pf, kind))
+            ptr = lib.rp_pf_new(kind, pf_cfg)
         if ptr == ffi.NULL:
             raise MemoryError("native prefetcher state allocation failed")
         pf_h = ffi.gc(ptr, lib.rp_pf_free)
@@ -208,24 +347,34 @@ def _handles(sim, pf, kind: int, kernel):
 # phases
 
 
-def phase_decode(trace, limit, line_bytes):
+def phase_decode(trace, limit, line_bytes, *, with_context: bool = False):
     """Columns for ``trace``, plus the (trace, limit) a fallback should use.
 
     A one-shot iterator is materialised (with the limit applied) so a
     decode failure hands the interpreted path a re-iterable list instead
-    of a half-consumed generator.
+    of a half-consumed generator.  ``with_context`` additionally decodes
+    the value/branch/hint columns the context RL kernel consumes.
     """
     from repro.workloads.store import TraceReader
 
     if isinstance(trace, TraceReader):
-        return decode.columns_from_reader(trace, limit, line_bytes), trace, limit
+        cols = decode.columns_from_reader(
+            trace, limit, line_bytes, with_context=with_context
+        )
+        return cols, trace, limit
     if isinstance(trace, (list, tuple)):
         accesses = trace if limit is None else trace[:limit]
-        return decode.columns_from_accesses(accesses, line_bytes), trace, limit
+        cols = decode.columns_from_accesses(
+            accesses, line_bytes, with_context=with_context
+        )
+        return cols, trace, limit
     accesses = (
         list(itertools.islice(trace, limit)) if limit is not None else list(trace)
     )
-    return decode.columns_from_accesses(accesses, line_bytes), accesses, None
+    cols = decode.columns_from_accesses(
+        accesses, line_bytes, with_context=with_context
+    )
+    return cols, accesses, None
 
 
 def _checked_run(lib, rc: int) -> None:
@@ -252,12 +401,32 @@ def phase_kernel(kernel, sim_h, pf_h, cols, start_index: int, warmup: int):
     p_line = ffi.from_buffer("uint64_t[]", cols.lines)
     p_gap = ffi.from_buffer("uint32_t[]", cols.inst_gaps)
     p_flag = ffi.from_buffer("uint8_t[]", cols.flags)
+    if cols.values is not None:
+        # context columns; every kernel read of these is gated on the
+        # context family, so other families pass the NULLs below
+        ctx_cols = [
+            ffi.from_buffer("int64_t[]", cols.values),
+            ffi.from_buffer("int64_t[]", cols.reg_values),
+            ffi.from_buffer("uint64_t[]", cols.branch_bits),
+            ffi.from_buffer("uint16_t[]", cols.branch_counts),
+            ffi.from_buffer("uint32_t[]", cols.type_ids),
+            ffi.from_buffer("uint32_t[]", cols.link_offsets),
+            ffi.from_buffer("uint8_t[]", cols.ref_forms),
+        ]
+    else:
+        ctx_cols = [ffi.NULL] * 7
+
+    def _ctx_at(offset):
+        if offset == 0 or cols.values is None:
+            return ctx_cols
+        return [p + offset for p in ctx_cols]
+
     if warmup:
         _checked_run(
             lib,
             lib.rp_run(
                 sim_h, pf_h, warmup, start_index, p_addr, p_pc, p_line, p_gap,
-                p_flag, out,
+                p_flag, *ctx_cols, out,
             ),
         )
         lib.rp_reset_stats(sim_h)
@@ -266,7 +435,7 @@ def phase_kernel(kernel, sim_h, pf_h, cols, start_index: int, warmup: int):
             lib.rp_run(
                 sim_h, pf_h, n - warmup, start_index + warmup, p_addr + warmup,
                 p_pc + warmup, p_line + warmup, p_gap + warmup, p_flag + warmup,
-                out,
+                *_ctx_at(warmup), out,
             ),
         )
     else:
@@ -274,19 +443,25 @@ def phase_kernel(kernel, sim_h, pf_h, cols, start_index: int, warmup: int):
             lib,
             lib.rp_run(
                 sim_h, pf_h, n, start_index, p_addr, p_pc, p_line, p_gap,
-                p_flag, out,
+                p_flag, *ctx_cols, out,
             ),
         )
     return out
 
 
-def phase_finalize(out, *, workload_name: str, pf) -> SimulationResult:
+def phase_finalize(out, *, workload_name: str, pf, ctx=None) -> SimulationResult:
     """Fold the kernel's output block into a :class:`SimulationResult`.
 
     Mirrors the interpreted construction exactly: class counts fold into
     a pre-seeded :class:`AccessClassifier` (plot order preserved), the
     wasted-prefetch count lands in ``PREFETCH_NEVER_HIT``, and the depth
     histogram replays through :meth:`HitDepthCDF.add`.
+
+    For a context run ``ctx`` is the ``(kernel, pf_h)`` pair: the hit
+    depths come from the prefetcher's own per-queue-entry histogram when
+    it is non-empty (the interpreted ``if own_histogram:`` truthiness, in
+    Counter insertion order) and the accuracy from the kernel-side
+    policy EMA — the Python policy object never observed the run.
     """
     classifier = AccessClassifier()
     counts = classifier.counts
@@ -298,10 +473,25 @@ def phase_finalize(out, *, workload_name: str, pf) -> SimulationResult:
     classifier.demand_accesses += out[14]
     classifier.record_wasted_prefetch(out[13])
     hit_depths = HitDepthCDF()
-    for depth in range(129):
-        count = out[19 + depth]
-        if count:
-            hit_depths.add(depth, count)
+    accuracy = None
+    own_histogram = False
+    if ctx is not None:
+        kernel, pf_h = ctx
+        ffi, lib = kernel.ffi, kernel.lib
+        accuracy = lib.rp_pf_ctx_accuracy(pf_h)
+        hlen = lib.rp_pf_ctx_hist_len(pf_h)
+        if hlen:
+            own_histogram = True
+            depths = ffi.new("int64_t[]", hlen)
+            hcounts = ffi.new("int64_t[]", hlen)
+            lib.rp_pf_ctx_hist(pf_h, depths, hcounts)
+            for i in range(hlen):
+                hit_depths.add(depths[i], hcounts[i])
+    if not own_histogram:
+        for depth in range(129):
+            count = out[19 + depth]
+            if count:
+                hit_depths.add(depth, count)
     return SimulationResult(
         workload=workload_name,
         prefetcher=pf.name,
@@ -315,7 +505,7 @@ def phase_finalize(out, *, workload_name: str, pf) -> SimulationResult:
         prefetches_shadow=out[16],
         prefetches_rejected=out[17],
         prefetches_redundant=out[18],
-        prefetcher_accuracy=pf.accuracy(),
+        prefetcher_accuracy=accuracy if accuracy is not None else pf.accuracy(),
         storage_bits=pf.storage_bits(),
     )
 
@@ -332,16 +522,17 @@ def _fall_back(committed: bool, trace, limit, reason: str):
             f"simulator are unsupported"
         )
     log.debug("native path unavailable (%s); using the interpreted kernel", reason)
-    return False, None, trace, limit
+    return False, None, trace, limit, reason
 
 
 def try_native_run(sim, trace, *, workload_name, limit, start_index, warmup):
     """Attempt to run ``sim`` over ``trace`` natively.
 
-    Returns ``(handled, result, trace, limit)``.  When ``handled`` is
-    False the caller must continue on the interpreted path using the
-    *returned* trace and limit — a one-shot input iterator has been
-    materialised (limit already applied, so it comes back ``None``).
+    Returns ``(handled, result, trace, limit, reason)``.  When
+    ``handled`` is False the caller must continue on the interpreted path
+    using the *returned* trace and limit — a one-shot input iterator has
+    been materialised (limit already applied, so it comes back ``None``)
+    — and ``reason`` names why the run fell back (``None`` on success).
     """
     pf = sim.prefetcher
     committed = sim in _SIM_STATES or pf in _PF_STATES
@@ -350,7 +541,13 @@ def try_native_run(sim, trace, *, workload_name, limit, start_index, warmup):
         return _fall_back(
             committed, trace, limit, f"the {pf.name} prefetcher has no native port"
         )
-    if _pf_config_values(pf, kind) is None:
+    is_ctx = kind == _PF_CONTEXT
+    ctx_cfg = None
+    if is_ctx:
+        ctx_cfg, reason = _ctx_config_values(pf)
+        if ctx_cfg is None:
+            return _fall_back(committed, trace, limit, reason)
+    elif _pf_config_values(pf, kind) is None:
         return _fall_back(
             committed,
             trace,
@@ -360,13 +557,74 @@ def try_native_run(sim, trace, *, workload_name, limit, start_index, warmup):
     kernel = kernel_or_none()
     if kernel is None:
         return _fall_back(committed, trace, limit, "compiled kernel unavailable")
-    cols, trace, limit = phase_decode(trace, limit, sim.hierarchy.config.line_bytes)
+    cols, trace, limit = phase_decode(
+        trace, limit, sim.hierarchy.config.line_bytes, with_context=is_ctx
+    )
     if cols is None:
         return _fall_back(committed, trace, limit, "column decode fell back")
-    sim_h, pf_h = _handles(sim, pf, kind, kernel)
+    if is_ctx and _SIM_BRANCH_BLIND.get(sim):
+        return _fall_back(
+            sim in _SIM_STATES,
+            trace,
+            limit,
+            "the simulator's native runs skipped the branch-history fold",
+        )
+    sim_h, pf_h = _handles(sim, pf, kind, kernel, ctx_cfg)
     if sim_h is None:
         return _fall_back(
             False, trace, limit, "simulator or prefetcher carries interpreted state"
         )
     out = phase_kernel(kernel, sim_h, pf_h, cols, start_index, warmup)
-    return True, phase_finalize(out, workload_name=workload_name, pf=pf), trace, limit
+    if not is_ctx:
+        _SIM_BRANCH_BLIND[sim] = True
+    result = phase_finalize(
+        out,
+        workload_name=workload_name,
+        pf=pf,
+        ctx=(kernel, pf_h) if is_ctx else None,
+    )
+    return True, result, trace, limit, None
+
+
+#: counter names ``rp_pf_ctx_counters`` fills, in slot order — the same
+#: quantities ``repro profile`` reads off the interpreted components
+CTX_COUNTER_NAMES = (
+    "predictions_real",
+    "predictions_shadow",
+    "rewards_applied",
+    "window_updates",
+    "explorations",
+    "exploitations",
+    "queue_hits",
+    "queue_expirations",
+    "feedback_events",
+    "associations_added",
+    "associations_rejected_full",
+    "associations_rejected_range",
+    "cst_conflicts",
+    "cst_occupancy",
+    "reducer_allocations",
+    "reducer_conflicts",
+    "reducer_activations",
+    "reducer_deactivations",
+    "reducer_occupancy",
+    "history_records",
+)
+
+
+def context_unit_counters(pf) -> dict | None:
+    """The kernel-side bandit/CST/reward counters for a context
+    prefetcher that ran natively, or ``None`` when no native handle
+    exists (``repro profile --native`` reports this block)."""
+    if _pf_kind(pf) != _PF_CONTEXT:
+        return None
+    kernel = kernel_or_none()
+    if kernel is None:
+        return None
+    pf_h = _PF_STATES.get(pf)
+    if pf_h is None:
+        return None
+    ffi, lib = kernel.ffi, kernel.lib
+    buf = ffi.new("int64_t[]", CTX_COUNTER_SLOTS)
+    lib.rp_pf_ctx_counters(pf_h, buf)
+    return {name: int(buf[i]) for i, name in enumerate(CTX_COUNTER_NAMES)}

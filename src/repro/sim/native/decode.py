@@ -29,13 +29,24 @@ log = logging.getLogger(__name__)
 
 _U32_MAX = (1 << 32) - 1
 
-#: flags-byte bit the kernel consumes (store layout bit1 = depends_on_prev)
+#: flags-byte bits the kernel consumes (store layout: bit0 = is_load,
+#: bit1 = depends_on_prev, bit2 = has semantic hints)
+FLAG_IS_LOAD = 1
 FLAG_DEPENDS = 2
+FLAG_HINTED = 4
+
+#: branch tuples wider than the store's u64 bitmap cannot ride a column
+MAX_BRANCHES = 64
 
 
 @dataclass
 class Columns:
-    """The decoded per-access columns one native run consumes."""
+    """The decoded per-access columns one native run consumes.
+
+    The context columns are populated only when the context RL kernel is
+    the consumer (``with_context=True``); every other family leaves them
+    ``None`` and the adapter hands the kernel null pointers.
+    """
 
     n: int
     addrs: object  # u64[n], C-contiguous
@@ -43,6 +54,13 @@ class Columns:
     lines: object  # u64[n], C-contiguous
     inst_gaps: object  # u32[n], C-contiguous
     flags: object  # u8[n], C-contiguous
+    values: object = None  # i64[n]: loaded values (last_value feed)
+    reg_values: object = None  # i64[n]
+    branch_bits: object = None  # u64[n], oldest outcome at bit 0
+    branch_counts: object = None  # u16[n]
+    type_ids: object = None  # u32[n], zero where unhinted
+    link_offsets: object = None  # u32[n], zero where unhinted
+    ref_forms: object = None  # u8[n], zero where unhinted
 
 
 def _check_addresses(addrs) -> bool:
@@ -63,7 +81,9 @@ def _check_addresses(addrs) -> bool:
     return True
 
 
-def columns_from_reader(reader, limit: int | None, line_bytes: int) -> Columns | None:
+def columns_from_reader(
+    reader, limit: int | None, line_bytes: int, *, with_context: bool = False
+) -> Columns | None:
     """Columns for a store-backed trace (zero-copy struct-array source).
 
     Returns ``None`` (logged) when numpy is unavailable or the stream
@@ -84,7 +104,7 @@ def columns_from_reader(reader, limit: int | None, line_bytes: int) -> Columns |
     addrs = np.ascontiguousarray(records["addr"], dtype="=u8")
     if not _check_addresses(addrs):
         return None
-    return Columns(
+    cols = Columns(
         n=len(addrs),
         addrs=addrs,
         pcs=np.ascontiguousarray(records["pc"], dtype="=u8"),
@@ -92,14 +112,53 @@ def columns_from_reader(reader, limit: int | None, line_bytes: int) -> Columns |
         inst_gaps=np.ascontiguousarray(records["inst_gap"], dtype="=u4"),
         flags=np.ascontiguousarray(records["flags"], dtype="=u1"),
     )
+    if with_context:
+        # unhinted records decode to NO_HINTS (all zero fields) on the
+        # interpreted path; mask the hint columns the same way
+        hinted = (cols.flags & FLAG_HINTED) != 0
+        cols.values = np.ascontiguousarray(records["value"], dtype="=i8")
+        cols.reg_values = np.ascontiguousarray(records["reg_value"], dtype="=i8")
+        cols.branch_bits = np.ascontiguousarray(records["branch_bits"], dtype="=u8")
+        cols.branch_counts = np.ascontiguousarray(
+            records["branch_count"], dtype="=u2"
+        )
+        cols.type_ids = np.where(
+            hinted, records["type_id"], 0
+        ).astype("=u4", copy=False)
+        cols.link_offsets = np.where(
+            hinted, records["link_offset"], 0
+        ).astype("=u4", copy=False)
+        cols.ref_forms = np.where(
+            hinted, records["ref_form"], 0
+        ).astype("=u1", copy=False)
+        cols.type_ids = np.ascontiguousarray(cols.type_ids)
+        cols.link_offsets = np.ascontiguousarray(cols.link_offsets)
+        cols.ref_forms = np.ascontiguousarray(cols.ref_forms)
+    return cols
 
 
-def columns_from_accesses(accesses, line_bytes: int) -> Columns | None:
+def _branch_words(accesses):
+    """(bits, count) per access, oldest outcome at bit 0, like the store."""
+    for a in accesses:
+        branches = a.branches
+        if len(branches) > MAX_BRANCHES:
+            raise ValueError(f"{len(branches)} branch outcomes exceed the u64 bitmap")
+        bits = 0
+        for i, taken in enumerate(branches):
+            if taken:
+                bits |= 1 << i
+        yield bits, len(branches)
+
+
+def columns_from_accesses(
+    accesses, line_bytes: int, *, with_context: bool = False
+) -> Columns | None:
     """Columns for an in-memory access list (built workloads).
 
-    Only the ``depends_on_prev`` flag bit is populated — the kernel reads
-    nothing else from the flags byte.  Returns ``None`` (logged) when
-    numpy is unavailable or a field falls outside the column dtypes.
+    The base columns populate the ``is_load`` and ``depends_on_prev``
+    flag bits; the context columns (values, branches, hints) are built
+    only when requested.  Returns ``None`` (logged) when numpy is
+    unavailable or a field falls outside the column dtypes.
     """
     try:
         import numpy as np
@@ -112,7 +171,11 @@ def columns_from_accesses(accesses, line_bytes: int) -> Columns | None:
         pcs = np.fromiter((a.pc for a in accesses), dtype="=u8", count=n)
         inst_gaps = np.fromiter((a.inst_gap for a in accesses), dtype="=u4", count=n)
         flags = np.fromiter(
-            (FLAG_DEPENDS if a.depends_on_prev else 0 for a in accesses),
+            (
+                (FLAG_IS_LOAD if a.is_load else 0)
+                | (FLAG_DEPENDS if a.depends_on_prev else 0)
+                for a in accesses
+            ),
             dtype="=u1",
             count=n,
         )
@@ -128,7 +191,7 @@ def columns_from_accesses(accesses, line_bytes: int) -> Columns | None:
     if n and int(inst_gaps.max()) > _U32_MAX:  # unreachable with =u4; belt
         log.warning("native decode: instruction gap exceeds u32")
         return None
-    return Columns(
+    cols = Columns(
         n=n,
         addrs=addrs,
         pcs=pcs,
@@ -136,3 +199,33 @@ def columns_from_accesses(accesses, line_bytes: int) -> Columns | None:
         inst_gaps=inst_gaps,
         flags=flags,
     )
+    if with_context:
+        try:
+            branch_pairs = list(_branch_words(accesses))
+            cols.values = np.fromiter((a.value for a in accesses), dtype="=i8", count=n)
+            cols.reg_values = np.fromiter(
+                (a.reg_value for a in accesses), dtype="=i8", count=n
+            )
+            cols.branch_bits = np.fromiter(
+                (bits for bits, _ in branch_pairs), dtype="=u8", count=n
+            )
+            cols.branch_counts = np.fromiter(
+                (count for _, count in branch_pairs), dtype="=u2", count=n
+            )
+            cols.type_ids = np.fromiter(
+                (a.hints.type_id for a in accesses), dtype="=u4", count=n
+            )
+            cols.link_offsets = np.fromiter(
+                (a.hints.link_offset for a in accesses), dtype="=u4", count=n
+            )
+            cols.ref_forms = np.fromiter(
+                (int(a.hints.ref_form) for a in accesses), dtype="=u1", count=n
+            )
+        except (OverflowError, ValueError) as exc:
+            log.warning(
+                "native decode: context columns outside the kernel's value "
+                "ranges (%s); falling back to the interpreted path",
+                exc,
+            )
+            return None
+    return cols

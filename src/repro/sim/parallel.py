@@ -152,14 +152,22 @@ def _make_prefetcher(job: SweepJob):
     return PREFETCHER_FACTORIES[job.prefetcher]()
 
 
-def _run_cell(job: SweepJob, trace: Sequence[MemoryAccess]) -> SimulationResult:
+#: (kernel handled the cell?, fallback reason when it did not); ``None``
+#: stands in for cells where no kernel ran this invocation (cache hits)
+NativeInfo = tuple[bool, str | None]
+
+
+def _run_cell(
+    job: SweepJob, trace: Sequence[MemoryAccess]
+) -> tuple[SimulationResult, NativeInfo]:
     sim = Simulator(
         _make_prefetcher(job),
         hierarchy_config=job.hierarchy_config,
         core_config=job.core_config,
         native=job.native,
     )
-    return sim.run(trace, workload_name=job.workload, limit=job.limit)
+    result = sim.run(trace, workload_name=job.workload, limit=job.limit)
+    return result, (sim.last_run_native, sim.last_native_fallback)
 
 
 def _rebuild_trace(job: SweepJob) -> Sequence[MemoryAccess]:
@@ -201,16 +209,19 @@ def _job_trace(job: SweepJob) -> Sequence[MemoryAccess]:
 
 def run_job(job: SweepJob) -> SimulationResult:
     """Execute one cell from scratch (also the in-worker entry point)."""
-    return _run_cell(job, _job_trace(job))
+    return _run_cell(job, _job_trace(job))[0]
 
 
-def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any]]:
+def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any], NativeInfo]:
     """Worker body: run the cell, return its index + encoded result.
 
     Returning the *encoded* form means every parallel result crosses the
     process boundary through the same versioned codec the cache uses.
+    The :data:`NativeInfo` rides along so the parent can summarize which
+    cells the kernel actually took and why the rest fell back.
     """
-    return job.index, encode_result(run_job(job))
+    result, native_info = _run_cell(job, _job_trace(job))
+    return job.index, encode_result(result), native_info
 
 
 # -- worker-side trace memo ---------------------------------------------
@@ -245,9 +256,13 @@ def _batch_trace(job: SweepJob) -> Sequence[MemoryAccess]:
 
 def _execute_batch(
     jobs: tuple[SweepJob, ...],
-) -> list[tuple[int, dict[str, Any]]]:
+) -> list[tuple[int, dict[str, Any], NativeInfo]]:
     """Worker body for one affinity batch: shared trace, ordered results."""
-    return [(job.index, encode_result(_run_cell(job, _batch_trace(job)))) for job in jobs]
+    out = []
+    for job in jobs:
+        result, native_info = _run_cell(job, _batch_trace(job))
+        out.append((job.index, encode_result(result), native_info))
+    return out
 
 
 @dataclass
@@ -266,6 +281,8 @@ class _Cell:
     key: str | None = None
     result: SimulationResult | None = None
     cached: bool = False
+    #: unset for cache hits — no kernel ran, so there is nothing to count
+    native_info: NativeInfo | None = None
 
 
 @dataclass
@@ -492,9 +509,12 @@ def parallel_compare(
             done += 1
             report(cell)
 
-    def finish(cell: _Cell, payload: dict[str, Any]) -> None:
+    def finish(
+        cell: _Cell, payload: dict[str, Any], native_info: NativeInfo
+    ) -> None:
         nonlocal done
         cell.result = decode_result(payload)
+        cell.native_info = native_info
         done += 1
         if cache is not None and cell.key is not None:
             cache.store(cell.key, cell.result)
@@ -520,8 +540,8 @@ def parallel_compare(
                 # progress lines and cache stores stay deterministic
                 by_index = {cell.job.index: cell for cell in pending}
                 for batch, future in futures:
-                    for index, payload in future.result():
-                        finish(by_index[index], payload)
+                    for index, payload, native_info in future.result():
+                        finish(by_index[index], payload, native_info)
         else:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending)),
@@ -531,9 +551,9 @@ def parallel_compare(
                     (cell, pool.submit(_execute_job, cell.job)) for cell in pending
                 ]
                 for cell, future in job_futures:
-                    index, payload = future.result()
+                    index, payload, native_info = future.result()
                     assert index == cell.job.index
-                    finish(cell, payload)
+                    finish(cell, payload, native_info)
     else:
         # inline path: materialise each store-backed workload at most
         # once in this process, so cached-but-cold runs never decode (or
@@ -546,7 +566,9 @@ def parallel_compare(
                 if trace is None:
                     trace = _job_trace(cell.job)
                     local_traces[cell.workload] = trace
-            cell.result = decode_result(encode_result(_run_cell(cell.job, trace)))
+            result, native_info = _run_cell(cell.job, trace)
+            cell.result = decode_result(encode_result(result))
+            cell.native_info = native_info
             done += 1
             if cache is not None and cell.key is not None:
                 cache.store(cell.key, cell.result)
@@ -556,8 +578,16 @@ def parallel_compare(
     for cell in cells:
         assert cell.result is not None
         comparison.results.setdefault(cell.workload, {})[cell.prefetcher] = cell.result
+        if native and cell.native_info is not None:
+            comparison.native_cells[f"{cell.workload}/{cell.prefetcher}"] = (
+                cell.native_info
+            )
     if progress is not None and cache is not None:
         progress(cache.counters.summary())
+    if progress is not None:
+        summary = comparison.native_summary()
+        if summary is not None:
+            progress(summary)
     return comparison
 
 

@@ -72,8 +72,23 @@ def _unit_counters(
     pf = sim.prefetcher
     units: dict[str, dict[str, int]] = {}
 
+    # after a native context run the RL state (CST, reducer, queue,
+    # policy) lives in the compiled handle; read the same counters off
+    # the kernel so the unit blocks match the interpreted report
+    ctx_native: dict[str, int] | None = None
+    if native_ran:
+        from repro.sim.native.adapter import context_unit_counters
+
+        ctx_native = context_unit_counters(pf)
+
     queue = getattr(pf, "queue", None)
-    if queue is not None:
+    if ctx_native is not None:
+        units["feedback"] = {
+            "queue_hits": ctx_native["queue_hits"],
+            "queue_expirations": ctx_native["queue_expirations"],
+            "rewards_applied": ctx_native["rewards_applied"],
+        }
+    elif queue is not None:
         units["feedback"] = {
             "queue_hits": queue.hits,
             "queue_expirations": queue.expirations,
@@ -81,7 +96,15 @@ def _unit_counters(
         }
 
     cst = getattr(pf, "cst", None)
-    if cst is not None:
+    if ctx_native is not None:
+        units["collection"] = {
+            "associations_added": ctx_native["associations_added"],
+            "associations_rejected_full": ctx_native["associations_rejected_full"],
+            "associations_rejected_range": ctx_native["associations_rejected_range"],
+            "cst_conflict_evictions": ctx_native["cst_conflicts"],
+            "history_records": ctx_native["history_records"],
+        }
+    elif cst is not None:
         history = getattr(pf, "history", None)
         units["collection"] = {
             "associations_added": cst.associations_added,
@@ -92,7 +115,14 @@ def _unit_counters(
         }
 
     reducer = getattr(pf, "reducer", None)
-    if reducer is not None:
+    if ctx_native is not None:
+        units["reduction"] = {
+            "allocations": ctx_native["reducer_allocations"],
+            "conflict_evictions": ctx_native["reducer_conflicts"],
+            "activations": ctx_native["reducer_activations"],
+            "deactivations": ctx_native["reducer_deactivations"],
+        }
+    elif reducer is not None:
         units["reduction"] = {
             "allocations": reducer.allocations,
             "conflict_evictions": reducer.conflict_evictions,
@@ -107,7 +137,13 @@ def _unit_counters(
         "prefetches_rejected_mshr": result.prefetches_rejected,
         "prefetches_redundant": result.prefetches_redundant,
     }
-    if policy is not None:
+    if ctx_native is not None:
+        prediction["explorations"] = ctx_native["explorations"]
+        prediction["exploitations"] = ctx_native["exploitations"]
+        prediction["predictions_real"] = ctx_native["predictions_real"]
+        prediction["predictions_shadow"] = ctx_native["predictions_shadow"]
+        prediction["window_updates"] = ctx_native["window_updates"]
+    elif policy is not None:
         prediction["explorations"] = policy.explorations
         prediction["exploitations"] = policy.exploitations
     units["prediction"] = prediction

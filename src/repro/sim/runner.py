@@ -73,6 +73,13 @@ class ComparisonResult:
 
     #: workload name -> prefetcher name -> result
     results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+    #: ``"workload/prefetcher" -> (kernel handled?, fallback reason)``,
+    #: recorded only for cells a native-mode sweep actually executed —
+    #: cache hits ran no kernel and are absent.  The values never affect
+    #: the results (the kernel is bit-neutral); they exist so sweeps can
+    #: report how much of the grid the compiled path took and why the
+    #: rest fell back.
+    native_cells: dict[str, tuple[bool, str | None]] = field(default_factory=dict)
 
     def workloads(self) -> list[str]:
         return list(self.results)
@@ -109,6 +116,32 @@ class ComparisonResult:
             wl: {pf: getattr(res, attr) for pf, res in by_pf.items()}
             for wl, by_pf in self.results.items()
         }
+
+    def native_fallbacks(self) -> dict[str, int]:
+        """Fallback reason -> count of cells that fell back for it."""
+        counts: dict[str, int] = {}
+        for handled, reason in self.native_cells.values():
+            if not handled:
+                key = reason or "unknown"
+                counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def native_summary(self) -> str | None:
+        """One line of native-kernel coverage, or ``None`` when no cell
+        of this sweep recorded kernel info (interpreted mode, or every
+        cell a cache hit)."""
+        if not self.native_cells:
+            return None
+        total = len(self.native_cells)
+        handled = sum(1 for ok, _ in self.native_cells.values() if ok)
+        line = f"native kernel: {handled}/{total} executed cells"
+        if handled == total:
+            return line
+        top = ", ".join(
+            f"{reason} (x{count})"
+            for reason, count in list(self.native_fallbacks().items())[:3]
+        )
+        return f"{line}; fallbacks: {top}"
 
 
 def compare(
@@ -180,8 +213,17 @@ def compare(
             )
             result = sim.run(trace, workload_name=name, limit=limit)
             comparison.results[name][pf_name] = result
+            if effective_native:
+                comparison.native_cells[f"{name}/{pf_name}"] = (
+                    sim.last_run_native,
+                    sim.last_native_fallback,
+                )
             if progress is not None:
                 progress(result.summary())
+    if progress is not None:
+        summary = comparison.native_summary()
+        if summary is not None:
+            progress(summary)
     return comparison
 
 
@@ -236,8 +278,6 @@ def storage_sweep(
         config = base.scaled(size)
         out[size] = {}
         for name, trace in resolved:
-            # the context prefetcher has no native port; the flag simply
-            # exercises the documented per-run fallback
             sim = Simulator(ContextPrefetcher(config), native=effective_native)
             out[size][name] = sim.run(trace, workload_name=name, limit=limit)
     return out

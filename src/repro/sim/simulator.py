@@ -48,6 +48,10 @@ class Simulator:
         #: did the most recent :meth:`run` go through the compiled kernel?
         #: (profiling reads this to know where the counters live)
         self.last_run_native = False
+        #: why the most recent :meth:`run` fell back to the interpreted
+        #: loop (``None`` when it stayed native); sweep summaries
+        #: aggregate these strings into the fallback report
+        self.last_native_fallback: str | None = None
 
     def _reset_stats(self) -> None:
         """Zero the statistics counters without disturbing warm state.
@@ -99,7 +103,7 @@ class Simulator:
             # for the interpreted path below
             from repro.sim import native as native_kernel
 
-            handled, result, trace, limit = native_kernel.try_native_run(
+            handled, result, trace, limit, reason = native_kernel.try_native_run(
                 self,
                 trace,
                 workload_name=workload_name,
@@ -108,10 +112,12 @@ class Simulator:
                 warmup=warmup,
             )
             self.last_run_native = handled
+            self.last_native_fallback = reason
             if handled:
                 return result
         else:
             self.last_run_native = False
+            self.last_native_fallback = "native mode disabled"
         if warmup:
             # materialise while applying the limit — a truncated long
             # trace must not be built in full just to slice a prefix

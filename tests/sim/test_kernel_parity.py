@@ -154,12 +154,14 @@ def test_phased_run_parity(prefetcher: str) -> None:
 
 # -- native-kernel legs -------------------------------------------------
 #
-# The same goldens again, through the compiled batch kernel.  Families
-# the kernel cannot represent (the RL context prefetcher) silently take
-# the interpreted fallback inside ``run`` — keeping them parametrized
-# here proves the fallback is bit-exact too.  Skipped, not passed, when
-# the toolchain cannot build the kernel, so a green run really means the
-# native path was exercised.
+# The same goldens again, through the compiled batch kernel — including
+# the RL context prefetcher, whose CST/bandit/reward loop runs in C with
+# a bit-exact CPython MT19937.  Any run the kernel cannot represent
+# silently takes the interpreted fallback inside ``run``; keeping those
+# configs parametrized proves the fallback is bit-exact too, and the
+# explicit assertion below proves the default context config does NOT
+# fall back.  Skipped, not passed, when the toolchain cannot build the
+# kernel, so a green run really means the native path was exercised.
 
 
 def _require_native() -> None:
@@ -173,6 +175,9 @@ def test_plain_run_parity_native(workload: str, prefetcher: str) -> None:
     _require_native()
     sim = Simulator(PREFETCHER_FACTORIES[prefetcher](), native=True)
     result = sim.run(_trace(workload), workload_name=workload)
+    # every registered family now has a native port; a silent fallback
+    # here would make this leg a no-op re-run of the interpreted test
+    assert sim.last_run_native, sim.last_native_fallback
     _assert_matches(f"plain/{workload}/{prefetcher}", result)
 
 
@@ -184,6 +189,7 @@ def test_warmup_run_parity_native(workload: str, prefetcher: str) -> None:
     result = sim.run(
         _trace(workload), workload_name=workload, warmup=SPEC["warmup"]["warmup"]
     )
+    assert sim.last_run_native, sim.last_native_fallback
     _assert_matches(f"warmup/{workload}/{prefetcher}", result)
 
 
@@ -231,4 +237,5 @@ def test_plain_run_parity_native_zero_copy(
     result = sim.run(
         store_readers[workload], workload_name=workload, limit=SPEC["limit"]
     )
+    assert sim.last_run_native, sim.last_native_fallback
     _assert_matches(f"plain/{workload}/{prefetcher}", result)

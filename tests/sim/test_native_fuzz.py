@@ -10,8 +10,11 @@ resulting :class:`~repro.sim.metrics.SimulationResult`.
 The tier-1 run covers ``NUM_FAST_CASES`` small cases (seconds); the
 ``--runslow`` tier re-runs the generator over many more, longer traces.
 Cases are *not* minimized to kernel-eligible configs: some deliberately
-exceed the native request caps or pick the RL context prefetcher, so the
-documented fallback path is fuzzed alongside the kernel itself.
+exceed the native request caps — including over-cap RL context degrees —
+so the documented fallback path is fuzzed alongside the kernel itself.
+The context family draws randomized CST/reducer/window/bandit geometry,
+so the C port of the RL loop (MT19937 included) is differentially fuzzed
+against the interpreted oracle, not just replayed at the default config.
 """
 
 from __future__ import annotations
@@ -164,11 +167,61 @@ def _fuzz_prefetcher(rng: random.Random, line: int):
                 train_on_miss_only=rng.random() < 0.8,
             )
         )
-    # the RL context prefetcher: always the interpreted fallback, fuzzed
-    # here so a registry change can't silently break that path
-    from repro.sim.config import PREFETCHER_FACTORIES
+    return _fuzz_context(rng, degree)
 
-    return PREFETCHER_FACTORIES["context"]()
+
+def _fuzz_context(rng: random.Random, degree: int):
+    """A randomized RL context prefetcher.
+
+    Geometry is drawn to satisfy the config invariants (power-of-two
+    tables, queue out-spanning the reward window, depths inside the
+    history); the over-cap ``degree`` passed in by the family dispatcher
+    still forces the documented native fallback on ~5% of cases.  The
+    adaptive-window ablation keeps the default (known recenter-safe)
+    window geometry so both kernels stay on the represented path.
+    """
+    from repro.core.config import ContextPrefetcherConfig
+    from repro.core.prefetcher import ContextPrefetcher
+
+    adaptive_window = rng.random() < 0.25
+    if adaptive_window:
+        lo, hi, center = 18, 50, 30
+    else:
+        lo = rng.randrange(2, 30)
+        hi = lo + rng.randrange(4, 40)
+        center = rng.randrange(lo, hi + 1)
+    history = rng.choice((20, 50, 80))
+    depths = tuple(sorted(rng.sample(range(1, history + 1), rng.randrange(2, 6))))
+    cfg = ContextPrefetcherConfig(
+        cst_entries=rng.choice((256, 1024, 2048)),
+        cst_links=rng.choice((2, 4, 8)),
+        cst_tag_bits=rng.choice((6, 8, 10)),
+        reducer_entries=rng.choice((1024, 4096, 16384)),
+        reducer_tag_bits=rng.choice((2, 4)),
+        history_entries=history,
+        prefetch_queue_entries=max(rng.choice((64, 128, 256)), hi),
+        window_lo=lo,
+        window_hi=hi,
+        window_center=center,
+        reward_peak=rng.choice((2, 4, 8, 16)),
+        sample_depths=depths,
+        epsilon_min=rng.choice((0.005, 0.01, 0.05)),
+        epsilon_max=rng.choice((0.1, 0.2, 0.3)),
+        accuracy_ema_alpha=rng.choice((0.005, 0.01, 0.05)),
+        shadow_probability=rng.choice((0.0, 0.1, 0.3)),
+        seed=rng.randrange(1 << 48),
+        max_degree=degree,
+        adaptive_reduction=rng.random() < 0.7,
+        shadow_prefetches=rng.random() < 0.8,
+        adaptive_epsilon=rng.random() < 0.7,
+        fixed_epsilon=rng.choice((0.02, 0.05, 0.1)),
+        reward_shape="flat" if rng.random() < 0.3 else "bell",
+        policy="softmax" if rng.random() < 0.3 else "egreedy",
+        softmax_temperature=rng.choice((1.0, 4.0, 8.0)),
+        adaptive_window=adaptive_window,
+        window_update_period=rng.choice((512, 2048)),
+    )
+    return ContextPrefetcher(cfg)
 
 
 def _run_case(label: str, length_range: tuple[int, int]) -> None:
@@ -200,6 +253,10 @@ def _run_case(label: str, length_range: tuple[int, int]) -> None:
                 warmup=warmup,
             )
         )
+        if native and not sim.last_run_native:
+            # a fallback is legal, but it must say why — the sweep
+            # summary aggregates exactly these strings
+            assert sim.last_native_fallback, f"{label}: silent fallback"
     interpreted, native_result = results
     assert native_result == interpreted, (
         f"{label}: native kernel diverged from the interpreted oracle\n"

@@ -67,12 +67,33 @@ class TestNativeMode:
         assert "native phase timings" in text
         assert "phase_kernel" in text
 
-    def test_native_fallback_family_profiles_interpreted(self):
+    def test_native_context_reports_rl_counter_block(self):
         _require_native()
-        # the RL context prefetcher cannot run natively: the report must
-        # say so and carry the full interpreted counter set
-        report = profile_run("mcf", "context", limit=500, native=True)
-        assert not report.native
-        assert not report.native_phases
-        assert "collection" in report.units
-        assert "mshr_merges" in report.units["memory"]
+        # the RL context prefetcher runs natively; the report must carry
+        # the kernel-side bandit/CST/reward counters and they must equal
+        # the interpreted components counter-for-counter
+        base = profile_run("mcf", "context", limit=500, with_cprofile=False)
+        nat = profile_run(
+            "mcf", "context", limit=500, with_cprofile=False, native=True
+        )
+        assert nat.native and not base.native
+        assert nat.result == base.result
+        for unit in ("feedback", "collection", "reduction"):
+            assert nat.units[unit] == base.units[unit], unit
+        for name in ("explorations", "exploitations", "prefetches_issued"):
+            assert (
+                nat.units["prediction"][name] == base.units["prediction"][name]
+            ), name
+        # native-only extras read off the kernel handle
+        assert "predictions_real" in nat.units["prediction"]
+        assert "window_updates" in nat.units["prediction"]
+
+    def test_native_context_phase_timings(self):
+        _require_native()
+        report = profile_run("mcf", "context", limit=500, top=5, native=True)
+        assert report.native
+        assert set(report.native_phases) == {
+            "phase_decode", "phase_kernel", "phase_finalize"
+        }
+        text = render(report)
+        assert "native kernel" in text
