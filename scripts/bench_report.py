@@ -37,9 +37,24 @@ the repo carries a measured trajectory instead of asserted speedups:
   CST/bandit/reward loop (and a bit-exact CPython MT19937) runs in C —
   so ``native_handled`` is true across the board.
 
+* **sweep_throughput** (PR 9, schema 5) — the warm-worker scheduler
+  (``repro.sim.sched``) against the PR 5 store-fed dispatch on the same
+  seed-axis grid: ``workloads × context-seed variants``, ≥10,000 cells
+  in the full report.  The warm path runs the whole grid through one
+  :class:`SweepScheduler` over the persistent pool; the baseline
+  dispatches the same cells the PR 5 way — one pool-per-call
+  ``parallel_compare(warm=False)`` per config slice — measured over a
+  recorded subset (its per-cell cost is flat in the number of slices,
+  and the full grid at baseline speed would take hours by design).
+  Every warm cell is asserted field-for-field identical to a serial
+  inline run before any number is written.
+
 ``--check FILE`` re-measures the context kernel and fails (exit 1) if it
 regresses more than ``--tolerance`` (default 30%) against the committed,
-calibration-normalised value.  When the committed report carries a
+calibration-normalised value.  A committed ``sweep_throughput`` section
+is also gated: the quick grid must keep the warm scheduler ≥3× the
+legacy dispatch here and now, and the committed full-grid ratio must
+meet the ≥5× acceptance floor.  When the committed report carries a
 ``native_vs_reference`` section, the check also re-measures the native
 kernel (parity-gated) and fails if any native family's speedup —
 ``context`` included — falls below
@@ -66,8 +81,10 @@ from repro.workloads.suites import get_workload  # noqa: E402
 
 #: schema 2 adds the ``trace_pipeline`` section (PR 5); schema 3 adds
 #: ``native_vs_reference`` (PR 7); schema 4 (PR 8) makes ``context`` a
-#: measured native family inside it (``native_handled`` true everywhere)
-SCHEMA = 4
+#: measured native family inside it (``native_handled`` true everywhere);
+#: schema 5 (PR 9) adds ``sweep_throughput`` (warm-worker scheduler vs
+#: the PR 5 store-fed dispatch)
+SCHEMA = 5
 
 #: the kernel measurement grid: one streaming, one pointer-chasing and
 #: one graph workload, truncated so a full report stays minutes-scale
@@ -394,6 +411,154 @@ def measure_native_vs_reference(quick: bool) -> dict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+#: the sweep-throughput grid: workloads × context-seed variants (the
+#: bandit seed is a config field, so every seed is a distinct
+#: content-addressed cell — a seed-robustness sweep at survey scale).
+#: 4 workloads × 2500 seeds = 10,000 cells in the full report.
+SWEEP_THROUGHPUT_WORKLOADS = ("mcf", "graph500-csr", "list", "array")
+SWEEP_THROUGHPUT_WORKLOADS_QUICK = ("mcf", "list")
+SWEEP_THROUGHPUT_SEEDS = 2500
+SWEEP_THROUGHPUT_SEEDS_QUICK = 50
+#: config slices dispatched the PR 5 way to measure the baseline rate —
+#: per-cell baseline cost is flat in the slice count (each slice pays
+#: one executor spawn + per-cell job pickling), so a subset measures it
+SWEEP_THROUGHPUT_BASELINE_SEEDS = 12
+SWEEP_THROUGHPUT_BASELINE_SEEDS_QUICK = 3
+SWEEP_THROUGHPUT_LIMIT = 200
+SWEEP_THROUGHPUT_JOBS = 2
+
+
+def measure_sweep_throughput(quick: bool) -> dict:
+    """Warm-worker scheduler vs PR 5 store-fed dispatch, parity-gated.
+
+    Three runs over one grid: a serial inline loop (the parity oracle),
+    the full grid through :class:`SweepScheduler` on the persistent
+    pool, and a recorded subset of the same cells through the PR 5
+    pool-per-call dispatch (``parallel_compare(warm=False)`` per config
+    slice, exactly how the pre-PR-9 storage sweep ran).  No number is
+    written unless every warm cell equals its serial twin field for
+    field and every measured baseline cell does too.
+    """
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.core.config import ContextPrefetcherConfig
+    from repro.core.prefetcher import ContextPrefetcher
+    from repro.sim.codec import encode_result
+    from repro.sim.parallel import parallel_compare
+    from repro.sim.sched.db import ResultDB
+    from repro.sim.sched.plan import GridPlan
+    from repro.sim.sched.scheduler import SweepScheduler
+    from repro.workloads.store import TraceStore, read_trace
+
+    workloads = (
+        SWEEP_THROUGHPUT_WORKLOADS_QUICK if quick else SWEEP_THROUGHPUT_WORKLOADS
+    )
+    n_seeds = SWEEP_THROUGHPUT_SEEDS_QUICK if quick else SWEEP_THROUGHPUT_SEEDS
+    baseline_seeds = (
+        SWEEP_THROUGHPUT_BASELINE_SEEDS_QUICK
+        if quick
+        else SWEEP_THROUGHPUT_BASELINE_SEEDS
+    )
+    limit = SWEEP_THROUGHPUT_LIMIT
+    jobs = SWEEP_THROUGHPUT_JOBS
+
+    base = ContextPrefetcherConfig()
+    configs = tuple(dataclasses.replace(base, seed=s) for s in range(n_seeds))
+    plan = GridPlan(
+        workloads=workloads,
+        prefetchers=("context",),
+        context_configs=configs,
+        limit=limit,
+    )
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench-sweep-"))
+    try:
+        store = TraceStore(tmp / "traces")
+        fingerprints: dict[str, str] = {}
+        traces: dict[str, list] = {}
+        for name in workloads:  # compile outside every timed region
+            stored, _ = store.ensure(name)
+            fingerprints[name] = stored.fingerprint
+            traces[name] = read_trace(
+                stored.path, limit=limit, expect_fingerprint=stored.fingerprint
+            )
+
+        # serial inline reference: one process, one cell at a time
+        serial: dict[tuple[str, int], object] = {}
+        t0 = time.perf_counter()
+        for wl_name in workloads:
+            for context_id, config in enumerate(configs):
+                sim = Simulator(ContextPrefetcher(config), native=True)
+                serial[(wl_name, context_id)] = sim.run(
+                    traces[wl_name], workload_name=wl_name
+                )
+        serial_s = time.perf_counter() - t0
+
+        # the whole grid through the warm-worker scheduler
+        db = ResultDB(tmp / "sweep.db")
+        scheduler = SweepScheduler(db=db, store=store, jobs=jobs, native=True)
+        t0 = time.perf_counter()
+        stats = scheduler.run_plan_sync(plan)
+        warm_s = time.perf_counter() - t0
+        assert stats.executed == plan.n_cells
+
+        keys = plan.cell_keys(fingerprints)
+        for cell in plan.cells():
+            got = db.load(keys[cell.index])
+            want = serial[(cell.workload, cell.context_id)]
+            if got is None or encode_result(got) != encode_result(want):
+                raise SystemExit(
+                    "PARITY FAILURE (warm scheduler vs serial): "
+                    f"{cell.workload}/seed={cell.context_id} diverged; "
+                    "refusing to write a benchmark report"
+                )
+
+        # the PR 5 dispatch baseline over a recorded slice of the grid
+        t0 = time.perf_counter()
+        for seed in range(baseline_seeds):
+            comparison = parallel_compare(
+                workloads,
+                ("context",),
+                context_config=configs[seed],
+                limit=limit,
+                jobs=jobs,
+                store=store,
+                native=True,
+                warm=False,
+            )
+            for wl_name in workloads:
+                if comparison.get(wl_name, "context") != serial[(wl_name, seed)]:
+                    raise SystemExit(
+                        "PARITY FAILURE (legacy dispatch vs serial): "
+                        f"{wl_name}/seed={seed} diverged; refusing to "
+                        "write a benchmark report"
+                    )
+        legacy_s = time.perf_counter() - t0
+        baseline_cells = baseline_seeds * len(workloads)
+
+        warm_rate = plan.n_cells / warm_s
+        legacy_rate = baseline_cells / legacy_s
+        return {
+            "workloads": list(workloads),
+            "seeds": n_seeds,
+            "limit": limit,
+            "jobs": jobs,
+            "grid_cells": plan.n_cells,
+            "baseline_cells_measured": baseline_cells,
+            "serial_seconds": round(serial_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "legacy_seconds": round(legacy_s, 3),
+            "warm_cells_per_sec": round(warm_rate, 1),
+            "legacy_cells_per_sec": round(legacy_rate, 1),
+            "speedup_warm_vs_legacy": round(warm_rate / legacy_rate, 2),
+            "parity": "bit-identical",
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def build_report(quick: bool) -> dict:
     limit = KERNEL_LIMIT_QUICK if quick else KERNEL_LIMIT
     repeats = KERNEL_REPEATS_QUICK if quick else KERNEL_REPEATS
@@ -407,7 +572,7 @@ def build_report(quick: bool) -> dict:
     }
     return {
         "schema": SCHEMA,
-        "pr": 8,
+        "pr": 9,
         "quick": quick,
         "python": platform.python_version(),
         "calibration_score": round(calibration, 1),
@@ -421,6 +586,7 @@ def build_report(quick: bool) -> dict:
         "figures_seconds": measure_figures(quick),
         "trace_pipeline": measure_trace_pipeline(quick),
         "native_vs_reference": measure_native_vs_reference(quick),
+        "sweep_throughput": measure_sweep_throughput(quick),
     }
 
 
@@ -484,6 +650,31 @@ def check_report(path: Path, tolerance: float) -> int:
             )
             if not ok:
                 exit_code = 1
+
+    # sweep-throughput gate: the warm scheduler must beat the PR 5
+    # dispatch ≥3x on the quick grid here and now (the quick grid's
+    # smaller fan-out understates the full-grid ratio by far more than
+    # any regression the gate should catch), and the committed full-grid
+    # number must meet the ≥5x acceptance floor
+    sweep = committed.get("sweep_throughput")
+    if sweep:
+        pinned_ratio = sweep["speedup_warm_vs_legacy"]
+        remeasured = measure_sweep_throughput(quick=True)
+        got_ratio = remeasured["speedup_warm_vs_legacy"]
+        quick_ok = got_ratio >= 3.0
+        full_ok = pinned_ratio >= 5.0
+        print(
+            f"sweep check [{'ok' if quick_ok else 'REGRESSION'}]: warm "
+            f"scheduler {got_ratio:.1f}x vs legacy dispatch on the quick "
+            f"grid ({remeasured['grid_cells']} cells, floor 3.0x)"
+        )
+        print(
+            f"sweep check [{'ok' if full_ok else 'FAIL'}]: committed "
+            f"full-grid ratio {pinned_ratio:.1f}x on "
+            f"{sweep['grid_cells']} cells (acceptance floor 5.0x)"
+        )
+        if not (quick_ok and full_ok):
+            exit_code = 1
     return exit_code
 
 
@@ -491,7 +682,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
     parser.add_argument(
-        "--out", type=Path, default=REPO / "BENCH_8.json", help="output path"
+        "--out", type=Path, default=REPO / "BENCH_9.json", help="output path"
     )
     parser.add_argument(
         "--check",
@@ -562,6 +753,13 @@ def main(argv=None) -> int:
             )
     else:
         print("native kernel: unavailable (numpy/cffi/toolchain)")
+    sweep = report["sweep_throughput"]
+    print(
+        f"sweep throughput: warm scheduler {sweep['warm_cells_per_sec']:.0f} "
+        f"cells/s over {sweep['grid_cells']} cells vs legacy dispatch "
+        f"{sweep['legacy_cells_per_sec']:.1f} cells/s "
+        f"({sweep['speedup_warm_vs_legacy']:.1f}x, parity {sweep['parity']})"
+    )
     return 0
 
 

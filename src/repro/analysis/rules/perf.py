@@ -28,6 +28,16 @@ into slotted layout:
   other).  The rule resolves both sides of every row against the AST;
   a one-sided edit — a vectorized phase whose fallback is gone, or a
   fallback whose vectorized twin was renamed — fails ``repro lint``.
+* ``PERF004`` — the warm-worker batch-dispatch layout
+  (``sim/sched/``) is pinned.  Cells cross the spawn boundary as bare
+  ``CELL_FIELDS`` tuples riding one per-batch ``BatchShared`` — never
+  as per-cell job objects (``SweepJob`` pickles a config per cell) and
+  never as per-cell futures (``concurrent.futures`` re-spawns workers
+  per call).  Queue-put and submit callsites are allowlisted
+  (budget-style, like ``PERF001``): a new place that ships payloads
+  into workers is a reviewed decision, because that is exactly where
+  the per-cell pickling the warm pool exists to avoid would creep
+  back in.
 """
 
 from __future__ import annotations
@@ -365,4 +375,192 @@ class VectorPhaseContractRule(Rule):
                         "— a vectorized phase must keep its scalar "
                         "fallback (and vice versa); update VECTOR_PHASES "
                         "together with the code",
+                    )
+
+
+# ----------------------------------------------------------------------
+# PERF004: the warm-worker batch-dispatch layout is pinned
+
+SCHED_DIR = "sim/sched/"
+POOL_MODULE = "sim/sched/pool.py"
+PARALLEL_MODULE = "sim/parallel.py"
+
+#: the wire shape of one sweep cell inside a batch message.  Everything
+#: else a cell needs (trace identity, limit, native flag, the context
+#: config table) is batch-shared; growing this tuple grows every queue
+#: message by cells-per-batch copies, so it is a reviewed decision.
+PINNED_CELL_FIELDS = ("index", "prefetcher", "context_id")
+
+#: ``rel-path:qualname`` functions allowed to put onto worker queues —
+#: the complete inventory of places payloads enter the spawn boundary
+QUEUE_PUT_ALLOWLIST = frozenset(
+    {
+        f"{POOL_MODULE}:WorkerPool.submit",  # batch messages in
+        f"{POOL_MODULE}:_worker_main",  # results/errors out
+        f"{POOL_MODULE}:WorkerPool.close",  # shutdown sentinels
+    }
+)
+
+#: ``rel-path:qualname`` functions allowed to call ``*.submit(...)``:
+#: the scheduler's batch dispatch, and the legacy pool-per-call paths
+#: kept in ``parallel_compare`` (the measured bench baseline)
+SUBMIT_ALLOWLIST = frozenset(
+    {
+        "sim/sched/scheduler.py:dispatch",
+        f"{PARALLEL_MODULE}:parallel_compare",
+    }
+)
+
+#: names whose appearance under ``sim/sched/`` signals per-cell payloads
+#: or per-call executors leaking into the warm dispatch layer
+_SCHED_BANNED_NAMES = {
+    "SweepJob": "per-cell job objects must not enter the batch protocol "
+    "(ship bare CELL_FIELDS tuples; batch-constant state rides "
+    "BatchShared)",
+    "ProcessPoolExecutor": "the scheduler dispatches to the persistent "
+    "worker pool, never to a pool-per-call executor",
+}
+
+
+def _qualname_walk(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, str]]:
+    """Every node paired with its enclosing class/function qualname."""
+
+    def rec(node: ast.AST, stack: tuple[str, ...]) -> Iterator[tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, ".".join(stack)
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield from rec(child, stack + (child.name,))
+            else:
+                yield from rec(child, stack)
+
+    return rec(tree, ())
+
+
+@register_rule
+class BatchDispatchLayoutRule(Rule):
+    """PERF004: warm-pool dispatch ships batches, never per-cell jobs."""
+
+    rule_id = "PERF004"
+    title = "batch-dispatch layout drifted from its pinned contract"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        pool = project.get(POOL_MODULE)
+        if pool is None:
+            yield Finding(
+                POOL_MODULE,
+                0,
+                self.rule_id,
+                "sim/sched/pool.py is missing: the warm worker pool (and "
+                "its pinned CELL_FIELDS wire shape) must exist",
+            )
+            return
+        fields = _literal_assign(pool.tree, "CELL_FIELDS")
+        if fields is None or not isinstance(fields[0], (tuple, list)):
+            yield Finding(
+                pool.rel,
+                fields[1] if fields else 0,
+                self.rule_id,
+                "CELL_FIELDS must be a top-level literal tuple so the "
+                "per-cell wire shape is statically auditable",
+            )
+        elif tuple(fields[0]) != PINNED_CELL_FIELDS:
+            yield Finding(
+                pool.rel,
+                fields[1],
+                self.rule_id,
+                f"CELL_FIELDS {tuple(fields[0])!r} != pinned "
+                f"{PINNED_CELL_FIELDS!r}: growing the per-cell message is "
+                "a reviewed decision — move batch-constant state to "
+                "BatchShared, or update the pin in analysis/rules/perf.py",
+            )
+        for source in project.in_dir(SCHED_DIR):
+            yield from self._check_sched_file(source)
+        parallel = project.get(PARALLEL_MODULE)
+        if parallel is not None:
+            yield from self._check_submits(parallel)
+
+    def _check_sched_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node, qualname in _qualname_walk(source.tree):
+            if isinstance(node, ast.Name) and node.id in _SCHED_BANNED_NAMES:
+                yield Finding(
+                    source.rel,
+                    node.lineno,
+                    self.rule_id,
+                    f"{node.id} referenced under sim/sched/: "
+                    f"{_SCHED_BANNED_NAMES[node.id]}",
+                )
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                module = getattr(node, "module", "") or ""
+                names = [alias.name for alias in node.names]
+                if module.startswith("concurrent") or any(
+                    name.startswith("concurrent") for name in names
+                ):
+                    yield Finding(
+                        source.rel,
+                        node.lineno,
+                        self.rule_id,
+                        "concurrent.futures imported under sim/sched/: the "
+                        "scheduler dispatches to the persistent worker "
+                        "pool, never to a pool-per-call executor",
+                    )
+                banned = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _SCHED_BANNED_NAMES
+                ]
+                for name in banned:
+                    yield Finding(
+                        source.rel,
+                        node.lineno,
+                        self.rule_id,
+                        f"{name} imported under sim/sched/: "
+                        f"{_SCHED_BANNED_NAMES[name]}",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attr = node.func.attr
+                site = f"{source.rel}:{qualname}"
+                if attr in ("put", "put_nowait"):
+                    if site not in QUEUE_PUT_ALLOWLIST:
+                        yield Finding(
+                            source.rel,
+                            node.lineno,
+                            self.rule_id,
+                            f"queue put in {qualname or '<module>'} is not "
+                            "in QUEUE_PUT_ALLOWLIST: payloads enter the "
+                            "spawn boundary only through the reviewed "
+                            "pool entry points",
+                        )
+                elif attr == "submit" and site not in SUBMIT_ALLOWLIST:
+                    yield Finding(
+                        source.rel,
+                        node.lineno,
+                        self.rule_id,
+                        f".submit() in {qualname or '<module>'} is not in "
+                        "SUBMIT_ALLOWLIST: batches are submitted from the "
+                        "scheduler's dispatch loop, never per cell",
+                    )
+
+    def _check_submits(self, source: SourceFile) -> Iterator[Finding]:
+        for node, qualname in _qualname_walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+            ):
+                site = f"{source.rel}:{qualname}"
+                if site not in SUBMIT_ALLOWLIST:
+                    yield Finding(
+                        source.rel,
+                        node.lineno,
+                        self.rule_id,
+                        f".submit() in {qualname or '<module>'} is not in "
+                        "SUBMIT_ALLOWLIST: sweep dispatch goes through "
+                        "the warm pool (or the reviewed legacy paths in "
+                        "parallel_compare), never new per-cell futures",
                     )

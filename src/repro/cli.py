@@ -11,6 +11,10 @@ Commands:
 * ``trace``    — the compiled trace store: ``compile``/``info``/``ls``/
   ``gc`` manage binary ``*.rpt`` files under ``results/.cache/traces/``,
   ``export`` writes a JSONL copy for ``replay`` (see docs/trace_store.md)
+* ``serve``    — the sweep service: ``submit`` runs a parameter grid
+  through the warm-worker scheduler into a queryable result DB with
+  resume-after-crash, ``status``/``query`` read it back
+  (see docs/sweep_service.md)
 * ``lint``     — static-analysis pass (determinism, hardware budget,
   prefetcher contracts, experiment hygiene; see docs/static_analysis.md)
 
@@ -109,6 +113,20 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="run eligible cells through the compiled batch kernel "
         "(bit-exact; --no-native forces the interpreted reference loop)",
     )
+    parser.add_argument(
+        "--warm-pool",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="dispatch store-backed grids to the persistent warm worker "
+        "pool (--no-warm-pool restores the pool-per-call dispatch)",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="stream executed cells into (and reuse cells from) a "
+        "queryable result DB (see `repro serve`)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
@@ -131,14 +149,27 @@ def _configure_execution(args: argparse.Namespace) -> None:
     store = None
     if not args.no_store:
         store = TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
+    db = None
+    if getattr(args, "db", None):
+        from repro.sim.sched.db import ResultDB
+
+        db = ResultDB(args.db)
+    warm = getattr(args, "warm_pool", True)
     set_default_execution(
-        jobs=args.jobs, cache=cache, store=store, native=args.native
+        jobs=args.jobs,
+        cache=cache,
+        store=store,
+        native=args.native,
+        warm=warm,
+        db=db,
     )
     print(
         f"execution: jobs={args.jobs}, "
         f"result cache {cache.root if cache else 'off'}, "
         f"trace store {store.root if store else 'off'}, "
-        f"kernel {'native' if args.native else 'interpreted'}",
+        f"kernel {'native' if args.native else 'interpreted'}, "
+        f"dispatch {'warm-pool' if warm else 'per-call'}"
+        + (f", result DB {db.path}" if db is not None else ""),
         file=sys.stderr,
     )
 
@@ -260,6 +291,73 @@ def _build_parser() -> argparse.ArgumentParser:
     export_p.add_argument("output", help="destination .jsonl path")
     export_p.add_argument("--limit", type=int, default=None)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="the sweep service: submit grids to warm workers, query "
+        "the result DB (see docs/sweep_service.md)",
+    )
+    serve_sub = serve_p.add_subparsers(dest="serve_command", required=True)
+
+    def _db_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--db",
+            default=None,
+            metavar="PATH",
+            help="result database (default: results/sweep.db)",
+        )
+
+    submit_p = serve_sub.add_parser(
+        "submit",
+        help="run a workload x config x prefetcher grid, resuming any "
+        "cells the DB already holds",
+    )
+    submit_p.add_argument(
+        "--workloads",
+        required=True,
+        help="comma-separated workload names",
+    )
+    submit_p.add_argument(
+        "--prefetchers",
+        default="none,context",
+        help="comma-separated prefetcher names (default: none,context)",
+    )
+    submit_p.add_argument(
+        "--cst-sizes",
+        default=None,
+        metavar="N,N,...",
+        help="context-config axis: one CST-size variant per entry "
+        "(reducer at 8x, the Figure 13 convention)",
+    )
+    submit_p.add_argument("--limit", type=int, default=None)
+    submit_p.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N pending cells this call (checkpointed "
+        "partial run; resubmit to continue)",
+    )
+    _add_execution_flags(submit_p)
+
+    status_p = serve_sub.add_parser(
+        "status", help="per-sweep completion counts from the result DB"
+    )
+    _db_flag(status_p)
+
+    query_p = serve_sub.add_parser(
+        "query", help="fetch decoded result cells from the result DB"
+    )
+    _db_flag(query_p)
+    query_p.add_argument("--sweep", default=None, help="full sweep id")
+    query_p.add_argument("--workload", default=None)
+    query_p.add_argument("--prefetcher", default=None)
+    query_p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="table: one summary line per cell; json: full codec payloads",
+    )
+
     replay_p = sub.add_parser(
         "replay", help="simulate a saved JSONL trace under a prefetcher"
     )
@@ -334,6 +432,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     native_line = comparison.native_summary()
     if native_line is not None:
         rendered = f"{rendered}\n\n{native_line}"
+    # corrupt-file recoveries (result cache heals, store degrades) are
+    # bit-neutral but worth surfacing next to the kernel-coverage line
+    resilience_line = comparison.resilience_summary()
+    if resilience_line is not None:
+        sep = "\n" if native_line is not None else "\n\n"
+        rendered = f"{rendered}{sep}{resilience_line}"
     return rendered
 
 
@@ -434,11 +538,113 @@ def _cmd_trace(args: argparse.Namespace) -> str | tuple[str, int]:
             lines.append(f"{corrupt} corrupt file(s); run `repro trace gc`")
         return "\n".join(lines), (1 if corrupt else 0)
 
-    # gc
+    # gc — the trace store, then the native kernel build cache (stale
+    # .so artifacts from superseded kernel sources and abandoned
+    # build-* scratch directories)
+    from repro.sim.native.build import DEFAULT_BUILD_DIR, gc_build_cache
+
     kept, removed = store.gc(dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
     lines = [f"store {store.root}: kept {kept}, {verb} {len(removed)}"]
     lines += [f"  {path.name}" for path in removed]
+    nkept, nremoved = gc_build_cache(dry_run=args.dry_run)
+    lines.append(
+        f"native cache {DEFAULT_BUILD_DIR}: kept {nkept}, "
+        f"{verb} {len(nremoved)}"
+    )
+    lines += [f"  {path.name}" for path in nremoved]
+    return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """The ``serve`` command group: the sweep service over a result DB.
+
+    ``submit`` executes a grid through the warm-worker scheduler,
+    resuming any cells the DB already holds; ``status`` and ``query``
+    read the DB without touching the simulation stack at all.
+    """
+    from repro.serve.service import SweepService, plan_from_axes
+    from repro.sim.sched.db import DEFAULT_DB_PATH
+
+    if args.serve_command == "submit":
+        _configure_execution(args)
+        from repro.sim.parallel import default_execution
+
+        defaults = default_execution()
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        prefetchers = [
+            p.strip() for p in args.prefetchers.split(",") if p.strip()
+        ]
+        cst_sizes = None
+        if args.cst_sizes:
+            cst_sizes = [
+                int(s.strip()) for s in args.cst_sizes.split(",") if s.strip()
+            ]
+        plan = plan_from_axes(
+            workloads=workloads,
+            prefetchers=prefetchers,
+            cst_sizes=cst_sizes,
+            limit=args.limit,
+        )
+        # --db doubles as the service DB; the execution defaults opened
+        # it already when given, otherwise fall back to the default path
+        db = defaults.db if defaults.db is not None else DEFAULT_DB_PATH
+        service = SweepService(
+            db=db,
+            store=defaults.store,
+            cache=defaults.cache,
+            jobs=defaults.jobs,
+            native=defaults.native,
+        )
+        stats = service.submit(
+            plan,
+            progress=lambda line: print(line, file=sys.stderr),
+            max_cells=args.max_cells,
+        )
+        return stats.summary()
+
+    service = SweepService(db=args.db or DEFAULT_DB_PATH)
+    if args.serve_command == "status":
+        rows = service.status()
+        if not rows:
+            return f"result DB {service.db.path}: empty"
+        table = render_table(
+            ("sweep", "done", "total"),
+            [(sweep, str(done), str(total)) for sweep, done, total in rows],
+            title=f"Result DB {service.db.path}",
+        )
+        return table
+
+    # query
+    cells = service.query(
+        sweep=args.sweep,
+        workload=args.workload,
+        prefetcher=args.prefetcher,
+    )
+    if args.format == "json":
+        import json
+
+        from repro.sim.codec import encode_result
+
+        return json.dumps(
+            [
+                {
+                    "key": cell.key,
+                    "sweep": cell.sweep,
+                    "index": cell.index,
+                    "workload": cell.workload,
+                    "prefetcher": cell.prefetcher,
+                    "result": encode_result(cell.result),
+                }
+                for cell in cells
+            ],
+            indent=2,
+            sort_keys=True,
+        )
+    if not cells:
+        return "no matching cells"
+    lines = [cell.result.summary() for cell in cells]
+    lines.append(f"{len(cells)} cell(s)")
     return "\n".join(lines)
 
 
@@ -475,6 +681,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
     "replay": _cmd_replay,
 }
 

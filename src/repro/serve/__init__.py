@@ -1,0 +1,12 @@
+"""Client API for the sweep service (``repro serve``).
+
+:class:`SweepService` is the programmatic face of the scheduler stack:
+submit grid plans, check sweep status, query results.  Concurrent
+callers in one process share the persistent warm worker pool and one
+result DB; separate processes share the DB file (SQLite WAL) and the
+on-disk trace store.  See ``docs/sweep_service.md``.
+"""
+
+from repro.serve.service import SweepService
+
+__all__ = ["SweepService"]

@@ -68,12 +68,21 @@ _PF_STATES: "WeakKeyDictionary" = WeakKeyDictionary()
 #: stale BHR a later context run must not silently adopt
 _SIM_BRANCH_BLIND: "WeakKeyDictionary" = WeakKeyDictionary()
 
+#: TraceReader -> {(limit, line_bytes, with_context): Columns}.  Every
+#: kernel input column is ``const`` in the C source, so decoded columns
+#: are immutable and safe to replay across runs.  Warm sweep workers
+#: keep their readers resident batch over batch, which makes this memo
+#: the piece that amortises decode to once per (trace, shape) instead of
+#: once per cell; weak keys free the arrays with the reader.
+_READER_COLUMNS: "WeakKeyDictionary" = WeakKeyDictionary()
+
 
 def reset_state_registries() -> None:
     """Drop every native handle (test isolation helper)."""
     _SIM_STATES.clear()
     _PF_STATES.clear()
     _SIM_BRANCH_BLIND.clear()
+    _READER_COLUMNS.clear()
 
 
 # ----------------------------------------------------------------------
@@ -358,9 +367,15 @@ def phase_decode(trace, limit, line_bytes, *, with_context: bool = False):
     from repro.workloads.store import TraceReader
 
     if isinstance(trace, TraceReader):
-        cols = decode.columns_from_reader(
-            trace, limit, line_bytes, with_context=with_context
-        )
+        memo = _READER_COLUMNS.setdefault(trace, {})
+        key = (limit, line_bytes, with_context)
+        cols = memo.get(key)
+        if cols is None:
+            cols = decode.columns_from_reader(
+                trace, limit, line_bytes, with_context=with_context
+            )
+            if cols is not None:  # decode failures are not memoized
+                memo[key] = cols
         return cols, trace, limit
     if isinstance(trace, (list, tuple)):
         accesses = trace if limit is None else trace[:limit]

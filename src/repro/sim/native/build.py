@@ -111,6 +111,42 @@ def kernel_or_none(build_dir: Path | None = None):
     return _kernel
 
 
+def gc_build_cache(
+    build_dir: Path | None = None, *, dry_run: bool = False
+) -> tuple[int, list[Path]]:
+    """Drop stale native-kernel artifacts; ``(kept, removed)`` back.
+
+    Artifacts for the *current* C source (``module_name()*.so``) are
+    kept; extensions built from superseded sources and abandoned
+    ``build-*`` scratch directories (a builder that died mid-compile)
+    are removed.  ``dry_run`` reports without deleting — the same
+    contract as :meth:`repro.workloads.store.TraceStore.gc`, and the
+    ``repro trace gc`` CLI runs both back to back.
+    """
+    directory = Path(build_dir) if build_dir is not None else DEFAULT_BUILD_DIR
+    if not directory.is_dir():
+        return 0, []
+    keep_prefix = module_name()
+    kept = 0
+    removed: list[Path] = []
+    for path in sorted(directory.iterdir()):
+        if path.is_dir():
+            if path.name.startswith("build-"):
+                removed.append(path)
+                if not dry_run:
+                    shutil.rmtree(path, ignore_errors=True)
+            else:
+                kept += 1
+            continue
+        if path.name.startswith(keep_prefix):
+            kept += 1
+            continue
+        removed.append(path)
+        if not dry_run:
+            path.unlink(missing_ok=True)
+    return kept, removed
+
+
 def reset_for_tests() -> None:
     """Clear the per-process memo (tests exercising failure paths)."""
     global _kernel, _failed

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 if TYPE_CHECKING:  # runner imports this module lazily; avoid the cycle
     from repro.sim.runner import ComparisonResult
+    from repro.sim.sched.db import ResultDB
 
 from repro.core.config import ContextPrefetcherConfig
 from repro.core.prefetcher import ContextPrefetcher
@@ -112,6 +113,13 @@ class ExecutionDefaults:
     cache: SweepCache | None = None
     store: TraceStore | None = None
     native: bool = False
+    #: dispatch store-backed grids through the persistent warm worker
+    #: pool (:mod:`repro.sim.sched`); ``False`` restores the PR 5
+    #: pool-per-call executor path (the bench baseline)
+    warm: bool = True
+    #: stream executed cells into a queryable result DB and reuse any
+    #: cell the DB already holds (content-addressed, like the cache)
+    db: "ResultDB | None" = None
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -128,12 +136,15 @@ def set_default_execution(
     cache: SweepCache | None | bool = False,
     store: TraceStore | None | bool = False,
     native: bool | None = None,
+    warm: bool | None = None,
+    db: "ResultDB | None | bool" = False,
 ) -> ExecutionDefaults:
     """Set process-wide defaults; returns the previous values.
 
-    ``cache=False`` / ``store=False`` (the sentinels) leave that default
-    untouched; pass an explicit instance or ``None`` to change it.
-    ``native=None`` similarly leaves the kernel selection untouched.
+    ``cache=False`` / ``store=False`` / ``db=False`` (the sentinels)
+    leave that default untouched; pass an explicit instance or ``None``
+    to change it.  ``native=None`` / ``warm=None`` similarly leave the
+    kernel and dispatch selections untouched.
     """
     global _DEFAULTS
     previous = _DEFAULTS
@@ -142,6 +153,8 @@ def set_default_execution(
         cache=previous.cache if cache is False else cache,
         store=previous.store if store is False else store,
         native=previous.native if native is None else bool(native),
+        warm=previous.warm if warm is None else bool(warm),
+        db=previous.db if db is False else db,
     )
     return previous
 
@@ -170,41 +183,78 @@ def _run_cell(
     return result, (sim.last_run_native, sim.last_native_fallback)
 
 
-def _rebuild_trace(job: SweepJob) -> Sequence[MemoryAccess]:
-    trace: Sequence[MemoryAccess] = get_workload(job.workload).build().trace()
-    if job.limit is not None:
-        trace = trace[: job.limit]
+# -- store-degrade accounting -------------------------------------------
+#
+# Each process counts its own corrupt-store degrade events; worker-side
+# counts return to the parent *by value* inside batch results (nothing
+# is shared across the spawn boundary), and the parent drains its own
+# counter for inline/resolve-time events.  Both accessors are reachable
+# from the worker entry points, so every access to the counter lives on
+# one side of the boundary at a time.
+
+_STORE_DEGRADES = [0]
+
+
+def _count_store_degrade() -> None:
+    _STORE_DEGRADES[0] += 1
+
+
+def _drain_store_degrades() -> int:
+    """Read-and-reset this process's degrade count (returned by value)."""
+    count = _STORE_DEGRADES[0]
+    _STORE_DEGRADES[0] = 0
+    return count
+
+
+def _rebuild_by_name(workload: str, limit: int | None) -> Sequence[MemoryAccess]:
+    trace: Sequence[MemoryAccess] = get_workload(workload).build().trace()
+    if limit is not None:
+        trace = trace[:limit]
     return trace
+
+
+def _load_trace(
+    workload: str,
+    store_path: str | None,
+    store_fingerprint: str,
+    limit: int | None,
+    native: bool,
+) -> Sequence[MemoryAccess]:
+    """Load one workload's trace from the store, or rebuild by name."""
+    if store_path is not None:
+        try:
+            if native:
+                # hand the mmap-backed reader straight to the simulator:
+                # the native kernel decodes it zero-copy via as_array,
+                # and any interpreted fallback iterates it lazily.  A
+                # fingerprint mismatch falls through to read_trace, which
+                # raises the descriptive store error
+                reader = TraceReader(store_path)
+                if (
+                    not store_fingerprint
+                    or reader.meta.fingerprint == store_fingerprint
+                ):
+                    return reader
+            return read_trace(
+                store_path,
+                limit=limit,
+                expect_fingerprint=store_fingerprint or None,
+            )
+        except (TraceStoreError, FileNotFoundError, OSError):
+            # the store file went bad between submit and execute;
+            # degrade to a rebuild, never fail the sweep
+            _count_store_degrade()
+            return _rebuild_by_name(workload, limit)
+    return _rebuild_by_name(workload, limit)
 
 
 def _job_trace(job: SweepJob) -> Sequence[MemoryAccess]:
     """Resolve one job's trace (by value, from the store, or rebuilt)."""
     if job.trace is not None:
         return job.trace
-    if job.store_path is not None:
-        try:
-            if job.native:
-                # hand the mmap-backed reader straight to the simulator:
-                # the native kernel decodes it zero-copy via as_array,
-                # and any interpreted fallback iterates it lazily.  A
-                # fingerprint mismatch falls through to read_trace, which
-                # raises the descriptive store error
-                reader = TraceReader(job.store_path)
-                if (
-                    not job.store_fingerprint
-                    or reader.meta.fingerprint == job.store_fingerprint
-                ):
-                    return reader
-            return read_trace(
-                job.store_path,
-                limit=job.limit,
-                expect_fingerprint=job.store_fingerprint or None,
-            )
-        except (TraceStoreError, FileNotFoundError, OSError):
-            # the store file went bad between submit and execute;
-            # degrade to a rebuild, never fail the sweep
-            return _rebuild_trace(job)
-    return _rebuild_trace(job)
+    return _load_trace(
+        job.workload, job.store_path, job.store_fingerprint, job.limit, job.native
+    )
 
 
 def run_job(job: SweepJob) -> SimulationResult:
@@ -234,35 +284,66 @@ def _execute_job(job: SweepJob) -> tuple[int, dict[str, Any], NativeInfo]:
 # can't alias a stale trace.  Capped: traces are large and workers churn
 # through workloads in affinity order, so keeping the last few is enough.
 
-_WORKER_TRACE_MEMO: dict[tuple[str, str, str, int | None], Sequence[MemoryAccess]] = {}
+_WORKER_TRACE_MEMO: dict[
+    tuple[str, str, str, int | None, bool], Sequence[MemoryAccess]
+] = {}
 _WORKER_TRACE_MEMO_CAP = 4
 
 
-def _batch_trace(job: SweepJob) -> Sequence[MemoryAccess]:
-    if job.trace is not None:
-        return job.trace
-    if job.store_path is not None:
-        key = ("store", job.store_path, job.store_fingerprint, job.limit)
+def _resolve_worker_trace(
+    workload: str,
+    store_path: str | None,
+    store_fingerprint: str,
+    limit: int | None,
+    native: bool,
+    shipped: Sequence[MemoryAccess] | None = None,
+) -> Sequence[MemoryAccess]:
+    """Memoized trace resolution shared by every batch executor.
+
+    Both the legacy pool-per-call batches and the persistent warm
+    workers (:mod:`repro.sim.sched.pool`) resolve traces here, so the
+    two dispatch paths cannot drift: same memo, same degrade handling,
+    same fingerprint checks.
+    """
+    if shipped is not None:
+        return shipped
+    if store_path is not None:
+        key = ("store", store_path, store_fingerprint, limit, native)
     else:
-        key = ("name", job.workload, "", job.limit)
+        key = ("name", workload, "", limit, native)
     trace = _WORKER_TRACE_MEMO.get(key)
     if trace is None:
-        trace = _job_trace(job)
+        trace = _load_trace(workload, store_path, store_fingerprint, limit, native)
         while len(_WORKER_TRACE_MEMO) >= _WORKER_TRACE_MEMO_CAP:
             _WORKER_TRACE_MEMO.pop(next(iter(_WORKER_TRACE_MEMO)))
         _WORKER_TRACE_MEMO[key] = trace
     return trace
 
 
+def _batch_trace(job: SweepJob) -> Sequence[MemoryAccess]:
+    return _resolve_worker_trace(
+        job.workload,
+        job.store_path,
+        job.store_fingerprint,
+        job.limit,
+        job.native,
+        job.trace,
+    )
+
+
 def _execute_batch(
     jobs: tuple[SweepJob, ...],
-) -> list[tuple[int, dict[str, Any], NativeInfo]]:
-    """Worker body for one affinity batch: shared trace, ordered results."""
+) -> tuple[list[tuple[int, dict[str, Any], NativeInfo]], int]:
+    """Worker body for one affinity batch: shared trace, ordered results.
+
+    The second element is this worker's store-degrade count since the
+    last batch, returned by value for the parent's resilience summary.
+    """
     out = []
     for job in jobs:
         result, native_info = _run_cell(job, _batch_trace(job))
         out.append((job.index, encode_result(result), native_info))
-    return out
+    return out, _drain_store_degrades()
 
 
 @dataclass
@@ -281,6 +362,8 @@ class _Cell:
     key: str | None = None
     result: SimulationResult | None = None
     cached: bool = False
+    #: satisfied from the result DB (content-addressed, like the cache)
+    from_db: bool = False
     #: unset for cache hits — no kernel ran, so there is nothing to count
     native_info: NativeInfo | None = None
 
@@ -306,6 +389,15 @@ class _GridEntry:
 #: store address and the cache's code fingerprint), so within a process
 #: the same name can never map to two different streams
 _REGISTRY_FP_MEMO: dict[str, str] = {}
+
+
+def _registry_fingerprint(workload: str) -> str:
+    """Fingerprint a registry workload by name (builds at most once)."""
+    fp = _REGISTRY_FP_MEMO.get(workload)
+    if fp is None:
+        fp = trace_fingerprint(get_workload(workload).build().trace())
+        _REGISTRY_FP_MEMO[workload] = fp
+    return fp
 
 
 def _entry_fingerprint(entry: _GridEntry) -> str:
@@ -361,7 +453,8 @@ def _resolve_grid(
                 try:
                     ref, built = store.ensure(spec.name, build=spec)
                 except TraceStoreError:
-                    pass  # unwritable/unreadable store: in-memory path
+                    # unwritable/unreadable store: in-memory path
+                    _count_store_degrade()
                 else:
                     out.append(
                         _GridEntry(
@@ -424,6 +517,8 @@ def parallel_compare(
     cache: SweepCache | None = None,
     store: TraceStore | None = None,
     native: bool = False,
+    warm: bool | None = None,
+    db: "ResultDB | None" = None,
     progress: ProgressFn | None = None,
 ) -> "ComparisonResult":
     """Run the sweep grid with ``jobs`` workers and an optional cache.
@@ -434,8 +529,29 @@ def parallel_compare(
     traces from compiled binary files (see module docstring); cache
     keys are identical with the store on or off, because the store
     header carries the same content fingerprint the cache hashes.
+
+    ``warm`` selects the dispatch path for store-backed grids: ``True``
+    (the default) sends workload-affinity batches to the process-wide
+    persistent worker pool (:mod:`repro.sim.sched.pool`), so repeated
+    sweeps share spawned interpreters, decoded traces and warm kernel
+    handles; ``False`` restores the PR 5 pool-per-call executor.  Both
+    are bit-identical to serial.  ``db`` streams executed cells into a
+    queryable :class:`~repro.sim.sched.db.ResultDB` and reuses any cell
+    the DB already holds; ``None`` defers both to the process-wide
+    execution defaults.
     """
     from repro.sim.runner import ComparisonResult
+
+    defaults = default_execution()
+    effective_warm = defaults.warm if warm is None else warm
+    effective_db = defaults.db if db is None else db
+
+    # per-call resilience accounting: discard any counts left over from
+    # an earlier call, snapshot the cache/store counters to diff later
+    _drain_store_degrades()
+    store_degrades = 0
+    cache_errors_before = cache.counters.errors if cache is not None else 0
+    store_heals_before = store.heals if store is not None else 0
 
     prefetcher_names = list(prefetchers)
     grid = _resolve_grid(workloads, store)
@@ -443,7 +559,8 @@ def parallel_compare(
     cells: list[_Cell] = []
     for entry in grid:
         name = entry.name
-        trace_fp = _entry_fingerprint(entry) if cache is not None else ""
+        want_key = cache is not None or effective_db is not None
+        trace_fp = _entry_fingerprint(entry) if want_key else ""
         if entry.stored is not None:
             # the worker maps the compiled file (or this process decodes
             # it lazily on the inline path); nothing ships by value
@@ -480,7 +597,7 @@ def parallel_compare(
                 job=job,
                 local_trace=entry.trace,
             )
-            if cache is not None:
+            if want_key:
                 cell.key = cell_key(
                     workload=name,
                     trace_fp=trace_fp,
@@ -490,8 +607,19 @@ def parallel_compare(
                     core_config=core_config,
                     context_config=context_config,
                 )
+            if cache is not None and cell.key is not None:
                 cell.result = cache.load(cell.key)
                 cell.cached = cell.result is not None
+            if (
+                cell.result is None
+                and effective_db is not None
+                and cell.key is not None
+            ):
+                cell.result = effective_db.load(cell.key)
+                cell.from_db = cell.result is not None
+                if cell.from_db and cache is not None and cell.key is not None:
+                    # backfill the JSON cache so later runs hit locally
+                    cache.store(cell.key, cell.result)
             cells.append(cell)
 
     total = len(cells)
@@ -501,11 +629,11 @@ def parallel_compare(
         if progress is None:
             return
         assert cell.result is not None
-        suffix = " [cached]" if cell.cached else ""
+        suffix = " [cached]" if cell.cached else " [db]" if cell.from_db else ""
         progress(f"[{done}/{total}] {cell.result.summary()}{suffix}")
 
     for cell in cells:
-        if cell.cached:
+        if cell.cached or cell.from_db:
             done += 1
             report(cell)
 
@@ -518,15 +646,73 @@ def parallel_compare(
         done += 1
         if cache is not None and cell.key is not None:
             cache.store(cell.key, cell.result)
+        if effective_db is not None and cell.key is not None:
+            # ad-hoc rows carry an empty sweep id: `repro serve status`
+            # reports them as their own bucket
+            effective_db.store_cells(
+                "",
+                [
+                    (
+                        cell.key,
+                        cell.job.index,
+                        cell.workload,
+                        cell.prefetcher,
+                        payload,
+                    )
+                ],
+            )
         report(cell)
 
     pending = [cell for cell in cells if cell.result is None]
     if pending and jobs > 1:
         # spawn (not fork): workers start from a clean interpreter and
         # can only re-seed from config, never inherit parent RNG state
-        if store is not None:
-            # workload-affinity batches: each worker materialises a
-            # given trace at most once and runs all its cells against it
+        if store is not None and effective_warm:
+            # persistent warm workers via the scheduler dispatch path:
+            # same affinity batching, but the pool (and everything warm
+            # inside it) outlives this call and is shared process-wide
+            from repro.sim.sched.plan import shard_by_workload
+            from repro.sim.sched.pool import BatchShared, shared_pool
+            from repro.sim.sched.scheduler import dispatch_sync
+
+            batches = shard_by_workload(
+                pending, lambda cell: cell.workload, jobs
+            )
+            messages = []
+            for batch in batches:
+                lead = batch[0].job
+                shared = BatchShared(
+                    workload=lead.workload,
+                    limit=lead.limit,
+                    native=lead.native,
+                    hierarchy_config=lead.hierarchy_config,
+                    core_config=lead.core_config,
+                    context_table=(lead.context_config,),
+                    store_path=lead.store_path,
+                    store_fingerprint=lead.store_fingerprint,
+                    trace=lead.trace,
+                )
+                messages.append(
+                    (
+                        shared,
+                        tuple(
+                            (cell.job.index, cell.job.prefetcher, 0)
+                            for cell in batch
+                        ),
+                    )
+                )
+            by_index = {cell.job.index: cell for cell in pending}
+
+            def on_batch(_pos: int, results: list, degrades: int) -> None:
+                nonlocal store_degrades
+                store_degrades += degrades
+                for index, payload, native_info in results:
+                    finish(by_index[index], payload, native_info)
+
+            dispatch_sync(shared_pool(jobs), messages, on_batch)
+        elif store is not None:
+            # PR 5 cold path (kept as the measurable dispatch baseline):
+            # workload-affinity batches on a pool spawned per call
             batches = _affinity_batches(pending, jobs)
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(batches)),
@@ -540,7 +726,9 @@ def parallel_compare(
                 # progress lines and cache stores stay deterministic
                 by_index = {cell.job.index: cell for cell in pending}
                 for batch, future in futures:
-                    for index, payload, native_info in future.result():
+                    results, degrades = future.result()
+                    store_degrades += degrades
+                    for index, payload, native_info in results:
                         finish(by_index[index], payload, native_info)
         else:
             with ProcessPoolExecutor(
@@ -582,12 +770,25 @@ def parallel_compare(
             comparison.native_cells[f"{cell.workload}/{cell.prefetcher}"] = (
                 cell.native_info
             )
+    # resilience roll-up: worker deltas came back by value with each
+    # batch; the parent's own events (grid resolve, inline path) drain
+    # here, and the cache/store instance counters diff against the
+    # snapshots taken on entry
+    store_degrades += _drain_store_degrades()
+    if store is not None:
+        store_degrades += store.heals - store_heals_before
+    comparison.store_degrades = store_degrades
+    if cache is not None:
+        comparison.cache_heals = cache.counters.errors - cache_errors_before
     if progress is not None and cache is not None:
         progress(cache.counters.summary())
     if progress is not None:
         summary = comparison.native_summary()
         if summary is not None:
             progress(summary)
+        resilience = comparison.resilience_summary()
+        if resilience is not None:
+            progress(resilience)
     return comparison
 
 

@@ -80,6 +80,11 @@ class ComparisonResult:
     #: report how much of the grid the compiled path took and why the
     #: rest fell back.
     native_cells: dict[str, tuple[bool, str | None]] = field(default_factory=dict)
+    #: result-cache entries that were unreadable and healed by recompute
+    cache_heals: int = 0
+    #: store files that degraded (corrupt read → rebuild, or corrupt
+    #: file → recompile) during this sweep, worker-side events included
+    store_degrades: int = 0
 
     def workloads(self) -> list[str]:
         return list(self.results)
@@ -143,6 +148,20 @@ class ComparisonResult:
         )
         return f"{line}; fallbacks: {top}"
 
+    def resilience_summary(self) -> str | None:
+        """One line of degrade/heal counts, or ``None`` for a clean run.
+
+        Rendered next to :meth:`native_summary` in sweep output so
+        corrupt-file recoveries are visible in the summary, not only in
+        the log stream.
+        """
+        if not self.cache_heals and not self.store_degrades:
+            return None
+        return (
+            f"resilience: {self.cache_heals} cache heal(s), "
+            f"{self.store_degrades} store degrade(s)"
+        )
+
 
 def compare(
     workloads: Iterable[WorkloadSpec | TraceProgram | str],
@@ -185,6 +204,7 @@ def compare(
         effective_jobs > 1
         or effective_cache is not None
         or effective_store is not None
+        or defaults.db is not None
     ):
         return parallel_compare(
             workloads,
@@ -261,6 +281,7 @@ def storage_sweep(
         effective_jobs > 1
         or effective_cache is not None
         or effective_store is not None
+        or defaults.db is not None
     ):
         return parallel_storage_sweep(
             workloads,

@@ -1,0 +1,286 @@
+"""The asyncio submit/drain scheduler over the persistent worker pool.
+
+One dispatch loop serves every caller: ``repro serve submit`` runs a
+whole :class:`~repro.sim.sched.plan.GridPlan` through
+:meth:`SweepScheduler.run_plan`, and
+:func:`repro.sim.parallel.parallel_compare` pushes its store-backed
+grids through :func:`dispatch_sync` — the same chunked submit/drain,
+the same ordering guarantees, the same pool.
+
+Ordering contract: batches are processed **in submission order**, never
+completion order.  Out-of-order results are buffered until their turn,
+so progress lines, cache stores and DB commits are deterministic for a
+given grid regardless of worker scheduling — which is what lets the
+parity suites compare a batched run against the serial loop line for
+line.  In-flight batches are capped, so a million-cell grid streams
+through bounded queues instead of materialising everywhere at once.
+
+Resume: before dispatching, :meth:`run_plan` diffs the plan's
+content-addressed cell keys against the result DB and enqueues only the
+remainder.  Completed cells are never re-simulated — the kill-and-
+resume suite proves a resumed sweep's DB is canonically identical to an
+uninterrupted one.
+
+Wall-clock time is deliberately absent (lint rule DET003 covers this
+package): throughput measurement lives in ``scripts/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.sim.cache import SweepCache
+from repro.sim.sched.db import ResultDB
+from repro.sim.sched.plan import GridPlan, PlanCell, shard_by_workload
+from repro.sim.sched.pool import BatchShared, WorkerPool, shared_pool
+from repro.workloads.store import TraceStore
+
+__all__ = [
+    "SchedulerError",
+    "SweepScheduler",
+    "SweepStats",
+    "dispatch",
+    "dispatch_sync",
+]
+
+ProgressFn = Callable[[str], None]
+
+#: batches in flight per worker: 2 keeps every worker busy the moment it
+#: finishes (the next batch is already queued) without ballooning queues
+_INFLIGHT_PER_WORKER = 2
+
+
+class SchedulerError(Exception):
+    """The sweep cannot proceed (worker failure, unresolvable plan)."""
+
+
+@dataclass
+class SweepStats:
+    """What one ``run_plan`` call did (no wall-clock; see bench)."""
+
+    sweep: str
+    total: int
+    executed: int
+    resumed: int
+    store_degrades: int = 0
+
+    def summary(self) -> str:
+        line = (
+            f"sweep {self.sweep[:12]}: {self.total} cells, "
+            f"{self.executed} executed, {self.resumed} resumed"
+        )
+        if self.store_degrades:
+            line += f", {self.store_degrades} store degrades"
+        return line
+
+
+async def dispatch(
+    pool: WorkerPool,
+    batches: Sequence[tuple[BatchShared, tuple[tuple[int, str, int], ...]]],
+    on_batch: Callable[[int, list, int], None],
+) -> None:
+    """Chunked submit/drain of ``batches`` over ``pool``.
+
+    ``on_batch(batch_pos, results, store_degrades)`` fires once per
+    batch **in submission order**; ``results`` is the worker's ordered
+    ``(index, payload, native_info)`` list.  At most
+    ``_INFLIGHT_PER_WORKER × pool.jobs`` batches are in flight.
+    """
+    inflight_cap = max(2, _INFLIGHT_PER_WORKER * pool.jobs)
+    buffered: dict[int, tuple[list, int]] = {}
+    next_submit = 0
+    next_finish = 0
+    while next_finish < len(batches):
+        while next_submit < len(batches) and (
+            next_submit - next_finish
+        ) < inflight_cap:
+            shared, cells = batches[next_submit]
+            pool.submit(next_submit, shared, cells)
+            next_submit += 1
+        if next_finish in buffered:
+            results, degrades = buffered.pop(next_finish)
+        else:
+            # queue reads block; keep the event loop responsive so
+            # concurrent serve callers (status/query) stay serviceable
+            batch_id, results, degrades = await asyncio.to_thread(pool.drain_one)
+            if batch_id != next_finish:
+                buffered[batch_id] = (results, degrades)
+                continue
+        on_batch(next_finish, results, degrades)
+        next_finish += 1
+
+
+def dispatch_sync(
+    pool: WorkerPool,
+    batches: Sequence[tuple[BatchShared, tuple[tuple[int, str, int], ...]]],
+    on_batch: Callable[[int, list, int], None],
+) -> None:
+    """Synchronous façade over :func:`dispatch` for non-async callers."""
+    asyncio.run(dispatch(pool, batches, on_batch))
+
+
+class SweepScheduler:
+    """Runs grid plans over the shared pool into the result DB."""
+
+    def __init__(
+        self,
+        *,
+        db: ResultDB,
+        store: TraceStore | None = None,
+        cache: SweepCache | None = None,
+        jobs: int = 1,
+        native: bool = False,
+    ):
+        self.db = db
+        self.store = store
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.native = native
+
+    # ------------------------------------------------------------------
+
+    def _fingerprints(self, plan: GridPlan) -> tuple[dict[str, str], dict[str, Any]]:
+        """Resolve every plan workload to (fingerprint, trace supply).
+
+        With a store, resolution is a header read on a warm store (the
+        file compiles at most once); without one, the trace is built in
+        the parent purely to fingerprint it and workers rebuild by name.
+        """
+        from repro.sim.parallel import _count_store_degrade, _registry_fingerprint
+        from repro.workloads.store import TraceStoreError
+
+        fingerprints: dict[str, str] = {}
+        supplies: dict[str, Any] = {}
+        for workload in plan.workloads:
+            if workload in fingerprints:
+                continue
+            if self.store is not None:
+                try:
+                    ref, _built = self.store.ensure(workload)
+                except TraceStoreError:
+                    _count_store_degrade()
+                else:
+                    fingerprints[workload] = ref.fingerprint
+                    supplies[workload] = ref
+                    continue
+            fingerprints[workload] = _registry_fingerprint(workload)
+            supplies[workload] = None
+        return fingerprints, supplies
+
+    def _batch_message(
+        self, plan: GridPlan, supplies: dict[str, Any], batch: tuple[PlanCell, ...]
+    ) -> tuple[BatchShared, tuple[tuple[int, str, int], ...]]:
+        workload = batch[0].workload
+        ref = supplies[workload]
+        shared = BatchShared(
+            workload=workload,
+            limit=plan.limit,
+            native=self.native,
+            hierarchy_config=plan.hierarchy_config,
+            core_config=plan.core_config,
+            context_table=plan.context_configs,
+            store_path=ref.path if ref is not None else None,
+            store_fingerprint=ref.fingerprint if ref is not None else "",
+        )
+        return shared, tuple(
+            (cell.index, cell.prefetcher, cell.context_id) for cell in batch
+        )
+
+    # ------------------------------------------------------------------
+
+    async def run_plan(
+        self,
+        plan: GridPlan,
+        *,
+        progress: ProgressFn | None = None,
+        max_cells: int | None = None,
+    ) -> SweepStats:
+        """Execute ``plan``, resuming any cells the DB already holds.
+
+        ``max_cells`` caps how many *pending* cells this call executes
+        (the deterministic stand-in for a mid-sweep kill: the DB is left
+        exactly as a real interruption after that many cells would).
+        Every executed cell commits with its batch, so interrupting the
+        loop anywhere loses at most the in-flight batches.
+        """
+        from repro.sim.parallel import _drain_store_degrades
+
+        fingerprints, supplies = self._fingerprints(plan)
+        missing = [w for w in plan.workloads if w not in fingerprints]
+        if missing:
+            raise SchedulerError(f"unresolvable workloads: {', '.join(missing)}")
+        keys = plan.cell_keys(fingerprints)
+        sweep = plan.sweep_id(keys)
+        self.db.ensure_sweep(sweep, plan.spec(), plan.n_cells)
+
+        done_keys = self.db.completed_keys(keys)
+        cells = list(plan.cells())
+        pending = [cell for cell in cells if keys[cell.index] not in done_keys]
+        resumed = len(cells) - len(pending)
+        if max_cells is not None:
+            pending = pending[:max_cells]
+
+        stats = SweepStats(
+            sweep=sweep,
+            total=len(cells),
+            executed=len(pending),
+            resumed=resumed,
+            store_degrades=_drain_store_degrades(),
+        )
+        if progress is not None and resumed:
+            progress(f"resume: {resumed}/{len(cells)} cells already in the DB")
+        if not pending:
+            if progress is not None:
+                progress(stats.summary())
+            return stats
+
+        batches = [
+            self._batch_message(plan, supplies, batch)
+            for batch in shard_by_workload(
+                pending, lambda cell: cell.workload, self.jobs
+            )
+        ]
+        by_index = {cell.index: cell for cell in pending}
+        finished = 0
+
+        def on_batch(batch_pos: int, results: list, degrades: int) -> None:
+            nonlocal finished
+            stats.store_degrades += degrades
+            rows = []
+            for index, payload, _native_info in results:
+                cell = by_index[index]
+                rows.append(
+                    (keys[index], index, cell.workload, cell.prefetcher, payload)
+                )
+                if self.cache is not None:
+                    from repro.sim.codec import decode_result
+
+                    self.cache.store(keys[index], decode_result(payload))
+            self.db.store_cells(sweep, rows)
+            finished += len(results)
+            if progress is not None:
+                workload = by_index[results[0][0]].workload if results else "?"
+                progress(
+                    f"[{finished + resumed}/{len(cells)}] "
+                    f"batch {batch_pos + 1}/{len(batches)} ({workload}) committed"
+                )
+
+        pool = shared_pool(self.jobs)
+        await dispatch(pool, batches, on_batch)
+        if progress is not None:
+            progress(stats.summary())
+        return stats
+
+    def run_plan_sync(
+        self,
+        plan: GridPlan,
+        *,
+        progress: ProgressFn | None = None,
+        max_cells: int | None = None,
+    ) -> SweepStats:
+        """:meth:`run_plan` for synchronous callers (CLI, scripts)."""
+        return asyncio.run(
+            self.run_plan(plan, progress=progress, max_cells=max_cells)
+        )

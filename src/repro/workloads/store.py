@@ -569,6 +569,9 @@ class TraceStore:
 
     def __init__(self, root: str | Path = DEFAULT_TRACE_DIR):
         self.root = Path(root)
+        #: corrupt/stale files this instance healed by recompiling;
+        #: sweeps diff it to roll degrade events into their summary
+        self.heals = 0
 
     def path_for(self, workload: str) -> Path:
         digest = hashlib.sha256(
@@ -601,6 +604,7 @@ class TraceStore:
         except FileNotFoundError:
             pass  # cold miss: expected, compiled below
         except TraceStoreError as exc:
+            self.heals += 1
             log.warning(
                 "trace store: %s is corrupt or stale (%s); recompiling %s",
                 path,
@@ -643,6 +647,7 @@ class TraceStore:
             except FileNotFoundError:
                 pass  # cold miss: expected, compiled below
             except TraceStoreError as exc:
+                self.heals += 1
                 log.warning(
                     "trace store: %s is corrupt or stale (%s); recompiling %s",
                     path,

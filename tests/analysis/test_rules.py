@@ -862,3 +862,142 @@ class TestVectorPhaseContractRule:
         findings = run_rules(tmp_path, [self._rule()])
         assert rule_ids(findings) == ["PERF003"]
         assert "module:qualname" in findings[0].message
+
+
+class TestBatchDispatchLayoutRule:
+    """PERF004: the warm-pool batch-dispatch layout is pinned."""
+
+    def _rule(self):
+        from repro.analysis.rules.perf import BatchDispatchLayoutRule
+
+        return BatchDispatchLayoutRule()
+
+    def _good_tree(self) -> dict[str, str]:
+        # miniature dispatch stack: the pinned wire shape, puts only in
+        # the reviewed pool entry points, submits only in the reviewed
+        # dispatch loop and legacy parallel_compare
+        return {
+            "sim/sched/pool.py": """
+            CELL_FIELDS = ("index", "prefetcher", "context_id")
+
+            def _worker_main(task_q, result_q):
+                result_q.put(("done", 0, [], 0))
+
+            class WorkerPool:
+                def submit(self, batch_id, shared, cells):
+                    self._task_q.put((batch_id, shared, cells))
+
+                def close(self):
+                    self._task_q.put(None)
+            """,
+            "sim/sched/scheduler.py": """
+            async def dispatch(pool, batches, on_batch):
+                for i, (shared, cells) in enumerate(batches):
+                    pool.submit(i, shared, cells)
+            """,
+            "sim/parallel.py": """
+            def parallel_compare(workloads, prefetchers):
+                with executor() as pool:
+                    futures = [pool.submit(run, job) for job in jobs()]
+                return futures
+            """,
+        }
+
+    def test_pinned_layout_passes(self, tmp_path):
+        write_tree(tmp_path, self._good_tree())
+        assert run_rules(tmp_path, [self._rule()]) == []
+
+    def test_live_pin_matches_pool(self):
+        from repro.analysis.rules.perf import PINNED_CELL_FIELDS
+        from repro.sim.sched.pool import CELL_FIELDS
+
+        assert CELL_FIELDS == PINNED_CELL_FIELDS
+
+    def test_missing_pool_module_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {"core/x.py": "pass\n"})
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF004"]
+        assert "pool.py is missing" in findings[0].message
+
+    def test_grown_cell_tuple_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/pool.py"] = files["sim/sched/pool.py"].replace(
+            '"context_id")', '"context_id", "config")'
+        )
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF004"]
+        assert "reviewed decision" in findings[0].message
+
+    def test_non_literal_fields_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/pool.py"] = (
+            "CELL_FIELDS = tuple(make_fields())\n"
+        )
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert "PERF004" in rule_ids(findings)
+        assert "statically auditable" in findings[0].message
+
+    def test_sweepjob_in_sched_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/scheduler.py"] = """
+        from repro.sim.parallel import SweepJob
+
+        async def dispatch(pool, batches, on_batch):
+            for i, batch in enumerate(batches):
+                pool.submit(i, [SweepJob(c) for c in batch], ())
+        """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert set(rule_ids(findings)) == {"PERF004"}
+        assert any("SweepJob" in f.message for f in findings)
+
+    def test_executor_in_sched_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/scheduler.py"] = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        async def dispatch(pool, batches, on_batch):
+            pass
+        """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert set(rule_ids(findings)) == {"PERF004"}
+        assert any("concurrent.futures" in f.message for f in findings)
+
+    def test_unreviewed_queue_put_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/scheduler.py"] += """
+
+            def side_channel(q, cell):
+                q.put_nowait(cell)
+            """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF004"]
+        assert "QUEUE_PUT_ALLOWLIST" in findings[0].message
+
+    def test_unreviewed_submit_in_sched_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/sched/scheduler.py"] += """
+
+            def rogue(pool, cells):
+                return [pool.submit(run, c) for c in cells]
+            """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF004"]
+        assert "SUBMIT_ALLOWLIST" in findings[0].message
+
+    def test_unreviewed_submit_in_parallel_is_flagged(self, tmp_path):
+        files = self._good_tree()
+        files["sim/parallel.py"] += """
+
+            def per_cell_dispatch(pool, cells):
+                return [pool.submit(run, c) for c in cells]
+            """
+        write_tree(tmp_path, files)
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF004"]
+        assert "per-cell futures" in findings[0].message

@@ -155,13 +155,20 @@ class TestTraceStoreParity:
 
     def test_corrupt_store_degrades_to_rebuild(self, serial_sweep, tmp_path):
         store = TraceStore(tmp_path / "traces")
-        compare(WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False, store=store)
+        clean = compare(
+            WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=1, cache=False, store=store
+        )
+        assert clean.resilience_summary() is None
         for path in store.root.glob("*.rpt"):
             path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
         healed = compare(
             WORKLOADS, PREFETCHERS, limit=LIMIT, jobs=2, cache=False, store=store
         )
         assert_sweeps_identical(serial_sweep, healed)
+        # the recoveries surface in the sweep summary, not only the log
+        assert healed.store_degrades > 0
+        summary = healed.resilience_summary()
+        assert summary is not None and "store degrade" in summary
 
     def test_adhoc_programs_bypass_the_store(self, tmp_path):
         # ad-hoc programs aren't registry-addressable; with a store set
