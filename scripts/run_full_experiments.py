@@ -60,6 +60,10 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--db", default=None, metavar="PATH",
                         help="also commit sweep cells into this resumable "
                              "SQLite result store (see docs/sweep_service.md)")
+    parser.add_argument("--kernel-threads", type=int, default=0, metavar="T",
+                        help="OpenMP threads per worker for the kernel's "
+                             "in-shard batch driver (0 = runtime default; "
+                             "bit-identical at any thread count)")
     return parser.parse_args()
 
 
@@ -73,7 +77,8 @@ def main() -> int:
     store = None if args.no_store else TraceStore(args.store_dir or DEFAULT_TRACE_DIR)
     db = None if args.db is None else ResultDB(args.db)
     set_default_execution(jobs=args.jobs, cache=cache, store=store,
-                          native=args.native, warm=args.warm_pool, db=db)
+                          native=args.native, warm=args.warm_pool, db=db,
+                          kernel_threads=args.kernel_threads)
     print(f"result cache: {'off' if cache is None else cache.root}")
     print(f"trace store:  {'off' if store is None else store.root}")
     print(f"result db:    {'off' if db is None else db.path}")

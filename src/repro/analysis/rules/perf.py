@@ -28,6 +28,16 @@ into slotted layout:
   other).  The rule resolves both sides of every row against the AST;
   a one-sided edit — a vectorized phase whose fallback is gone, or a
   fallback whose vectorized twin was renamed — fails ``repro lint``.
+* ``PERF005`` — the in-kernel batch driver (``sim/native/_csrc.py``)
+  is the one C entry point that runs whole shards GIL-released across
+  an OpenMP team, so its layout is pinned like PERF002 pins the trace
+  store: ``CDEF_BATCH``/``SOURCE_BATCH`` must stay statically
+  extractable literals whose hash matches the pin for
+  ``BATCH_VERSION``; the batch source may not declare ``static`` (or
+  ``__thread``) storage — shared mutable state is exactly what would
+  break the bit-identical-at-any-thread-count guarantee — and must
+  keep the ``#ifdef _OPENMP`` guard so the serial fallback build keeps
+  compiling.
 * ``PERF004`` — the warm-worker batch-dispatch layout
   (``sim/sched/``) is pinned.  Cells cross the spawn boundary as bare
   ``CELL_FIELDS`` tuples riding one per-batch ``BatchShared`` — never
@@ -45,6 +55,7 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import re
 from typing import Iterable, Iterator
 
 from repro.analysis.findings import Finding
@@ -564,3 +575,115 @@ class BatchDispatchLayoutRule(Rule):
                         "the warm pool (or the reviewed legacy paths in "
                         "parallel_compare), never new per-cell futures",
                     )
+
+
+# ----------------------------------------------------------------------
+# PERF005: the in-kernel batch driver's layout is pinned
+
+CSRC_MODULE = "sim/native/_csrc.py"
+
+#: BATCH_VERSION -> sha256 of ``CDEF_BATCH + SOURCE_BATCH``.  Bumping
+#: the version means adding a row here — the table doubles as the batch
+#: ABI's change history (the build keys its artifact cache on the same
+#: source text, so a drifted hash is a silently different kernel).
+PINNED_BATCH_LAYOUTS = {
+    1: "6936c5c2fe7b921543cedc75f1608142e5b9bf5c4580f0a72469af0d08171c2f",
+}
+
+#: storage-class tokens banned from the batch source: anything with
+#: process lifetime is shared across the OpenMP team and would make
+#: results depend on thread interleaving
+_BATCH_BANNED_TOKENS = ("static", "__thread")
+
+
+def batch_layout_hash(cdef: str, source: str) -> str:
+    """The pinned-batch hash: sha256 over the concatenated C text."""
+    return hashlib.sha256((cdef + source).encode("utf-8")).hexdigest()
+
+
+@register_rule
+class BatchKernelLayoutRule(Rule):
+    """PERF005: the batch C driver must match its pinned, state-free layout."""
+
+    rule_id = "PERF005"
+    title = "batch kernel layout drifted or declares shared mutable state"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        source = project.get(CSRC_MODULE)
+        if source is None:
+            yield Finding(
+                CSRC_MODULE,
+                0,
+                self.rule_id,
+                "sim/native/_csrc.py is missing: the compiled kernel's "
+                "batch driver (and its pinned layout) must exist",
+            )
+            return
+        version = _literal_assign(source.tree, "BATCH_VERSION")
+        cdef = _literal_assign(source.tree, "CDEF_BATCH")
+        body = _literal_assign(source.tree, "SOURCE_BATCH")
+        if version is None or not isinstance(version[0], int):
+            yield Finding(
+                source.rel,
+                version[1] if version else 0,
+                self.rule_id,
+                "BATCH_VERSION must be a top-level integer literal so the "
+                "batch ABI version is statically auditable",
+            )
+            return
+        for name, got in (("CDEF_BATCH", cdef), ("SOURCE_BATCH", body)):
+            if got is None or not isinstance(got[0], str):
+                yield Finding(
+                    source.rel,
+                    got[1] if got else 0,
+                    self.rule_id,
+                    f"{name} must be a top-level string literal so the "
+                    "batch driver's C text is statically auditable",
+                )
+                return
+        pinned = PINNED_BATCH_LAYOUTS.get(version[0])
+        if pinned is None:
+            yield Finding(
+                source.rel,
+                version[1],
+                self.rule_id,
+                f"BATCH_VERSION {version[0]} has no pinned layout: add "
+                "its hash to PINNED_BATCH_LAYOUTS in analysis/rules/perf.py",
+            )
+            return
+        actual = batch_layout_hash(cdef[0], body[0])
+        if actual != pinned:
+            yield Finding(
+                source.rel,
+                body[1],
+                self.rule_id,
+                f"the batch C driver changed but BATCH_VERSION is still "
+                f"{version[0]} (layout hash {actual[:12]}… != pinned "
+                f"{pinned[:12]}…): bump BATCH_VERSION and pin the new "
+                "layout, or revert the change",
+            )
+        # strip comments first (block comments span lines), then match
+        # tokens as whole words so e.g. `statically` in prose is fine
+        code = re.sub(r"/\*.*?\*/", "", body[0], flags=re.S)
+        code = re.sub(r"//[^\n]*", "", code)
+        for token in _BATCH_BANNED_TOKENS:
+            for offset, line in enumerate(code.splitlines()):
+                if re.search(rf"\b{token}\b", line):
+                    yield Finding(
+                        source.rel,
+                        body[1],
+                        self.rule_id,
+                        f"SOURCE_BATCH declares `{token}` storage (batch "
+                        f"source line {offset + 1}): everything mutable "
+                        "must live in per-cell state, or results depend "
+                        "on OpenMP scheduling",
+                    )
+        if "#ifdef _OPENMP" not in body[0]:
+            yield Finding(
+                source.rel,
+                body[1],
+                self.rule_id,
+                "SOURCE_BATCH has no `#ifdef _OPENMP` guard: the batch "
+                "driver must keep compiling (serially) on toolchains "
+                "without OpenMP",
+            )

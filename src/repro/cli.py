@@ -127,6 +127,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="stream executed cells into (and reuse cells from) a "
         "queryable result DB (see `repro serve`)",
     )
+    parser.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=0,
+        metavar="T",
+        help="OpenMP threads per worker for the kernel's in-shard batch "
+        "driver (default: 0, the OpenMP runtime default; results are "
+        "bit-identical at any thread count)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
@@ -155,6 +164,7 @@ def _configure_execution(args: argparse.Namespace) -> None:
 
         db = ResultDB(args.db)
     warm = getattr(args, "warm_pool", True)
+    kernel_threads = max(0, getattr(args, "kernel_threads", 0))
     set_default_execution(
         jobs=args.jobs,
         cache=cache,
@@ -162,6 +172,7 @@ def _configure_execution(args: argparse.Namespace) -> None:
         native=args.native,
         warm=warm,
         db=db,
+        kernel_threads=kernel_threads,
     )
     print(
         f"execution: jobs={args.jobs}, "
@@ -169,6 +180,7 @@ def _configure_execution(args: argparse.Namespace) -> None:
         f"trace store {store.root if store else 'off'}, "
         f"kernel {'native' if args.native else 'interpreted'}, "
         f"dispatch {'warm-pool' if warm else 'per-call'}"
+        + (f", kernel threads {kernel_threads}" if kernel_threads else "")
         + (f", result DB {db.path}" if db is not None else ""),
         file=sys.stderr,
     )
@@ -595,6 +607,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             cache=defaults.cache,
             jobs=defaults.jobs,
             native=defaults.native,
+            kernel_threads=defaults.kernel_threads,
         )
         stats = service.submit(
             plan,
@@ -608,9 +621,29 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         rows = service.status()
         if not rows:
             return f"result DB {service.db.path}: empty"
+
+        def _eta(seconds: float | None) -> str:
+            if seconds is None:
+                return "-"
+            total = int(round(seconds))
+            if total >= 3600:
+                return f"{total // 3600}h{(total % 3600) // 60:02d}m"
+            if total >= 60:
+                return f"{total // 60}m{total % 60:02d}s"
+            return f"{total}s"
+
         table = render_table(
-            ("sweep", "done", "total"),
-            [(sweep, str(done), str(total)) for sweep, done, total in rows],
+            ("sweep", "done", "total", "cells/s", "eta"),
+            [
+                (
+                    row.sweep,
+                    str(row.done),
+                    str(row.total),
+                    "-" if row.cells_per_sec is None else f"{row.cells_per_sec:.1f}",
+                    _eta(row.eta_seconds),
+                )
+                for row in rows
+            ],
             title=f"Result DB {service.db.path}",
         )
         return table

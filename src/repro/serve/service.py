@@ -11,16 +11,17 @@ inside the scheduler and is an implementation detail of dispatch.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.core.config import ContextPrefetcherConfig
+from repro.serve.progress import ProgressTracker
 from repro.sim.cache import SweepCache
 from repro.sim.sched.db import DEFAULT_DB_PATH, CellRow, ResultDB
 from repro.sim.sched.plan import GridPlan
 from repro.sim.sched.scheduler import SweepScheduler, SweepStats
 from repro.workloads.store import TraceStore
 
-__all__ = ["SweepService", "plan_from_axes"]
+__all__ = ["SweepService", "SweepStatus", "plan_from_axes"]
 
 ProgressFn = Callable[[str], None]
 
@@ -53,6 +54,21 @@ def plan_from_axes(
     )
 
 
+class SweepStatus(NamedTuple):
+    """One ``status()`` row: counts plus live-throughput telemetry.
+
+    ``cells_per_sec``/``eta_seconds`` come from the progress sidecar
+    (see :mod:`repro.serve.progress`) and are ``None`` for sweeps with
+    no recent submitter — the counts themselves are always live.
+    """
+
+    sweep: str
+    done: int
+    total: int
+    cells_per_sec: float | None
+    eta_seconds: float | None
+
+
 class SweepService:
     """Submit/status/query over one result DB and the shared pool."""
 
@@ -64,12 +80,17 @@ class SweepService:
         cache: SweepCache | None = None,
         jobs: int = 1,
         native: bool = False,
+        kernel_batch: bool = True,
+        kernel_threads: int = 0,
     ):
         self.db = db if isinstance(db, ResultDB) else ResultDB(db)
         self.store = store
         self.cache = cache
         self.jobs = max(1, jobs)
         self.native = native
+        self.kernel_batch = kernel_batch
+        self.kernel_threads = kernel_threads
+        self.tracker = ProgressTracker(self.db.path)
 
     def close(self) -> None:
         self.db.close()
@@ -102,14 +123,23 @@ class SweepService:
             cache=self.cache,
             jobs=self.jobs,
             native=self.native,
+            kernel_batch=self.kernel_batch,
+            kernel_threads=self.kernel_threads,
         )
         return scheduler.run_plan_sync(
-            plan, progress=progress, max_cells=max_cells
+            plan,
+            progress=progress,
+            max_cells=max_cells,
+            on_cells=self.tracker.on_cells,
         )
 
-    def status(self) -> list[tuple[str, int, int]]:
-        """``(sweep id, completed, total)`` per sweep in the DB."""
-        return self.db.sweeps()
+    def status(self) -> list[SweepStatus]:
+        """Per-sweep counts plus live cells/s and remaining-cells ETA."""
+        rates = self.tracker.rates()
+        return [
+            SweepStatus(sweep, done, total, *rates.get(sweep, (None, None)))
+            for sweep, done, total in self.db.sweeps()
+        ]
 
     def query(
         self,

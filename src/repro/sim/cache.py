@@ -48,9 +48,11 @@ from repro.workloads.serialize import trace_fingerprint
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheCounters",
+    "CellKeyer",
     "SweepCache",
     "cell_key",
     "code_fingerprint",
+    "plain_data",
     "resolve_cache",
     "trace_fingerprint",  # canonical impl lives in workloads.serialize
 ]
@@ -85,6 +87,30 @@ _code_fingerprint_cache: str | None = None
 
 def _canonical(data: object) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def plain_data(value: object) -> object:
+    """``dataclasses.asdict`` minus the deepcopy, for canonical JSON.
+
+    ``asdict`` deep-copies every leaf; on a config whose fields are all
+    immutable (ints, strings, tuples of frozen attribute dataclasses)
+    that copy is pure overhead — and it dominates key generation on
+    config sweeps with thousands of table slots.  JSON output is
+    identical because ``json.dumps`` renders a tuple as an array and
+    never mutates its input.  :meth:`GridPlan.spec` leans on this too:
+    serializing a 2500-slot grid spec through ``asdict`` costs ~0.75 s
+    inside the sweep's timed region.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: plain_data(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [plain_data(item) for item in value]
+    if isinstance(value, dict):
+        return {key: plain_data(item) for key, item in value.items()}
+    return value
 
 
 def code_fingerprint() -> str:
@@ -133,6 +159,118 @@ def cell_key(
         "context": context,
     }
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+#: field-value types the CellKeyer fragment memo accepts as dict keys:
+#: always hashable, and covering every frequently-repeated config field
+#: (IntEnums pass as int subclasses).  Compound values — tuples, lists —
+#: bypass the memo instead of risking an unhashable element.
+_MEMO_SCALARS = (int, float, str, bool, type(None))
+
+
+class CellKeyer:
+    """Grid-wide key builder: :func:`cell_key` with shared fields frozen.
+
+    :func:`cell_key` canonicalizes a flat payload with sorted keys and
+    compact separators, so the hashed string is exactly a concatenation
+    of independently-canonicalized ``"field":value`` fragments in sorted
+    field order.  Within one sweep grid the codec, code fingerprint,
+    limit, hierarchy and core fields never vary, and the context configs
+    repeat once per table slot — re-serializing all of them for every
+    cell dominates key generation on large grids (~0.13 ms/cell, which
+    at 10k cells is a visible slice of the whole batched sweep).  The
+    builder serializes the invariants once; producing a key is then two
+    string joins and one hash.  ``TestCellKeyer`` proves every key
+    byte-identical to :func:`cell_key`'s across all axes.
+    """
+
+    def __init__(
+        self,
+        *,
+        limit: int | None,
+        hierarchy_config: HierarchyConfig | None = None,
+        core_config: CoreConfig | None = None,
+        code_version: str | None = None,
+    ):
+        code = code_version if code_version is not None else code_fingerprint()
+        # sorted payload fields: code, codec, context, core, hierarchy,
+        # limit, prefetcher, trace, workload — keep in sync with cell_key
+        self._head = (
+            f'{{"code":{_canonical(code)}'
+            f',"codec":{_canonical(CODEC_VERSION)},"context":'
+        )
+        self._mid = (
+            f',"core":{_canonical(dataclasses.asdict(core_config or CoreConfig()))}'
+            f',"hierarchy":'
+            f"{_canonical(dataclasses.asdict(hierarchy_config or HierarchyConfig()))}"
+            f',"limit":{_canonical(limit)},"prefetcher":'
+        )
+        # the workload/prefetcher/trace strings repeat across a grid's
+        # cells; canonicalize each distinct value once
+        self._pf_fragments: dict[str, str] = {}
+        self._tails: dict[tuple[str, str], str] = {}
+        # per-field fragment memo for context configs: a config sweep
+        # varies one or two fields per slot, everything else repeats
+        self._config_fields: dict[type, tuple[str, ...]] = {}
+        self._field_fragments: dict[tuple[str, type, object], str] = {}
+
+    def context_fragment(self, context_config: ContextPrefetcherConfig | None) -> str:
+        """Canonical fragment for one context-table slot.
+
+        Callers memoize the result per slot (a grid's configs repeat
+        across every workload × prefetcher combination); non-``context``
+        cells ignore the fragment entirely.  Scalar field values
+        canonicalize through a per-(name, type, value) memo — a config
+        sweep varies one or two fields per slot, so all the repeated
+        fields cost one dict probe each (the type is part of the key
+        because ``1 == 1.0 == True`` hash-equal but render as distinct
+        JSON).  Compound values serialize in place every call: they are
+        the rare fields, and skipping them keeps the memo free of
+        hashability concerns.
+        """
+        cfg = context_config if context_config is not None else ContextPrefetcherConfig()
+        names = self._config_fields.get(type(cfg))
+        if names is None:
+            # canonical JSON sorts keys; field names are plain ASCII
+            # identifiers, so lexicographic name order matches
+            names = tuple(sorted(f.name for f in dataclasses.fields(cfg)))
+            self._config_fields[type(cfg)] = names
+        memo = self._field_fragments
+        parts = []
+        for name in names:
+            value = getattr(cfg, name)
+            if isinstance(value, _MEMO_SCALARS):
+                key = (name, type(value), value)
+                fragment = memo.get(key)
+                if fragment is None:
+                    fragment = f"{_canonical(name)}:{_canonical(plain_data(value))}"
+                    memo[key] = fragment
+            else:
+                fragment = f"{_canonical(name)}:{_canonical(plain_data(value))}"
+            parts.append(fragment)
+        return "{" + ",".join(parts) + "}"
+
+    def key(
+        self,
+        *,
+        workload: str,
+        trace_fp: str,
+        prefetcher: str,
+        context_fragment: str = "null",
+    ) -> str:
+        """The cache key for one cell; equals the :func:`cell_key` key."""
+        context = context_fragment if prefetcher == "context" else "null"
+        pf = self._pf_fragments.get(prefetcher)
+        if pf is None:
+            pf = self._pf_fragments[prefetcher] = _canonical(prefetcher)
+        tail = self._tails.get((trace_fp, workload))
+        if tail is None:
+            tail = self._tails[(trace_fp, workload)] = (
+                f',"trace":{_canonical(trace_fp)}'
+                f',"workload":{_canonical(workload)}}}'
+            )
+        payload = f"{self._head}{context}{self._mid}{pf}{tail}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

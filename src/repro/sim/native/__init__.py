@@ -41,6 +41,7 @@ VECTOR_PHASES = (
     ("decode", "repro.workloads.store:TraceReader.as_array", "repro.workloads.store:TraceReader.materialize"),
     ("classify", "repro.memory.address:lines_of_array", "repro.memory.address:line_of"),
     ("kernel", "repro.sim.native.adapter:phase_kernel", "repro.sim.simulator:Simulator.run"),
+    ("kernel-batch", "repro.sim.native.adapter:phase_batch_kernel", "repro.sim.sched.pool:run_batch"),
     ("finalize", "repro.sim.native.adapter:phase_finalize", "repro.sim.simulator:Simulator.run"),
     ("context", "repro.sim.native.adapter:_ctx_config_values", "repro.core.prefetcher:ContextPrefetcher.on_access"),
 )

@@ -24,7 +24,13 @@ OUT_SLOTS = 19 + 129
 #: profile CLI reports for native context runs)
 CTX_COUNTER_SLOTS = 20
 
-CDEF = """
+#: version of the batch-call layout below (``CDEF_BATCH`` +
+#: ``SOURCE_BATCH``); analysis rule PERF005 pins the pair's content hash
+#: per version, so editing the batch driver without bumping this (and
+#: re-pinning) fails ``repro lint``
+BATCH_VERSION = 1
+
+CDEF_CORE = """
 typedef struct RpSim RpSim;
 typedef struct RpPf RpPf;
 typedef struct RpRng RpRng;
@@ -492,7 +498,13 @@ static int cache_init(NCache *c, int64_t num_sets, int ways) {
     c->ways = ways;
     c->unused_prefetch_evictions = 0;
     c->used_prefetch_fills = 0;
-    c->data = (CLine *)calloc((size_t)(num_sets * ways), sizeof(CLine));
+    /* data stays malloc: every read of a set is bounded by counts[s]
+     * and slots are written before the count covering them grows, so
+     * no line is ever read uninitialised.  Zeroing would memset the
+     * full L2 array (~32k lines) per simulator — the dominant cost of
+     * constructing the thousands of per-cell sims a batched sweep
+     * needs (counts, which the bound reads, must stay calloc). */
+    c->data = (CLine *)malloc((size_t)(num_sets * ways) * sizeof(CLine));
     c->counts = (int *)calloc((size_t)num_sets, sizeof(int));
     return c->data && c->counts;
 }
@@ -2815,5 +2827,144 @@ SOURCE_CTX = (
     + SOURCE_CTX_ACCESS
 )
 
+CDEF_BATCH = """
+int rp_batch_openmp(void);
+int rp_batch_max_threads(void);
+int rp_batch_out_slots(void);
+int rp_run_batch(int64_t ncells, RpSim **sims, RpPf **pfs,
+                 int64_t n, int64_t start_index, int64_t warmup,
+                 const uint64_t *addrs, const uint64_t *pcs,
+                 const uint64_t *lines, const uint32_t *inst_gaps,
+                 const uint8_t *flags,
+                 const int64_t *values, const int64_t *reg_values,
+                 const uint64_t *branch_bits, const uint16_t *branch_counts,
+                 const uint32_t *type_ids, const uint32_t *link_offsets,
+                 const uint8_t *ref_forms,
+                 int64_t *outs, int32_t *rcs, int nthreads);
+"""
+
+SOURCE_BATCH = r"""
+/* ------------------------------------------------------------------ */
+/* batch driver: execute N independent cells over one shared read-only
+ * column set in a single GIL-released call.  Each cell owns its RpSim
+ * and RpPf (private mutable state, private MT19937 stream) and writes a
+ * private RP_BATCH_OUT_SLOTS block at outs + i * RP_BATCH_OUT_SLOTS, so
+ * the per-cell work is pure in everything but cell-local state and the
+ * schedule cannot influence results: any thread count, any scheduling
+ * order, bit-identical output.  PERF005 pins this translation unit and
+ * forbids `static`/`__thread` storage here, so no shared mutable state
+ * can creep between cell blocks.  The OpenMP pragma degrades to a plain
+ * serial loop when the compiler has no -fopenmp (see build.py). */
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#define RP_BATCH_OUT_SLOTS 148  /* must equal _csrc.OUT_SLOTS; the
+                                   adapter asserts rp_batch_out_slots()
+                                   against the Python constant */
+
+int rp_batch_openmp(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+int rp_batch_max_threads(void) {
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+int rp_batch_out_slots(void) {
+    return RP_BATCH_OUT_SLOTS;
+}
+
+/* one cell: rp_run with warmup composed exactly like the adapter's
+ * single-cell path — run(prefix) + rp_reset_stats + run(remainder) with
+ * every non-NULL column advanced by `warmup` elements. */
+int rp_batch_cell(RpSim *sim, RpPf *pf, int64_t n, int64_t start_index,
+                  int64_t warmup,
+                  const uint64_t *addrs, const uint64_t *pcs,
+                  const uint64_t *lines, const uint32_t *inst_gaps,
+                  const uint8_t *flags,
+                  const int64_t *values, const int64_t *reg_values,
+                  const uint64_t *branch_bits, const uint16_t *branch_counts,
+                  const uint32_t *type_ids, const uint32_t *link_offsets,
+                  const uint8_t *ref_forms, int64_t *out) {
+    if (warmup > 0) {
+        if (warmup >= n) return -3;
+        int rc = rp_run(sim, pf, warmup, start_index, addrs, pcs, lines,
+                        inst_gaps, flags, values, reg_values, branch_bits,
+                        branch_counts, type_ids, link_offsets, ref_forms,
+                        out);
+        if (rc != 0) return rc;
+        rp_reset_stats(sim);
+        return rp_run(sim, pf, n - warmup, start_index + warmup,
+                      addrs + warmup, pcs + warmup, lines + warmup,
+                      inst_gaps + warmup, flags + warmup,
+                      values ? values + warmup : 0,
+                      reg_values ? reg_values + warmup : 0,
+                      branch_bits ? branch_bits + warmup : 0,
+                      branch_counts ? branch_counts + warmup : 0,
+                      type_ids ? type_ids + warmup : 0,
+                      link_offsets ? link_offsets + warmup : 0,
+                      ref_forms ? ref_forms + warmup : 0,
+                      out);
+    }
+    return rp_run(sim, pf, n, start_index, addrs, pcs, lines, inst_gaps,
+                  flags, values, reg_values, branch_bits, branch_counts,
+                  type_ids, link_offsets, ref_forms, out);
+}
+
+/* whole shard in one call.  nthreads > 0 pins the team size; 0 takes
+ * the OpenMP default.  Per-cell status lands in rcs[i] (0 ok, negative
+ * rp_run failure), so one out-of-memory cell degrades alone and never
+ * poisons its shard-mates' result blocks.  Returns 0 always: cell
+ * failures are per-cell data, not a call failure. */
+int rp_run_batch(int64_t ncells, RpSim **sims, RpPf **pfs,
+                 int64_t n, int64_t start_index, int64_t warmup,
+                 const uint64_t *addrs, const uint64_t *pcs,
+                 const uint64_t *lines, const uint32_t *inst_gaps,
+                 const uint8_t *flags,
+                 const int64_t *values, const int64_t *reg_values,
+                 const uint64_t *branch_bits, const uint16_t *branch_counts,
+                 const uint32_t *type_ids, const uint32_t *link_offsets,
+                 const uint8_t *ref_forms,
+                 int64_t *outs, int32_t *rcs, int nthreads) {
+#ifdef _OPENMP
+    int team = nthreads > 0 ? nthreads : omp_get_max_threads();
+    #pragma omp parallel for schedule(dynamic, 1) num_threads(team)
+    for (int64_t i = 0; i < ncells; i++) {
+        rcs[i] = (int32_t)rp_batch_cell(
+            sims[i], pfs[i], n, start_index, warmup, addrs, pcs, lines,
+            inst_gaps, flags, values, reg_values, branch_bits,
+            branch_counts, type_ids, link_offsets, ref_forms,
+            outs + i * RP_BATCH_OUT_SLOTS);
+    }
+#else
+    (void)nthreads;
+    for (int64_t i = 0; i < ncells; i++) {
+        rcs[i] = (int32_t)rp_batch_cell(
+            sims[i], pfs[i], n, start_index, warmup, addrs, pcs, lines,
+            inst_gaps, flags, values, reg_values, branch_bits,
+            branch_counts, type_ids, link_offsets, ref_forms,
+            outs + i * RP_BATCH_OUT_SLOTS);
+    }
+#endif
+    return 0;
+}
+"""
+
+#: full cdef handed to ``ffi.cdef``
+CDEF = CDEF_CORE + CDEF_BATCH
+
 #: full translation unit handed to cffi's ``set_source``
-SOURCE = SOURCE_RUNTIME + SOURCE_MEMORY + SOURCE_CTX + SOURCE_PF + SOURCE_RUN
+SOURCE = (
+    SOURCE_RUNTIME + SOURCE_MEMORY + SOURCE_CTX + SOURCE_PF + SOURCE_RUN
+    + SOURCE_BATCH
+)

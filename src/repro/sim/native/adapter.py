@@ -26,6 +26,8 @@ from weakref import WeakKeyDictionary
 from repro.core.bandit import EpsilonGreedyPolicy, SoftmaxPolicy
 from repro.core.prefetcher import ContextPrefetcher
 from repro.core.reward import FlatRewardFunction, RewardFunction
+from repro.cpu.core_model import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
 from repro.memory.stats import AccessClass, AccessClassifier, CacheStats
 from repro.prefetchers.ghb import GHBPrefetcher
 from repro.prefetchers.markov import MarkovPrefetcher
@@ -264,7 +266,10 @@ def _ctx_config_values(pf):
 
 
 def _hier_config_values(hier) -> list[int]:
-    c = hier.config
+    return _hier_values(hier.config)
+
+
+def _hier_values(c) -> list[int]:
     return [
         c.l1_size,
         c.l1_ways,
@@ -599,6 +604,242 @@ def try_native_run(sim, trace, *, workload_name, limit, start_index, warmup):
         ctx=(kernel, pf_h) if is_ctx else None,
     )
     return True, result, trace, limit, None
+
+
+# ----------------------------------------------------------------------
+# batch entry point: one GIL-released call for a whole workload-pure shard
+
+
+#: deterministic telemetry for the in-kernel batch calls made by this
+#: process — counts only, no clocks (DET003 holds here too).  ``repro
+#: profile`` and the sched tests read it; workers each keep their own
+#: copy (nothing crosses the spawn boundary).
+_BATCH_COUNTERS = {
+    "batches": 0,
+    "cells": 0,
+    "native_cells": 0,
+    "fallback_cells": 0,
+    "kernel_threads": 0,
+    "openmp": 0,
+}
+
+
+def batch_counters() -> dict:
+    """A snapshot of this process's in-kernel batch telemetry."""
+    return dict(_BATCH_COUNTERS)
+
+
+def reset_batch_counters() -> None:
+    """Zero the batch telemetry (test isolation helper)."""
+    for key in _BATCH_COUNTERS:
+        _BATCH_COUNTERS[key] = 0
+
+
+def _batch_handles(kernel, p_hier, p_core, kind: int, pf, ctx_cfg):
+    """A private (RpSim, RpPf) pair for one batch cell, or ``(None, None)``.
+
+    Batch cells are one-shot: their handles live on the returned
+    ``ffi.gc`` wrappers only and are *never* entered into the state
+    registries, so a cell that degrades leaves its untouched Python
+    prefetcher free to run interpreted.
+    """
+    ffi, lib = kernel.ffi, kernel.lib
+    ptr = lib.rp_sim_new(p_hier, p_core)
+    if ptr == ffi.NULL:
+        return None, None
+    sim_h = ffi.gc(ptr, lib.rp_sim_free)
+    if kind == _PF_CONTEXT:
+        icfg, dcfg, key = ctx_cfg
+        p_icfg = ffi.new("int64_t[]", icfg)
+        p_dcfg = ffi.new("double[]", dcfg)
+        p_key = ffi.new("uint32_t[]", key)
+        pf_ptr = lib.rp_pf_ctx_new(p_icfg, p_dcfg, p_key, len(key))
+    else:
+        pf_cfg = ffi.new("int64_t[]", _pf_config_values(pf, kind))
+        pf_ptr = lib.rp_pf_new(kind, pf_cfg)
+    if pf_ptr == ffi.NULL:
+        return None, None
+    return sim_h, ffi.gc(pf_ptr, lib.rp_pf_free)
+
+
+def phase_batch_kernel(
+    kernel, sim_hs, pf_hs, cols, start_index: int, warmup: int, threads: int
+):
+    """One ``rp_run_batch`` call over every cell; ``(outs, rcs)`` back.
+
+    ``outs`` holds one private :data:`OUT_SLOTS` block per cell (cell
+    ``j`` at ``outs + j * OUT_SLOTS``); ``rcs[j]`` is that cell's kernel
+    status (0 ok).  The GIL is released for the whole call (cffi API
+    mode) and the kernel fans cells across its OpenMP team when the
+    loaded build has one — thread count cannot affect results, because
+    cells share only ``const`` columns and write disjoint blocks.
+    A module-level function so ``repro profile`` attributes the whole
+    in-kernel span to one name.
+    """
+    ffi, lib = kernel.ffi, kernel.lib
+    n = cols.n
+    if warmup and warmup >= n:
+        raise ValueError("warmup consumes the whole trace")
+    ncells = len(sim_hs)
+    sims = ffi.new("RpSim *[]", list(sim_hs))
+    pfs = ffi.new("RpPf *[]", list(pf_hs))
+    outs = ffi.new("int64_t[]", ncells * OUT_SLOTS)
+    rcs = ffi.new("int32_t[]", ncells)
+    p_addr = ffi.from_buffer("uint64_t[]", cols.addrs)
+    p_pc = ffi.from_buffer("uint64_t[]", cols.pcs)
+    p_line = ffi.from_buffer("uint64_t[]", cols.lines)
+    p_gap = ffi.from_buffer("uint32_t[]", cols.inst_gaps)
+    p_flag = ffi.from_buffer("uint8_t[]", cols.flags)
+    if cols.values is not None:
+        ctx_cols = [
+            ffi.from_buffer("int64_t[]", cols.values),
+            ffi.from_buffer("int64_t[]", cols.reg_values),
+            ffi.from_buffer("uint64_t[]", cols.branch_bits),
+            ffi.from_buffer("uint16_t[]", cols.branch_counts),
+            ffi.from_buffer("uint32_t[]", cols.type_ids),
+            ffi.from_buffer("uint32_t[]", cols.link_offsets),
+            ffi.from_buffer("uint8_t[]", cols.ref_forms),
+        ]
+    else:
+        ctx_cols = [ffi.NULL] * 7
+    lib.rp_run_batch(
+        ncells, sims, pfs, n, start_index, warmup,
+        p_addr, p_pc, p_line, p_gap, p_flag, *ctx_cols,
+        outs, rcs, max(0, int(threads)),
+    )
+    return outs, rcs
+
+
+def run_native_batch(
+    prefetchers,
+    trace,
+    *,
+    workload_name: str,
+    limit,
+    hierarchy_config=None,
+    core_config=None,
+    bhr_bits: int = 8,
+    warmup: int = 0,
+    start_index: int = 0,
+    threads: int = 0,
+):
+    """Execute N independent cells over one trace in one kernel call.
+
+    Every cell gets a *fresh* simulator/prefetcher state built from the
+    shared configs plus its own prefetcher's config — the exact state a
+    ``Simulator(pf, ...)`` construction would hand :func:`try_native_run`
+    — so cell ``i`` here is bit-identical to the single-cell native run
+    of ``prefetchers[i]``, regardless of thread count or schedule.
+
+    Returns ``(results, reasons, trace, limit)``: ``results[i]`` is the
+    cell's :class:`SimulationResult` or ``None`` when it must run
+    interpreted, in which case ``reasons[i]`` names why.  Per-cell
+    conditions (no native port, unrepresentable config, kernel OOM)
+    degrade that one cell; the call itself only raises for whole-shard
+    programming errors (warmup consuming the trace).
+    """
+    n_cells = len(prefetchers)
+    results: list = [None] * n_cells
+    reasons: list = [None] * n_cells
+    kernel = kernel_or_none()
+    if kernel is None:
+        reason = "compiled kernel unavailable"
+        _count_batch(n_cells, 0, threads, 0)
+        return results, [reason] * n_cells, trace, limit
+    ffi, lib = kernel.ffi, kernel.lib
+    kinds: list = [None] * n_cells
+    ctx_cfgs: list = [None] * n_cells
+    for i, pf in enumerate(prefetchers):
+        kind = _pf_kind(pf)
+        if kind is None:
+            reasons[i] = f"the {pf.name} prefetcher has no native port"
+            continue
+        if pf in _PF_STATES or not pf.is_pristine():
+            reasons[i] = "prefetcher carries prior run state"
+            continue
+        if kind == _PF_CONTEXT:
+            ctx_cfg, reason = _ctx_config_values(pf)
+            if ctx_cfg is None:
+                reasons[i] = reason
+                continue
+            ctx_cfgs[i] = ctx_cfg
+        elif _pf_config_values(pf, kind) is None:
+            reasons[i] = (
+                f"the {pf.name} config exceeds the kernel's fixed buffers"
+            )
+            continue
+        kinds[i] = kind
+    eligible = [i for i in range(n_cells) if reasons[i] is None]
+    hier_cfg = hierarchy_config if hierarchy_config is not None else HierarchyConfig()
+    if eligible:
+        with_context = any(kinds[i] == _PF_CONTEXT for i in eligible)
+        cols, trace, limit = phase_decode(
+            trace, limit, hier_cfg.line_bytes, with_context=with_context
+        )
+        if cols is None:
+            for i in eligible:
+                reasons[i] = "column decode fell back"
+            eligible = []
+    if not eligible:
+        _count_batch(n_cells, 0, threads, int(lib.rp_batch_openmp()))
+        return results, reasons, trace, limit
+    core_cfg = core_config if core_config is not None else CoreConfig()
+    p_hier = ffi.new("int64_t[]", _hier_values(hier_cfg))
+    p_core = ffi.new(
+        "int64_t[]",
+        [
+            core_cfg.issue_width,
+            core_cfg.rob_size,
+            core_cfg.lq_size,
+            (1 << bhr_bits) - 1,
+        ],
+    )
+    sim_hs: list = []
+    pf_hs: list = []
+    run_idx: list[int] = []
+    for i in eligible:
+        sim_h, pf_h = _batch_handles(
+            kernel, p_hier, p_core, kinds[i], prefetchers[i], ctx_cfgs[i]
+        )
+        if sim_h is None or pf_h is None:
+            reasons[i] = "native state allocation failed"
+            continue
+        sim_hs.append(sim_h)
+        pf_hs.append(pf_h)
+        run_idx.append(i)
+    native_cells = 0
+    if run_idx:
+        outs, rcs = phase_batch_kernel(
+            kernel, sim_hs, pf_hs, cols, start_index, warmup, threads
+        )
+        for j, i in enumerate(run_idx):
+            if rcs[j] != 0:
+                reasons[i] = "native kernel ran out of memory mid-run"
+                continue
+            is_ctx = kinds[i] == _PF_CONTEXT
+            results[i] = phase_finalize(
+                outs + j * OUT_SLOTS,
+                workload_name=workload_name,
+                pf=prefetchers[i],
+                ctx=(kernel, pf_hs[j]) if is_ctx else None,
+            )
+            native_cells += 1
+    if native_cells != n_cells:
+        log.debug(
+            "batch kernel handled %d/%d cells; %d fell back",
+            native_cells, n_cells, n_cells - native_cells,
+        )
+    _count_batch(n_cells, native_cells, threads, int(lib.rp_batch_openmp()))
+    return results, reasons, trace, limit
+
+
+def _count_batch(cells: int, native_cells: int, threads: int, openmp: int) -> None:
+    _BATCH_COUNTERS["batches"] += 1
+    _BATCH_COUNTERS["cells"] += cells
+    _BATCH_COUNTERS["native_cells"] += native_cells
+    _BATCH_COUNTERS["fallback_cells"] += cells - native_cells
+    _BATCH_COUNTERS["kernel_threads"] = max(0, int(threads))
+    _BATCH_COUNTERS["openmp"] = openmp
 
 
 #: counter names ``rp_pf_ctx_counters`` fills, in slot order — the same

@@ -8,6 +8,14 @@ compiles into a private scratch directory and installs the extension with
 an atomic rename, so the winner's artifact is complete and every loser's
 is byte-identical.
 
+The batch driver prefers an OpenMP build (``-fopenmp``) so whole shards
+fan across a thread pool inside one GIL-released call; when the
+toolchain has no OpenMP — or ``REPRO_NATIVE_NO_OPENMP=1`` forces it —
+the same source compiles serially (the ``#pragma`` is ignored and the
+``#else`` loop runs), bit-identical by construction.  The two modes use
+distinct artifact names (``_omp`` suffix) so both stay cached side by
+side, and ``kernel_openmp()`` reports which one loaded.
+
 Every failure mode (no cffi, no numpy, no C toolchain, a compile error)
 logs once and degrades to ``None``; callers fall back to the interpreted
 path, which is the reference oracle anyway.
@@ -30,6 +38,10 @@ log = logging.getLogger(__name__)
 #: compiled-extension cache, next to the trace store's cache tree
 DEFAULT_BUILD_DIR = Path("results") / ".cache" / "native"
 
+#: kill-switch: set to "1" to skip the OpenMP build and force the serial
+#: batch loop (CI's no-OpenMP leg proves it bit-identical)
+NO_OPENMP_ENV = "REPRO_NATIVE_NO_OPENMP"
+
 #: memoized (module with .ffi/.lib) — per process; workers re-import and
 #: re-load the cached artifact rather than sharing this handle
 _kernel = None
@@ -42,8 +54,24 @@ def source_digest() -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
-def module_name() -> str:
+def openmp_requested() -> bool:
+    """Whether this process may try the OpenMP build at all."""
+    return os.environ.get(NO_OPENMP_ENV, "") != "1"
+
+
+def artifact_prefix() -> str:
+    """Artifact-name prefix shared by both build modes of this source."""
     return f"_repro_native_{source_digest()}"
+
+
+def module_name(openmp: bool = False) -> str:
+    return artifact_prefix() + ("_omp" if openmp else "")
+
+
+def kernel_openmp() -> bool:
+    """True when the loaded kernel's batch driver is the OpenMP build."""
+    kernel = kernel_or_none()
+    return bool(kernel) and bool(kernel.lib.rp_batch_openmp())
 
 
 def _load_extension(path: Path, name: str):
@@ -55,17 +83,28 @@ def _load_extension(path: Path, name: str):
     return module
 
 
-def _existing_artifact(build_dir: Path, name: str) -> Path | None:
-    candidates = sorted(build_dir.glob(f"{name}*.so"))
+def _existing_artifact(build_dir: Path, name: Path | str) -> Path | None:
+    # the _omp glob must not swallow the serial artifact (or vice versa):
+    # the ABI tag follows a "." in the cffi filename, so anchor on it
+    candidates = sorted(build_dir.glob(f"{name}.*.so")) or sorted(
+        build_dir.glob(f"{name}.so")
+    )
     return candidates[0] if candidates else None
 
 
-def _compile_extension(build_dir: Path, name: str) -> Path:
+def _compile_extension(build_dir: Path, name: str, *, openmp: bool) -> Path:
     from cffi import FFI
 
     ffi = FFI()
     ffi.cdef(_csrc.CDEF)
-    ffi.set_source(name, _csrc.SOURCE, extra_compile_args=["-O2"])
+    compile_args = ["-O2"] + (["-fopenmp"] if openmp else [])
+    link_args = ["-fopenmp"] if openmp else []
+    ffi.set_source(
+        name,
+        _csrc.SOURCE,
+        extra_compile_args=compile_args,
+        extra_link_args=link_args,
+    )
     scratch = tempfile.mkdtemp(prefix="build-", dir=build_dir)
     try:
         built = Path(ffi.compile(tmpdir=scratch))
@@ -80,7 +119,10 @@ def kernel_or_none(build_dir: Path | None = None):
     """The compiled kernel module (``.ffi``/``.lib``), or None.
 
     Memoizes both success and failure: a process that cannot build the
-    kernel logs the reason once and answers None from then on.
+    kernel logs the reason once and answers None from then on.  The
+    OpenMP build is tried first (unless vetoed by the environment); a
+    toolchain without ``-fopenmp`` support falls through to the serial
+    build transparently.
     """
     global _kernel, _failed
     if _kernel is not None:
@@ -95,20 +137,29 @@ def kernel_or_none(build_dir: Path | None = None):
         log.warning("native kernel unavailable (%s); using the interpreted path", exc)
         return None
     directory = Path(build_dir) if build_dir is not None else DEFAULT_BUILD_DIR
-    name = module_name()
-    try:
-        directory.mkdir(parents=True, exist_ok=True)
-        artifact = _existing_artifact(directory, name)
-        if artifact is None:
-            artifact = _compile_extension(directory, name)
-        _kernel = _load_extension(artifact, name)
-    except Exception as exc:
-        _failed = True
-        log.warning(
-            "native kernel build failed (%s); using the interpreted path", exc
-        )
-        return None
-    return _kernel
+    modes = [True, False] if openmp_requested() else [False]
+    last_exc: Exception | None = None
+    for openmp in modes:
+        name = module_name(openmp)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            artifact = _existing_artifact(directory, name)
+            if artifact is None:
+                artifact = _compile_extension(directory, name, openmp=openmp)
+            _kernel = _load_extension(artifact, name)
+            return _kernel
+        except Exception as exc:
+            last_exc = exc
+            if openmp:
+                log.info(
+                    "OpenMP kernel build failed (%s); trying the serial build",
+                    exc,
+                )
+    _failed = True
+    log.warning(
+        "native kernel build failed (%s); using the interpreted path", last_exc
+    )
+    return None
 
 
 def gc_build_cache(
@@ -116,17 +167,18 @@ def gc_build_cache(
 ) -> tuple[int, list[Path]]:
     """Drop stale native-kernel artifacts; ``(kept, removed)`` back.
 
-    Artifacts for the *current* C source (``module_name()*.so``) are
-    kept; extensions built from superseded sources and abandoned
-    ``build-*`` scratch directories (a builder that died mid-compile)
-    are removed.  ``dry_run`` reports without deleting — the same
-    contract as :meth:`repro.workloads.store.TraceStore.gc`, and the
-    ``repro trace gc`` CLI runs both back to back.
+    Artifacts for the *current* C source (both build modes — the serial
+    and ``_omp`` names share :func:`artifact_prefix`) are kept;
+    extensions built from superseded sources and abandoned ``build-*``
+    scratch directories (a builder that died mid-compile) are removed.
+    ``dry_run`` reports without deleting — the same contract as
+    :meth:`repro.workloads.store.TraceStore.gc`, and the ``repro trace
+    gc`` CLI runs both back to back.
     """
     directory = Path(build_dir) if build_dir is not None else DEFAULT_BUILD_DIR
     if not directory.is_dir():
         return 0, []
-    keep_prefix = module_name()
+    keep_prefix = artifact_prefix()
     kept = 0
     removed: list[Path] = []
     for path in sorted(directory.iterdir()):

@@ -120,6 +120,9 @@ class ExecutionDefaults:
     #: stream executed cells into a queryable result DB and reuse any
     #: cell the DB already holds (content-addressed, like the cache)
     db: "ResultDB | None" = None
+    #: OpenMP team size for the kernel's in-shard batch driver
+    #: (0 = the OpenMP default; serial builds ignore it, bit-identically)
+    kernel_threads: int = 0
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -138,13 +141,15 @@ def set_default_execution(
     native: bool | None = None,
     warm: bool | None = None,
     db: "ResultDB | None | bool" = False,
+    kernel_threads: int | None = None,
 ) -> ExecutionDefaults:
     """Set process-wide defaults; returns the previous values.
 
     ``cache=False`` / ``store=False`` / ``db=False`` (the sentinels)
     leave that default untouched; pass an explicit instance or ``None``
-    to change it.  ``native=None`` / ``warm=None`` similarly leave the
-    kernel and dispatch selections untouched.
+    to change it.  ``native=None`` / ``warm=None`` /
+    ``kernel_threads=None`` similarly leave the kernel and dispatch
+    selections untouched.
     """
     global _DEFAULTS
     previous = _DEFAULTS
@@ -155,6 +160,11 @@ def set_default_execution(
         native=previous.native if native is None else bool(native),
         warm=previous.warm if warm is None else bool(warm),
         db=previous.db if db is False else db,
+        kernel_threads=(
+            previous.kernel_threads
+            if kernel_threads is None
+            else max(0, kernel_threads)
+        ),
     )
     return previous
 
@@ -691,6 +701,7 @@ def parallel_compare(
                     store_path=lead.store_path,
                     store_fingerprint=lead.store_fingerprint,
                     trace=lead.trace,
+                    kernel_threads=default_execution().kernel_threads,
                 )
                 messages.append(
                     (

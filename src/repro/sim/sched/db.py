@@ -19,6 +19,15 @@ by the same parity suites.  Design constraints:
   already present is the same result by construction, so re-running
   never rewrites rows and concurrent submitters cannot fight.
 
+Multiple concurrent submitters are first-class: WAL lets readers stream
+while a writer commits, ``busy_timeout`` makes writers queue instead of
+failing the moment two batches commit together, and the remaining
+``SQLITE_BUSY`` window (a timeout under pathological stalls) is retried
+with backoff.  Because every row is content-addressed insert-or-ignore,
+the interleaving of writers is unobservable: any set of submitters
+producing the same cells yields byte-identical canonical dumps.
+
+
 Corrupt rows degrade on read (logged, counted by the caller) exactly
 like the JSON result cache; a corrupt *file* raises
 :class:`ResultDBError` at open so the CLI can report it instead of
@@ -30,8 +39,9 @@ from __future__ import annotations
 import json
 import logging
 import sqlite3
+import time
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, TypeVar
 
 from repro.sim.codec import CODEC_VERSION, CodecError, decode_result
 from repro.sim.metrics import SimulationResult
@@ -47,6 +57,23 @@ DEFAULT_DB_PATH = Path("results") / "sweep.db"
 #: bump when the table shapes change; stored in ``meta`` and checked at
 #: open so an old-layout file fails loudly instead of misreading
 DB_SCHEMA_VERSION = 1
+
+#: how long SQLite itself queues behind another writer before surfacing
+#: SQLITE_BUSY; generous, because a blocked batch commit costs latency
+#: while a failed one costs the batch
+BUSY_TIMEOUT_MS = 30_000
+
+#: belt-and-braces above busy_timeout: retries (with linear backoff) for
+#: the SQLITE_BUSY that escapes the timeout under pathological stalls
+_BUSY_RETRIES = 5
+_BUSY_BACKOFF_S = 0.05
+
+_T = TypeVar("_T")
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
 
 _SCHEMA = (
     "CREATE TABLE IF NOT EXISTS meta ("
@@ -104,6 +131,7 @@ class ResultDB:
             # committing batches; both modes are logically equivalent
             # and invisible to canonical_dump
             self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
             for stmt in _SCHEMA:
                 self._conn.execute(stmt)
             self._conn.execute(
@@ -133,14 +161,45 @@ class ResultDB:
 
     # -- writes ---------------------------------------------------------
 
+    def _write(self, attempt: Callable[[], _T]) -> _T:
+        """Run a write transaction, retrying the SQLITE_BUSY escape path.
+
+        ``busy_timeout`` absorbs ordinary writer contention inside
+        SQLite; this loop only fires when that timeout itself expires
+        (another submitter stalled mid-commit).  Rows are insert-or-
+        ignore content addresses, so re-running ``attempt`` after a
+        rollback is always safe.
+        """
+        for tries in range(_BUSY_RETRIES):
+            try:
+                result = attempt()
+                self._conn.commit()
+                return result
+            except sqlite3.OperationalError as exc:
+                if not _is_busy(exc) or tries == _BUSY_RETRIES - 1:
+                    raise
+                try:
+                    self._conn.rollback()
+                except sqlite3.Error:
+                    pass
+                log.warning(
+                    "result DB %s: busy (%s); retry %d/%d",
+                    self.path, exc, tries + 1, _BUSY_RETRIES - 1,
+                )
+                time.sleep(_BUSY_BACKOFF_S * (tries + 1))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def ensure_sweep(self, sweep: str, spec: str, cells: int) -> None:
         """Register a sweep id (idempotent; the spec is content-bound)."""
-        try:
+
+        def attempt() -> None:
             self._conn.execute(
                 "INSERT OR IGNORE INTO sweeps (sweep, spec, cells) VALUES (?, ?, ?)",
                 (sweep, spec, cells),
             )
-            self._conn.commit()
+
+        try:
+            self._write(attempt)
         except sqlite3.Error as exc:
             raise ResultDBError(f"result DB {self.path}: {exc}") from exc
 
@@ -170,7 +229,8 @@ class ResultDB:
         ]
         if not packed:
             return 0
-        try:
+
+        def attempt() -> int:
             before = self._conn.total_changes
             self._conn.executemany(
                 "INSERT OR IGNORE INTO cells "
@@ -178,8 +238,10 @@ class ResultDB:
                 "VALUES (?, ?, ?, ?, ?, ?, ?)",
                 packed,
             )
-            self._conn.commit()
             return self._conn.total_changes - before
+
+        try:
+            return self._write(attempt)
         except sqlite3.Error as exc:
             raise ResultDBError(f"result DB {self.path}: {exc}") from exc
 

@@ -22,7 +22,6 @@ must keep its completed cells.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
@@ -31,10 +30,11 @@ from typing import Callable, Iterator, NamedTuple, Sequence, TypeVar
 from repro.core.config import ContextPrefetcherConfig
 from repro.cpu.core_model import CoreConfig
 from repro.memory.hierarchy import HierarchyConfig
-from repro.sim.cache import cell_key
+from repro.sim.cache import CellKeyer, plain_data
 
 __all__ = [
     "DEFAULT_BATCH_CELLS",
+    "KERNEL_BATCH_CELLS",
     "GridPlan",
     "PlanCell",
     "shard_by_workload",
@@ -44,6 +44,13 @@ __all__ = [
 #: stream back (and commit to the DB) while the grid is still running,
 #: large enough that per-batch IPC is amortized over many cells
 DEFAULT_BATCH_CELLS = 512
+
+#: upper bound when the shard executes inside the kernel's batch driver
+#: (one GIL-released C call per shard): the per-shard Python cost is
+#: near-constant there, so doubling the shard roughly halves boundary
+#: overhead while a commit granule of ~1k sub-millisecond cells still
+#: streams results back several times per second
+KERNEL_BATCH_CELLS = 1024
 
 
 class PlanCell(NamedTuple):
@@ -105,41 +112,56 @@ class GridPlan:
         fingerprint (the store header carries it; the scheduler resolves
         it once per workload).  Keys are identical to the result cache's,
         so DB rows and cache files address the same cells.
+
+        Built through :class:`~repro.sim.cache.CellKeyer` — the configs
+        shared by the whole grid serialize once, each context-table slot
+        once — because this runs inside the sweep's timed region and the
+        naive per-cell :func:`~repro.sim.cache.cell_key` loop costs more
+        than a batched kernel cell does.
         """
-        keys: list[str] = []
-        for cell in self.cells():
-            keys.append(
-                cell_key(
-                    workload=cell.workload,
-                    trace_fp=fingerprints[cell.workload],
-                    prefetcher=cell.prefetcher,
-                    limit=self.limit,
-                    hierarchy_config=self.hierarchy_config,
-                    core_config=self.core_config,
-                    context_config=self.context_configs[cell.context_id],
-                )
+        keyer = CellKeyer(
+            limit=self.limit,
+            hierarchy_config=self.hierarchy_config,
+            core_config=self.core_config,
+        )
+        fragments = [
+            keyer.context_fragment(cfg) for cfg in self.context_configs
+        ]
+        return [
+            keyer.key(
+                workload=cell.workload,
+                trace_fp=fingerprints[cell.workload],
+                prefetcher=cell.prefetcher,
+                context_fragment=fragments[cell.context_id],
             )
-        return keys
+            for cell in self.cells()
+        ]
 
     def spec(self) -> str:
-        """Canonical JSON description of the grid (stored in the DB)."""
+        """Canonical JSON description of the grid (stored in the DB).
+
+        Serialized via :func:`~repro.sim.cache.plain_data` rather than
+        ``dataclasses.asdict`` — identical JSON, no per-leaf deepcopy,
+        which matters with thousands of context-config slots (this runs
+        inside the sweep's timed region).
+        """
         payload = {
             "workloads": list(self.workloads),
             "prefetchers": list(self.prefetchers),
             "context_configs": [
-                None if cfg is None else dataclasses.asdict(cfg)
+                None if cfg is None else plain_data(cfg)
                 for cfg in self.context_configs
             ],
             "limit": self.limit,
             "hierarchy": (
                 None
                 if self.hierarchy_config is None
-                else dataclasses.asdict(self.hierarchy_config)
+                else plain_data(self.hierarchy_config)
             ),
             "core": (
                 None
                 if self.core_config is None
-                else dataclasses.asdict(self.core_config)
+                else plain_data(self.core_config)
             ),
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))

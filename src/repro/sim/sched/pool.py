@@ -88,6 +88,13 @@ class BatchShared:
     store_fingerprint: str = ""
     #: ad-hoc trace shipped by value (workloads workers cannot rebuild)
     trace: tuple[MemoryAccess, ...] | None = None
+    #: hand whole shards to the kernel's batch driver (one GIL-released
+    #: C call per batch) when native; False pins the per-cell dispatch
+    #: path (the PR 9 baseline, kept for benchmarks and bisection)
+    kernel_batch: bool = True
+    #: OpenMP team size for the in-kernel batch (0 = the OpenMP default;
+    #: ignored by serial builds, which are bit-identical anyway)
+    kernel_threads: int = 0
 
 
 def _make_cell_prefetcher(shared: BatchShared, prefetcher: str, context_id: int):
@@ -103,9 +110,13 @@ def run_batch(
     """Execute one batch in this process; ``(results, store degrades)``.
 
     The trace resolves through the worker memo exactly as the legacy
-    batch path does (decode once, reuse across batches), and each cell
-    runs through the same ``Simulator`` construction as the serial
-    loop — bit-identical by the parity suites.
+    batch path does (decode once, reuse across batches).  When the batch
+    is native and the kernel's batch driver is enabled, the whole cell
+    list crosses into C in one GIL-released ``rp_run_batch`` call —
+    per-cell results bit-identical to the per-cell dispatch below, which
+    both serves as the fallback for cells the kernel cannot represent
+    (each degrades alone, with its own reason) and remains the whole
+    path when ``kernel_batch`` is off.
     """
     from repro.sim.parallel import _drain_store_degrades, _resolve_worker_trace
 
@@ -117,15 +128,36 @@ def run_batch(
         shared.native,
         shared.trace,
     )
+    limit = shared.limit
+    prefetchers = [
+        _make_cell_prefetcher(shared, prefetcher, context_id)
+        for _index, prefetcher, context_id in cells
+    ]
+    batch_results = None
+    if shared.native and shared.kernel_batch:
+        from repro.sim.native.adapter import run_native_batch
+
+        batch_results, _reasons, trace, limit = run_native_batch(
+            prefetchers,
+            trace,
+            workload_name=shared.workload,
+            limit=limit,
+            hierarchy_config=shared.hierarchy_config,
+            core_config=shared.core_config,
+            threads=shared.kernel_threads,
+        )
     out = []
-    for index, prefetcher, context_id in cells:
+    for pos, (index, _prefetcher, _context_id) in enumerate(cells):
+        if batch_results is not None and batch_results[pos] is not None:
+            out.append((index, encode_result(batch_results[pos]), (True, None)))
+            continue
         sim = Simulator(
-            _make_cell_prefetcher(shared, prefetcher, context_id),
+            prefetchers[pos],
             hierarchy_config=shared.hierarchy_config,
             core_config=shared.core_config,
             native=shared.native,
         )
-        result = sim.run(trace, workload_name=shared.workload, limit=shared.limit)
+        result = sim.run(trace, workload_name=shared.workload, limit=limit)
         out.append(
             (
                 index,

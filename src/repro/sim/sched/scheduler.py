@@ -33,7 +33,13 @@ from typing import Any, Callable, Sequence
 
 from repro.sim.cache import SweepCache
 from repro.sim.sched.db import ResultDB
-from repro.sim.sched.plan import GridPlan, PlanCell, shard_by_workload
+from repro.sim.sched.plan import (
+    DEFAULT_BATCH_CELLS,
+    KERNEL_BATCH_CELLS,
+    GridPlan,
+    PlanCell,
+    shard_by_workload,
+)
 from repro.sim.sched.pool import BatchShared, WorkerPool, shared_pool
 from repro.workloads.store import TraceStore
 
@@ -132,12 +138,19 @@ class SweepScheduler:
         cache: SweepCache | None = None,
         jobs: int = 1,
         native: bool = False,
+        kernel_batch: bool = True,
+        kernel_threads: int = 0,
     ):
         self.db = db
         self.store = store
         self.cache = cache
         self.jobs = max(1, jobs)
         self.native = native
+        #: hand whole shards to the kernel's batch driver (native only);
+        #: False pins the PR 9 per-cell dispatch (benchmarks, bisection)
+        self.kernel_batch = kernel_batch
+        #: OpenMP team size inside each worker's batch call (0 = default)
+        self.kernel_threads = kernel_threads
 
     # ------------------------------------------------------------------
 
@@ -174,18 +187,27 @@ class SweepScheduler:
     ) -> tuple[BatchShared, tuple[tuple[int, str, int], ...]]:
         workload = batch[0].workload
         ref = supplies[workload]
+        # ship only the context-table slice this shard references (shards
+        # are contiguous in grid order, so the referenced ids form a tight
+        # range); cell tuples are rebased onto the slice.  On a config
+        # sweep the full table is the bulk of every batch message, and
+        # each shard touches ~1/jobs of it.
+        lo = min(cell.context_id for cell in batch)
+        hi = max(cell.context_id for cell in batch)
         shared = BatchShared(
             workload=workload,
             limit=plan.limit,
             native=self.native,
             hierarchy_config=plan.hierarchy_config,
             core_config=plan.core_config,
-            context_table=plan.context_configs,
+            context_table=plan.context_configs[lo : hi + 1],
             store_path=ref.path if ref is not None else None,
             store_fingerprint=ref.fingerprint if ref is not None else "",
+            kernel_batch=self.kernel_batch,
+            kernel_threads=self.kernel_threads,
         )
         return shared, tuple(
-            (cell.index, cell.prefetcher, cell.context_id) for cell in batch
+            (cell.index, cell.prefetcher, cell.context_id - lo) for cell in batch
         )
 
     # ------------------------------------------------------------------
@@ -196,6 +218,7 @@ class SweepScheduler:
         *,
         progress: ProgressFn | None = None,
         max_cells: int | None = None,
+        on_cells: Callable[[str, int, int], None] | None = None,
     ) -> SweepStats:
         """Execute ``plan``, resuming any cells the DB already holds.
 
@@ -204,6 +227,12 @@ class SweepScheduler:
         exactly as a real interruption after that many cells would).
         Every executed cell commits with its batch, so interrupting the
         loop anywhere loses at most the in-flight batches.
+
+        ``on_cells(sweep, done, total)`` fires once after the resume
+        diff and again after every committed batch — a deterministic
+        cell-count stream (this package stays clock-free; see DET003).
+        ``repro serve`` timestamps it *outside* the scheduler to derive
+        live throughput and ETA.
         """
         from repro.sim.parallel import _drain_store_degrades
 
@@ -231,15 +260,25 @@ class SweepScheduler:
         )
         if progress is not None and resumed:
             progress(f"resume: {resumed}/{len(cells)} cells already in the DB")
+        if on_cells is not None:
+            on_cells(sweep, resumed, len(cells))
         if not pending:
             if progress is not None:
                 progress(stats.summary())
             return stats
 
+        # in-kernel batching amortises the C-call boundary across the
+        # whole shard, so bigger shards help; cap them lower on the
+        # per-cell path, where a shard is also the commit granule
+        max_batch = (
+            KERNEL_BATCH_CELLS
+            if self.native and self.kernel_batch
+            else DEFAULT_BATCH_CELLS
+        )
         batches = [
             self._batch_message(plan, supplies, batch)
             for batch in shard_by_workload(
-                pending, lambda cell: cell.workload, self.jobs
+                pending, lambda cell: cell.workload, self.jobs, max_batch=max_batch
             )
         ]
         by_index = {cell.index: cell for cell in pending}
@@ -260,6 +299,8 @@ class SweepScheduler:
                     self.cache.store(keys[index], decode_result(payload))
             self.db.store_cells(sweep, rows)
             finished += len(results)
+            if on_cells is not None:
+                on_cells(sweep, finished + resumed, len(cells))
             if progress is not None:
                 workload = by_index[results[0][0]].workload if results else "?"
                 progress(
@@ -279,8 +320,11 @@ class SweepScheduler:
         *,
         progress: ProgressFn | None = None,
         max_cells: int | None = None,
+        on_cells: Callable[[str, int, int], None] | None = None,
     ) -> SweepStats:
         """:meth:`run_plan` for synchronous callers (CLI, scripts)."""
         return asyncio.run(
-            self.run_plan(plan, progress=progress, max_cells=max_cells)
+            self.run_plan(
+                plan, progress=progress, max_cells=max_cells, on_cells=on_cells
+            )
         )

@@ -1001,3 +1001,126 @@ class TestBatchDispatchLayoutRule:
         findings = run_rules(tmp_path, [self._rule()])
         assert rule_ids(findings) == ["PERF004"]
         assert "per-cell futures" in findings[0].message
+
+
+class TestBatchKernelLayoutRule:
+    """PERF005: the in-kernel batch driver is pinned and state-free."""
+
+    def _rule(self):
+        from repro.analysis.rules.perf import BatchKernelLayoutRule
+
+        return BatchKernelLayoutRule()
+
+    def _csrc_source(self, version, cdef, body) -> str:
+        return (
+            f"BATCH_VERSION = {version}\n"
+            f"CDEF_BATCH = {cdef!r}\n"
+            f"SOURCE_BATCH = {body!r}\n"
+        )
+
+    def test_live_layout_matches_pin(self):
+        # the real module must always satisfy its own pin — this fires
+        # when someone edits the batch C source in place
+        from repro.analysis.rules.perf import (
+            PINNED_BATCH_LAYOUTS,
+            batch_layout_hash,
+        )
+        from repro.sim.native._csrc import (
+            BATCH_VERSION,
+            CDEF_BATCH,
+            SOURCE_BATCH,
+        )
+
+        assert PINNED_BATCH_LAYOUTS[BATCH_VERSION] == batch_layout_hash(
+            CDEF_BATCH, SOURCE_BATCH
+        )
+
+    def test_current_layout_passes(self, tmp_path):
+        from repro.sim.native._csrc import (
+            BATCH_VERSION,
+            CDEF_BATCH,
+            SOURCE_BATCH,
+        )
+
+        write_tree(
+            tmp_path,
+            {
+                "sim/native/_csrc.py": self._csrc_source(
+                    BATCH_VERSION, CDEF_BATCH, SOURCE_BATCH
+                )
+            },
+        )
+        assert run_rules(tmp_path, [self._rule()]) == []
+
+    def test_drift_without_bump_is_flagged(self, tmp_path):
+        from repro.sim.native._csrc import BATCH_VERSION, CDEF_BATCH, SOURCE_BATCH
+
+        write_tree(
+            tmp_path,
+            {
+                "sim/native/_csrc.py": self._csrc_source(
+                    BATCH_VERSION, CDEF_BATCH, SOURCE_BATCH + "\nint x;\n"
+                )
+            },
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF005"]
+        assert "bump BATCH_VERSION" in findings[0].message
+
+    def test_new_version_requires_a_pin(self, tmp_path):
+        from repro.sim.native._csrc import CDEF_BATCH, SOURCE_BATCH
+
+        write_tree(
+            tmp_path,
+            {
+                "sim/native/_csrc.py": self._csrc_source(
+                    999, CDEF_BATCH, SOURCE_BATCH
+                )
+            },
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF005"]
+        assert "no pinned layout" in findings[0].message
+
+    def test_static_storage_is_flagged(self, tmp_path):
+        body = (
+            "#ifdef _OPENMP\n#endif\n"
+            "int f(void) { static int hits = 0; return ++hits; }\n"
+        )
+        write_tree(
+            tmp_path,
+            {"sim/native/_csrc.py": self._csrc_source(1, "int f(void);", body)},
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert "PERF005" in rule_ids(findings)
+        assert any("`static` storage" in f.message for f in findings)
+
+    def test_missing_openmp_guard_is_flagged(self, tmp_path):
+        body = "int f(void) { return 0; }\n"
+        write_tree(
+            tmp_path,
+            {"sim/native/_csrc.py": self._csrc_source(1, "int f(void);", body)},
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert "PERF005" in rule_ids(findings)
+        assert any("_OPENMP" in f.message for f in findings)
+
+    def test_non_literal_source_is_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "sim/native/_csrc.py": (
+                    "BATCH_VERSION = 1\n"
+                    'CDEF_BATCH = "int f(void);"\n'
+                    "SOURCE_BATCH = make_source()\n"
+                )
+            },
+        )
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF005"]
+        assert "statically auditable" in findings[0].message
+
+    def test_missing_module_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {"core/x.py": "pass\n"})
+        findings = run_rules(tmp_path, [self._rule()])
+        assert rule_ids(findings) == ["PERF005"]

@@ -62,7 +62,9 @@ class TestSweepService:
             assert (stats.executed, stats.resumed) == (4, 0)
 
             status = service.status()
-            assert status == [(stats.sweep, 4, 4)]
+            assert [(s.sweep, s.done, s.total) for s in status] == [
+                (stats.sweep, 4, 4)
+            ]
 
             cells = service.query(workload="list")
             assert [(c.workload, c.prefetcher) for c in cells] == [

@@ -15,6 +15,7 @@ from repro.core.config import ContextPrefetcherConfig
 from repro.cpu.core_model import CoreConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.sim.cache import (
+    CellKeyer,
     SweepCache,
     cell_key,
     code_fingerprint,
@@ -85,6 +86,60 @@ class TestCellKey:
     def test_code_fingerprint_stable_within_process(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64  # sha256 hex
+
+
+class TestCellKeyer:
+    """The batched builder must equal cell_key byte-for-byte everywhere."""
+
+    def assert_matches(self, **overrides):
+        base = dict(
+            workload="wl",
+            trace_fp=trace_fingerprint(TRACE),
+            prefetcher="context",
+            limit=1000,
+            hierarchy_config=None,
+            core_config=None,
+            context_config=None,
+            code_version="v0",
+        )
+        base.update(overrides)
+        keyer = CellKeyer(
+            limit=base["limit"],
+            hierarchy_config=base["hierarchy_config"],
+            core_config=base["core_config"],
+            code_version=base["code_version"],
+        )
+        built = keyer.key(
+            workload=base["workload"],
+            trace_fp=base["trace_fp"],
+            prefetcher=base["prefetcher"],
+            context_fragment=keyer.context_fragment(base["context_config"]),
+        )
+        assert built == cell_key(**base)
+
+    def test_defaults(self):
+        self.assert_matches()
+
+    def test_every_varying_axis(self):
+        self.assert_matches(workload="other", prefetcher="stride")
+        self.assert_matches(prefetcher="none")
+        self.assert_matches(limit=None)
+        self.assert_matches(
+            context_config=ContextPrefetcherConfig(cst_entries=4096)
+        )
+        self.assert_matches(
+            hierarchy_config=HierarchyConfig(l1_size=32 * 1024),
+            core_config=CoreConfig(rob_size=256),
+        )
+
+    def test_live_code_fingerprint(self):
+        self.assert_matches(code_version=None)
+
+    def test_non_context_cells_ignore_fragment(self):
+        keyer = CellKeyer(limit=10, code_version="v0")
+        scaled = keyer.context_fragment(ContextPrefetcherConfig(cst_entries=4096))
+        common = dict(workload="wl", trace_fp="fp", prefetcher="stride")
+        assert keyer.key(**common, context_fragment=scaled) == keyer.key(**common)
 
 
 class TestTraceFingerprint:

@@ -14,7 +14,11 @@ Two invariants carry the whole subsystem:
   interruption would.
 """
 
+import os
 import sqlite3
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -141,6 +145,66 @@ class TestResultDB:
             conn.execute("UPDATE meta SET value = '99' WHERE key = 'schema'")
         with pytest.raises(ResultDBError):
             ResultDB(path)
+
+    def test_busy_commit_is_retried(self, tmp_path, monkeypatch):
+        db = ResultDB(tmp_path / "db.sqlite")
+        sleeps = []
+        monkeypatch.setattr("repro.sim.sched.db.time.sleep", sleeps.append)
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert db._write(attempt) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == sorted(sleeps) and len(sleeps) == 2  # backoff grows
+
+    def test_non_busy_error_is_not_retried(self, tmp_path, monkeypatch):
+        db = ResultDB(tmp_path / "db.sqlite")
+        monkeypatch.setattr(
+            "repro.sim.sched.db.time.sleep",
+            lambda s: pytest.fail("non-busy errors must not back off"),
+        )
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError):
+            db._write(attempt)
+        assert calls["n"] == 1
+
+
+class TestConcurrentWriters:
+    def test_two_submitters_disjoint_shards(self, tmp_path, store):
+        """Two processes filling one WAL DB match the serial dump."""
+        script = Path(__file__).with_name("_concurrent_writer.py")
+        shared = tmp_path / "shared.sqlite"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(shared),
+                 str(store.root), wl, str(LIMIT)],
+                env=env,
+            )
+            for wl in WORKLOADS
+        ]
+        assert [p.wait(timeout=600) for p in procs] == [0, 0]
+
+        serial_db = ResultDB(tmp_path / "serial.sqlite")
+        for wl in WORKLOADS:
+            shard = GridPlan(
+                workloads=(wl,), prefetchers=PREFETCHERS, limit=LIMIT
+            )
+            run_plan(shard, serial_db, store, jobs=1)
+        with ResultDB(shared) as concurrent:
+            assert concurrent.canonical_dump() == serial_db.canonical_dump()
 
 
 class TestWarmPool:
